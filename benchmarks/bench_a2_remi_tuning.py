@@ -1,0 +1,79 @@
+"""Ablation A2 -- REMI chunk size and pipeline window.
+
+The chunked-RPC path has two tuning knobs the paper's description
+implies: the chunk size (packing granularity) and the pipeline window
+(chunks in flight).  This ablation migrates a many-small-files dataset
+across the grid and shows: tiny chunks drown in per-RPC overhead, huge
+chunks lose pipelining overlap, and a window of 1 (no pipelining)
+forfeits the concurrency the paper's design calls for.
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.remi import FileSet, RemiClient, RemiProvider
+from repro.storage import LocalStore
+
+from common import print_table, save_results
+
+NUM_FILES = 512
+FILE_SIZE = 16 * 1024  # 8 MiB total
+CHUNK_SIZES = [64 << 10, 256 << 10, 1 << 20, 4 << 20]
+WINDOWS = [1, 2, 4, 8]
+
+
+def run_trial(chunk_size, window):
+    cluster = Cluster(seed=132)
+    src_node = cluster.node("src")
+    dst_node = cluster.node("dst")
+    src_store = LocalStore(src_node)
+    LocalStore(dst_node)
+    src = cluster.add_margo("src-proc", node=src_node)
+    dst = cluster.add_margo("dst-proc", node=dst_node)
+    RemiProvider(dst, "remi", provider_id=0, config={"sync": False})
+    handle = RemiClient(src).make_handle(dst.address, 0)
+    for i in range(NUM_FILES):
+        src_store.write(f"data/{i:05d}", b"\xcd" * FILE_SIZE)
+    fileset = FileSet.from_prefix(src_store, "data/")
+
+    def driver():
+        report = yield from handle.migrate_fileset(
+            fileset, method="chunks", chunk_size=chunk_size, window=window
+        )
+        return report
+
+    report = cluster.run_ult(src, driver())
+    return report.duration, report.num_chunks
+
+
+def run_experiment():
+    rows = []
+    for chunk_size in CHUNK_SIZES:
+        for window in WINDOWS:
+            duration, num_chunks = run_trial(chunk_size, window)
+            rows.append(
+                {
+                    "chunk_kib": chunk_size >> 10,
+                    "window": window,
+                    "chunks": num_chunks,
+                    "duration_ms": duration * 1e3,
+                    "gbps": NUM_FILES * FILE_SIZE / duration / 1e9,
+                }
+            )
+    return rows
+
+
+def test_a2_remi_tuning(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("A2: REMI chunk-size x window ablation (512 x 16 KiB files)", rows)
+    save_results("A2_remi_tuning", {"rows": rows})
+
+    cell = {(r["chunk_kib"], r["window"]): r for r in rows}
+    # Pipelining helps: at every chunk size with >1 chunk, window 4 beats
+    # window 1.
+    for chunk_kib in [64, 256, 1024]:
+        assert cell[(chunk_kib, 4)]["duration_ms"] < cell[(chunk_kib, 1)]["duration_ms"]
+    # The default configuration (1 MiB x 4) is within 25% of the best
+    # cell of the whole grid.
+    best = min(r["duration_ms"] for r in rows)
+    assert cell[(1024, 4)]["duration_ms"] <= best * 1.25

@@ -1,0 +1,107 @@
+"""Ablation A3 -- Raft timing parameters.
+
+Sweeps the heartbeat/election-timeout pair and measures (a) the
+unavailability window after a leader kill and (b) the idle protocol
+message rate.  The classic tradeoff: aggressive timeouts recover faster
+but cost more heartbeat traffic (and risk spurious elections);
+conservative timeouts are quiet but slow to recover.
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.margo.ult import UltSleep
+from repro.raft import CounterStateMachine, RaftClient, RaftConfig, RaftNode, Role
+
+from common import print_table, save_results
+
+TIMINGS = [
+    ("aggressive", 0.02, 0.06, 0.12),
+    ("default", 0.05, 0.15, 0.30),
+    ("conservative", 0.20, 0.60, 1.20),
+]
+KILL_AT = 5.0
+RUN_FOR = 20.0
+
+
+def run_trial(label, heartbeat, timeout_min, timeout_max):
+    rc = RaftConfig(
+        heartbeat_interval=heartbeat,
+        election_timeout_min=timeout_min,
+        election_timeout_max=timeout_max,
+        rpc_timeout=heartbeat * 1.2,
+    )
+    cluster = Cluster(seed=133)
+    margos = [cluster.add_margo(f"r{i}", node=f"n{i}") for i in range(5)]
+    peers = [m.address for m in margos]
+    nodes = [
+        RaftNode(
+            margo, f"raft{i}", provider_id=1,
+            state_machine=CounterStateMachine(),
+            peers=peers, rng=cluster.randomness.stream(f"raft:{i}"), config=rc,
+        )
+        for i, margo in enumerate(margos)
+    ]
+    app = cluster.add_margo("app", node="napp")
+    handle = RaftClient(app).make_group_handle(peers, provider_id=1)
+    handle.retry_interval = heartbeat
+
+    # Idle message rate: let the group settle, then count for 2 seconds.
+    cluster.run(until=2.0)
+    base = cluster.network.messages_sent
+    cluster.run(until=4.0)
+    idle_rate = (cluster.network.messages_sent - base) / 2.0
+
+    acked = []
+
+    def submitter():
+        while cluster.now < RUN_FOR:
+            try:
+                yield from handle.submit(1, rpc_timeout=max(0.3, heartbeat * 6))
+                acked.append(cluster.now)
+            except Exception:
+                pass
+            yield UltSleep(0.02)
+
+    cluster.spawn(app, submitter())
+    cluster.run(until=KILL_AT)
+    leaders = [n for n in nodes if n.role == Role.LEADER and n._running]
+    leader = leaders[0]
+    cluster.faults.kill_process(leader.margo.process)
+    cluster.run(until=RUN_FOR)
+    before = [t for t in acked if t <= KILL_AT]
+    after = [t for t in acked if t > KILL_AT]
+    outage = after[0] - before[-1] if before and after else None
+    elections = sum(n.elections_started for n in nodes)
+    return {
+        "timing": label,
+        "heartbeat_s": heartbeat,
+        "election_timeout_s": f"{timeout_min}-{timeout_max}",
+        "idle_msgs_per_s": idle_rate,
+        "unavailability_s": outage,
+        "elections_started": elections,
+    }
+
+
+def run_experiment():
+    return [run_trial(*t) for t in TIMINGS]
+
+
+def test_a3_raft_timing(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("A3: Raft timing ablation (5 nodes, leader killed)", rows)
+    save_results("A3_raft_timing", {"rows": rows})
+
+    by_label = {r["timing"]: r for r in rows}
+    for row in rows:
+        assert row["unavailability_s"] is not None, row
+    # Aggressive timeouts recover faster than conservative ones...
+    assert (
+        by_label["aggressive"]["unavailability_s"]
+        < by_label["conservative"]["unavailability_s"]
+    )
+    # ...at a higher idle message cost.
+    assert (
+        by_label["aggressive"]["idle_msgs_per_s"]
+        > by_label["conservative"]["idle_msgs_per_s"]
+    )

@@ -1,0 +1,118 @@
+"""Ablation A4 -- the cost of composable security (paper section 9).
+
+Measures KV operation latency in four configurations: direct access,
+through the guard with shared-secret (mesh) token validation, through
+the guard with encryption, and with tokens validated remotely at the
+auth provider on every call.  Expected shape: the guard adds one
+indirection hop plus HMAC cost; encryption adds size-proportional cost;
+per-call remote validation is the expensive design (which is why the
+shared-secret path exists).
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.security import AuthProvider, GuardProvider, sign_token
+from repro.security.tokens import verify_token
+from repro.yokan import YokanClient, YokanProvider
+
+from common import print_table, save_results
+
+N_OPS = 300
+VALUE = "x" * 2048
+
+
+def measure(cluster, app, db):
+    def driver():
+        started = cluster.now
+        for i in range(N_OPS):
+            yield from db.put(f"k{i}", VALUE)
+        return (cluster.now - started) / N_OPS
+
+    return cluster.run_ult(app, driver()) * 1e6  # us/op
+
+
+def build(encrypt=False, remote_validation=False):
+    cluster = Cluster(seed=134)
+    backend = cluster.add_margo("backend", node="n0")
+    YokanProvider(backend, "db", provider_id=1)
+    edge = cluster.add_margo("edge", node="n1")
+    authsrv = cluster.add_margo("authsrv", node="n2")
+    auth = AuthProvider(
+        authsrv, "auth0", provider_id=1,
+        config={
+            "secret": "mesh-secret",
+            "users": {"svc": {"password": "pw", "scopes": {"yokan": ["*"]}}},
+            "token_ttl": 1e9,
+        },
+    )
+    guard = GuardProvider(
+        edge, "guard0", provider_id=1,
+        protected={"type": "yokan", "address": backend.address, "provider_id": 1},
+        operations=["put", "get"],
+        auth="mesh-secret",
+        encrypt=encrypt,
+    )
+    if remote_validation:
+        # Ablated design: the guard round-trips every token to the auth
+        # provider instead of verifying locally with the shared secret.
+        original_guarded = guard._guarded
+
+        def guarded_with_remote(operation, ctx):
+            envelope = ctx.args
+            if isinstance(envelope, dict) and "__token__" in envelope:
+                yield from guard.margo.forward(
+                    authsrv.address, "auth_validate",
+                    {"token": envelope["__token__"]}, provider_id=1,
+                )
+            result = yield from original_guarded(operation, ctx)
+            return result
+
+        guard._guarded = guarded_with_remote  # type: ignore[method-assign]
+    app = cluster.add_margo("app", node="na")
+    db = YokanClient(app).make_handle(edge.address, 1)
+    db.auth_token = sign_token(
+        "mesh-secret", "svc", {"yokan": ["*"]}, expires_at=1e9, token_id="t"
+    )
+    return cluster, app, db, backend
+
+
+def run_experiment():
+    rows = []
+
+    # Baseline: direct access, no security.
+    cluster = Cluster(seed=134)
+    backend = cluster.add_margo("backend", node="n0")
+    YokanProvider(backend, "db", provider_id=1)
+    app = cluster.add_margo("app", node="na")
+    db = YokanClient(app).make_handle(backend.address, 1)
+    rows.append({"configuration": "direct (no security)", "put_us": measure(cluster, app, db)})
+
+    cluster, app, db, _ = build(encrypt=False)
+    rows.append({"configuration": "guard (mesh validation)", "put_us": measure(cluster, app, db)})
+
+    cluster, app, db, _ = build(encrypt=True)
+    rows.append({"configuration": "guard + encryption", "put_us": measure(cluster, app, db)})
+
+    cluster, app, db, _ = build(encrypt=False, remote_validation=True)
+    rows.append({"configuration": "guard + remote validation", "put_us": measure(cluster, app, db)})
+
+    base = rows[0]["put_us"]
+    for row in rows:
+        row["overhead_x"] = row["put_us"] / base
+    return rows
+
+
+def test_a4_security_overhead(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("A4: composable security overhead (2 KiB puts)", rows)
+    save_results("A4_security", {"rows": rows})
+
+    direct, mesh, encrypted, remote = rows
+    # The guard adds an indirection hop + HMAC: overhead exists but
+    # stays within ~3x of the direct path.
+    assert 1.0 < mesh["overhead_x"] < 3.0
+    # Encryption adds a payload-proportional cost on top of the guard.
+    assert encrypted["put_us"] > mesh["put_us"]
+    # Per-call remote validation is the most expensive design.
+    assert remote["put_us"] > mesh["put_us"]

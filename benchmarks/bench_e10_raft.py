@@ -1,0 +1,125 @@
+"""E10 -- section 7, Observation 11: Mochi-RAFT availability and safety.
+
+A Yokan backend is replicated across 5 nodes by Raft (the paper's
+composable-consensus design: Yokan is unmodified).  A client submits a
+steady command stream; the leader is killed mid-stream.  Measured:
+
+* throughput before/after the failure;
+* the unavailability window (last success before the kill to first
+  success after);
+* safety: every acknowledged write is present afterwards, and all
+  surviving state machines are identical.
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.margo.ult import UltSleep
+from repro.raft import KVStateMachine, RaftClient, RaftConfig, RaftNode, Role
+from repro.yokan import MapBackend
+
+from common import print_table, save_results
+
+RC = RaftConfig(
+    heartbeat_interval=0.05,
+    election_timeout_min=0.15,
+    election_timeout_max=0.3,
+    rpc_timeout=0.06,
+)
+KILL_AT = 4.0
+RUN_FOR = 12.0
+SUBMIT_GAP = 0.02
+
+
+def run_experiment():
+    cluster = Cluster(seed=111)
+    margos = [cluster.add_margo(f"r{i}", node=f"n{i}") for i in range(5)]
+    peers = [m.address for m in margos]
+    nodes = [
+        RaftNode(
+            margo, f"raft{i}", provider_id=1,
+            state_machine=KVStateMachine(MapBackend()),
+            peers=peers,
+            rng=cluster.randomness.stream(f"raft:{i}"),
+            config=RC,
+        )
+        for i, margo in enumerate(margos)
+    ]
+    app = cluster.add_margo("app", node="napp")
+    handle = RaftClient(app).make_group_handle(peers, provider_id=1)
+
+    acked: list[tuple[float, int]] = []  # (time, sequence)
+
+    def submitter():
+        sequence = 0
+        while cluster.now < RUN_FOR:
+            try:
+                yield from handle.submit(
+                    {"op": "put", "key": f"k{sequence:06d}".encode(),
+                     "value": f"v{sequence}".encode()},
+                    rpc_timeout=0.5,
+                )
+                acked.append((cluster.now, sequence))
+                sequence += 1
+            except Exception:
+                pass  # retry next loop iteration
+            yield UltSleep(SUBMIT_GAP)
+
+    cluster.spawn(app, submitter())
+    cluster.run(until=KILL_AT)
+    (leader,) = [n for n in nodes if n.role == Role.LEADER and n._running]
+    cluster.faults.kill_process(leader.margo.process)
+    cluster.run(until=RUN_FOR + 2.0)
+
+    survivors = [n for n in nodes if n is not leader]
+    before = [t for t, _ in acked if t <= KILL_AT]
+    after = [t for t, _ in acked if t > KILL_AT]
+    unavailability = after[0] - before[-1] if after and before else None
+
+    # Safety: every acked write present in every survivor's backend.
+    acked_keys = {f"k{seq:06d}".encode() for _, seq in acked}
+    missing = 0
+    cluster.run(until=cluster.now + 2.0)  # let followers catch up fully
+    for node in survivors:
+        backend = node.sm.backend
+        missing += sum(1 for key in acked_keys if not backend.exists(key))
+    dumps = {bytes(n.sm.backend.dump()) for n in survivors}
+
+    rows = [
+        {
+            "phase": "before leader kill",
+            "acked_writes": len(before),
+            "throughput_per_s": len(before) / KILL_AT,
+        },
+        {
+            "phase": "after leader kill",
+            "acked_writes": len(after),
+            "throughput_per_s": len(after) / (RUN_FOR - KILL_AT),
+        },
+    ]
+    summary = {
+        "unavailability_window_s": unavailability,
+        "election_timeout_max_s": RC.election_timeout_max,
+        "acked_total": len(acked),
+        "acked_missing_after_failover": missing,
+        "survivor_states_identical": len(dumps) == 1,
+    }
+    return rows, summary
+
+
+def test_e10_raft_failover(benchmark):
+    rows, summary = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E10: Raft-replicated Yokan under leader failure", rows)
+    print_table("E10: summary", [summary])
+    save_results("E10_raft", {"rows": rows, "summary": summary})
+
+    # Availability: service resumed, and the outage is on the order of
+    # the election timeout (well under 20x).
+    assert summary["unavailability_window_s"] is not None
+    assert summary["unavailability_window_s"] < RC.election_timeout_max * 20
+    assert rows[1]["acked_writes"] > 0
+    # Throughput recovers to the same order of magnitude.
+    assert rows[1]["throughput_per_s"] > rows[0]["throughput_per_s"] * 0.5
+    # Safety: zero acknowledged writes lost; replicas converge.
+    assert summary["acked_missing_after_failover"] == 0
+    assert summary["survivor_states_identical"]

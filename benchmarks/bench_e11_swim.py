@@ -1,0 +1,109 @@
+"""E11 -- section 7, Observation 12: SWIM fault detection.
+
+Sweeps group size, protocol period, and message-loss rate; for each
+configuration a member is killed and the experiment measures the
+detection latency (kill -> every survivor's view excludes the victim)
+and counts false positives.  Expected shapes (from the SWIM papers the
+paper builds on [27, 28]):
+
+* detection latency scales with the protocol period;
+* detection latency grows only mildly with group size (gossip
+  dissemination is logarithmic);
+* no false positives without message loss; detection still completes
+  under moderate loss.
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.ssg import SwimConfig, create_group
+
+from common import print_table, save_results
+
+GROUP_SIZES = [8, 16, 32]
+PERIODS = [0.25, 0.5, 1.0]
+LOSS_RATES = [0.0, 0.10]
+SETTLE = 3.0
+DETECT_TIMEOUT = 200.0
+
+
+def swim_config(period):
+    return SwimConfig(
+        period=period,
+        ping_timeout=period * 0.3,
+        suspicion_timeout=period * 4,
+        ping_req_k=3,
+    )
+
+
+def run_trial(n, period, loss, seed):
+    cluster = Cluster(seed=seed)
+    margos = [cluster.add_margo(f"m{i}", node=f"n{i}") for i in range(n)]
+    groups = create_group("g", margos, cluster.randomness, swim=swim_config(period))
+    cluster.run(until=SETTLE)
+    cluster.faults.set_message_loss(loss)
+    victim = margos[0]
+    kill_time = cluster.now
+    cluster.faults.kill_process(victim.process)
+    survivors = groups[1:]
+
+    def detected():
+        return all(victim.address not in g.view.members for g in survivors)
+
+    deadline = cluster.now + DETECT_TIMEOUT
+    while not detected() and cluster.now < deadline:
+        cluster.run(until=cluster.now + period)
+    latency = (cluster.now - kill_time) if detected() else None
+    false_positives = sum(g.false_suspicions for g in survivors)
+    return latency, false_positives
+
+
+def run_experiment():
+    rows = []
+    for n in GROUP_SIZES:
+        for period in PERIODS:
+            for loss in LOSS_RATES:
+                latency, false_positives = run_trial(
+                    n, period, loss, seed=113 + n + int(period * 100)
+                )
+                rows.append(
+                    {
+                        "group_size": n,
+                        "period_s": period,
+                        "loss": loss,
+                        "detection_s": latency,
+                        "detection_periods": (
+                            latency / period if latency is not None else None
+                        ),
+                        "false_positives": false_positives,
+                    }
+                )
+    return rows
+
+
+def test_e11_swim_detection(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E11: SWIM failure-detection latency", rows)
+    save_results("E11_swim", {"rows": rows})
+
+    # Every configuration detected the death.
+    for row in rows:
+        assert row["detection_s"] is not None, row
+    # No false positives without message loss.
+    for row in rows:
+        if row["loss"] == 0.0:
+            assert row["false_positives"] == 0, row
+
+    def mean_latency(predicate):
+        values = [r["detection_s"] for r in rows if predicate(r)]
+        return sum(values) / len(values)
+
+    # Latency scales with the protocol period...
+    fast = mean_latency(lambda r: r["period_s"] == PERIODS[0] and r["loss"] == 0)
+    slow = mean_latency(lambda r: r["period_s"] == PERIODS[-1] and r["loss"] == 0)
+    assert slow > fast
+    # ...but only mildly with group size (gossip is logarithmic): going
+    # 8 -> 32 members must not quadruple detection time.
+    small = mean_latency(lambda r: r["group_size"] == 8 and r["loss"] == 0)
+    large = mean_latency(lambda r: r["group_size"] == 32 and r["loss"] == 0)
+    assert large < small * 4

@@ -1,0 +1,85 @@
+"""E13 -- sections 2.2/5: glue-code-free bootstrapping with Bedrock.
+
+"Bedrock's bootstrapping mechanism is already a powerful way to set up
+Mochi services without the need for glue code."
+
+The experiment boots whole services from single JSON documents, sweeping
+process count and providers-per-process, and reports bootstrap time
+(simulated) plus the one-call Jx9 verification that everything came up.
+Expected shape: bootstrap cost grows roughly linearly in total provider
+count and stays tiny in absolute terms.
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.bedrock import boot_process
+
+from common import print_table, save_results
+
+SWEEP = [(1, 1), (1, 8), (4, 8), (8, 16), (16, 32)]
+
+
+def service_config(providers_per_process):
+    pools = [{"name": "__primary__"}]
+    xstreams = [{"name": "__primary__", "scheduler": {"pools": ["__primary__"]}}]
+    providers = []
+    for index in range(providers_per_process):
+        providers.append(
+            {
+                "name": f"db{index}",
+                "type": "yokan",
+                "provider_id": index + 1,
+                "config": {"database": {"type": "map"}},
+            }
+        )
+    return {
+        "margo": {"argobots": {"pools": pools, "xstreams": xstreams}},
+        "libraries": {"yokan": "libyokan.so"},
+        "providers": providers,
+    }
+
+
+def run_boot(num_processes, providers_per_process):
+    cluster = Cluster(seed=119)
+    config = service_config(providers_per_process)
+    started = cluster.now
+    bedrocks = []
+    for index in range(num_processes):
+        _margo, bedrock = boot_process(
+            cluster, f"p{index}", f"n{index}", config
+        )
+        bedrocks.append(bedrock)
+    cluster.run()  # drain any deferred setup work
+    elapsed = cluster.now - started
+
+    # Glue-code-free verification: one Jx9 query per process.
+    names = bedrocks[0].query(
+        "$result = [];\n"
+        "foreach ($__config__.providers as $p) { array_push($result, $p.name); }\n"
+        "return $result;"
+    )
+    total_providers = sum(len(b.records) for b in bedrocks)
+    return {
+        "processes": num_processes,
+        "providers_per_process": providers_per_process,
+        "total_providers": total_providers,
+        "bootstrap_simulated_s": elapsed,
+        "providers_verified_by_jx9": len(names),
+    }
+
+
+def run_experiment():
+    return [run_boot(p, k) for p, k in SWEEP]
+
+
+def test_e13_bootstrap_scaling(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E13: Bedrock bootstrap scaling", rows)
+    save_results("E13_bootstrap", {"rows": rows})
+
+    for (p, k), row in zip(SWEEP, rows):
+        assert row["total_providers"] == p * k
+        assert row["providers_verified_by_jx9"] == k
+    # Bootstrap is fast in absolute terms even at 512 providers.
+    assert rows[-1]["bootstrap_simulated_s"] < 1.0

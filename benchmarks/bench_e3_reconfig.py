@@ -1,0 +1,115 @@
+"""E3 -- section 5: online reconfiguration without taking the service
+offline.
+
+A client issues a steady RPC stream while the server undergoes a series
+of runtime reconfigurations (add pool, add xstream, move handler
+traffic, remove them again) and rejects a set of invalid changes.  The
+experiment reports per-RPC latency before/during/after reconfiguration
+and the rejected-invalid-operation count.  Claims validated: zero failed
+or dropped RPCs across reconfigurations, bounded latency disturbance,
+and "Margo ensures that the changes are always valid".
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.margo import Compute, ConfigError, DuplicateNameError, PoolInUseError
+
+from common import print_table, save_results
+
+N_RPCS = 900
+RECONFIG_WINDOW = (0.30, 0.60)  # fraction of the stream
+
+
+def run_experiment():
+    cluster = Cluster(seed=103)
+    server = cluster.add_margo("server", node="n0")
+    client = cluster.add_margo("client", node="n1")
+
+    def handler(ctx):
+        yield Compute(1e-6)
+        return ctx.args
+
+    server.register("work", handler, provider_id=1)
+
+    latencies: list[tuple[int, float]] = []
+    failures = {"count": 0}
+
+    def stream():
+        for i in range(N_RPCS):
+            started = cluster.now
+            try:
+                yield from client.forward(server.address, "work", i, provider_id=1)
+            except Exception:
+                failures["count"] += 1
+            latencies.append((i, cluster.now - started))
+
+    # Schedule the reconfiguration mid-stream.
+    invalid_rejections = {"count": 0}
+
+    def reconfigure():
+        # Valid changes: grow the runtime, then shrink it back.
+        server.add_pool({"name": "burst"})
+        server.add_xstream({"name": "burst-es", "scheduler": {"pools": ["burst"]}})
+        # Invalid changes must all be rejected without disturbing service.
+        for bad in (
+            lambda: server.add_pool({"name": "burst"}),  # duplicate
+            lambda: server.remove_pool("__primary__"),  # in use by xstream
+            lambda: server.remove_xstream("ghost"),  # unknown
+            lambda: server.add_xstream(
+                {"name": "bad", "scheduler": {"pools": ["nope"]}}
+            ),  # unknown pool
+        ):
+            try:
+                bad()
+            except (ConfigError, DuplicateNameError, PoolInUseError):
+                invalid_rejections["count"] += 1
+
+    def cleanup():
+        server.remove_xstream("burst-es")
+        server.remove_pool("burst")
+
+    # Interleave: run the stream; fire reconfigurations at fixed times.
+    cluster.kernel.schedule(0.002, reconfigure)
+    cluster.kernel.schedule(0.004, cleanup)
+    cluster.run_ult(client, stream())
+
+    # Bucket latencies into thirds: before / during / after.
+    lo = int(N_RPCS * RECONFIG_WINDOW[0])
+    hi = int(N_RPCS * RECONFIG_WINDOW[1])
+    def bucket_stats(pairs):
+        values = [v for _, v in pairs]
+        return {
+            "rpcs": len(values),
+            "mean_latency_us": 1e6 * sum(values) / len(values),
+            "max_latency_us": 1e6 * max(values),
+        }
+
+    rows = [
+        {"phase": "before reconfig", **bucket_stats(latencies[:lo])},
+        {"phase": "during reconfig", **bucket_stats(latencies[lo:hi])},
+        {"phase": "after reconfig", **bucket_stats(latencies[hi:])},
+    ]
+    summary = {
+        "failed_rpcs": failures["count"],
+        "invalid_changes_rejected": invalid_rejections["count"],
+        "final_pools": sorted(server.pools),
+        "final_xstreams": sorted(server.xstreams),
+    }
+    return rows, summary
+
+
+def test_e3_online_reconfiguration(benchmark):
+    rows, summary = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E3: RPC latency across online reconfiguration", rows)
+    print_table("E3: summary", [summary])
+    save_results("E3_reconfig", {"rows": rows, "summary": summary})
+
+    # Zero service interruption: no RPC failed or was dropped.
+    assert summary["failed_rpcs"] == 0
+    # All four invalid changes were rejected.
+    assert summary["invalid_changes_rejected"] == 4
+    # The runtime returned to its original shape.
+    assert summary["final_pools"] == ["__primary__"]
+    # Latency disturbance during reconfiguration stays bounded (< 3x).
+    assert rows[1]["mean_latency_us"] < rows[0]["mean_latency_us"] * 3

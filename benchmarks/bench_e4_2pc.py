@@ -1,0 +1,156 @@
+"""E4 -- section 5, Observation 3: consistency of concurrent
+reconfigurations.
+
+The paper's exact scenario: client c1 requests the creation of provider
+p1 on node n1 with a dependency on provider p2 on node n2, while client
+c2 concurrently requests the destruction of p2.  Guarantee: "either
+c1's or c2's request will succeed, but not both", leaving the system in
+one of the two consistent states.
+
+The experiment runs the race many times under different seeds (which
+perturb message timings) and tallies outcomes; it also measures the
+transaction's cost against a non-transactional start_provider.
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.bedrock import BedrockClient, TransactionError, boot_process
+
+from common import print_table, save_results
+
+TRIALS = 30
+
+
+def build_rig(seed):
+    cluster = Cluster(seed=seed)
+    margo1, bedrock1 = boot_process(
+        cluster, "n1-proc", "n1",
+        {"libraries": {"yokan": "libyokan.so", "yokan-virtual": "libyokan-virtual.so"}},
+    )
+    margo2, bedrock2 = boot_process(
+        cluster, "n2-proc", "n2",
+        {
+            "libraries": {"yokan": "libyokan.so"},
+            "providers": [{"name": "p2", "type": "yokan", "provider_id": 1}],
+        },
+    )
+    c1 = cluster.add_margo("c1", node="nc1")
+    c2 = cluster.add_margo("c2", node="nc2")
+    group1 = BedrockClient(c1).make_service_group_handle([margo1.address, margo2.address])
+    group2 = BedrockClient(c2).make_service_group_handle([margo1.address, margo2.address])
+    start_op = {
+        "name": "p1",
+        "type": "yokan-virtual",
+        "provider_id": 5,
+        "config": {"targets": [{"address": margo2.address, "provider_id": 1}]},
+        "dependencies": {
+            "backend": {
+                "type": "yokan",
+                "address": margo2.address,
+                "provider_id": 1,
+                "provider_name": "p2",
+            }
+        },
+    }
+    return cluster, margo1, margo2, bedrock1, bedrock2, c1, c2, group1, group2, start_op
+
+
+def run_trial(seed, stagger):
+    (cluster, margo1, margo2, b1, b2, c1, c2,
+     group1, group2, start_op) = build_rig(seed)
+    outcome = {}
+
+    def create():
+        try:
+            yield from group1.start_provider_tx(margo1.address, start_op)
+            outcome["create"] = True
+        except TransactionError:
+            outcome["create"] = False
+
+    def destroy():
+        try:
+            yield from group2.stop_provider_tx(margo2.address, "p2")
+            outcome["destroy"] = True
+        except TransactionError:
+            outcome["destroy"] = False
+
+    cluster.spawn(c1, create())
+    cluster.kernel.schedule(stagger, lambda: cluster.spawn(c2, destroy()))
+    cluster.run()
+    consistent = (
+        (outcome["create"] and not outcome["destroy"]
+         and "p1" in b1.records and "p2" in b2.records)
+        or (outcome["destroy"] and not outcome["create"]
+            and "p1" not in b1.records and "p2" not in b2.records)
+    )
+    return outcome, consistent
+
+
+def run_experiment():
+    tallies = {"create-wins": 0, "destroy-wins": 0, "both": 0, "neither": 0}
+    inconsistent = 0
+    for trial in range(TRIALS):
+        stagger = (trial % 10) * 2e-6  # vary interleaving
+        outcome, consistent = run_trial(seed=1000 + trial, stagger=stagger)
+        if outcome["create"] and outcome["destroy"]:
+            tallies["both"] += 1
+        elif outcome["create"]:
+            tallies["create-wins"] += 1
+        elif outcome["destroy"]:
+            tallies["destroy-wins"] += 1
+        else:
+            tallies["neither"] += 1
+        if not consistent:
+            inconsistent += 1
+
+    # Cost of transactional vs plain start (fresh rig, no contention).
+    cluster, margo1, margo2, b1, b2, c1, c2, group1, group2, start_op = build_rig(9999)
+
+    def timed_tx():
+        started = cluster.now
+        yield from group1.start_provider_tx(margo1.address, dict(start_op))
+        return cluster.now - started
+
+    tx_cost = cluster.run_ult(c1, timed_tx())
+
+    cluster2, m1b, m2b, *_rest, g1b, _g2b, op_b = build_rig(9998)
+    handle = BedrockClient(_rest[2]).make_service_handle(m1b.address)
+
+    def timed_plain():
+        started = cluster2.now
+        yield from handle.start_provider(
+            op_b["name"], op_b["type"], provider_id=op_b["provider_id"],
+            config=op_b["config"], dependencies=op_b["dependencies"],
+        )
+        return cluster2.now - started
+
+    plain_cost = cluster2.run_ult(_rest[2], timed_plain())
+
+    rows = [{"outcome": k, "trials": v} for k, v in tallies.items()]
+    summary = {
+        "trials": TRIALS,
+        "inconsistent_states": inconsistent,
+        "tx_start_cost_us": tx_cost * 1e6,
+        "plain_start_cost_us": plain_cost * 1e6,
+        "tx_overhead_x": tx_cost / plain_cost,
+    }
+    return rows, summary
+
+
+def test_e4_concurrent_reconfiguration_consistency(benchmark):
+    rows, summary = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E4: c1-create vs c2-destroy race outcomes", rows)
+    print_table("E4: summary", [summary])
+    save_results("E4_2pc", {"rows": rows, "summary": summary})
+
+    tallies = {r["outcome"]: r["trials"] for r in rows}
+    # The paper's guarantee: exactly one side wins, every single time.
+    assert tallies["both"] == 0
+    assert tallies["neither"] == 0
+    assert tallies["create-wins"] + tallies["destroy-wins"] == TRIALS
+    assert summary["inconsistent_states"] == 0
+    # Both interleavings actually occurred across the sweep.
+    assert tallies["create-wins"] > 0 and tallies["destroy-wins"] > 0
+    # The 2PC costs more than a plain start, but only by a small factor.
+    assert 1.0 < summary["tx_overhead_x"] < 10.0

@@ -1,0 +1,92 @@
+"""E5 -- section 6, Observation 4: REMI's two transfer methods.
+
+"[RDMA] is more efficient for large files.  [Chunked RPCs are] more
+efficient when sending multiple small files, since they can be packed
+together into larger chunks and the transfer of chunks can be
+pipelined."
+
+The experiment migrates a fixed 32 MiB dataset split into 1..4096 files
+with both methods, locating the crossover, and checks that ``auto``
+picks the winner on both ends of the sweep.
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.remi import FileSet, RemiClient, RemiProvider
+from repro.storage import LocalStore
+
+from common import print_table, save_results
+
+TOTAL_BYTES = 32 << 20  # 32 MiB
+FILE_COUNTS = [1, 4, 16, 64, 256, 1024, 4096]
+
+
+def make_rig(seed=105):
+    cluster = Cluster(seed=seed)
+    src_node = cluster.node("src")
+    dst_node = cluster.node("dst")
+    src_store = LocalStore(src_node)
+    LocalStore(dst_node)
+    src = cluster.add_margo("src-proc", node=src_node)
+    dst = cluster.add_margo("dst-proc", node=dst_node)
+    RemiProvider(dst, "remi", provider_id=0, config={"sync": True})
+    handle = RemiClient(src).make_handle(dst.address, 0)
+    return cluster, src, src_store, handle
+
+
+def run_migration(num_files, method):
+    cluster, src, src_store, handle = make_rig()
+    size = TOTAL_BYTES // num_files
+    for i in range(num_files):
+        src_store.write(f"data/{i:05d}", b"\xab" * size)
+    fileset = FileSet.from_prefix(src_store, "data/")
+
+    def driver():
+        report = yield from handle.migrate_fileset(fileset, method=method)
+        return report
+
+    report = cluster.run_ult(src, driver())
+    return report
+
+
+def run_experiment():
+    rows = []
+    for num_files in FILE_COUNTS:
+        rdma = run_migration(num_files, "rdma")
+        chunks = run_migration(num_files, "chunks")
+        auto = run_migration(num_files, "auto")
+        rows.append(
+            {
+                "files": num_files,
+                "file_size_kib": (TOTAL_BYTES // num_files) // 1024,
+                "rdma_s": rdma.duration,
+                "chunks_s": chunks.duration,
+                "winner": "rdma" if rdma.duration < chunks.duration else "chunks",
+                "auto_chose": auto.method,
+                "rdma_gbps": TOTAL_BYTES / rdma.duration / 1e9,
+                "chunks_gbps": TOTAL_BYTES / chunks.duration / 1e9,
+            }
+        )
+    return rows
+
+
+def test_e5_remi_crossover(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E5: REMI transfer methods, 32 MiB over N files", rows)
+    save_results("E5_remi", {"rows": rows})
+
+    # The paper's shape: RDMA wins for few/large files...
+    assert rows[0]["winner"] == "rdma"
+    # ...chunked+pipelined RPCs win for many small files...
+    assert rows[-1]["winner"] == "chunks"
+    # ...so a crossover exists somewhere in between.
+    winners = [r["winner"] for r in rows]
+    assert "rdma" in winners and "chunks" in winners
+    crossover = next(i for i, w in enumerate(winners) if w == "chunks")
+    assert all(w == "rdma" for w in winners[:crossover])
+    # 'auto' picks the true winner at both extremes.
+    assert rows[0]["auto_chose"] == "rdma"
+    assert rows[-1]["auto_chose"] == "chunks"
+    # The penalty for many small files over RDMA grows monotonically-ish:
+    assert rows[-1]["rdma_s"] > rows[0]["rdma_s"]

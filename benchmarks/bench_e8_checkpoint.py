@@ -1,0 +1,119 @@
+"""E8 -- section 7, Observation 9: checkpointing to a parallel file
+system.
+
+"When crashing, the component at worst will lose the modifications done
+since its last checkpoint.  Depending on the use case, such a loss could
+be acceptable."
+
+A KV provider receives a steady write stream and is checkpointed to the
+PFS on a fixed interval; the process is killed at a fixed time, a
+replacement restores the latest checkpoint, and the experiment measures
+(a) the number of lost updates and (b) the recovery time, across a sweep
+of checkpoint intervals.  Expected shape: lost updates grow linearly
+with the interval and are bounded by rate x interval; recovery cost is
+roughly interval-independent (it moves one image).
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.margo.ult import UltSleep
+from repro.storage import LocalStore, ParallelFileSystem
+from repro.yokan import YokanClient, YokanProvider
+
+from common import print_table, save_results
+
+WRITE_PERIOD = 0.01  # one update every 10 ms
+CRASH_AT = 10.0
+INTERVALS = [0.5, 1.0, 2.0, 4.0]
+
+
+def run_trial(interval):
+    cluster = Cluster(seed=108)
+    pfs = ParallelFileSystem()
+    node = cluster.node("n0")
+    LocalStore(node)
+    server = cluster.add_margo("server", node=node)
+    provider = YokanProvider(server, "db", provider_id=1)
+    client_margo = cluster.add_margo("client", node="nc")
+    db = YokanClient(client_margo).make_handle(server.address, 1)
+
+    acked = {"count": 0}
+
+    def writer():
+        sequence = 0
+        while cluster.now < CRASH_AT:
+            try:
+                yield from db.put(f"k{sequence:06d}", f"v{sequence}", )
+            except Exception:
+                return
+            acked["count"] = sequence + 1
+            sequence += 1
+            yield UltSleep(WRITE_PERIOD)
+
+    checkpoints = {"taken": 0, "last_path": None}
+
+    def checkpointer():
+        version = 0
+        while cluster.now < CRASH_AT:
+            yield UltSleep(interval)
+            if server.finalized:
+                return
+            version += 1
+            path = f"ckpt/v{version}"
+            yield from provider.checkpoint(pfs, path)
+            checkpoints["taken"] = version
+            checkpoints["last_path"] = path
+
+    cluster.spawn(client_margo, writer())
+    cluster.spawn(server, checkpointer())
+    cluster.run(until=CRASH_AT)
+    cluster.faults.kill_process(server.process)
+    cluster.run(until=CRASH_AT + 0.5)
+
+    # Recovery: a replacement provider on a spare node restores the
+    # latest checkpoint.
+    recovery_started = cluster.now
+    spare = cluster.add_margo("spare", node="nspare")
+    replacement = YokanProvider(spare, "db-r", provider_id=1)
+
+    def restore():
+        if checkpoints["last_path"] is not None:
+            yield from replacement.restore(pfs, checkpoints["last_path"])
+
+    cluster.run_ult(spare, restore())
+    recovery_time = cluster.now - recovery_started
+
+    recovered = replacement.backend.count()
+    lost = acked["count"] - recovered
+    return {
+        "ckpt_interval_s": interval,
+        "acked_updates": acked["count"],
+        "checkpoints": checkpoints["taken"],
+        "recovered_updates": recovered,
+        "lost_updates": lost,
+        "bound_rate_x_interval": int(interval / WRITE_PERIOD) + 1,
+        "recovery_s": recovery_time,
+    }
+
+
+def run_experiment():
+    return [run_trial(interval) for interval in INTERVALS]
+
+
+def test_e8_checkpoint_loss_bound(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E8: checkpoint interval vs data loss", rows)
+    save_results("E8_checkpoint", {"rows": rows})
+
+    for row in rows:
+        # The paper's bound: at worst, the delta since the last checkpoint.
+        assert 0 <= row["lost_updates"] <= row["bound_rate_x_interval"], row
+        assert row["checkpoints"] >= 1
+    # Loss grows with the checkpoint interval (monotone, allowing ties).
+    losses = [r["lost_updates"] for r in rows]
+    assert losses[0] <= losses[-1]
+    assert losses[-1] > losses[0]  # the sweep actually spreads
+    # Recovery time is interval-independent (one image restore).
+    recoveries = [r["recovery_s"] for r in rows]
+    assert max(recoveries) < min(recoveries) * 3 + 1e-3

@@ -1,0 +1,113 @@
+"""E9 -- section 7, Observation 10: virtual resources.
+
+"A Yokan 'virtual database' could forward the data it receives to N
+other actual databases living on other nodes.  The client accessing this
+virtual database does not know that the provider it contacts does not
+actually hold data itself or that the data is replicated."
+
+The experiment measures put/get latency through a virtual database for
+N in {1, 2, 3, 5} replicas, against a direct (non-virtual) database.
+Expected shape: the client API and results are identical in every
+configuration (transparency); writes pay a small, slowly growing
+replication cost (they fan out concurrently); reads cost a constant
+one-hop indirection regardless of N.
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.yokan import VirtualYokanProvider, YokanClient, YokanProvider
+
+from common import print_table, save_results
+
+N_OPS = 300
+REPLICA_COUNTS = [1, 2, 3, 5]
+
+
+def measure(workload_cluster, client_margo, db):
+    def puts():
+        started = workload_cluster.now
+        for i in range(N_OPS):
+            yield from db.put(f"k{i}", f"value-{i}")
+        return (workload_cluster.now - started) / N_OPS
+
+    def gets():
+        started = workload_cluster.now
+        for i in range(N_OPS):
+            yield from db.get(f"k{i}")
+        return (workload_cluster.now - started) / N_OPS
+
+    put_latency = workload_cluster.run_ult(client_margo, puts())
+    get_latency = workload_cluster.run_ult(client_margo, gets())
+    return put_latency, get_latency
+
+
+def run_direct():
+    cluster = Cluster(seed=109)
+    server = cluster.add_margo("server", node="n0")
+    YokanProvider(server, "db", provider_id=1)
+    client_margo = cluster.add_margo("client", node="nc")
+    db = YokanClient(client_margo).make_handle(server.address, 1)
+    put_latency, get_latency = measure(cluster, client_margo, db)
+    return {
+        "configuration": "direct (no virtual layer)",
+        "replicas": 1,
+        "put_us": put_latency * 1e6,
+        "get_us": get_latency * 1e6,
+    }
+
+
+def run_virtual(n_replicas):
+    cluster = Cluster(seed=110 + n_replicas)
+    targets = []
+    backends = []
+    for i in range(n_replicas):
+        margo = cluster.add_margo(f"rep{i}", node=f"n{i}")
+        backends.append(YokanProvider(margo, f"rdb{i}", provider_id=1))
+        targets.append({"address": margo.address, "provider_id": 1})
+    front = cluster.add_margo("front", node="nf")
+    VirtualYokanProvider(
+        front, "vdb", provider_id=9, config={"targets": targets, "rpc_timeout": 0.5}
+    )
+    client_margo = cluster.add_margo("client", node="nc")
+    # Transparency: the client uses the ordinary handle type.
+    db = YokanClient(client_margo).make_handle(front.address, 9)
+    put_latency, get_latency = measure(cluster, client_margo, db)
+    # Verify full replication actually happened.
+    counts = [b.backend.count() for b in backends]
+    return {
+        "configuration": f"virtual x{n_replicas}",
+        "replicas": n_replicas,
+        "put_us": put_latency * 1e6,
+        "get_us": get_latency * 1e6,
+        "replica_counts": counts,
+    }
+
+
+def run_experiment():
+    rows = [run_direct()]
+    for n in REPLICA_COUNTS:
+        rows.append(run_virtual(n))
+    return rows
+
+
+def test_e9_virtual_resources(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E9: virtual (replicating) database overhead", rows)
+    save_results("E9_virtual", {"rows": rows})
+
+    direct = rows[0]
+    virtuals = rows[1:]
+    # Replication is complete at every N.
+    for row in virtuals:
+        assert all(c == N_OPS for c in row["replica_counts"]), row
+    # The virtual layer costs an extra hop on both paths.
+    assert virtuals[0]["put_us"] > direct["put_us"]
+    assert virtuals[0]["get_us"] > direct["get_us"]
+    # Writes fan out concurrently: cost grows with N but sublinearly
+    # (x5 replicas costs far less than 5x the single-replica write).
+    assert virtuals[-1]["put_us"] > virtuals[0]["put_us"]
+    assert virtuals[-1]["put_us"] < virtuals[0]["put_us"] * len(REPLICA_COUNTS)
+    # Reads hit one replica: N-independent within 25%.
+    gets = [r["get_us"] for r in virtuals]
+    assert max(gets) < min(gets) * 1.25

@@ -1,0 +1,57 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md's index:
+it runs the scenario (deterministic, simulated time), prints the
+table/series the experiment defines, saves it as JSON under
+``benchmarks/results/``, and asserts the *shape* the paper's claim
+predicts (who wins, monotonicity, crossover existence).
+
+``pytest benchmarks/ --benchmark-only`` additionally reports the
+wall-clock cost of regenerating each experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+__all__ = ["save_results", "print_table", "RESULTS_DIR"]
+
+
+def save_results(experiment_id: str, payload: Any) -> str:
+    """Persist an experiment's rows for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def print_table(title: str, rows: list[dict[str, Any]]) -> None:
+    """Render rows as an aligned text table (what the paper would plot)."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows)) for c in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e5:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import os
+import sys
+
+# Make `from common import ...` work when pytest runs from the repo root.
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,12 @@
+"""Repo-level pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run even
+without installing the package (useful on offline machines where
+``pip install -e .`` cannot bootstrap its PEP 517 build environment;
+``python setup.py develop`` also works there).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

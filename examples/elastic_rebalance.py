@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Elasticity: grow the service, rebalance with Pufferscale, shrink it.
+
+Walks through the full elasticity story of the paper's section 6:
+
+1. deploy a 2-process KV service whose databases all live on process 0
+   (a badly skewed placement);
+2. **grow**: add a third process at run time (it joins the SSG group);
+3. **rebalance**: Pufferscale plans which databases to move where, and
+   Bedrock carries the moves out with REMI file migrations;
+4. **shrink**: retire a process -- its data is migrated away first, it
+   leaves the group, and the service keeps serving.
+
+Run: ``python examples/elastic_rebalance.py``
+"""
+
+from repro import Cluster
+from repro.core import DynamicService, ProcessSpec, ServiceSpec
+from repro.pufferscale import Objective
+from repro.ssg import SwimConfig
+from repro.yokan import YokanClient
+
+SWIM = SwimConfig(period=0.5, ping_timeout=0.15, suspicion_timeout=2.0)
+
+
+def kv_process(name: str, node: str, dbs: int) -> ProcessSpec:
+    providers = [{"name": f"remi-{name}", "type": "remi", "provider_id": 0}]
+    for d in range(dbs):
+        providers.append(
+            {
+                "name": f"db-{name}-{d}",
+                "type": "yokan",
+                "provider_id": d + 1,
+                "config": {"database": {"type": "persistent"}},
+            }
+        )
+    return ProcessSpec(
+        name=name,
+        node=node,
+        config={
+            "libraries": {"yokan": "libyokan.so", "remi": "libremi.so"},
+            "providers": providers,
+        },
+    )
+
+
+def show_placement(service: DynamicService, label: str) -> None:
+    placement = service.placement()
+    print(f"\nplacement {label}:")
+    for node in placement.nodes:
+        shards = placement.shards_on(node)
+        total = sum(s.size_bytes for s in shards) // 1024
+        print(f"  {node:<10} {len(shards)} databases, {total} KiB "
+              f"({', '.join(s.shard_id for s in shards) or 'empty'})")
+    print(f"  data imbalance: {placement.data_imbalance():.2f} (1.0 = perfect)")
+
+
+def main() -> None:
+    cluster = Cluster(seed=23)
+    # All 4 databases start on kv0: a deliberately skewed deployment.
+    spec = ServiceSpec(
+        name="kvsvc",
+        processes=[kv_process("kv0", "n0", dbs=4), kv_process("kv1", "n1", dbs=0)],
+        group="kvsvc-g",
+        swim=SWIM,
+    )
+    service = DynamicService.deploy(cluster, spec)
+    cluster.run(until=2.0)
+    print(f"deployed: {len(service.addresses)} processes, "
+          f"group view size {service.view().size}")
+
+    # Load some data into every database on kv0.
+    yokan = YokanClient(service.control)
+
+    def fill():
+        for provider_id in range(1, 5):
+            db = yokan.make_handle(service.processes["kv0"].address, provider_id)
+            yield from db.put_multi(
+                [(f"key-{provider_id}-{i}", "x" * 512) for i in range(100)]
+            )
+
+    service.run_control(fill())
+    show_placement(service, "after loading (skewed)")
+
+    # --- grow: add a third process at run time ---------------------------
+    def grow():
+        yield from service.grow(kv_process("kv2", "n2", dbs=0))
+
+    service.run_control(grow())
+    cluster.run(until=cluster.now + 10.0)
+    print(f"\ngrew to {len(service.addresses)} processes; "
+          f"group view size {service.view().size}")
+
+    # --- rebalance with Pufferscale ---------------------------------------
+    def rebalance():
+        plan = yield from service.rebalance(Objective(alpha=1.0, beta=1.0, gamma=0.0))
+        return plan
+
+    before = cluster.now
+    plan = service.run_control(rebalance())
+    print(f"\nPufferscale plan: {plan.num_moves} moves, "
+          f"{plan.total_bytes // 1024} KiB to migrate")
+    for move in plan.moves:
+        print(f"  move {move.shard.shard_id}: {move.source} -> {move.destination}")
+    print(f"executed in {cluster.now - before:.4f} simulated seconds")
+    show_placement(service, "after rebalancing")
+
+    # Data is still there, served from its new home.
+    def verify():
+        placement = service.placement()
+        home = placement.node_of("db-kv0-0")
+        record = service.processes[home].bedrock.records["db-kv0-0"]
+        db = yokan.make_handle(
+            service.processes[home].address, record.provider_id
+        )
+        value = yield from db.get("key-1-50")
+        return home, value
+
+    home, value = service.run_control(verify())
+    print(f"\ndb-kv0-0 now lives on {home}; key-1-50 -> {value[:4]!r}... (intact)")
+
+    # --- shrink: retire kv0 -----------------------------------------------
+    def shrink():
+        target = yield from service.shrink("kv0")
+        return target
+
+    target = service.run_control(shrink())
+    cluster.run(until=cluster.now + 15.0)
+    print(f"\nshrunk: kv0's remaining data migrated to {target}; "
+          f"group view size {service.view().size}")
+    show_placement(service, "after shrinking")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro -- a Python reproduction of the dynamic-Mochi methodology.
+
+Implements the system described in "Extending the Mochi Methodology to
+Enable Dynamic HPC Data Services" (Dorier et al., 2024): a composable
+HPC data-service framework with performance introspection, online
+reconfiguration, elasticity, and resilience, running on a deterministic
+discrete-event substrate.
+
+Quick start::
+
+    from repro import Cluster
+
+    cluster = Cluster(seed=1)
+    server = cluster.add_margo("server", node="n0")
+    client = cluster.add_margo("client", node="n1")
+    server.register("echo", lambda ctx: ctx.args)
+
+    def driver():
+        return (yield from client.forward(server.address, "echo", "hi"))
+
+    assert cluster.run_ult(client, driver()) == "hi"
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-claim-to-benchmark mapping.
+"""
+
+from .cluster import Cluster, UltFailedError
+
+__version__ = "1.0.0"
+
+__all__ = ["Cluster", "UltFailedError", "__version__"]

@@ -1,0 +1,44 @@
+"""One-call process bootstrap from a Listing-3 document.
+
+"Bedrock's bootstrapping mechanism is already a powerful way to set up
+Mochi services without the need for glue code" (paper section 5).
+:func:`boot_process` consumes the whole document: the ``margo`` section
+configures the runtime, ``libraries`` + ``providers`` configure Bedrock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..cluster import Cluster
+from ..margo.runtime import MargoInstance
+from ..storage.local import LocalStore
+from ..storage.pfs import ParallelFileSystem
+from .server import BedrockServer
+
+__all__ = ["boot_process"]
+
+
+def boot_process(
+    cluster: Cluster,
+    name: str,
+    node: str,
+    config: Optional[dict[str, Any]] = None,
+    pfs: Optional[ParallelFileSystem] = None,
+    with_local_store: bool = True,
+    monitors: tuple = (),
+) -> tuple[MargoInstance, BedrockServer]:
+    """Create a process on ``node`` and boot it from ``config``.
+
+    Returns the Margo instance and its Bedrock server.  A node-local
+    store is attached (once per node) unless ``with_local_store=False``.
+    """
+    config = dict(config or {})
+    node_obj = cluster.node(node)
+    if with_local_store and "disk" not in node_obj.attachments:
+        LocalStore(node_obj)
+    margo = cluster.add_margo(
+        name, node_obj, config=config.pop("margo", None), monitors=monitors
+    )
+    bedrock = BedrockServer(margo, config=config, pfs=pfs)
+    return margo, bedrock

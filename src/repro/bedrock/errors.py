@@ -1,0 +1,41 @@
+"""Bedrock error types."""
+
+from __future__ import annotations
+
+__all__ = [
+    "BedrockError",
+    "BedrockConfigError",
+    "DependencyError",
+    "NoSuchProviderError",
+    "ProviderConflictError",
+    "TransactionError",
+    "EntityLockedError",
+]
+
+
+class BedrockError(RuntimeError):
+    """Base class for Bedrock errors."""
+
+
+class BedrockConfigError(BedrockError):
+    """Invalid Bedrock configuration document."""
+
+
+class DependencyError(BedrockError):
+    """A provider dependency cannot be resolved, or is still in use."""
+
+
+class NoSuchProviderError(BedrockError):
+    """Named provider does not exist in this process."""
+
+
+class ProviderConflictError(BedrockError):
+    """Duplicate provider name or (type, provider id) pair."""
+
+
+class TransactionError(BedrockError):
+    """A distributed reconfiguration transaction failed."""
+
+
+class EntityLockedError(TransactionError):
+    """The entity is locked by another in-flight transaction."""

@@ -1,0 +1,6 @@
+"""Jx9-subset query engine for Bedrock configurations."""
+
+from .interpreter import Jx9Error, jx9_execute
+from .lexer import Jx9SyntaxError, tokenize
+
+__all__ = ["jx9_execute", "Jx9Error", "Jx9SyntaxError", "tokenize"]

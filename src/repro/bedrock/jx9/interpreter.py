@@ -1,0 +1,485 @@
+"""Parser + evaluator for the Jx9 subset.
+
+Executes queries like paper Listing 4 verbatim::
+
+    $result = [];
+    foreach ($__config__.providers as $p) {
+        array_push($result, $p.name); }
+    return $result;
+
+The host (Bedrock) injects ``$__config__``; the script returns a JSON
+value.  Execution is sandboxed: only the builtins below are callable and
+a step budget bounds runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .lexer import Jx9SyntaxError, Token, tokenize
+
+__all__ = ["Jx9Error", "Jx9SyntaxError", "jx9_execute"]
+
+
+class Jx9Error(RuntimeError):
+    """Runtime failure inside a Jx9 script."""
+
+
+class _Return(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+# ----------------------------------------------------------------------
+# builtins
+# ----------------------------------------------------------------------
+def _array_push(array: Any, *values: Any) -> int:
+    if not isinstance(array, list):
+        raise Jx9Error("array_push() expects an array")
+    array.extend(values)
+    return len(array)
+
+
+def _count(value: Any) -> int:
+    if isinstance(value, (list, dict, str)):
+        return len(value)
+    raise Jx9Error("count() expects an array, object, or string")
+
+
+BUILTINS: dict[str, Callable[..., Any]] = {
+    "array_push": _array_push,
+    "count": _count,
+    "array_keys": lambda obj: sorted(obj.keys()) if isinstance(obj, dict) else list(range(len(obj))),
+    "array_values": lambda obj: list(obj.values()) if isinstance(obj, dict) else list(obj),
+    "strlen": lambda s: len(s),
+    "substr": lambda s, start, length=None: s[start : start + length] if length is not None else s[start:],
+    "in_array": lambda needle, haystack: needle in haystack,
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "floor": lambda x: float(int(x // 1)),
+    "ceil": lambda x: float(-((-x) // 1)),
+    "is_array": lambda v: isinstance(v, list),
+    "is_object": lambda v: isinstance(v, dict),
+    "is_string": lambda v: isinstance(v, str),
+}
+
+
+# ----------------------------------------------------------------------
+# parser (recursive descent over the token list)
+# ----------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.next()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise Jx9SyntaxError(
+                f"expected {value or kind}, got {token.value!r} at line {token.line}"
+            )
+        return token
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: Optional[str] = None) -> bool:
+        if self.at(kind, value):
+            self.next()
+            return True
+        return False
+
+    # ---- statements ---------------------------------------------------
+    def parse_program(self) -> list:
+        stmts = []
+        while not self.at("eof"):
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self):
+        if self.at("keyword", "return"):
+            self.next()
+            value = None if self.at("punct", ";") else self.parse_expr()
+            self.accept("punct", ";")
+            return ("return", value)
+        if self.at("keyword", "foreach"):
+            self.next()
+            self.expect("punct", "(")
+            iterable = self.parse_expr()
+            self.expect("keyword", "as")
+            first = self.expect("var").value
+            second = None
+            if self.accept("punct", "=>"):
+                second = self.expect("var").value
+            self.expect("punct", ")")
+            body = self.parse_block_or_stmt()
+            return ("foreach", iterable, first, second, body)
+        if self.at("keyword", "if"):
+            self.next()
+            self.expect("punct", "(")
+            condition = self.parse_expr()
+            self.expect("punct", ")")
+            then = self.parse_block_or_stmt()
+            otherwise = None
+            if self.accept("keyword", "else"):
+                otherwise = self.parse_block_or_stmt()
+            return ("if", condition, then, otherwise)
+        if self.at("keyword", "while"):
+            self.next()
+            self.expect("punct", "(")
+            condition = self.parse_expr()
+            self.expect("punct", ")")
+            body = self.parse_block_or_stmt()
+            return ("while", condition, body)
+        if self.at("punct", "{"):
+            return ("block", self.parse_block())
+        # assignment or bare expression
+        expr = self.parse_expr()
+        if self.accept("punct", "="):
+            value = self.parse_expr()
+            self.accept("punct", ";")
+            return ("assign", expr, value)
+        self.accept("punct", ";")
+        return ("expr", expr)
+
+    def parse_block_or_stmt(self):
+        if self.at("punct", "{"):
+            return self.parse_block()
+        return [self.parse_stmt()]
+
+    def parse_block(self) -> list:
+        self.expect("punct", "{")
+        stmts = []
+        while not self.at("punct", "}"):
+            if self.at("eof"):
+                raise Jx9SyntaxError("unterminated block")
+            stmts.append(self.parse_stmt())
+        self.expect("punct", "}")
+        return stmts
+
+    # ---- expressions --------------------------------------------------
+    def parse_expr(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self.at("punct", "||"):
+            self.next()
+            left = ("or", left, self.parse_and())
+        return left
+
+    def parse_and(self):
+        left = self.parse_cmp()
+        while self.at("punct", "&&"):
+            self.next()
+            left = ("and", left, self.parse_cmp())
+        return left
+
+    def parse_cmp(self):
+        left = self.parse_add()
+        for op in ("==", "!=", "<=", ">=", "<", ">"):
+            if self.at("punct", op):
+                self.next()
+                return ("cmp", op, left, self.parse_add())
+        return left
+
+    def parse_add(self):
+        left = self.parse_mul()
+        while self.at("punct", "+") or self.at("punct", "-"):
+            op = self.next().value
+            left = ("bin", op, left, self.parse_mul())
+        return left
+
+    def parse_mul(self):
+        left = self.parse_unary()
+        while self.at("punct", "*") or self.at("punct", "/") or self.at("punct", "%"):
+            op = self.next().value
+            left = ("bin", op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self):
+        if self.accept("punct", "!"):
+            return ("not", self.parse_unary())
+        if self.accept("punct", "-"):
+            return ("neg", self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        node = self.parse_primary()
+        while True:
+            if self.accept("punct", "."):
+                name = self.next()
+                if name.kind not in ("ident", "keyword"):
+                    raise Jx9SyntaxError(f"expected member name at line {name.line}")
+                node = ("member", node, name.value)
+            elif self.at("punct", "["):
+                self.next()
+                index = self.parse_expr()
+                self.expect("punct", "]")
+                node = ("index", node, index)
+            else:
+                return node
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.kind == "number":
+            self.next()
+            text = token.value
+            return ("lit", float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self.next()
+            return ("lit", token.value)
+        if token.kind == "keyword" and token.value in ("true", "false", "null"):
+            self.next()
+            return ("lit", {"true": True, "false": False, "null": None}[token.value])
+        if token.kind == "var":
+            self.next()
+            return ("var", token.value)
+        if token.kind == "ident":
+            self.next()
+            self.expect("punct", "(")
+            args = []
+            if not self.at("punct", ")"):
+                args.append(self.parse_expr())
+                while self.accept("punct", ","):
+                    args.append(self.parse_expr())
+            self.expect("punct", ")")
+            return ("call", token.value, args)
+        if self.accept("punct", "("):
+            inner = self.parse_expr()
+            self.expect("punct", ")")
+            return inner
+        if self.accept("punct", "["):
+            elements = []
+            if not self.at("punct", "]"):
+                elements.append(self.parse_expr())
+                while self.accept("punct", ","):
+                    elements.append(self.parse_expr())
+            self.expect("punct", "]")
+            return ("array", elements)
+        if self.accept("punct", "{"):
+            pairs = []
+            if not self.at("punct", "}"):
+                pairs.append(self._parse_pair())
+                while self.accept("punct", ","):
+                    pairs.append(self._parse_pair())
+            self.expect("punct", "}")
+            return ("object", pairs)
+        raise Jx9SyntaxError(
+            f"unexpected token {token.value!r} at line {token.line}"
+        )
+
+    def _parse_pair(self):
+        key_token = self.next()
+        if key_token.kind not in ("string", "ident"):
+            raise Jx9SyntaxError(f"expected object key at line {key_token.line}")
+        # jx9/PHP uses ':' inside JSON-like objects.
+        if not self.accept("punct", ":"):
+            self.expect("punct", "=>")
+        return (key_token.value, self.parse_expr())
+
+
+# ----------------------------------------------------------------------
+# evaluator
+# ----------------------------------------------------------------------
+class _Evaluator:
+    def __init__(self, env: dict[str, Any], max_steps: int = 200_000) -> None:
+        self.env = env
+        self.max_steps = max_steps
+        self.steps = 0
+
+    def tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise Jx9Error(f"script exceeded {self.max_steps} steps")
+
+    # ---- statements ---------------------------------------------------
+    def run(self, stmts: list) -> Any:
+        try:
+            last = None
+            for stmt in stmts:
+                last = self.exec_stmt(stmt)
+            return last
+        except _Return as signal:
+            return signal.value
+
+    def exec_block(self, stmts: list) -> Any:
+        last = None
+        for stmt in stmts:
+            last = self.exec_stmt(stmt)
+        return last
+
+    def exec_stmt(self, stmt) -> Any:
+        self.tick()
+        kind = stmt[0]
+        if kind == "expr":
+            return self.eval(stmt[1])
+        if kind == "assign":
+            value = self.eval(stmt[2])
+            self.assign(stmt[1], value)
+            return None
+        if kind == "return":
+            raise _Return(None if stmt[1] is None else self.eval(stmt[1]))
+        if kind == "block":
+            return self.exec_block(stmt[1])
+        if kind == "if":
+            _, condition, then, otherwise = stmt
+            if self.truthy(self.eval(condition)):
+                return self.exec_block(then)
+            if otherwise is not None:
+                return self.exec_block(otherwise)
+            return None
+        if kind == "while":
+            _, condition, body = stmt
+            while self.truthy(self.eval(condition)):
+                self.tick()
+                self.exec_block(body)
+            return None
+        if kind == "foreach":
+            _, iterable_node, first, second, body = stmt
+            iterable = self.eval(iterable_node)
+            if isinstance(iterable, dict):
+                items = list(iterable.items())
+            elif isinstance(iterable, list):
+                items = list(enumerate(iterable))
+            else:
+                raise Jx9Error("foreach expects an array or object")
+            for key, value in items:
+                self.tick()
+                if second is None:
+                    self.env[first] = value
+                else:
+                    self.env[first] = key
+                    self.env[second] = value
+                self.exec_block(body)
+            return None
+        raise Jx9Error(f"unknown statement kind {kind!r}")
+
+    def assign(self, target, value: Any) -> None:
+        kind = target[0]
+        if kind == "var":
+            self.env[target[1]] = value
+            return
+        if kind == "member":
+            container = self.eval(target[1])
+            if not isinstance(container, dict):
+                raise Jx9Error("member assignment on a non-object")
+            container[target[2]] = value
+            return
+        if kind == "index":
+            container = self.eval(target[1])
+            index = self.eval(target[2])
+            if isinstance(container, list):
+                container[int(index)] = value
+            elif isinstance(container, dict):
+                container[index] = value
+            else:
+                raise Jx9Error("index assignment on a non-container")
+            return
+        raise Jx9Error("invalid assignment target")
+
+    # ---- expressions --------------------------------------------------
+    @staticmethod
+    def truthy(value: Any) -> bool:
+        return bool(value)
+
+    def eval(self, node) -> Any:
+        self.tick()
+        kind = node[0]
+        if kind == "lit":
+            return node[1]
+        if kind == "var":
+            name = node[1]
+            if name not in self.env:
+                raise Jx9Error(f"undefined variable ${name}")
+            return self.env[name]
+        if kind == "array":
+            return [self.eval(e) for e in node[1]]
+        if kind == "object":
+            return {k: self.eval(v) for k, v in node[1]}
+        if kind == "member":
+            container = self.eval(node[1])
+            if isinstance(container, dict):
+                if node[2] not in container:
+                    return None  # jx9: missing members are null
+                return container[node[2]]
+            raise Jx9Error(f"member access '.{node[2]}' on a non-object")
+        if kind == "index":
+            container = self.eval(node[1])
+            index = self.eval(node[2])
+            try:
+                if isinstance(container, list):
+                    return container[int(index)]
+                if isinstance(container, dict):
+                    return container.get(index)
+            except (IndexError, ValueError) as err:
+                raise Jx9Error(f"bad index {index!r}") from err
+            raise Jx9Error("indexing a non-container")
+        if kind == "call":
+            name, arg_nodes = node[1], node[2]
+            fn = BUILTINS.get(name)
+            if fn is None:
+                raise Jx9Error(f"call to unknown function {name}()")
+            args = [self.eval(a) for a in arg_nodes]
+            return fn(*args)
+        if kind == "not":
+            return not self.truthy(self.eval(node[1]))
+        if kind == "neg":
+            return -self.eval(node[1])
+        if kind == "or":
+            left = self.eval(node[1])
+            return left if self.truthy(left) else self.eval(node[2])
+        if kind == "and":
+            left = self.eval(node[1])
+            return self.eval(node[2]) if self.truthy(left) else left
+        if kind == "cmp":
+            op, left, right = node[1], self.eval(node[2]), self.eval(node[3])
+            try:
+                return {
+                    "==": lambda: left == right,
+                    "!=": lambda: left != right,
+                    "<": lambda: left < right,
+                    "<=": lambda: left <= right,
+                    ">": lambda: left > right,
+                    ">=": lambda: left >= right,
+                }[op]()
+            except TypeError as err:
+                raise Jx9Error(f"bad comparison {op} between types") from err
+        if kind == "bin":
+            op, left, right = node[1], self.eval(node[2]), self.eval(node[3])
+            try:
+                if op == "+":
+                    if isinstance(left, str) or isinstance(right, str):
+                        return f"{left}{right}"
+                    return left + right
+                if op == "-":
+                    return left - right
+                if op == "*":
+                    return left * right
+                if op == "/":
+                    return left / right
+                if op == "%":
+                    return left % right
+            except (TypeError, ZeroDivisionError) as err:
+                raise Jx9Error(f"arithmetic error for {op!r}: {err}") from err
+        raise Jx9Error(f"unknown expression kind {kind!r}")
+
+
+def jx9_execute(source: str, env: Optional[dict[str, Any]] = None, max_steps: int = 200_000) -> Any:
+    """Run a Jx9 query; ``env`` supplies ``$``-variables (e.g.
+    ``{"__config__": {...}}``)."""
+    tokens = tokenize(source)
+    parser = _Parser(tokens)
+    program = parser.parse_program()
+    evaluator = _Evaluator(dict(env or {}), max_steps=max_steps)
+    return evaluator.run(program)

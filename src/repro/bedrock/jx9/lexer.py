@@ -1,0 +1,142 @@
+"""Tokenizer for the Jx9 subset.
+
+Jx9 is "a lightweight, embeddable scripting language designed to handle
+queries on JSON documents" (paper section 5).  The subset implemented
+here covers the query style of Listing 4: ``$``-variables, ``foreach``,
+``if``/``else``, arrays/objects, member access, and builtin calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Token", "tokenize", "Jx9SyntaxError"]
+
+
+class Jx9SyntaxError(SyntaxError):
+    """Lexing or parsing failure, with line information."""
+
+
+KEYWORDS = {"foreach", "as", "if", "else", "return", "true", "false", "null", "while"}
+
+PUNCT = [
+    "=>",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ";",
+    ",",
+    ":",
+    ".",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "var", "ident", "keyword", "number", "string", "punct", "eof"
+    value: str
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    length = len(source)
+    while index < length:
+        ch = source[index]
+        if ch == "\n":
+            line += 1
+            index += 1
+            continue
+        if ch.isspace():
+            index += 1
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                raise Jx9SyntaxError(f"unterminated comment at line {line}")
+            line += source.count("\n", index, end)
+            index = end + 2
+            continue
+        if ch == "$":
+            start = index + 1
+            end = start
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            if end == start:
+                raise Jx9SyntaxError(f"bare '$' at line {line}")
+            tokens.append(Token("var", source[start:end], line))
+            index = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = index
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            word = source[index:end]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            index = end
+            continue
+        if ch.isdigit():
+            end = index
+            seen_dot = False
+            while end < length and (source[end].isdigit() or (source[end] == "." and not seen_dot)):
+                if source[end] == ".":
+                    # Only part of the number if followed by a digit.
+                    if end + 1 >= length or not source[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token("number", source[index:end], line))
+            index = end
+            continue
+        if ch in "\"'":
+            quote = ch
+            end = index + 1
+            chunks = []
+            while end < length and source[end] != quote:
+                if source[end] == "\\" and end + 1 < length:
+                    escape = source[end + 1]
+                    chunks.append({"n": "\n", "t": "\t", "\\": "\\", quote: quote}.get(escape, escape))
+                    end += 2
+                else:
+                    chunks.append(source[end])
+                    end += 1
+            if end >= length:
+                raise Jx9SyntaxError(f"unterminated string at line {line}")
+            tokens.append(Token("string", "".join(chunks), line))
+            index = end + 1
+            continue
+        for punct in PUNCT:
+            if source.startswith(punct, index):
+                tokens.append(Token("punct", punct, line))
+                index += len(punct)
+                break
+        else:
+            raise Jx9SyntaxError(f"unexpected character {ch!r} at line {line}")
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,649 @@
+"""The Bedrock server: a "provider of providers" (paper section 5).
+
+Bedrock "is a component meant to manage other providers running in a
+Mochi process.  It follows the same architecture [as Fig. 1] ... but the
+'resource' it manages is the configuration of the process it runs on."
+
+Responsibilities implemented here:
+
+* bootstrap a process from a Listing-3 JSON document (libraries +
+  providers + dependency resolution), without glue code;
+* expose the full live configuration, queryable with Jx9 (Listing 4);
+* online reconfiguration: start/stop providers, add/remove pools and
+  xstreams -- all validity-checked (Listing 5);
+* provider **migration** orchestration over REMI (section 6, Obs. 5);
+* provider **checkpoint/restore** hooks to a PFS (section 7, Obs. 9);
+* cross-process consistency of concurrent reconfigurations via
+  two-phase commit locks (section 5, Obs. 3: of two conflicting client
+  requests, exactly one succeeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..core.component import Provider
+from ..margo.runtime import MargoInstance, RequestContext
+from ..margo.ult import Compute
+from ..storage.pfs import ParallelFileSystem
+from .errors import (
+    BedrockConfigError,
+    BedrockError,
+    DependencyError,
+    EntityLockedError,
+    NoSuchProviderError,
+    ProviderConflictError,
+    TransactionError,
+)
+from .jx9 import jx9_execute
+from .module import BedrockModule, ModuleError, resolve_library
+
+__all__ = ["BedrockServer", "ProviderRecord", "BEDROCK_PROVIDER_ID"]
+
+#: Every Bedrock server registers at this provider id, by convention.
+BEDROCK_PROVIDER_ID = 0
+
+OP_COST = 500e-9
+
+
+@dataclass
+class ProviderRecord:
+    """Bookkeeping for one managed provider."""
+
+    name: str
+    type_name: str
+    provider_id: int
+    pool: str
+    config: dict[str, Any]
+    dependencies: dict[str, Any]
+    module: BedrockModule
+    instance: Any
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "type": self.type_name,
+            "provider_id": self.provider_id,
+            "pool": self.pool,
+            "config": self.instance.get_config(),
+            "dependencies": {
+                k: v for k, v in self.dependencies.items()
+            },
+        }
+
+
+class BedrockServer(Provider):
+    """Manages the configuration of one Mochi process."""
+
+    component_type = "bedrock"
+
+    def __init__(
+        self,
+        margo: MargoInstance,
+        config: Optional[dict[str, Any]] = None,
+        pfs: Optional[ParallelFileSystem] = None,
+    ) -> None:
+        super().__init__(margo, "bedrock", BEDROCK_PROVIDER_ID, config={})
+        self.pfs = pfs
+        self.modules: dict[str, BedrockModule] = {}
+        self.library_of: dict[str, str] = {}
+        self.records: dict[str, ProviderRecord] = {}
+        #: provider name -> set of dependent tokens ("local:<name>" or
+        #: "remote:<address>:<name>").
+        self.dependents: dict[str, set[str]] = {}
+        #: entity -> transaction id holding its lock.
+        self._locks: dict[str, str] = {}
+        #: txid -> list of prepared ops.
+        self._prepared: dict[str, list[dict[str, Any]]] = {}
+
+        for operation in (
+            "load_module",
+            "start_provider",
+            "stop_provider",
+            "add_pool",
+            "remove_pool",
+            "add_xstream",
+            "remove_xstream",
+            "get_config",
+            "query",
+            "migrate_provider",
+            "checkpoint_provider",
+            "restore_provider",
+            "add_dependent",
+            "remove_dependent",
+            "list_providers",
+            "tx_prepare",
+            "tx_commit",
+            "tx_abort",
+        ):
+            self.register_rpc(operation, getattr(self, f"_on_{operation}"))
+
+        doc = dict(config or {})
+        doc.pop("margo", None)  # consumed by the Margo instance itself
+        self._apply_boot_config(doc)
+
+    # ------------------------------------------------------------------
+    # boot-time configuration (Listing 3)
+    # ------------------------------------------------------------------
+    def _apply_boot_config(self, doc: dict[str, Any]) -> None:
+        unknown = set(doc) - {"libraries", "providers"}
+        if unknown:
+            raise BedrockConfigError(f"unknown bedrock config keys: {sorted(unknown)}")
+        libraries = doc.get("libraries", {})
+        if not isinstance(libraries, dict):
+            raise BedrockConfigError("'libraries' must be an object {type: path}")
+        for type_name, library in libraries.items():
+            self.load_module(type_name, library)
+        providers = doc.get("providers", [])
+        if not isinstance(providers, list):
+            raise BedrockConfigError("'providers' must be a list")
+        for entry in providers:
+            self._validate_start(entry)
+            self._execute_start(entry)
+
+    # ------------------------------------------------------------------
+    # modules
+    # ------------------------------------------------------------------
+    def load_module(self, type_name: str, library: str) -> None:
+        module = resolve_library(library)
+        if module.type_name != type_name:
+            raise BedrockConfigError(
+                f"library {library!r} provides type {module.type_name!r}, "
+                f"not {type_name!r}"
+            )
+        existing = self.modules.get(type_name)
+        if existing is not None and existing is not module:
+            raise BedrockConfigError(f"type {type_name!r} already loaded")
+        self.modules[type_name] = module
+        self.library_of[type_name] = library
+
+    # ------------------------------------------------------------------
+    # start/stop providers (validation + execution split for 2PC reuse)
+    # ------------------------------------------------------------------
+    def _validate_start(self, op: dict[str, Any]) -> None:
+        for key in ("name", "type"):
+            if key not in op:
+                raise BedrockConfigError(f"provider entry missing {key!r}: {op}")
+        name = op["name"]
+        if name in self.records:
+            raise ProviderConflictError(f"provider {name!r} already exists")
+        type_name = op["type"]
+        module = self.modules.get(type_name)
+        if module is None:
+            raise ModuleError(
+                f"no module loaded for type {type_name!r} "
+                f"(loaded: {sorted(self.modules)})"
+            )
+        provider_id = int(op.get("provider_id", 1))
+        for record in self.records.values():
+            if record.type_name == type_name and record.provider_id == provider_id:
+                raise ProviderConflictError(
+                    f"(type={type_name}, provider_id={provider_id}) already in use "
+                    f"by {record.name!r}"
+                )
+        pool = op.get("pool", self.margo.config.rpc_pool)
+        if pool not in self.margo.pools:
+            raise BedrockConfigError(f"provider {name!r} references unknown pool {pool!r}")
+        for dep_name, spec in (op.get("dependencies") or {}).items():
+            self._check_dependency_spec(name, dep_name, spec)
+
+    def _check_dependency_spec(self, provider: str, dep_name: str, spec: Any) -> None:
+        if isinstance(spec, str):
+            if spec not in self.records:
+                raise DependencyError(
+                    f"provider {provider!r} depends on unknown local provider {spec!r}"
+                )
+            return
+        if isinstance(spec, dict):
+            missing = {"type", "address", "provider_id"} - set(spec)
+            if missing:
+                raise DependencyError(
+                    f"remote dependency {dep_name!r} of {provider!r} missing {sorted(missing)}"
+                )
+            if spec["type"] not in self.modules:
+                raise DependencyError(
+                    f"remote dependency {dep_name!r} has unloaded type {spec['type']!r}"
+                )
+            return
+        raise DependencyError(
+            f"dependency {dep_name!r} of {provider!r} must be a local provider "
+            f"name or a {{type, address, provider_id}} object"
+        )
+
+    def _resolve_dependencies(self, op: dict[str, Any]) -> dict[str, Any]:
+        resolved: dict[str, Any] = {}
+        for dep_name, spec in (op.get("dependencies") or {}).items():
+            if isinstance(spec, str):
+                resolved[dep_name] = self.records[spec].instance
+            else:
+                module = self.modules[spec["type"]]
+                if module.client_factory is None:
+                    raise DependencyError(
+                        f"type {spec['type']!r} has no client library"
+                    )
+                client = module.client_factory(self.margo)
+                resolved[dep_name] = client.make_handle(
+                    spec["address"], spec["provider_id"]
+                )
+        return resolved
+
+    def _execute_start(self, op: dict[str, Any]) -> ProviderRecord:
+        name = op["name"]
+        module = self.modules[op["type"]]
+        pool = op.get("pool", self.margo.config.rpc_pool)
+        dependencies = dict(op.get("dependencies") or {})
+        resolved = self._resolve_dependencies(op)
+        instance = module.provider_factory(
+            self.margo,
+            name,
+            int(op.get("provider_id", 1)),
+            pool,
+            dict(op.get("config") or {}),
+            resolved,
+        )
+        record = ProviderRecord(
+            name=name,
+            type_name=op["type"],
+            provider_id=int(op.get("provider_id", 1)),
+            pool=pool,
+            config=dict(op.get("config") or {}),
+            dependencies=dependencies,
+            module=module,
+            instance=instance,
+        )
+        self.records[name] = record
+        for spec in dependencies.values():
+            if isinstance(spec, str):
+                self.dependents.setdefault(spec, set()).add(f"local:{name}")
+        return record
+
+    def _validate_stop(self, op: dict[str, Any]) -> None:
+        name = op["name"]
+        record = self.records.get(name)
+        if record is None:
+            raise NoSuchProviderError(f"no provider named {name!r}")
+        holders = self.dependents.get(name)
+        if holders:
+            raise DependencyError(
+                f"cannot stop provider {name!r}: depended on by {sorted(holders)}"
+            )
+
+    def _execute_stop(self, op: dict[str, Any]) -> None:
+        record = self.records.pop(op["name"])
+        for spec in record.dependencies.values():
+            if isinstance(spec, str):
+                holders = self.dependents.get(spec)
+                if holders:
+                    holders.discard(f"local:{record.name}")
+        self.dependents.pop(record.name, None)
+        record.instance.destroy()
+
+    # ------------------------------------------------------------------
+    # configuration access
+    # ------------------------------------------------------------------
+    def get_config(self) -> dict[str, Any]:
+        return {
+            "margo": self.margo.get_config(),
+            "libraries": dict(self.library_of),
+            "providers": [r.describe() for r in self.records.values()],
+            "address": self.margo.address,
+        }
+
+    def query(self, script: str) -> Any:
+        """Run a Jx9 query against the live configuration (Listing 4)."""
+        return jx9_execute(script, {"__config__": self.get_config()})
+
+    def boot_document(self) -> dict[str, Any]:
+        """A Listing-3 document that re-creates this process's current
+        composition from scratch.
+
+        The paper (section 5): "Its configuration format ... can also
+        easily be shared with the community to diagnose issues and
+        bugs."  Unlike :meth:`get_config` (live state, statistics), this
+        is the *boot-clean* document: feed it to
+        :func:`~repro.bedrock.boot.boot_process` to clone the process.
+        """
+        return {
+            "margo": self.margo.get_config(),
+            "libraries": dict(self.library_of),
+            "providers": [
+                {
+                    "name": record.name,
+                    "type": record.type_name,
+                    "provider_id": record.provider_id,
+                    "pool": record.pool,
+                    "config": dict(record.config),
+                    "dependencies": dict(record.dependencies),
+                }
+                for record in self.records.values()
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # RPC handlers (the remote API of Listing 5)
+    # ------------------------------------------------------------------
+    def _on_load_module(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_COST)
+        self.load_module(ctx.args["type"], ctx.args["library"])
+        return None
+
+    def _on_start_provider(self, ctx: RequestContext) -> Generator:
+        op = ctx.args
+        yield Compute(OP_COST)
+        self._check_unlocked(f"provider:{op['name']}")
+        self._validate_start(op)
+        record = self._execute_start(op)
+        # Register remote dependents so the dependency's process can
+        # refuse to stop it while we rely on it.
+        for spec in record.dependencies.values():
+            if isinstance(spec, dict):
+                try:
+                    yield from self.margo.forward(
+                        spec["address"],
+                        "bedrock_add_dependent",
+                        {
+                            "name": self._remote_dep_target(spec),
+                            "dependent": f"remote:{self.margo.address}:{record.name}",
+                        },
+                        provider_id=BEDROCK_PROVIDER_ID,
+                        timeout=2.0,
+                    )
+                except BedrockError:
+                    raise
+                except Exception:
+                    pass  # dependency process may not run bedrock; tolerated
+        return record.describe()
+
+    @staticmethod
+    def _remote_dep_target(spec: dict[str, Any]) -> dict[str, Any]:
+        return {"type": spec["type"], "provider_id": spec["provider_id"]}
+
+    def _on_stop_provider(self, ctx: RequestContext) -> Generator:
+        op = ctx.args
+        yield Compute(OP_COST)
+        self._check_unlocked(f"provider:{op['name']}")
+        self._validate_stop(op)
+        record = self.records[op["name"]]
+        # Unpin ourselves from remote dependencies.
+        for spec in record.dependencies.values():
+            if isinstance(spec, dict):
+                try:
+                    yield from self.margo.forward(
+                        spec["address"],
+                        "bedrock_remove_dependent",
+                        {
+                            "name": self._remote_dep_target(spec),
+                            "dependent": f"remote:{self.margo.address}:{record.name}",
+                        },
+                        provider_id=BEDROCK_PROVIDER_ID,
+                        timeout=2.0,
+                    )
+                except Exception:
+                    pass
+        self._execute_stop(op)
+        return None
+
+    def _on_add_dependent(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_COST)
+        target = ctx.args["name"]
+        record = self._find_by_type_id(target["type"], target["provider_id"])
+        if record is None:
+            raise NoSuchProviderError(
+                f"no provider (type={target['type']}, id={target['provider_id']})"
+            )
+        self.dependents.setdefault(record.name, set()).add(ctx.args["dependent"])
+        return None
+
+    def _on_remove_dependent(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_COST)
+        target = ctx.args["name"]
+        record = self._find_by_type_id(target["type"], target["provider_id"])
+        if record is not None:
+            holders = self.dependents.get(record.name)
+            if holders:
+                holders.discard(ctx.args["dependent"])
+        return None
+
+    def _find_by_type_id(self, type_name: str, provider_id: int) -> Optional[ProviderRecord]:
+        for record in self.records.values():
+            if record.type_name == type_name and record.provider_id == provider_id:
+                return record
+        return None
+
+    def _on_add_pool(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_COST)
+        self.margo.add_pool(ctx.args)
+        return None
+
+    def _on_remove_pool(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_COST)
+        name = ctx.args["name"]
+        used_by = [r.name for r in self.records.values() if r.pool == name]
+        if used_by:
+            raise BedrockConfigError(f"pool {name!r} is used by providers {used_by}")
+        self.margo.remove_pool(name)
+        return None
+
+    def _on_add_xstream(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_COST)
+        self.margo.add_xstream(ctx.args)
+        return None
+
+    def _on_remove_xstream(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_COST)
+        self.margo.remove_xstream(ctx.args["name"])
+        return None
+
+    def _on_get_config(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_COST)
+        return self.get_config()
+
+    def _on_query(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_COST)
+        return self.query(ctx.args["script"])
+
+    def _on_list_providers(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_COST)
+        return sorted(self.records)
+
+    # ------------------------------------------------------------------
+    # migration orchestration (paper section 6, Observation 5)
+    # ------------------------------------------------------------------
+    def _on_migrate_provider(self, ctx: RequestContext) -> Generator:
+        """Migrate a provider to another Bedrock-managed process.
+
+        Steps: (1) the provider flushes and REMI-ships its files to the
+        destination node, (2) the destination Bedrock instantiates an
+        identical provider over them, (3) the local provider is stopped.
+        """
+        op = ctx.args
+        name = op["name"]
+        record = self.records.get(name)
+        if record is None:
+            raise NoSuchProviderError(f"no provider named {name!r}")
+        if not record.module.supports_migration:
+            raise BedrockError(f"type {record.type_name!r} does not support migration")
+        self._validate_stop({"name": name})  # no dependents may be left behind
+        self._check_unlocked(f"provider:{name}")
+        dest_address = op["dest_address"]
+        remi_provider_id = int(op.get("remi_provider_id", 0))
+        method = op.get("method", "auto")
+
+        from ..remi.client import RemiClient
+
+        remi_client = RemiClient(self.margo)
+        report = yield from record.instance.migrate(
+            _BoundRemi(remi_client, dest_address, remi_provider_id, method),
+            dest_address,
+            record.provider_id,
+        )
+        new_provider_id = op.get("new_provider_id")
+        if new_provider_id is None:
+            # Keep the original id when free at the destination; otherwise
+            # allocate the next id unused by providers of this type there.
+            dest_config = yield from self.margo.forward(
+                dest_address,
+                "bedrock_get_config",
+                provider_id=BEDROCK_PROVIDER_ID,
+                timeout=5.0,
+            )
+            taken = {
+                p["provider_id"]
+                for p in dest_config["providers"]
+                if p["type"] == record.type_name
+            }
+            new_provider_id = record.provider_id
+            while new_provider_id in taken:
+                new_provider_id += 1
+        start_op = {
+            "name": op.get("new_name", name),
+            "type": record.type_name,
+            "provider_id": int(new_provider_id),
+            "pool": op.get("pool"),
+            "config": record.config,
+            "dependencies": record.dependencies
+            if all(isinstance(s, dict) for s in record.dependencies.values())
+            else {},
+        }
+        if start_op["pool"] is None:
+            start_op.pop("pool")
+        new_record = yield from self.margo.forward(
+            dest_address,
+            "bedrock_start_provider",
+            start_op,
+            provider_id=BEDROCK_PROVIDER_ID,
+            timeout=10.0,
+        )
+        self._execute_stop({"name": name})
+        return {
+            "moved_files": report.num_files,
+            "moved_bytes": report.total_bytes,
+            "method": report.method,
+            "new_provider": new_record,
+        }
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (paper section 7, Observation 9)
+    # ------------------------------------------------------------------
+    def _on_checkpoint_provider(self, ctx: RequestContext) -> Generator:
+        name = ctx.args["name"]
+        record = self.records.get(name)
+        if record is None:
+            raise NoSuchProviderError(f"no provider named {name!r}")
+        if not record.module.supports_checkpoint:
+            raise BedrockError(f"type {record.type_name!r} does not support checkpoints")
+        if self.pfs is None:
+            raise BedrockError("this Bedrock server has no PFS attached")
+        size = yield from record.instance.checkpoint(self.pfs, ctx.args["path"])
+        return {"bytes": size, "path": ctx.args["path"]}
+
+    def _on_restore_provider(self, ctx: RequestContext) -> Generator:
+        name = ctx.args["name"]
+        record = self.records.get(name)
+        if record is None:
+            raise NoSuchProviderError(f"no provider named {name!r}")
+        if self.pfs is None:
+            raise BedrockError("this Bedrock server has no PFS attached")
+        size = yield from record.instance.restore(self.pfs, ctx.args["path"])
+        return {"bytes": size, "path": ctx.args["path"]}
+
+    # ------------------------------------------------------------------
+    # two-phase commit (paper section 5, Observation 3)
+    # ------------------------------------------------------------------
+    def _entities_of(self, op: dict[str, Any]) -> list[str]:
+        action = op["action"]
+        if action in ("start_provider", "stop_provider", "pin_provider"):
+            return [f"provider:{op['name']}"] + [
+                f"provider:{spec}"
+                for spec in (op.get("dependencies") or {}).values()
+                if isinstance(spec, str)
+            ]
+        raise TransactionError(f"unknown transactional action {action!r}")
+
+    def _check_unlocked(self, entity: str) -> None:
+        holder = self._locks.get(entity)
+        if holder is not None:
+            raise EntityLockedError(
+                f"{entity} is locked by transaction {holder}"
+            )
+
+    def _on_tx_prepare(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_COST)
+        txid = ctx.args["txid"]
+        ops = ctx.args["ops"]
+        needed: list[str] = []
+        for op in ops:
+            needed.extend(self._entities_of(op))
+        # All-or-nothing lock acquisition.
+        for entity in needed:
+            holder = self._locks.get(entity)
+            if holder is not None and holder != txid:
+                return {"vote": False, "reason": f"{entity} locked by {holder}"}
+        try:
+            for op in ops:
+                action = op["action"]
+                if action == "start_provider":
+                    self._validate_start(op)
+                elif action == "stop_provider":
+                    self._validate_stop(op)
+                elif action == "pin_provider":
+                    if op["name"] not in self.records:
+                        raise NoSuchProviderError(
+                            f"pin target {op['name']!r} does not exist"
+                        )
+        except BedrockError as err:
+            return {"vote": False, "reason": str(err)}
+        for entity in needed:
+            self._locks[entity] = txid
+        self._prepared[txid] = ops
+        return {"vote": True}
+
+    def _on_tx_commit(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_COST)
+        txid = ctx.args["txid"]
+        ops = self._prepared.pop(txid, None)
+        if ops is None:
+            raise TransactionError(f"commit of unknown transaction {txid}")
+        for op in ops:
+            action = op["action"]
+            if action == "start_provider":
+                self._execute_start(op)
+            elif action == "stop_provider":
+                self._execute_stop(op)
+            elif action == "pin_provider":
+                self.dependents.setdefault(op["name"], set()).add(op["dependent"])
+        self._release_locks(txid)
+        return None
+
+    def _on_tx_abort(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_COST)
+        txid = ctx.args["txid"]
+        self._prepared.pop(txid, None)
+        self._release_locks(txid)
+        return None
+
+    def _release_locks(self, txid: str) -> None:
+        self._locks = {e: t for e, t in self._locks.items() if t != txid}
+
+
+class _BoundRemi:
+    """Adapter: a REMI client pre-bound to one destination provider.
+
+    Component ``migrate`` hooks call ``migrate_files(dest_address,
+    paths, dest_provider_id=...)`` where ``dest_address`` is the target
+    *process*; Bedrock knows which REMI provider id serves it and which
+    transfer method to use.
+    """
+
+    def __init__(self, remi_client: Any, dest_address: str, remi_provider_id: int, method: str) -> None:
+        self._client = remi_client
+        self._dest = dest_address
+        self._remi_id = remi_provider_id
+        self._method = method
+
+    def migrate_files(self, dest_address: str, paths: list, dest_provider_id: int = 0):
+        report = yield from self._client.migrate_files(
+            self._dest, paths, dest_provider_id=self._remi_id, method=self._method
+        )
+        return report

@@ -1,0 +1,152 @@
+"""Deployment convenience: build a simulated cluster in a few lines.
+
+A :class:`Cluster` owns the kernel, network, randomness, and fault
+injector, and offers helpers to create nodes, Margo-equipped processes,
+and to drive ULTs to completion.  Examples, tests, and benchmarks all
+start here::
+
+    cluster = Cluster(seed=1)
+    server = cluster.add_margo("server", node="n0")
+    client = cluster.add_margo("client", node="n1")
+    server.register("echo", lambda ctx: ctx.args)
+
+    def driver():
+        reply = yield from client.forward(server.address, "echo", "hi")
+        return reply
+
+    assert cluster.run_ult(client, driver()) == "hi"
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .margo.runtime import MargoInstance
+from .margo.ult import ULT
+from .sim.faults import FaultInjector
+from .sim.kernel import SimKernel, WaitEvent
+from .sim.network import Network, NetworkConfig, Node, Process
+from .sim.random import RandomSource
+
+__all__ = ["Cluster", "UltFailedError"]
+
+
+class UltFailedError(RuntimeError):
+    """A driver ULT raised; the original error is ``__cause__``."""
+
+
+class Cluster:
+    """A self-contained simulated deployment."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        network_config: Optional[NetworkConfig] = None,
+    ) -> None:
+        self.kernel = SimKernel()
+        self.randomness = RandomSource(seed)
+        self.network = Network(self.kernel, config=network_config, randomness=self.randomness)
+        self.faults = FaultInjector(self.kernel, self.network)
+        self.margos: dict[str, MargoInstance] = {}
+
+    # ------------------------------------------------------------------
+    # topology helpers
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> Node:
+        return self.network.add_node(name)
+
+    def node(self, name: str) -> Node:
+        if name not in self.network.nodes:
+            return self.network.add_node(name)
+        return self.network.nodes[name]
+
+    def add_process(self, name: str, node: str | Node) -> Process:
+        if isinstance(node, str):
+            node = self.node(node)
+        return self.network.add_process(name, node)
+
+    def add_margo(
+        self,
+        name: str,
+        node: str | Node,
+        config: Any = None,
+        monitors: tuple = (),
+        default_rpc_timeout: Optional[float] = None,
+    ) -> MargoInstance:
+        """Create a process on ``node`` running a Margo instance."""
+        process = self.add_process(name, node)
+        margo = MargoInstance(
+            process,
+            self.network,
+            config=config,
+            monitors=monitors,
+            default_rpc_timeout=default_rpc_timeout,
+        )
+        self.margos[name] = margo
+        return margo
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def run_ult(self, margo: MargoInstance, gen: Generator, pool: Any = None) -> Any:
+        """Run ``gen`` as a ULT on ``margo`` until it finishes.
+
+        Returns the ULT's return value; re-raises its exception wrapped
+        in :class:`UltFailedError` context for a clear traceback.
+        """
+        ult = self.spawn(margo, gen, pool=pool)
+        done = self.kernel.event(name=f"cluster-wait:{ult.name}")
+        ult.on_finish.append(lambda _ult: done.set(None))
+
+        def waiter():
+            if ult.state.value != "done":
+                yield WaitEvent(done)
+            return None
+
+        task = self.kernel.spawn(waiter(), name=f"wait:{ult.name}")
+        self.kernel.run(until_tasks=[task])
+        if ult.error is not None:
+            raise ult.error
+        return ult.result
+
+    def spawn(self, margo: MargoInstance, gen: Generator, pool: Any = None, name: str = "") -> ULT:
+        """Start a ULT without waiting for it."""
+        return margo.spawn_ult(gen, pool=pool, name=name)
+
+    def wait_ults(self, ults: list[ULT]) -> list[Any]:
+        """Run the simulation until every ULT in ``ults`` finishes.
+
+        Unlike ``kernel.run()`` with no stop condition, this works in the
+        presence of perpetual background activity (SWIM loops, samplers).
+        Returns the ULTs' results; re-raises the first error.
+        """
+        pending = [u for u in ults if u.state.value != "done"]
+        if pending:
+            done = self.kernel.event(name="cluster-wait-ults")
+            remaining = {"n": len(pending)}
+
+            def on_one_finished(_ult) -> None:
+                remaining["n"] -= 1
+                if remaining["n"] == 0:
+                    done.set(None)
+
+            for ult in pending:
+                ult.on_finish.append(on_one_finished)
+
+            def waiter():
+                yield WaitEvent(done)
+
+            task = self.kernel.spawn(waiter(), name="wait-ults")
+            self.kernel.run(until_tasks=[task])
+        for ult in ults:
+            if ult.error is not None:
+                raise ult.error
+        return [u.result for u in ults]
+
+    def run(self, **kwargs: Any) -> None:
+        """Advance the simulation (passes through to ``kernel.run``)."""
+        self.kernel.run(**kwargs)
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now

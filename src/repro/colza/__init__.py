@@ -1,0 +1,13 @@
+"""Colza: elastic in situ analysis with SSG view-hash staleness detection."""
+
+from .client import ColzaClient, PipelineHandle
+from .provider import ColzaError, ColzaProvider, STATUS_OK, STATUS_STALE_VIEW
+
+__all__ = [
+    "ColzaProvider",
+    "ColzaClient",
+    "PipelineHandle",
+    "ColzaError",
+    "STATUS_OK",
+    "STATUS_STALE_VIEW",
+]

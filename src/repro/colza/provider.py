@@ -1,0 +1,154 @@
+"""Colza-like elastic in situ analysis (paper section 6, Observation 7).
+
+Colza providers "declare a dependency on SSG to keep track of the
+group's view and maintain a hash of this view.  Any RPC sent by client
+applications has this hash as an argument.  A mismatch between the hash
+sent by the client and the hash maintained by a Colza provider informs
+the latter that the client's view of the group is outdated."
+
+The provider stages data chunks per iteration and executes a reduction
+pipeline over them; every data-plane RPC carries the caller's view hash
+and is rejected (with the fresh view attached) when stale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..core.component import Provider
+from ..margo.runtime import MargoInstance, RequestContext
+from ..margo.ult import Compute
+from ..ssg.group import SSGGroup
+
+__all__ = ["ColzaProvider", "ColzaError", "STATUS_OK", "STATUS_STALE_VIEW"]
+
+STATUS_OK = "ok"
+STATUS_STALE_VIEW = "stale-view"
+
+#: CPU cost of processing one staged byte in the pipeline.
+PIPELINE_BYTE_COST = 1.0 / 5e9
+
+
+class ColzaError(RuntimeError):
+    """Colza-level failure."""
+
+
+class ColzaProvider(Provider):
+    """One member of the elastic staging/analysis service."""
+
+    component_type = "colza"
+
+    def __init__(
+        self,
+        margo: MargoInstance,
+        name: str,
+        provider_id: int,
+        group: SSGGroup,
+        pool: Any = None,
+        config: Optional[dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(margo, name, provider_id, pool=pool, config=config)
+        self.group = group
+        #: iteration -> list of staged chunks (bytes).
+        self.staged: dict[int, list[bytes]] = {}
+        self.stale_rejections = 0
+        # 2PC-consistent views (paper: "Colza uses a two-phase commit
+        # approach, with the application itself acting as a controller").
+        # When set, the committed view overrides the eventually
+        # consistent SSG-derived one.
+        self.committed_view: Optional[list[str]] = None
+        self._pending_view: Optional[tuple[str, list[str]]] = None  # (txid, members)
+        self.register_rpc("stage", self._on_stage)
+        self.register_rpc("execute", self._on_execute)
+        self.register_rpc("get_view", self._on_get_view)
+        self.register_rpc("prepare_view", self._on_prepare_view)
+        self.register_rpc("commit_view", self._on_commit_view)
+        self.register_rpc("abort_view", self._on_abort_view)
+
+    # ------------------------------------------------------------------
+    def _current_members(self) -> list[str]:
+        if self.committed_view is not None:
+            return sorted(self.committed_view)
+        return list(self.group.view.members)
+
+    def _check_view(self, client_hash: str) -> Optional[dict[str, Any]]:
+        from ..ssg.view import view_hash_of
+
+        members = self._current_members()
+        current_hash = view_hash_of(members)
+        if client_hash != current_hash:
+            self.stale_rejections += 1
+            return {
+                "status": STATUS_STALE_VIEW,
+                "members": members,
+                "view_hash": current_hash,
+            }
+        return None
+
+    def _on_stage(self, ctx: RequestContext) -> Generator:
+        args = ctx.args
+        yield Compute(300e-9)
+        stale = self._check_view(args["view_hash"])
+        if stale is not None:
+            return stale
+        chunk = args["chunk"]
+        yield Compute(len(chunk) / 10e9)
+        self.staged.setdefault(args["iteration"], []).append(chunk)
+        return {"status": STATUS_OK}
+
+    def _on_execute(self, ctx: RequestContext) -> Generator:
+        """Run the analysis pipeline over this member's staged chunks."""
+        args = ctx.args
+        yield Compute(300e-9)
+        stale = self._check_view(args["view_hash"])
+        if stale is not None:
+            return stale
+        chunks = self.staged.pop(args["iteration"], [])
+        total = sum(len(c) for c in chunks)
+        yield Compute(total * PIPELINE_BYTE_COST)
+        # A simple deterministic "render": per-member checksum + volume.
+        checksum = 0
+        for chunk in chunks:
+            checksum = (checksum + sum(chunk[:256])) % (1 << 32)
+        return {
+            "status": STATUS_OK,
+            "chunks": len(chunks),
+            "bytes": total,
+            "checksum": checksum,
+        }
+
+    def _on_get_view(self, ctx: RequestContext) -> Generator:
+        from ..ssg.view import view_hash_of
+
+        yield Compute(100e-9)
+        members = self._current_members()
+        return {"members": members, "view_hash": view_hash_of(members)}
+
+    # ------------------------------------------------------------------
+    # 2PC-consistent view updates (application as the controller)
+    # ------------------------------------------------------------------
+    def _on_prepare_view(self, ctx: RequestContext) -> Generator:
+        args = ctx.args
+        yield Compute(200e-9)
+        txid, members = args["txid"], sorted(args["members"])
+        if self._pending_view is not None and self._pending_view[0] != txid:
+            return {"vote": False, "reason": f"view tx {self._pending_view[0]} pending"}
+        if self.margo.address not in members:
+            return {"vote": False, "reason": "I am not part of the proposed view"}
+        self._pending_view = (txid, members)
+        return {"vote": True}
+
+    def _on_commit_view(self, ctx: RequestContext) -> Generator:
+        yield Compute(200e-9)
+        txid = ctx.args["txid"]
+        if self._pending_view is None or self._pending_view[0] != txid:
+            raise ColzaError(f"commit of unknown view transaction {txid}")
+        self.committed_view = self._pending_view[1]
+        self._pending_view = None
+        return None
+
+    def _on_abort_view(self, ctx: RequestContext) -> Generator:
+        yield Compute(200e-9)
+        if self._pending_view is not None and self._pending_view[0] == ctx.args["txid"]:
+            self._pending_view = None
+        return None

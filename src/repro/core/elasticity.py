@@ -1,0 +1,164 @@
+"""Elasticity manager: introspection-driven scale up/down.
+
+Closes the loop the paper describes: performance introspection
+(section 4) feeds reconfiguration decisions (section 5) that exercise
+elasticity mechanisms (section 6).  Node allocation is delegated to a
+resource-manager callback pair (``allocate_node``/``release_node``),
+the role Flux [6] plays in the paper's vision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from ..margo.ult import UltSleep
+from .service import DynamicService, ServiceError
+from .spec import ProcessSpec
+
+__all__ = ["ElasticityPolicy", "ElasticityManager", "ScalingEvent"]
+
+
+@dataclass(frozen=True)
+class ElasticityPolicy:
+    """Threshold policy over per-process execution-stream utilization.
+
+    Utilization is the fraction of the decision interval the process's
+    execution streams spent running ULTs (averaged over streams and
+    processes) -- the busy-time series the monitoring layer exposes.
+    """
+
+    #: Scale out when mean utilization exceeds this.
+    high_watermark: float = 0.7
+    #: Scale in when it drops below this (and more than min_processes run).
+    low_watermark: float = 0.1
+    min_processes: int = 1
+    max_processes: int = 64
+    decision_interval: float = 2.0
+    #: Consecutive observations required before acting (hysteresis).
+    patience: int = 2
+
+    def __post_init__(self) -> None:
+        if self.low_watermark >= self.high_watermark:
+            raise ValueError("low_watermark must be below high_watermark")
+        if self.min_processes < 1 or self.max_processes < self.min_processes:
+            raise ValueError("bad process bounds")
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    time: float
+    kind: str  # "out" | "in"
+    process: str
+    load: float
+
+
+class ElasticityManager:
+    """Periodically samples service load and grows/shrinks it."""
+
+    def __init__(
+        self,
+        service: DynamicService,
+        policy: ElasticityPolicy,
+        allocate_node: Callable[[], Optional[str]],
+        release_node: Callable[[str], None],
+        make_process_spec: Callable[[str, str], ProcessSpec],
+    ) -> None:
+        self.service = service
+        self.policy = policy
+        self.allocate_node = allocate_node
+        self.release_node = release_node
+        self.make_process_spec = make_process_spec
+        self.events: list[ScalingEvent] = []
+        self.load_history: list[tuple[float, float]] = []
+        self._running = False
+        self._counter = 0
+        self._streak = 0  # positive = consecutive high, negative = low
+        #: per-process (time, total busy seconds) at the last observation.
+        self._busy_snapshots: dict[str, tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            raise ServiceError("elasticity manager already running")
+        self._running = True
+        control = self.service.control
+        assert control is not None
+        control.spawn_ult(self._loop(), name=f"elastic:{self.service.spec.name}")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def current_load(self) -> float:
+        """Mean execution-stream utilization per live process since the
+        previous observation."""
+        now = self.service.cluster.now
+        processes = [p for p in self.service.processes.values() if p.alive]
+        if not processes:
+            return 0.0
+        utilizations = []
+        for process in processes:
+            xstreams = list(process.margo.xstreams.values())
+            busy = sum(x.busy_time for x in xstreams)
+            last_time, last_busy = self._busy_snapshots.get(
+                process.name, (now - self.policy.decision_interval, 0.0)
+            )
+            self._busy_snapshots[process.name] = (now, busy)
+            elapsed = now - last_time
+            if elapsed <= 0 or not xstreams:
+                continue
+            utilizations.append((busy - last_busy) / (elapsed * len(xstreams)))
+        return sum(utilizations) / len(utilizations) if utilizations else 0.0
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> Generator:
+        policy = self.policy
+        while self._running:
+            yield UltSleep(policy.decision_interval)
+            if not self._running:
+                return
+            load = self.current_load()
+            now = self.service.cluster.now
+            self.load_history.append((now, load))
+            n = len([p for p in self.service.processes.values() if p.alive])
+            if load > policy.high_watermark and n < policy.max_processes:
+                self._streak = self._streak + 1 if self._streak > 0 else 1
+                if self._streak >= policy.patience:
+                    yield from self._scale_out(load)
+                    self._streak = 0
+            elif load < policy.low_watermark and n > policy.min_processes:
+                self._streak = self._streak - 1 if self._streak < 0 else -1
+                if -self._streak >= policy.patience:
+                    yield from self._scale_in(load)
+                    self._streak = 0
+            else:
+                self._streak = 0
+
+    def _scale_out(self, load: float) -> Generator:
+        node = self.allocate_node()
+        if node is None:
+            return  # resource manager has nothing to give
+        self._counter += 1
+        name = f"{self.service.spec.name}-elastic-{self._counter}"
+        spec = self.make_process_spec(name, node)
+        yield from self.service.grow(spec)
+        self.events.append(
+            ScalingEvent(self.service.cluster.now, "out", name, load)
+        )
+
+    def _scale_in(self, load: float) -> Generator:
+        # Retire the most recently added elastic process first.
+        candidates = [
+            p
+            for p in self.service.processes.values()
+            if p.alive and "-elastic-" in p.name
+        ]
+        if not candidates:
+            return
+        victim = sorted(candidates, key=lambda p: p.name)[-1]
+        node = victim.spec.node
+        yield from self.service.shrink(victim.name)
+        self.release_node(node)
+        self.events.append(
+            ScalingEvent(self.service.cluster.now, "in", victim.name, load)
+        )

@@ -1,0 +1,48 @@
+"""Concurrent composition of ULT generators.
+
+``yield from parallel(margo, [gen1, gen2, ...])`` runs the generators as
+concurrent ULTs and returns their results in order; the first failure is
+re-raised after all complete.  Used wherever a component fans out work:
+replicated writes, pipelined REMI chunks, scatter-gather queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Sequence
+
+from ..margo.runtime import MargoInstance
+from ..margo.ult import Park, UltState
+
+__all__ = ["parallel", "ParallelError"]
+
+
+class ParallelError(RuntimeError):
+    """One or more parallel branches failed; ``errors`` holds them all
+    (index, exception); the first is the ``__cause__``."""
+
+    def __init__(self, errors: Sequence[tuple[int, BaseException]]) -> None:
+        super().__init__(
+            f"{len(errors)} parallel branch(es) failed: "
+            + "; ".join(f"[{i}] {type(e).__name__}: {e}" for i, e in errors)
+        )
+        self.errors = list(errors)
+
+
+def parallel(margo: MargoInstance, gens: Iterable[Generator], pool: Any = None) -> Generator:
+    """Run ``gens`` concurrently; return their results in input order."""
+    ults = [margo.spawn_ult(gen, pool=pool, name=f"parallel-{i}") for i, gen in enumerate(gens)]
+    errors: list[tuple[int, BaseException]] = []
+    results: list[Any] = []
+    for index, ult in enumerate(ults):
+        if ult.state != UltState.DONE:
+            yield Park(ult.done_event, None)
+        if ult.error is not None:
+            errors.append((index, ult.error))
+            results.append(None)
+        else:
+            results.append(ult.result)
+    if errors:
+        error = ParallelError(errors)
+        error.__cause__ = errors[0][1]
+        raise error
+    return results

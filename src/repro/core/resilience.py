@@ -1,0 +1,182 @@
+"""Resilience manager: top-down failure reaction (paper section 7).
+
+Combines the paper's building blocks into the service-wide reactor the
+"top-down" design requires:
+
+* a **periodic checkpointer** writes every provider's state to the PFS
+  (Observation 9: at worst, the modifications since the last checkpoint
+  are lost);
+* a **failure reactor** subscribes to SSG death notifications
+  (Observation 12) and re-provisions the dead process's providers on a
+  replacement node, restoring each from its latest checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from ..margo.ult import UltSleep
+from .service import DynamicService, ManagedProcess, ServiceError
+from .spec import ProcessSpec
+
+__all__ = ["ResilienceManager", "RecoveryEvent"]
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    time: float
+    failed_process: str
+    replacement_process: str
+    providers_restored: int
+    recovery_duration: float
+
+
+class ResilienceManager:
+    """Checkpoints the service and recovers from process/node deaths."""
+
+    def __init__(
+        self,
+        service: DynamicService,
+        checkpoint_interval: float,
+        allocate_node: Callable[[], Optional[str]],
+        checkpoint_prefix: str = "ckpt",
+    ) -> None:
+        if service.pfs is None:
+            raise ServiceError("resilience manager needs a service with a PFS")
+        if checkpoint_interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self.service = service
+        self.checkpoint_interval = checkpoint_interval
+        self.allocate_node = allocate_node
+        self.checkpoint_prefix = checkpoint_prefix
+        #: provider name -> latest checkpoint path.
+        self.latest_checkpoint: dict[str, str] = {}
+        #: provider name -> (type, provider_id, pool, config) for re-provisioning.
+        self._provider_specs: dict[str, dict] = {}
+        #: provider name -> owning process name.
+        self._owner: dict[str, str] = {}
+        self.checkpoints_taken = 0
+        self.recoveries: list[RecoveryEvent] = []
+        self._running = False
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            raise ServiceError("resilience manager already running")
+        self._running = True
+        control = self.service.control
+        assert control is not None
+        control.spawn_ult(self._checkpoint_loop(), name="resilience-ckpt")
+        for process in self.service.processes.values():
+            self._watch(process)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _watch(self, process: ManagedProcess) -> None:
+        if process.group is None:
+            return
+        process.group.on_member_died.append(self._on_member_died)
+
+    # ------------------------------------------------------------------
+    # checkpointing (bottom-up, Observation 9)
+    # ------------------------------------------------------------------
+    def _checkpoint_loop(self) -> Generator:
+        while self._running:
+            yield UltSleep(self.checkpoint_interval)
+            if not self._running:
+                return
+            yield from self.checkpoint_now()
+
+    def checkpoint_now(self) -> Generator:
+        self._version += 1
+        version = self._version
+        for name, process in list(self.service.processes.items()):
+            if not process.alive:
+                continue
+            handle = self.service.handle_for(name)
+            for record in list(process.bedrock.records.values()):
+                if not record.module.supports_checkpoint:
+                    continue
+                path = f"{self.checkpoint_prefix}/v{version}/{record.name}"
+                try:
+                    yield from handle.checkpoint_provider(record.name, path)
+                except Exception:
+                    continue  # process may have died mid-round
+                self.latest_checkpoint[record.name] = path
+                self._provider_specs[record.name] = {
+                    "type": record.type_name,
+                    "provider_id": record.provider_id,
+                    "config": record.config,
+                }
+                self._owner[record.name] = name
+        self.checkpoints_taken += 1
+        return self._version
+
+    # ------------------------------------------------------------------
+    # failure reaction (top-down, Observation 12)
+    # ------------------------------------------------------------------
+    def _on_member_died(self, address: str) -> None:
+        control = self.service.control
+        if control is None or control.finalized or not self._running:
+            return
+        dead = None
+        for process in self.service.processes.values():
+            if process.address == address:
+                dead = process
+                break
+        if dead is None or dead.alive:
+            return  # not ours, or a false positive
+        control.spawn_ult(self._recover(dead), name=f"recover:{dead.name}")
+
+    def _recover(self, dead: ManagedProcess) -> Generator:
+        started = self.service.cluster.now
+        node = self.allocate_node()
+        if node is None:
+            return None
+        replacement_name = f"{dead.name}-r{int(started * 1000) % 1000000}"
+        # Re-create the process shell (same margo/bedrock config shape).
+        spec = ProcessSpec(
+            name=replacement_name, node=node, config=dict(dead.spec.config)
+        )
+        # Strip providers from the boot config: we restore them one by
+        # one from checkpoints instead.
+        boot_config = dict(spec.config)
+        lost_entries = boot_config.pop("providers", [])
+        spec.config = boot_config
+        del self.service.processes[dead.name]
+        self.service.spec.processes = [
+            p for p in self.service.spec.processes if p.name != dead.name
+        ]
+        replacement = yield from self.service.grow(spec)
+        self._watch(replacement)
+        handle = self.service.handle_for(replacement_name)
+        restored = 0
+        lost_providers = [
+            name for name, owner in self._owner.items() if owner == dead.name
+        ]
+        for provider_name in lost_providers:
+            provider_spec = self._provider_specs[provider_name]
+            yield from handle.start_provider(
+                provider_name,
+                provider_spec["type"],
+                provider_id=provider_spec["provider_id"],
+                config=provider_spec["config"],
+            )
+            path = self.latest_checkpoint.get(provider_name)
+            if path is not None:
+                yield from handle.restore_provider(provider_name, path)
+            self._owner[provider_name] = replacement_name
+            restored += 1
+        self.recoveries.append(
+            RecoveryEvent(
+                time=self.service.cluster.now,
+                failed_process=dead.name,
+                replacement_process=replacement_name,
+                providers_restored=restored,
+                recovery_duration=self.service.cluster.now - started,
+            )
+        )
+        return None

@@ -1,0 +1,85 @@
+"""Declarative service specifications.
+
+A :class:`ServiceSpec` describes a whole distributed service in one
+document -- the multi-process generalization of the paper's Listing 3:
+
+.. code-block:: python
+
+    ServiceSpec(
+        name="kvsvc",
+        processes=[
+            ProcessSpec(name="kv0", node="n0", config={
+                "margo": {...},                      # Listing 2
+                "libraries": {"yokan": "libyokan.so"},
+                "providers": [{"name": "db0", "type": "yokan", ...}],
+            }),
+            ...
+        ],
+        group="kvsvc-group",    # SSG group all processes join
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..ssg.swim import SwimConfig
+
+__all__ = ["ProcessSpec", "ServiceSpec", "SpecError"]
+
+
+class SpecError(ValueError):
+    """Malformed service specification."""
+
+
+@dataclass
+class ProcessSpec:
+    """One process of the service."""
+
+    name: str
+    node: str
+    config: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("process name must be non-empty")
+        if not self.node:
+            raise SpecError(f"process {self.name!r} needs a node")
+
+
+@dataclass
+class ServiceSpec:
+    """A whole service."""
+
+    name: str
+    processes: list[ProcessSpec] = field(default_factory=list)
+    #: Name of the SSG group the service's processes form (None = no group).
+    group: Optional[str] = None
+    swim: Optional[SwimConfig] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("service name must be non-empty")
+        if not self.processes:
+            raise SpecError(f"service {self.name!r} needs at least one process")
+        names = [p.name for p in self.processes]
+        if len(set(names)) != len(names):
+            raise SpecError(f"duplicate process names in service {self.name!r}: {names}")
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "ServiceSpec":
+        unknown = set(doc) - {"name", "processes", "group", "swim"}
+        if unknown:
+            raise SpecError(f"unknown service spec keys: {sorted(unknown)}")
+        processes = [
+            ProcessSpec(name=p["name"], node=p["node"], config=p.get("config", {}))
+            for p in doc.get("processes", [])
+        ]
+        swim = doc.get("swim")
+        return cls(
+            name=doc.get("name", ""),
+            processes=processes,
+            group=doc.get("group"),
+            swim=SwimConfig(**swim) if isinstance(swim, dict) else swim,
+        )

@@ -1,0 +1,52 @@
+"""The dataset component (paper section 3.2's component "M")."""
+
+from ..bedrock.module import BedrockModule, register_library
+from .client import DatasetClient, DatasetHandle
+from .provider import DatasetError, DatasetProvider
+
+__all__ = ["DatasetProvider", "DatasetClient", "DatasetHandle", "DatasetError"]
+
+
+def _dataset_factory(margo, name, provider_id, pool, config, dependencies):
+    """Bedrock factory: local Provider dependencies become handles to the
+    same process (composition within one process is still RPC-addressed,
+    which Margo turns into direct calls -- paper section 3.2)."""
+    from ..core.component import Provider
+    from ..poesie.provider import PoesieClient
+    from ..warabi.client import WarabiClient
+    from ..yokan.client import YokanClient
+
+    clients = {
+        "yokan": YokanClient,
+        "warabi": WarabiClient,
+        "poesie": PoesieClient,
+    }
+    resolved = {}
+    for dep_name, dep in (dependencies or {}).items():
+        if isinstance(dep, Provider):
+            client_cls = clients.get(dep.component_type)
+            if client_cls is None:
+                raise DatasetError(
+                    f"cannot derive a handle for dependency {dep_name!r} "
+                    f"of type {dep.component_type!r}"
+                )
+            dep = client_cls(margo).make_handle(dep.margo.address, dep.provider_id)
+        resolved[dep_name] = dep
+    return DatasetProvider(
+        margo, name, provider_id, pool=pool, config=config, dependencies=resolved
+    )
+
+
+def _dataset_client(margo):
+    return DatasetClient(margo)
+
+
+register_library(
+    "libdataset.so",
+    BedrockModule(
+        type_name="dataset",
+        provider_factory=_dataset_factory,
+        client_factory=_dataset_client,
+        required_dependencies=("metadata", "data"),
+    ),
+)

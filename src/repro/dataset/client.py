@@ -1,0 +1,72 @@
+"""Client library of the dataset component."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..core.component import Client, ResourceHandle
+from ..mercury import BulkHandle
+
+__all__ = ["DatasetClient", "DatasetHandle"]
+
+BULK_THRESHOLD = 8192
+
+
+class DatasetHandle(ResourceHandle):
+    """Handle to a remote dataset provider."""
+
+    def create(self, name: str, attributes: Optional[dict] = None) -> Generator:
+        meta = yield from self._forward(
+            "create", {"name": name, "attributes": attributes or {}}
+        )
+        return meta
+
+    def write(self, name: str, payload: bytes, offset: int = 0) -> Generator:
+        if isinstance(payload, str):
+            payload = payload.encode("utf-8")
+        if len(payload) >= BULK_THRESHOLD:
+            args: dict[str, Any] = {
+                "name": name,
+                "offset": offset,
+                "bulk": BulkHandle(self.client.margo.address, len(payload), bytes(payload)),
+            }
+        else:
+            args = {"name": name, "offset": offset, "payload": bytes(payload)}
+        written = yield from self._forward("write", args)
+        return written
+
+    def read(self, name: str, offset: int = 0, size: Optional[int] = None) -> Generator:
+        result = yield from self._forward(
+            "read", {"name": name, "offset": offset, "size": size}
+        )
+        if isinstance(result, BulkHandle):
+            return result.data
+        return result
+
+    def describe(self, name: str) -> Generator:
+        meta = yield from self._forward("describe", {"name": name})
+        return meta
+
+    def list(self) -> Generator:
+        names = yield from self._forward("list")
+        return names
+
+    def drop(self, name: str) -> Generator:
+        yield from self._forward("drop", {"name": name})
+        return None
+
+    def compute(self, name: str, script: str) -> Generator:
+        """Execute a Poesie script server-side with ``meta`` bound to the
+        dataset's metadata."""
+        result = yield from self._forward("compute", {"name": name, "script": script})
+        return result
+
+
+class DatasetClient(Client):
+    """Client library of the dataset component."""
+
+    component_type = "dataset"
+    handle_cls = DatasetHandle
+
+    def make_handle(self, address: str, provider_id: int) -> DatasetHandle:
+        return DatasetHandle(self, address, provider_id)

@@ -1,0 +1,193 @@
+"""The paper's composition example: a "dataset" component.
+
+Section 3.2: "one can imagine a Mochi component M managing 'datasets'
+by storing their metadata in a key-value store (managed by the Yokan
+component) and their data in a blob storage target (managed by the
+Warabi component).  This component M could be further composed with
+Mochi's embedded language interpreter component (Poesie), to execute
+scripts on datasets."
+
+:class:`DatasetProvider` is that component M.  It owns no storage of its
+own: its resource is the *composition* -- handles to a Yokan database
+(metadata), a Warabi target (data), and optionally a Poesie interpreter
+(server-side queries over dataset metadata).  Bedrock wires those in as
+dependencies, which exercises the dependency-injection machinery end to
+end.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Generator, Optional
+
+from ..core.component import Provider
+from ..margo.runtime import MargoInstance, RequestContext
+from ..margo.ult import Compute
+from ..mercury import BulkHandle
+from ..poesie.provider import InterpreterHandle
+from ..warabi.client import TargetHandle
+from ..yokan.client import DatabaseHandle
+
+__all__ = ["DatasetProvider", "DatasetError"]
+
+OP_COST = 400e-9
+
+
+class DatasetError(RuntimeError):
+    """Dataset-level failure."""
+
+
+def _meta_key(name: str) -> bytes:
+    if not name or "/" in name:
+        raise DatasetError(f"bad dataset name {name!r}")
+    return f"dataset/{name}".encode()
+
+
+class DatasetProvider(Provider):
+    """Component M: named datasets = metadata (Yokan) + blob (Warabi).
+
+    Dependencies (resolved by Bedrock from the provider's
+    ``dependencies`` section, or passed directly):
+
+    * ``metadata`` -- a Yokan :class:`DatabaseHandle`;
+    * ``data`` -- a Warabi :class:`TargetHandle`;
+    * ``interpreter`` -- optional Poesie :class:`InterpreterHandle`.
+    """
+
+    component_type = "dataset"
+
+    def __init__(
+        self,
+        margo: MargoInstance,
+        name: str,
+        provider_id: int,
+        pool: Any = None,
+        config: Optional[dict[str, Any]] = None,
+        dependencies: Optional[dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(margo, name, provider_id, pool=pool, config=config)
+        dependencies = dependencies or {}
+        metadata = dependencies.get("metadata")
+        data = dependencies.get("data")
+        if not isinstance(metadata, DatabaseHandle):
+            raise DatasetError(
+                "dataset provider needs a 'metadata' dependency (Yokan handle)"
+            )
+        if not isinstance(data, TargetHandle):
+            raise DatasetError(
+                "dataset provider needs a 'data' dependency (Warabi handle)"
+            )
+        interpreter = dependencies.get("interpreter")
+        if interpreter is not None and not isinstance(interpreter, InterpreterHandle):
+            raise DatasetError("'interpreter' dependency must be a Poesie handle")
+        self.metadata = metadata
+        self.data = data
+        self.interpreter = interpreter
+
+        self.register_rpc("create", self._on_create)
+        self.register_rpc("write", self._on_write)
+        self.register_rpc("read", self._on_read)
+        self.register_rpc("describe", self._on_describe)
+        self.register_rpc("list", self._on_list)
+        self.register_rpc("drop", self._on_drop)
+        self.register_rpc("compute", self._on_compute)
+
+    # ------------------------------------------------------------------
+    def _load_meta(self, name: str) -> Generator:
+        raw = yield from self.metadata.get(_meta_key(name))
+        return json.loads(raw.decode())
+
+    def _store_meta(self, name: str, meta: dict) -> Generator:
+        yield from self.metadata.put(_meta_key(name), json.dumps(meta).encode())
+        return None
+
+    # ------------------------------------------------------------------
+    # RPC handlers
+    # ------------------------------------------------------------------
+    def _on_create(self, ctx: RequestContext) -> Generator:
+        args = ctx.args
+        name = args["name"]
+        yield Compute(OP_COST)
+        exists = yield from self.metadata.exists(_meta_key(name))
+        if exists:
+            raise DatasetError(f"dataset {name!r} already exists")
+        blob_id = yield from self.data.create()
+        meta = {
+            "name": name,
+            "blob_id": blob_id,
+            "size": 0,
+            "attributes": dict(args.get("attributes") or {}),
+        }
+        yield from self._store_meta(name, meta)
+        return meta
+
+    def _on_write(self, ctx: RequestContext) -> Generator:
+        args = ctx.args
+        name = args["name"]
+        offset = int(args.get("offset", 0))
+        bulk = args.get("bulk")
+        if bulk is not None:
+            yield from self.margo.bulk_transfer(ctx.source, bulk.size, op="pull")
+            payload = bulk.data
+        else:
+            payload = args["payload"]
+        meta = yield from self._load_meta(name)
+        written = yield from self.data.write(meta["blob_id"], payload, offset=offset)
+        meta["size"] = max(meta["size"], offset + written)
+        yield from self._store_meta(name, meta)
+        return written
+
+    def _on_read(self, ctx: RequestContext) -> Generator:
+        args = ctx.args
+        meta = yield from self._load_meta(args["name"])
+        offset = int(args.get("offset", 0))
+        size = args.get("size")
+        payload = yield from self.data.read(meta["blob_id"], offset=offset, size=size)
+        if len(payload) >= 8192:
+            yield from self.margo.bulk_transfer(ctx.source, len(payload), op="push")
+            return BulkHandle(self.margo.address, len(payload), payload)
+        return payload
+
+    def _on_describe(self, ctx: RequestContext) -> Generator:
+        meta = yield from self._load_meta(ctx.args["name"])
+        return meta
+
+    def _on_list(self, ctx: RequestContext) -> Generator:
+        keys = yield from self.metadata.list_keys(prefix=b"dataset/")
+        return [k.decode().split("/", 1)[1] for k in keys]
+
+    def _on_drop(self, ctx: RequestContext) -> Generator:
+        name = ctx.args["name"]
+        meta = yield from self._load_meta(name)
+        yield from self.data.erase(meta["blob_id"])
+        yield from self.metadata.erase(_meta_key(name))
+        return None
+
+    def _on_compute(self, ctx: RequestContext) -> Generator:
+        """Run a Poesie script server-side over a dataset's metadata
+        (the paper's M+Poesie composition)."""
+        if self.interpreter is None:
+            raise DatasetError("this dataset provider has no interpreter dependency")
+        args = ctx.args
+        meta = yield from self._load_meta(args["name"])
+        result = yield from self.interpreter.execute(
+            args["script"], session=f"dataset:{args['name']}", env={"meta": meta}
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def get_config(self) -> dict[str, Any]:
+        doc = dict(self.config)
+        doc["composed_of"] = {
+            "metadata": {"address": self.metadata.address,
+                         "provider_id": self.metadata.provider_id},
+            "data": {"address": self.data.address,
+                     "provider_id": self.data.provider_id},
+            "interpreter": (
+                {"address": self.interpreter.address,
+                 "provider_id": self.interpreter.provider_id}
+                if self.interpreter is not None
+                else None
+            ),
+        }
+        return doc

@@ -1,0 +1,18 @@
+"""HEPnOS-like event store + NOvA-like workflow generator."""
+
+from .datamodel import EventKey, decode_event_key, encode_event_key, event_prefix
+from .service import HEPnOSClient, HEPnOSService
+from .workflow import StepReport, WorkflowStep, nova_like_workflow, run_step
+
+__all__ = [
+    "EventKey",
+    "encode_event_key",
+    "decode_event_key",
+    "event_prefix",
+    "HEPnOSService",
+    "HEPnOSClient",
+    "WorkflowStep",
+    "StepReport",
+    "nova_like_workflow",
+    "run_step",
+]

@@ -1,0 +1,69 @@
+"""HEPnOS data model: datasets / runs / subruns / events / products.
+
+HEPnOS [2] stores high-energy-physics event data in a hierarchical
+namespace.  Keys are encoded so that the lexicographic order of the
+encoded bytes equals the natural hierarchy order, which makes prefix
+scans over a run or subrun efficient on ordered Yokan backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EventKey", "encode_event_key", "decode_event_key", "event_prefix"]
+
+
+@dataclass(frozen=True, order=True)
+class EventKey:
+    """Fully qualified event address."""
+
+    dataset: str
+    run: int
+    subrun: int
+    event: int
+
+    def __post_init__(self) -> None:
+        if not self.dataset or "|" in self.dataset:
+            raise ValueError(f"bad dataset name {self.dataset!r}")
+        for field_name in ("run", "subrun", "event"):
+            value = getattr(self, field_name)
+            if not 0 <= value < 10**8:
+                raise ValueError(f"{field_name} out of range: {value}")
+
+
+def encode_event_key(key: EventKey, product: str = "") -> bytes:
+    """Order-preserving encoding: ``ds|run|subrun|event|product``."""
+    base = (
+        f"{key.dataset}|{key.run:08d}|{key.subrun:08d}|{key.event:08d}"
+    )
+    if product:
+        if "|" in product:
+            raise ValueError(f"bad product label {product!r}")
+        base += f"|{product}"
+    return base.encode("utf-8")
+
+
+def decode_event_key(raw: bytes) -> tuple[EventKey, str]:
+    """Inverse of :func:`encode_event_key`; returns (key, product)."""
+    parts = raw.decode("utf-8").split("|")
+    if len(parts) not in (4, 5):
+        raise ValueError(f"malformed event key {raw!r}")
+    key = EventKey(
+        dataset=parts[0], run=int(parts[1]), subrun=int(parts[2]), event=int(parts[3])
+    )
+    product = parts[4] if len(parts) == 5 else ""
+    return key, product
+
+
+def event_prefix(dataset: str, run: int | None = None, subrun: int | None = None) -> bytes:
+    """Prefix for scanning a dataset, run, or subrun."""
+    if "|" in dataset:
+        raise ValueError(f"bad dataset name {dataset!r}")
+    prefix = dataset + "|"
+    if run is not None:
+        prefix += f"{run:08d}|"
+        if subrun is not None:
+            prefix += f"{subrun:08d}|"
+    elif subrun is not None:
+        raise ValueError("subrun prefix requires a run")
+    return prefix.encode("utf-8")

@@ -1,0 +1,285 @@
+"""A HEPnOS-like event store composed from Mochi components.
+
+The service is a :class:`~repro.core.service.DynamicService` whose
+processes each host one REMI provider plus a configurable number of
+ordered Yokan databases.  Events are hash-sharded across all databases;
+scans fan out to every shard and merge.
+
+The sharding count is the service's main tuning knob -- more shards
+parallelize ingestion, fewer shards make scan-heavy analysis cheaper --
+which is exactly the kind of per-workflow-step tradeoff that motivates
+dynamic reconfiguration in the paper's introduction (the HEPnOS
+autotuning result [3]).  :meth:`HEPnOSService.reshard` changes it
+online.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Generator, Optional
+
+from ..cluster import Cluster
+from ..core.parallel import parallel
+from ..core.service import DynamicService
+from ..core.spec import ProcessSpec, ServiceSpec
+from ..margo.runtime import MargoInstance
+from ..storage.pfs import ParallelFileSystem
+from ..yokan.backend import decode_records
+from ..yokan.client import DatabaseHandle, YokanClient
+from .datamodel import EventKey, encode_event_key, event_prefix
+
+__all__ = ["HEPnOSService", "HEPnOSClient"]
+
+
+def _shard_of(raw_key: bytes, n: int) -> int:
+    return zlib.crc32(raw_key) % n
+
+
+class HEPnOSService:
+    """Deployment + management of the event store."""
+
+    def __init__(self, service: DynamicService, shards: list[tuple[str, int]]) -> None:
+        self.service = service
+        #: (address, provider_id) of every database shard, in order.
+        self.shards = shards
+        self._reshard_epoch = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def deploy(
+        cls,
+        cluster: Cluster,
+        nodes: list[str],
+        databases_per_process: int = 1,
+        name: str = "hepnos",
+        pfs: Optional[ParallelFileSystem] = None,
+    ) -> "HEPnOSService":
+        processes = []
+        for i, node in enumerate(nodes):
+            # Each database gets its own pool + execution stream, so the
+            # sharding degree really buys server-side parallelism (the
+            # Fig. 2 provider-to-core mapping).
+            pools = [{"name": "__primary__"}]
+            xstreams = [
+                {"name": "__primary__", "scheduler": {"pools": ["__primary__"]}}
+            ]
+            providers: list[dict[str, Any]] = [
+                {"name": f"remi{i}", "type": "remi", "provider_id": 0}
+            ]
+            for d in range(databases_per_process):
+                pools.append({"name": f"dbpool{d}"})
+                xstreams.append(
+                    {"name": f"dbes{d}", "scheduler": {"pools": [f"dbpool{d}"]}}
+                )
+                providers.append(
+                    {
+                        "name": f"db{i}-{d}",
+                        "type": "yokan",
+                        "provider_id": d + 1,
+                        "pool": f"dbpool{d}",
+                        "config": {"database": {"type": "ordered"}},
+                    }
+                )
+            processes.append(
+                ProcessSpec(
+                    name=f"{name}{i}",
+                    node=node,
+                    config={
+                        "margo": {"argobots": {"pools": pools, "xstreams": xstreams}},
+                        "libraries": {"yokan": "libyokan.so", "remi": "libremi.so"},
+                        "providers": providers,
+                    },
+                )
+            )
+        spec = ServiceSpec(name=name, processes=processes, group=f"{name}-group")
+        service = DynamicService.deploy(cluster, spec, pfs=pfs)
+        shards = []
+        for i in range(len(nodes)):
+            address = service.processes[f"{name}{i}"].address
+            for d in range(databases_per_process):
+                shards.append((address, d + 1))
+        return cls(service, shards)
+
+    def client(self, margo: MargoInstance) -> "HEPnOSClient":
+        return HEPnOSClient(margo, list(self.shards))
+
+    # ------------------------------------------------------------------
+    # online resharding (the dynamic-reconfiguration knob)
+    # ------------------------------------------------------------------
+    def reshard(self, databases_per_process: int) -> Generator:
+        """Change the number of databases per process, redistributing
+        all stored events.  Runs as a ULT on the control process."""
+        control = self.service.control
+        assert control is not None
+        yokan = YokanClient(control)
+        old_shards = [yokan.make_handle(a, p) for a, p in self.shards]
+
+        # 1. Drain all records from the old shards.
+        images = yield from parallel(
+            control, [handle.fetch_image() for handle in old_shards]
+        )
+        records: list[tuple[bytes, bytes]] = []
+        for image in images:
+            records.extend(decode_records(image))
+
+        # 2. Start the new generation of providers.
+        self._reshard_epoch += 1
+        epoch = self._reshard_epoch
+        new_shards: list[tuple[str, int]] = []
+        process_names = sorted(self.service.processes)
+        for proc_name in process_names:
+            handle = self.service.handle_for(proc_name)
+            for d in range(databases_per_process):
+                provider_id = 100 * epoch + d + 1
+                pool_name = f"dbpool-e{epoch}-{d}"
+                yield from handle.add_pool({"name": pool_name})
+                yield from handle.add_xstream(
+                    {"name": f"dbes-e{epoch}-{d}", "scheduler": {"pools": [pool_name]}}
+                )
+                yield from handle.start_provider(
+                    f"db-{proc_name}-e{epoch}-{d}",
+                    "yokan",
+                    provider_id=provider_id,
+                    pool=pool_name,
+                    config={"database": {"type": "ordered"}},
+                )
+                new_shards.append(
+                    (self.service.processes[proc_name].address, provider_id)
+                )
+
+        # 3. Redistribute.
+        new_handles = [yokan.make_handle(a, p) for a, p in new_shards]
+        buckets: list[list[tuple[bytes, bytes]]] = [[] for _ in new_shards]
+        for key, value in records:
+            buckets[_shard_of(key, len(new_shards))].append((key, value))
+        yield from parallel(
+            control,
+            [
+                handle.put_multi(bucket)
+                for handle, bucket in zip(new_handles, buckets)
+                if bucket
+            ],
+        )
+
+        # 4. Retire the old generation: providers, then their dedicated
+        # xstreams and pools (keeping the runtime footprint bounded).
+        old_shard_set = set(self.shards)
+        for proc_name in process_names:
+            process = self.service.processes[proc_name]
+            handle = self.service.handle_for(proc_name)
+            retired_pools: list[str] = []
+            for record_name in list(process.bedrock.records):
+                record = process.bedrock.records[record_name]
+                if record.type_name == "yokan" and (
+                    process.address,
+                    record.provider_id,
+                ) in old_shard_set:
+                    if record.pool != "__primary__":
+                        retired_pools.append(record.pool)
+                    yield from handle.stop_provider(record_name)
+            config = yield from handle.get_config()
+            for pool_name in retired_pools:
+                for xstream in config["margo"]["argobots"]["xstreams"]:
+                    if xstream["scheduler"]["pools"] == [pool_name]:
+                        yield from handle.remove_xstream(xstream["name"])
+                yield from handle.remove_pool(pool_name)
+        self.shards = new_shards
+        return len(new_shards)
+
+
+class HEPnOSClient:
+    """Application-facing API: store/load/scan events."""
+
+    def __init__(self, margo: MargoInstance, shards: list[tuple[str, int]]) -> None:
+        if not shards:
+            raise ValueError("HEPnOS client needs at least one shard")
+        self.margo = margo
+        self._yokan = YokanClient(margo)
+        self.shards: list[DatabaseHandle] = [
+            self._yokan.make_handle(a, p) for a, p in shards
+        ]
+
+    def refresh(self, shards: list[tuple[str, int]]) -> None:
+        """Adopt a new shard layout (after a reshard)."""
+        self.shards = [self._yokan.make_handle(a, p) for a, p in shards]
+
+    def _shard_for(self, raw_key: bytes) -> DatabaseHandle:
+        return self.shards[_shard_of(raw_key, len(self.shards))]
+
+    # ------------------------------------------------------------------
+    def store_event(self, key: EventKey, product: str, data: bytes) -> Generator:
+        raw = encode_event_key(key, product)
+        yield from self._shard_for(raw).put(raw, data)
+        return None
+
+    def load_event(self, key: EventKey, product: str) -> Generator:
+        raw = encode_event_key(key, product)
+        value = yield from self._shard_for(raw).get(raw)
+        return value
+
+    def event_exists(self, key: EventKey, product: str = "") -> Generator:
+        raw = encode_event_key(key, product)
+        result = yield from self._shard_for(raw).exists(raw)
+        return result
+
+    def list_events(
+        self, dataset: str, run: Optional[int] = None, subrun: Optional[int] = None
+    ) -> Generator:
+        """Bulk scan: fan out to every shard in parallel, merge-sort."""
+        prefix = event_prefix(dataset, run, subrun)
+        per_shard = yield from parallel(
+            self.margo, [shard.list_keys(prefix=prefix) for shard in self.shards]
+        )
+        merged: list[bytes] = sorted(k for keys in per_shard for k in keys)
+        return merged
+
+    def iterate_events(
+        self,
+        dataset: str,
+        run: Optional[int] = None,
+        subrun: Optional[int] = None,
+        page_size: int = 32,
+    ) -> Generator:
+        """Ordered iteration, HEPnOS-iterator style: page through every
+        shard with bounded requests.  Each shard costs at least one
+        round trip per page -- which is why scan-heavy steps prefer few
+        shards (the per-step tradeoff of the paper's introduction)."""
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        prefix = event_prefix(dataset, run, subrun)
+        merged: list[bytes] = []
+        for shard in self.shards:
+            cursor: Optional[bytes] = None
+            while True:
+                page = yield from shard.list_keys(
+                    prefix=prefix, start_after=cursor, max_keys=page_size
+                )
+                merged.extend(page)
+                if len(page) < page_size:
+                    break
+                cursor = page[-1]
+        merged.sort()
+        return merged
+
+    def drop_product(self, dataset: str, product: str) -> Generator:
+        """Retention policy: delete every ``product`` in ``dataset`` from
+        all shards (e.g. drop 'raw' after the filtering pass)."""
+        prefix = event_prefix(dataset)
+        suffix = f"|{product}".encode("utf-8")
+        counts = yield from parallel(
+            self.margo,
+            [shard.erase_matching(prefix=prefix, suffix=suffix) for shard in self.shards],
+        )
+        return sum(counts)
+
+    def store_batch(self, items: list[tuple[EventKey, str, bytes]]) -> Generator:
+        """Bulk ingestion: group by shard, one put_multi per shard."""
+        buckets: dict[int, list[tuple[bytes, bytes]]] = {}
+        for key, product, data in items:
+            raw = encode_event_key(key, product)
+            buckets.setdefault(_shard_of(raw, len(self.shards)), []).append((raw, data))
+        yield from parallel(
+            self.margo,
+            [self.shards[i].put_multi(bucket) for i, bucket in sorted(buckets.items())],
+        )
+        return None

@@ -1,0 +1,61 @@
+"""Margo-level error types."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MargoError",
+    "ConfigError",
+    "PoolInUseError",
+    "NoSuchPoolError",
+    "NoSuchXStreamError",
+    "DuplicateNameError",
+    "RpcError",
+    "RpcTimeoutError",
+    "RpcFailedError",
+    "NoSuchRpcError",
+    "FinalizedError",
+]
+
+
+class MargoError(RuntimeError):
+    """Base class for Margo runtime errors."""
+
+
+class ConfigError(MargoError):
+    """Invalid runtime configuration (bad JSON document or invalid change)."""
+
+
+class DuplicateNameError(ConfigError):
+    """A pool or xstream with that name already exists."""
+
+
+class NoSuchPoolError(ConfigError):
+    """Referenced pool does not exist."""
+
+
+class NoSuchXStreamError(ConfigError):
+    """Referenced execution stream does not exist."""
+
+
+class PoolInUseError(ConfigError):
+    """The pool is used by an xstream, provider, or pending work."""
+
+
+class RpcError(MargoError):
+    """Base class for RPC failures."""
+
+
+class RpcTimeoutError(RpcError):
+    """The RPC did not complete within its timeout."""
+
+
+class RpcFailedError(RpcError):
+    """The remote handler raised; carries the remote error message."""
+
+
+class NoSuchRpcError(RpcError):
+    """The target process has no handler registered for (rpc, provider)."""
+
+
+class FinalizedError(MargoError):
+    """Operation attempted on a finalized (shut down) Margo instance."""

@@ -1,0 +1,105 @@
+"""Argobots-style pools of ready ULTs.
+
+A pool (paper Fig. 2) holds runnable ULTs; one or more execution streams
+pull from it.  Pools are named and created from JSON fragments such as
+``{"name": "MyPoolX", "type": "fifo_wait", "access": "mpmc"}``
+(paper Listing 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Optional
+
+from .errors import ConfigError
+from .ult import ULT, UltState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .xstream import XStream
+
+__all__ = ["Pool", "POOL_TYPES", "POOL_ACCESS_MODES"]
+
+POOL_TYPES = ("fifo", "fifo_wait", "prio_wait")
+POOL_ACCESS_MODES = ("mpmc", "mpsc", "spmc", "spsc", "private")
+
+
+class Pool:
+    """A FIFO queue of ready ULTs with push/pop statistics.
+
+    The ``size`` property (number of queued ULTs) is what the paper's
+    monitoring samples periodically ("the sizes of user-level thread
+    pools", section 4).
+    """
+
+    def __init__(self, name: str, kind: str = "fifo_wait", access: str = "mpmc") -> None:
+        if not name:
+            raise ConfigError("pool name must be non-empty")
+        if kind not in POOL_TYPES:
+            raise ConfigError(f"unknown pool type {kind!r} (expected one of {POOL_TYPES})")
+        if access not in POOL_ACCESS_MODES:
+            raise ConfigError(
+                f"unknown pool access mode {access!r} (expected one of {POOL_ACCESS_MODES})"
+            )
+        self.name = name
+        self.kind = kind
+        self.access = access
+        self._queue: deque[ULT] = deque()
+        self._watchers: list["XStream"] = []
+        # Cumulative counters for monitoring/benchmarks.
+        self.total_pushed = 0
+        self.total_popped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of ULTs currently waiting in the pool."""
+        return len(self._queue)
+
+    def push(self, ult: ULT) -> None:
+        ult.pool = self
+        ult.state = UltState.READY
+        self._queue.append(ult)
+        self.total_pushed += 1
+        for xstream in self._watchers:
+            xstream.notify()
+
+    def pop(self) -> Optional[ULT]:
+        if not self._queue:
+            return None
+        self.total_popped += 1
+        return self._queue.popleft()
+
+    # ------------------------------------------------------------------
+    def attach_xstream(self, xstream: "XStream") -> None:
+        if xstream not in self._watchers:
+            self._watchers.append(xstream)
+
+    def detach_xstream(self, xstream: "XStream") -> None:
+        if xstream in self._watchers:
+            self._watchers.remove(xstream)
+
+    @property
+    def xstreams(self) -> tuple["XStream", ...]:
+        """Execution streams currently serving this pool."""
+        return tuple(self._watchers)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "Pool":
+        """Build a pool from a Listing-2-style JSON fragment."""
+        if not isinstance(doc, dict):
+            raise ConfigError(f"pool config must be an object, got {type(doc).__name__}")
+        unknown = set(doc) - {"name", "type", "access"}
+        if unknown:
+            raise ConfigError(f"unknown pool config keys: {sorted(unknown)}")
+        try:
+            name = doc["name"]
+        except KeyError as err:
+            raise ConfigError("pool config requires a 'name'") from err
+        return cls(name=name, kind=doc.get("type", "fifo_wait"), access=doc.get("access", "mpmc"))
+
+    def to_json(self) -> dict[str, Any]:
+        return {"name": self.name, "type": self.kind, "access": self.access}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Pool {self.name} size={self.size}>"

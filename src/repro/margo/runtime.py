@@ -1,0 +1,615 @@
+"""The Margo runtime: shared threading + networking for all components.
+
+One :class:`MargoInstance` lives in each simulated process.  It owns the
+Argobots-style pools and execution streams (built from a Listing-2 JSON
+configuration), runs the network progress loop as a ULT in the
+``progress_pool`` (paper Fig. 2), dispatches incoming RPCs to handler
+ULTs in per-registration pools, and exposes:
+
+* a client path (:meth:`forward`) that serializes, sends, and blocks the
+  calling ULT until the response arrives (or a timeout fires);
+* a bulk path (:meth:`bulk_transfer`) modelling one-sided RDMA;
+* **online reconfiguration** (paper section 5): ``add_pool``,
+  ``remove_pool``, ``add_xstream``, ``remove_xstream``, with the validity
+  checks the paper describes ("not allowing adding multiple pools with
+  the same name or removing a pool that is in use by an ES");
+* monitoring hooks fired at every step of the RPC lifecycle (section 4).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..mercury import (
+    BULK_OP_PULL,
+    BULK_OP_PUSH,
+    BULK_SETUP_COST,
+    NULL_PROVIDER,
+    NULL_RPC,
+    RPCRequest,
+    RPCResponse,
+    STATUS_ERROR,
+    STATUS_NO_RPC,
+    STATUS_OK,
+    deserialize_cost,
+    estimate_size,
+    rpc_id_of,
+    serialize_cost,
+)
+from ..sim.kernel import TIMED_OUT, SimKernel
+from ..sim.network import Network, Process
+from .config import MargoConfig, PoolSpec, XStreamSpec
+from .errors import (
+    ConfigError,
+    DuplicateNameError,
+    FinalizedError,
+    MargoError,
+    NoSuchPoolError,
+    NoSuchRpcError,
+    NoSuchXStreamError,
+    PoolInUseError,
+    RpcError,
+    RpcFailedError,
+    RpcTimeoutError,
+)
+from .pool import Pool
+from .ult import ULT, Compute, Park, UltEvent, UltSleep, current_ult
+from .xstream import XStream
+
+__all__ = ["MargoInstance", "RequestContext", "Registration"]
+
+_UNSET = object()
+
+
+@dataclass
+class RequestContext:
+    """What a handler sees: the request plus accessors for the runtime."""
+
+    margo: "MargoInstance"
+    request: RPCRequest
+
+    @property
+    def args(self) -> Any:
+        return self.request.args
+
+    @property
+    def source(self) -> str:
+        return self.request.src_address
+
+    @property
+    def provider_id(self) -> int:
+        return self.request.provider_id
+
+    @property
+    def rpc_name(self) -> str:
+        return self.request.rpc_name
+
+
+@dataclass
+class Registration:
+    """One registered (rpc name, provider id) handler."""
+
+    name: str
+    rpc_id: int
+    provider_id: int
+    handler: Callable[[RequestContext], Any]
+    pool: Pool
+
+
+class MargoInstance:
+    """The per-process runtime shared by all Mochi components."""
+
+    def __init__(
+        self,
+        process: Process,
+        network: Network,
+        config: str | dict[str, Any] | MargoConfig | None = None,
+        monitors: Iterable[Any] = (),
+        default_rpc_timeout: Optional[float] = None,
+    ) -> None:
+        self.process = process
+        self.network = network
+        self.kernel: SimKernel = network.kernel
+        if isinstance(config, MargoConfig):
+            self.config = config
+        else:
+            self.config = MargoConfig.from_json(config)
+        self.monitors: list[Any] = list(monitors)
+        self.default_rpc_timeout = default_rpc_timeout
+        self._finalized = False
+
+        self.pools: dict[str, Pool] = {}
+        self.xstreams: dict[str, XStream] = {}
+        self._pool_claims: dict[str, set[str]] = {}
+
+        self._registry: dict[tuple[int, int], Registration] = {}
+        self._seq = 0
+        self._pending: dict[int, tuple[UltEvent, RPCRequest, float]] = {}
+        self._incoming: deque[Any] = deque()
+        self._progress_event: Optional[UltEvent] = None
+
+        # Live counters (sampled by the monitoring sampler, section 4:
+        # "periodically tracks the number of in-flight RPCs and the sizes
+        # of user-level thread pools").
+        self.inflight_outgoing = 0
+        self.inflight_incoming = 0
+        self.rpcs_sent = 0
+        self.rpcs_handled = 0
+
+        self._build()
+        process.on_message = self._on_message
+        process.on_killed.append(self.shutdown)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for spec in self.config.pools:
+            self.pools[spec.name] = Pool(spec.name, spec.kind, spec.access)
+        for spec in self.config.xstreams:
+            xstream = XStream(
+                self.kernel,
+                spec.name,
+                [self.pools[p] for p in spec.pools],
+                scheduler=spec.scheduler,
+            )
+            self.xstreams[spec.name] = xstream
+            xstream.start()
+        self._progress_event = UltEvent(self.kernel, name=f"progress:{self.process.name}")
+        self.spawn_ult(
+            self._progress_loop(),
+            pool=self.config.progress_pool,
+            name=f"progress:{self.process.name}",
+        )
+        self.claim_pool(self.config.progress_pool, "__margo_progress__")
+
+    @property
+    def address(self) -> str:
+        return self.process.address
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    # ------------------------------------------------------------------
+    # monitoring
+    # ------------------------------------------------------------------
+    def add_monitor(self, monitor: Any) -> None:
+        """Attach a monitoring object (see :mod:`repro.monitoring`)."""
+        self.monitors.append(monitor)
+
+    def remove_monitor(self, monitor: Any) -> None:
+        self.monitors.remove(monitor)
+
+    def _emit(self, hook: str, **kwargs: Any) -> int:
+        """Fire ``hook`` on every monitor; return the number fired (the
+        RPC path charges ``monitoring_cost_per_event`` per firing)."""
+        fired = 0
+        for monitor in self.monitors:
+            fn = getattr(monitor, hook, None)
+            if fn is not None:
+                fn(time=self.kernel.now, margo=self, **kwargs)
+                fired += 1
+        return fired
+
+    def _mon_cost(self, fired: int) -> float:
+        return fired * self.config.monitoring_cost_per_event
+
+    # ------------------------------------------------------------------
+    # ULT utilities
+    # ------------------------------------------------------------------
+    def spawn_ult(self, gen: Generator, pool: str | Pool | None = None, name: str = "") -> ULT:
+        """Create a ULT in ``pool`` (default: the rpc pool) and make it ready."""
+        if self._finalized:
+            raise FinalizedError(f"margo instance on {self.process.name} is finalized")
+        target = self._resolve_pool(pool) if pool is not None else self.pools[self.config.rpc_pool]
+        ult = ULT(gen, name=name)
+        ult.done_event = UltEvent(self.kernel, name=f"done:{ult.name}")
+        target.push(ult)
+        return ult
+
+    def make_event(self, name: str = "") -> UltEvent:
+        return UltEvent(self.kernel, name=name)
+
+    def _resolve_pool(self, pool: str | Pool) -> Pool:
+        if isinstance(pool, Pool):
+            return pool
+        try:
+            return self.pools[pool]
+        except KeyError as err:
+            raise NoSuchPoolError(f"no pool named {pool!r} on {self.process.name}") from err
+
+    # ------------------------------------------------------------------
+    # RPC registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        handler: Callable[[RequestContext], Any],
+        provider_id: int = NULL_PROVIDER,
+        pool: str | Pool | None = None,
+    ) -> int:
+        """Register ``handler`` for RPC ``name`` at ``provider_id``.
+
+        Returns the RPC id.  Handlers receive a :class:`RequestContext`
+        and may be plain functions or generators (which may issue nested
+        RPCs via ``yield from``).
+        """
+        if self._finalized:
+            raise FinalizedError("cannot register on a finalized instance")
+        rpc_id = rpc_id_of(name)
+        key = (rpc_id, provider_id)
+        if key in self._registry:
+            raise DuplicateNameError(
+                f"RPC {name!r} already registered for provider {provider_id}"
+            )
+        target = self._resolve_pool(pool) if pool is not None else self.pools[self.config.rpc_pool]
+        self._registry[key] = Registration(name, rpc_id, provider_id, handler, target)
+        return rpc_id
+
+    def deregister(self, name: str, provider_id: int = NULL_PROVIDER) -> None:
+        key = (rpc_id_of(name), provider_id)
+        if key not in self._registry:
+            raise NoSuchRpcError(f"RPC {name!r} not registered for provider {provider_id}")
+        del self._registry[key]
+
+    def registered_rpcs(self) -> list[tuple[str, int]]:
+        """(name, provider_id) pairs currently registered."""
+        return sorted((r.name, r.provider_id) for r in self._registry.values())
+
+    # ------------------------------------------------------------------
+    # client path
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        address: str,
+        rpc_name: str,
+        args: Any = None,
+        provider_id: int = NULL_PROVIDER,
+        timeout: Any = _UNSET,
+    ) -> Generator:
+        """Send an RPC and block the calling ULT until the response.
+
+        ``yield from margo.forward(...)`` returns the handler's return
+        value, or raises :class:`RpcTimeoutError` /
+        :class:`RpcFailedError` / :class:`NoSuchRpcError`.
+        """
+        if self._finalized:
+            raise FinalizedError("forward on finalized margo instance")
+        if timeout is _UNSET:
+            timeout = self.default_rpc_timeout
+        caller = current_ult()
+        parent = caller.rpc_context if caller is not None else None
+        payload_size = estimate_size(args)
+        self._seq += 1
+        seq = self._seq
+        request = RPCRequest(
+            seq=seq,
+            rpc_id=rpc_id_of(rpc_name),
+            rpc_name=rpc_name,
+            provider_id=provider_id,
+            args=args,
+            payload_size=payload_size,
+            src_address=self.process.address,
+            dst_address=address,
+            parent_rpc_id=parent.rpc_id if parent is not None else NULL_RPC,
+            parent_provider_id=parent.provider_id if parent is not None else NULL_PROVIDER,
+        )
+        started = self.kernel.now
+        fired = self._emit("on_forward_start", request=request)
+        yield Compute(serialize_cost(payload_size) + self._mon_cost(fired))
+
+        event = UltEvent(self.kernel, name=f"rpc:{rpc_name}:{seq}")
+        self._pending[seq] = (event, request, self.kernel.now)
+        self.inflight_outgoing += 1
+        self.rpcs_sent += 1
+        known = self.network.send(self.process, address, request, request.wire_size)
+        fired = self._emit("on_forward_sent", request=request)
+        if fired:
+            yield Compute(self._mon_cost(fired))
+        if not known and timeout is None:
+            # The destination does not exist and no timeout would ever
+            # fire: fail fast instead of hanging the simulation.
+            self._pending.pop(seq, None)
+            self.inflight_outgoing -= 1
+            raise RpcError(f"unknown destination address {address!r}")
+
+        value = yield Park(event, timeout)
+        self.inflight_outgoing -= 1
+        if value is TIMED_OUT:
+            self._pending.pop(seq, None)
+            raise RpcTimeoutError(
+                f"RPC {rpc_name!r} to {address} (provider {provider_id}) "
+                f"timed out after {timeout}s"
+            )
+        response: RPCResponse = value
+        fired = self._emit(
+            "on_response_received",
+            request=request,
+            response=response,
+            elapsed=self.kernel.now - started,
+        )
+        yield Compute(deserialize_cost(response.payload_size) + self._mon_cost(fired))
+        if response.status == STATUS_OK:
+            return response.value
+        if response.status == STATUS_NO_RPC:
+            raise NoSuchRpcError(
+                f"no handler for RPC {rpc_name!r} provider {provider_id} at {address}"
+            )
+        raise RpcFailedError(response.error_message or "remote handler failed")
+
+    # ------------------------------------------------------------------
+    # bulk (RDMA) path
+    # ------------------------------------------------------------------
+    def bulk_transfer(
+        self, remote_address: str, size: int, op: str = BULK_OP_PULL
+    ) -> Generator:
+        """One-sided bulk transfer of ``size`` bytes to/from ``remote_address``.
+
+        Models RDMA: the remote CPU (and its progress loop) is not
+        involved; the calling ULT blocks for the wire time only.
+        """
+        if op not in (BULK_OP_PULL, BULK_OP_PUSH):
+            raise ValueError(f"unknown bulk op {op!r}")
+        if size < 0:
+            raise ValueError(f"negative bulk size {size}")
+        try:
+            remote = self.network.lookup(remote_address)
+        except Exception as err:
+            raise RpcError(f"bulk transfer to unknown address {remote_address!r}") from err
+        if not remote.alive:
+            raise RpcError(f"bulk transfer peer {remote_address} is dead")
+        if self.network.is_partitioned(self.process.node, remote.node):
+            raise RpcTimeoutError(f"bulk transfer to {remote_address} unreachable (partition)")
+        duration = self.network.transfer_time(self.process, remote, size, bulk=True)
+        started = self.kernel.now
+        yield Compute(BULK_SETUP_COST)
+        yield UltSleep(duration)
+        self.network.bytes_sent += size
+        fired = self._emit(
+            "on_bulk_transfer",
+            remote=remote_address,
+            size=size,
+            op=op,
+            duration=self.kernel.now - started,
+        )
+        if fired:
+            yield Compute(self._mon_cost(fired))
+        return duration
+
+    # ------------------------------------------------------------------
+    # progress loop and dispatch (paper Fig. 2)
+    # ------------------------------------------------------------------
+    def _on_message(self, payload: Any) -> None:
+        if self._finalized:
+            return
+        self._incoming.append(payload)
+        assert self._progress_event is not None
+        self._progress_event.set()
+
+    def _progress_loop(self) -> Generator:
+        event = self._progress_event
+        assert event is not None
+        while not self._finalized:
+            if self._incoming:
+                message = self._incoming.popleft()
+                yield Compute(self.config.dispatch_cost)
+                self._dispatch(message)
+            else:
+                event.clear()
+                yield Park(event, None)
+
+    def _dispatch(self, message: Any) -> None:
+        if isinstance(message, RPCRequest):
+            self._dispatch_request(message)
+        elif isinstance(message, RPCResponse):
+            self._dispatch_response(message)
+        else:
+            raise MargoError(f"unexpected message on the wire: {message!r}")
+
+    def _dispatch_request(self, request: RPCRequest) -> None:
+        fired = self._emit("on_request_received", request=request)
+        registration = self._registry.get((request.rpc_id, request.provider_id))
+        if registration is None:
+            response = RPCResponse(
+                seq=request.seq,
+                status=STATUS_NO_RPC,
+                value=None,
+                payload_size=0,
+                src_address=self.process.address,
+                error_message=f"no handler for {request.rpc_name!r}/{request.provider_id}",
+            )
+            self.network.send(self.process, request.src_address, response, response.wire_size)
+            return
+        enqueued_at = self.kernel.now
+        ult = ULT(
+            self._handler_body(registration, request, enqueued_at),
+            name=f"rpc:{request.rpc_name}:{request.seq}",
+        )
+        ult.rpc_context = request
+        registration.pool.push(ult)
+        self._emit("on_ult_enqueued", request=request, pool=registration.pool)
+
+    def _handler_body(
+        self, registration: Registration, request: RPCRequest, enqueued_at: float
+    ) -> Generator:
+        self.inflight_incoming += 1
+        queued_for = self.kernel.now - enqueued_at
+        ult_started = self.kernel.now
+        fired = self._emit("on_ult_start", request=request, queued_for=queued_for)
+        yield Compute(deserialize_cost(request.payload_size) + self._mon_cost(fired))
+        context = RequestContext(margo=self, request=request)
+        status = STATUS_OK
+        value: Any = None
+        error_message: Optional[str] = None
+        try:
+            result = registration.handler(context)
+            if isinstance(result, Generator):
+                result = yield from result
+            value = result
+        except Exception as err:  # noqa: BLE001 - handler error -> error response
+            # Any handler failure -- including a *nested* RPC that failed
+            # or timed out -- becomes an error response; the caller must
+            # never be left waiting.
+            status = STATUS_ERROR
+            error_message = f"{type(err).__name__}: {err}"
+        payload_size = estimate_size(value) if status == STATUS_OK else 0
+        yield Compute(serialize_cost(payload_size))
+        # The ULT duration covers the whole handler ULT: input
+        # deserialization, the handler body, and output serialization
+        # (the phases Listing 1's "ult"/"duration" aggregates).
+        duration = self.kernel.now - ult_started
+        fired = self._emit(
+            "on_ult_complete", request=request, duration=duration, queued_for=queued_for
+        )
+        if fired:
+            yield Compute(self._mon_cost(fired))
+        response = RPCResponse(
+            seq=request.seq,
+            status=status,
+            value=value,
+            payload_size=payload_size,
+            src_address=self.process.address,
+            error_message=error_message,
+        )
+        self.inflight_incoming -= 1
+        self.rpcs_handled += 1
+        self.network.send(self.process, request.src_address, response, response.wire_size)
+        self._emit("on_respond", request=request, response=response)
+
+    def _dispatch_response(self, response: RPCResponse) -> None:
+        pending = self._pending.pop(response.seq, None)
+        if pending is None:
+            return  # late response after timeout: drop
+        event, _request, _sent_at = pending
+        event.set(response)
+
+    # ------------------------------------------------------------------
+    # online reconfiguration (paper section 5, Observation 2)
+    # ------------------------------------------------------------------
+    def find_pool(self, name: str) -> Pool:
+        """``margo_find_pool_by_name`` equivalent."""
+        return self._resolve_pool(name)
+
+    def add_pool(self, spec: str | dict[str, Any] | PoolSpec) -> Pool:
+        """``margo_add_pool_from_json`` equivalent."""
+        if isinstance(spec, str):
+            spec = json.loads(spec)
+        if isinstance(spec, dict):
+            spec = PoolSpec.from_json(spec)
+        if spec.name in self.pools:
+            raise DuplicateNameError(f"pool {spec.name!r} already exists")
+        pool = Pool(spec.name, spec.kind, spec.access)
+        self.pools[spec.name] = pool
+        self.config.pools.append(spec)
+        return pool
+
+    def remove_pool(self, name: str) -> None:
+        """Remove a pool; refuses if the pool is in use (paper: "Margo
+        ensures that the changes are always valid")."""
+        pool = self._resolve_pool(name)
+        if pool.xstreams:
+            raise PoolInUseError(
+                f"pool {name!r} is used by xstreams "
+                f"{[x.name for x in pool.xstreams]}"
+            )
+        claims = self._pool_claims.get(name)
+        if claims:
+            raise PoolInUseError(f"pool {name!r} is claimed by {sorted(claims)}")
+        if pool.size:
+            raise PoolInUseError(f"pool {name!r} still has {pool.size} queued ULTs")
+        users = [r.name for r in self._registry.values() if r.pool is pool]
+        if users:
+            raise PoolInUseError(f"pool {name!r} is the handler pool of RPCs {users}")
+        del self.pools[name]
+        self.config.pools = [p for p in self.config.pools if p.name != name]
+
+    def add_xstream(self, spec: str | dict[str, Any] | XStreamSpec) -> XStream:
+        if isinstance(spec, str):
+            spec = json.loads(spec)
+        if isinstance(spec, dict):
+            spec = XStreamSpec.from_json(spec)
+        if spec.name in self.xstreams:
+            raise DuplicateNameError(f"xstream {spec.name!r} already exists")
+        pools = [self._resolve_pool(p) for p in spec.pools]
+        xstream = XStream(self.kernel, spec.name, pools, scheduler=spec.scheduler)
+        self.xstreams[spec.name] = xstream
+        self.config.xstreams.append(spec)
+        xstream.start()
+        return xstream
+
+    def remove_xstream(self, name: str) -> None:
+        """Remove an xstream; refuses to orphan a pool that has users."""
+        xstream = self.xstreams.get(name)
+        if xstream is None:
+            raise NoSuchXStreamError(f"no xstream named {name!r}")
+        for pool in xstream.pools:
+            others = [x for x in pool.xstreams if x is not xstream]
+            if not others and self._pool_has_users(pool):
+                raise PoolInUseError(
+                    f"removing xstream {name!r} would orphan pool {pool.name!r} "
+                    "which still has users"
+                )
+        xstream.stop()
+        del self.xstreams[name]
+        self.config.xstreams = [x for x in self.config.xstreams if x.name != name]
+
+    def _pool_has_users(self, pool: Pool) -> bool:
+        if pool.size:
+            return True
+        if self._pool_claims.get(pool.name):
+            return True
+        return any(r.pool is pool for r in self._registry.values())
+
+    # Providers (and the progress loop) claim pools so that Margo can
+    # refuse to remove a pool out from under them.
+    def claim_pool(self, name: str, owner: str) -> Pool:
+        pool = self._resolve_pool(name)
+        self._pool_claims.setdefault(name, set()).add(owner)
+        return pool
+
+    def release_pool(self, name: str, owner: str) -> None:
+        claims = self._pool_claims.get(name)
+        if claims:
+            claims.discard(owner)
+
+    def get_config(self) -> dict[str, Any]:
+        """The live configuration as a JSON document (queryable at run
+        time, paper section 5)."""
+        doc = self.config.to_json()
+        # Reflect live xstream->pool mappings (they can drift from the
+        # original spec through add_pool/remove_pool on xstreams).
+        doc["argobots"]["xstreams"] = [
+            x.to_json() for x in self.xstreams.values()
+        ]
+        doc["argobots"]["pools"] = [p.to_json() for p in self.pools.values()]
+        return doc
+
+    def snapshot(self) -> dict[str, Any]:
+        """Live state sample used by the periodic monitoring sampler."""
+        return {
+            "time": self.kernel.now,
+            "inflight_outgoing": self.inflight_outgoing,
+            "inflight_incoming": self.inflight_incoming,
+            "pools": {name: pool.size for name, pool in self.pools.items()},
+        }
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Finalize: stop xstreams, drop pending work, emit final stats."""
+        if self._finalized:
+            return
+        self._finalized = True
+        self._emit("on_finalize")
+        for xstream in self.xstreams.values():
+            xstream.stop()
+        self._incoming.clear()
+        self._pending.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MargoInstance {self.process.address}>"

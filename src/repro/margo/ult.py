@@ -1,0 +1,269 @@
+"""User-level threads (ULTs) and their synchronization primitives.
+
+Mirrors the Argobots model described in the paper (section 3.2): ULTs are
+cooperative units of work that live in pools and are executed by
+execution streams.  A ULT is a Python generator that yields *ULT
+commands*:
+
+* :class:`Compute` -- occupy the executing stream for some simulated time
+  (models actual CPU work; other ULTs on that stream wait);
+* :class:`UltYield` -- cooperative yield back to the pool tail;
+* :class:`UltSleep` -- release the stream and become ready again later;
+* :class:`Park` -- block on a :class:`UltEvent` (with optional timeout).
+
+Handlers and clients compose via plain ``yield from``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from ..sim.kernel import SimKernel, TIMED_OUT
+
+__all__ = [
+    "Compute",
+    "UltYield",
+    "UltSleep",
+    "Park",
+    "ULT",
+    "UltEvent",
+    "UltMutex",
+    "UltState",
+    "TIMED_OUT",
+]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Occupy the executing stream for ``duration`` simulated seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative compute duration: {self.duration}")
+
+
+@dataclass(frozen=True)
+class UltYield:
+    """Cooperatively yield: requeue at the tail of the ULT's pool."""
+
+
+@dataclass(frozen=True)
+class UltSleep:
+    """Block for ``duration`` simulated seconds without occupying a stream."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative sleep duration: {self.duration}")
+
+
+@dataclass(frozen=True)
+class Park:
+    """Block until ``event`` is set (resumed with the payload), or until
+    ``timeout`` simulated seconds pass (resumed with :data:`TIMED_OUT`)."""
+
+    event: "UltEvent"
+    timeout: Optional[float] = None
+
+
+class UltState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+UltGen = Generator[Any, Any, Any]
+
+
+class ULT:
+    """A schedulable user-level thread.
+
+    Completion is observable via :attr:`done_event`; an unhandled
+    exception is recorded in :attr:`error` (the Margo RPC layer converts
+    handler errors into error responses before they reach this point).
+    """
+
+    _counter = 0
+
+    __slots__ = (
+        "gen",
+        "name",
+        "pool",
+        "state",
+        "done_event",
+        "on_finish",
+        "result",
+        "error",
+        "rpc_context",
+        "_resume_value",
+        "_resume_exc",
+        "_park_token",
+    )
+
+    def __init__(self, gen: UltGen, name: str = "", pool: Any = None) -> None:
+        if not isinstance(gen, Generator):
+            raise TypeError(f"ULT body must be a generator, got {type(gen).__name__}")
+        ULT._counter += 1
+        self.gen = gen
+        self.name = name or f"ult-{ULT._counter}"
+        self.pool = pool
+        self.state = UltState.READY
+        self.done_event: Optional[UltEvent] = None
+        self.on_finish: list[Callable[["ULT"], None]] = []
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        # Context of the RPC this ULT is currently servicing, if any; used
+        # by the monitoring layer to attribute nested RPCs to a parent.
+        self.rpc_context: Any = None
+        self._resume_value: Any = None
+        self._resume_exc: Optional[BaseException] = None
+        self._park_token = 0
+
+    def ready(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+        """Make the ULT runnable again with the given resumption value."""
+        if self.state == UltState.DONE:
+            return
+        self._resume_value = value
+        self._resume_exc = exc
+        self._park_token += 1  # invalidate any outstanding park wakeups
+        self.state = UltState.READY
+        if self.pool is None:
+            raise RuntimeError(f"ULT {self.name} has no pool to return to")
+        self.pool.push(self)
+
+    def finish(self, result: Any = None, error: Optional[BaseException] = None) -> None:
+        self.state = UltState.DONE
+        self.result = result
+        self.error = error
+        if self.done_event is not None:
+            self.done_event.set(error if error is not None else result)
+        for callback in self.on_finish:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ULT {self.name} {self.state.value}>"
+
+
+class UltEvent:
+    """An event ULTs can :class:`Park` on.
+
+    ``set(payload)`` readies every parked ULT.  Like Argobots eventuals,
+    an event stays set until :meth:`clear`; parking on a set event
+    resumes on the next scheduling turn.
+    """
+
+    __slots__ = ("kernel", "name", "_set", "_payload", "_parked")
+
+    def __init__(self, kernel: SimKernel, name: str = "") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._set = False
+        self._payload: Any = None
+        self._parked: list[tuple[ULT, int]] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def set(self, payload: Any = None) -> None:
+        if self._set:
+            return
+        self._set = True
+        self._payload = payload
+        parked, self._parked = self._parked, []
+        for ult, token in parked:
+            if ult._park_token == token and ult.state == UltState.BLOCKED:
+                ult.ready(payload)
+
+    def clear(self) -> None:
+        self._set = False
+        self._payload = None
+
+    def _park(self, ult: ULT, timeout: Optional[float]) -> None:
+        """Called by the executing stream to park ``ult`` here."""
+        if self._set:
+            # Resume on a fresh turn for fairness (matches kernel events).
+            payload = self._payload
+            self.kernel.schedule(0.0, lambda: ult.ready(payload))
+            return
+        ult.state = UltState.BLOCKED
+        token = ult._park_token
+        self._parked.append((ult, token))
+        if timeout is not None:
+
+            def on_timeout() -> None:
+                if ult._park_token == token and ult.state == UltState.BLOCKED:
+                    try:
+                        self._parked.remove((ult, token))
+                    except ValueError:
+                        pass
+                    ult.ready(TIMED_OUT)
+
+            self.kernel.schedule(timeout, on_timeout)
+
+    def wait(self, timeout: Optional[float] = None) -> UltGen:
+        """``yield from event.wait()`` from ULT code."""
+        value = yield Park(self, timeout)
+        return value
+
+
+class UltMutex:
+    """A FIFO mutex for ULTs (used by Bedrock's reconfiguration paths)."""
+
+    def __init__(self, kernel: SimKernel, name: str = "") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._locked = False
+        self._waiters: list[UltEvent] = []
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> UltGen:
+        """``yield from mutex.acquire()``."""
+        while self._locked:
+            gate = UltEvent(self.kernel, name=f"mutex:{self.name}")
+            self._waiters.append(gate)
+            yield Park(gate, None)
+        self._locked = True
+        return None
+
+    def release(self) -> None:
+        if not self._locked:
+            raise RuntimeError(f"mutex {self.name!r} released while unlocked")
+        self._locked = False
+        if self._waiters:
+            self._waiters.pop(0).set()
+
+
+def ult_sleep(duration: float) -> UltGen:
+    """Convenience: ``yield from ult_sleep(d)``."""
+    yield UltSleep(duration)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Current-ULT tracking.  The kernel is single-threaded and cooperative,
+# so a single module-level slot (set by the executing XStream around each
+# generator step) suffices.  It lets the RPC layer attribute nested RPCs
+# to the handler ULT that issued them (paper Listing 1: parent_rpc_id /
+# parent_provider_id).
+# ----------------------------------------------------------------------
+_CURRENT: Optional[ULT] = None
+
+
+def _set_current(ult: Optional[ULT]) -> None:
+    global _CURRENT
+    _CURRENT = ult
+
+
+def current_ult() -> Optional[ULT]:
+    """The ULT currently executing user code, or None outside ULT context."""
+    return _CURRENT

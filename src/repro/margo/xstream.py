@@ -1,0 +1,183 @@
+"""Execution streams (xstreams): the OS threads of the Argobots model.
+
+Each :class:`XStream` is a kernel task that repeatedly picks a ULT from
+its scheduler's pools (in priority order, like the "basic" Argobots
+scheduler) and runs it until the ULT yields.  ``Compute`` commands make
+the stream itself busy for simulated time, which is how CPU contention
+between providers sharing a stream (paper Fig. 2) arises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim.kernel import SimKernel, Sleep, WaitEvent
+from .errors import ConfigError
+from .pool import Pool
+from .ult import ULT, Compute, Park, UltSleep, UltState, UltYield, _set_current
+
+__all__ = ["XStream", "SCHEDULER_TYPES"]
+
+SCHEDULER_TYPES = ("basic", "basic_wait", "prio")
+
+# Fixed cost charged per scheduling decision, modeling the scheduler's
+# own overhead.  Small but non-zero so that idle loops always advance
+# simulated time.
+SCHED_OVERHEAD = 20e-9
+
+
+class XStream:
+    """An execution stream pulling ULTs from an ordered list of pools."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        name: str,
+        pools: list[Pool],
+        scheduler: str = "basic_wait",
+    ) -> None:
+        if not name:
+            raise ConfigError("xstream name must be non-empty")
+        if not pools:
+            raise ConfigError(f"xstream {name!r} needs at least one pool")
+        if scheduler not in SCHEDULER_TYPES:
+            raise ConfigError(
+                f"unknown scheduler type {scheduler!r} (expected one of {SCHEDULER_TYPES})"
+            )
+        self.kernel = kernel
+        self.name = name
+        self.scheduler = scheduler
+        self.pools: list[Pool] = list(pools)
+        self._wakeup = kernel.event(name=f"xstream:{name}")
+        self._stopping = False
+        self._task = None
+        self.current_ult: Optional[ULT] = None
+        # Counters for monitoring/benchmarks.
+        self.slices_run = 0
+        self.busy_time = 0.0
+        for pool in self.pools:
+            pool.attach_xstream(self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError(f"xstream {self.name} already started")
+        self._task = self.kernel.spawn(self._loop(), name=f"xstream:{self.name}", daemon=True)
+
+    def stop(self) -> None:
+        """Ask the stream to exit after the current slice."""
+        self._stopping = True
+        self.notify()
+        for pool in self.pools:
+            pool.detach_xstream(self)
+        self.pools = []
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopping
+
+    def notify(self) -> None:
+        """Wake the stream because work may be available (pool push)."""
+        self._wakeup.set()
+
+    # ------------------------------------------------------------------
+    # pool management (runtime reconfiguration)
+    # ------------------------------------------------------------------
+    def add_pool(self, pool: Pool) -> None:
+        if pool in self.pools:
+            return
+        self.pools.append(pool)
+        pool.attach_xstream(self)
+        self.notify()
+
+    def remove_pool(self, pool: Pool) -> None:
+        if pool not in self.pools:
+            raise ConfigError(f"xstream {self.name} does not serve pool {pool.name}")
+        if len(self.pools) == 1:
+            raise ConfigError(f"cannot remove the last pool of xstream {self.name}")
+        self.pools.remove(pool)
+        pool.detach_xstream(self)
+
+    # ------------------------------------------------------------------
+    # the scheduling loop
+    # ------------------------------------------------------------------
+    def _pick(self) -> Optional[ULT]:
+        for pool in self.pools:
+            ult = pool.pop()
+            if ult is not None:
+                return ult
+        return None
+
+    def _loop(self):
+        while not self._stopping:
+            ult = self._pick()
+            if ult is None:
+                self._wakeup.clear()
+                yield WaitEvent(self._wakeup)
+                continue
+            yield from self._run_slice(ult)
+
+    def _run_slice(self, ult: ULT):
+        """Run ``ult`` until it blocks, yields, or finishes."""
+        self.slices_run += 1
+        self.current_ult = ult
+        ult.state = UltState.RUNNING
+        value = ult._resume_value
+        exc = ult._resume_exc
+        ult._resume_value = None
+        ult._resume_exc = None
+        try:
+            while True:
+                try:
+                    _set_current(ult)
+                    if exc is not None:
+                        cmd = ult.gen.throw(exc)
+                        exc = None
+                    else:
+                        cmd = ult.gen.send(value)
+                    value = None
+                except StopIteration as stop:
+                    ult.finish(result=stop.value)
+                    return
+                except BaseException as err:  # noqa: BLE001 - ULT failure path
+                    ult.finish(error=err)
+                    return
+                finally:
+                    _set_current(None)
+                if isinstance(cmd, Compute):
+                    self.busy_time += cmd.duration
+                    yield Sleep(cmd.duration + SCHED_OVERHEAD)
+                    continue
+                if isinstance(cmd, UltYield):
+                    ult.pool.push(ult)
+                    return
+                if isinstance(cmd, Park):
+                    cmd.event._park(ult, cmd.timeout)
+                    return
+                if isinstance(cmd, UltSleep):
+                    ult.state = UltState.BLOCKED
+                    token = ult._park_token
+                    self.kernel.schedule(
+                        cmd.duration,
+                        lambda u=ult, t=token: u.ready() if u._park_token == t and u.state == UltState.BLOCKED else None,
+                    )
+                    return
+                # Unknown command: surface as a ULT error.
+                exc = TypeError(
+                    f"ULT {ult.name!r} yielded unsupported command {cmd!r}; "
+                    "ULTs may yield Compute, UltYield, UltSleep, or Park"
+                )
+        finally:
+            self.current_ult = None
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "scheduler": {"type": self.scheduler, "pools": [p.name for p in self.pools]},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<XStream {self.name} pools={[p.name for p in self.pools]}>"

@@ -1,0 +1,32 @@
+"""Mercury-like RPC substrate: ids, wire messages, sizes, bulk handles."""
+
+from .bulk import BULK_OP_PULL, BULK_OP_PUSH, BULK_SETUP_COST, BulkHandle
+from .hg import (
+    NULL_PROVIDER,
+    NULL_RPC,
+    RPCRequest,
+    RPCResponse,
+    STATUS_ERROR,
+    STATUS_NO_RPC,
+    STATUS_OK,
+    rpc_id_of,
+)
+from .serialization import deserialize_cost, estimate_size, serialize_cost
+
+__all__ = [
+    "rpc_id_of",
+    "NULL_PROVIDER",
+    "NULL_RPC",
+    "RPCRequest",
+    "RPCResponse",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_NO_RPC",
+    "BulkHandle",
+    "BULK_OP_PULL",
+    "BULK_OP_PUSH",
+    "BULK_SETUP_COST",
+    "estimate_size",
+    "serialize_cost",
+    "deserialize_cost",
+]

@@ -1,0 +1,81 @@
+"""Mercury core concepts: RPC identifiers and wire messages.
+
+Mercury identifies an RPC by a 32-bit hash of its registered name; the
+paper's Listing 1 shows such an id (2924675071 for "echo"-adjacent
+registration).  We use CRC-32 of the name, which is stable across
+processes -- a property the dispatch path relies on.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "rpc_id_of",
+    "NULL_PROVIDER",
+    "NULL_RPC",
+    "RPCRequest",
+    "RPCResponse",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_NO_RPC",
+]
+
+#: Provider id used when an RPC is not directed at a specific provider,
+#: and as the "no parent" marker in monitoring keys (paper Listing 1).
+NULL_PROVIDER = 65535
+
+#: RPC id used as the "no parent RPC" marker.
+NULL_RPC = 65535
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_NO_RPC = "no_rpc"
+
+
+def rpc_id_of(name: str) -> int:
+    """Stable 32-bit id for an RPC name (CRC-32, like Mercury's hash)."""
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
+
+
+@dataclass
+class RPCRequest:
+    """A request message on the wire."""
+
+    seq: int
+    rpc_id: int
+    rpc_name: str
+    provider_id: int
+    args: Any
+    payload_size: int
+    src_address: str
+    dst_address: str = ""
+    parent_rpc_id: int = NULL_RPC
+    parent_provider_id: int = NULL_PROVIDER
+
+    #: Fixed header size added to the payload on the wire.
+    HEADER_SIZE = 64
+
+    @property
+    def wire_size(self) -> int:
+        return self.HEADER_SIZE + self.payload_size
+
+
+@dataclass
+class RPCResponse:
+    """A response message on the wire."""
+
+    seq: int
+    status: str
+    value: Any
+    payload_size: int
+    src_address: str
+    error_message: Optional[str] = None
+
+    HEADER_SIZE = 48
+
+    @property
+    def wire_size(self) -> int:
+        return self.HEADER_SIZE + self.payload_size

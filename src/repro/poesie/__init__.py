@@ -1,0 +1,13 @@
+"""Poesie: Mochi's embedded script-interpreter component."""
+
+from .interpreter import MiniInterpreter, ScriptBudgetError, ScriptError
+from .provider import InterpreterHandle, PoesieClient, PoesieProvider
+
+__all__ = [
+    "PoesieProvider",
+    "PoesieClient",
+    "InterpreterHandle",
+    "MiniInterpreter",
+    "ScriptError",
+    "ScriptBudgetError",
+]

@@ -1,0 +1,260 @@
+"""A sandboxed mini-Python interpreter (the Poesie "resource").
+
+Poesie embeds script-language interpreters in Mochi services (paper
+section 3.2).  This implementation evaluates a restricted Python subset
+over an AST whitelist: literals, arithmetic/comparison/boolean
+expressions, assignments, ``if``/``for``/``while``, indexing, f-less
+strings, and a fixed builtin table.  No attribute access, no imports,
+no calls except whitelisted builtins -- scripts cannot escape.
+
+A step budget bounds execution, so a hostile ``while True`` terminates
+with :class:`ScriptBudgetError` instead of hanging the service.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from typing import Any, Optional
+
+__all__ = ["MiniInterpreter", "ScriptError", "ScriptBudgetError"]
+
+
+class ScriptError(RuntimeError):
+    """Script failed to parse or execute."""
+
+
+class ScriptBudgetError(ScriptError):
+    """Script exceeded its execution step budget."""
+
+
+_BINOPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+}
+
+_CMPOPS = {
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+}
+
+_UNARYOPS = {
+    ast.USub: operator.neg,
+    ast.UAdd: operator.pos,
+    ast.Not: operator.not_,
+}
+
+_BUILTINS: dict[str, Any] = {
+    "len": len,
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "range": range,
+    "sorted": sorted,
+    "str": str,
+    "int": int,
+    "float": float,
+    "bool": bool,
+    "list": list,
+    "dict": dict,
+    "round": round,
+    "zip": zip,
+    "enumerate": enumerate,
+}
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class MiniInterpreter:
+    """Evaluates scripts against a persistent variable environment."""
+
+    def __init__(self, max_steps: int = 100_000) -> None:
+        self.max_steps = max_steps
+        self.env: dict[str, Any] = {}
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    def execute(self, source: str, env: Optional[dict[str, Any]] = None) -> Any:
+        """Run ``source``; return the value of a ``return`` statement, the
+        last expression statement, or None."""
+        try:
+            tree = ast.parse(source, mode="exec")
+        except SyntaxError as err:
+            raise ScriptError(f"syntax error: {err}") from err
+        if env:
+            self.env.update(env)
+        self._steps = 0
+        last: Any = None
+        try:
+            for node in tree.body:
+                last = self._exec_stmt(node)
+        except _ReturnSignal as signal:
+            return signal.value
+        return last
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise ScriptBudgetError(
+                f"script exceeded {self.max_steps} execution steps"
+            )
+
+    def _exec_stmt(self, node: ast.stmt) -> Any:
+        self._tick()
+        if isinstance(node, ast.Expr):
+            return self._eval(node.value)
+        if isinstance(node, ast.Assign):
+            value = self._eval(node.value)
+            for target in node.targets:
+                self._assign(target, value)
+            return None
+        if isinstance(node, ast.AugAssign):
+            if not isinstance(node.target, ast.Name):
+                raise ScriptError("augmented assignment only to names")
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise ScriptError(f"unsupported operator {type(node.op).__name__}")
+            current = self._load_name(node.target.id)
+            self.env[node.target.id] = op(current, self._eval(node.value))
+            return None
+        if isinstance(node, ast.If):
+            branch = node.body if self._eval(node.test) else node.orelse
+            result = None
+            for stmt in branch:
+                result = self._exec_stmt(stmt)
+            return result
+        if isinstance(node, ast.For):
+            if not isinstance(node.target, ast.Name):
+                raise ScriptError("for-loop target must be a simple name")
+            result = None
+            for item in self._eval(node.iter):
+                self._tick()
+                self.env[node.target.id] = item
+                for stmt in node.body:
+                    result = self._exec_stmt(stmt)
+            return result
+        if isinstance(node, ast.While):
+            result = None
+            while self._eval(node.test):
+                self._tick()
+                for stmt in node.body:
+                    result = self._exec_stmt(stmt)
+            return result
+        if isinstance(node, ast.Return):
+            raise _ReturnSignal(self._eval(node.value) if node.value else None)
+        if isinstance(node, ast.Pass):
+            return None
+        raise ScriptError(f"unsupported statement: {type(node).__name__}")
+
+    def _assign(self, target: ast.expr, value: Any) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, ast.Subscript):
+            container = self._eval(target.value)
+            container[self._eval(target.slice)] = value
+        elif isinstance(target, ast.Tuple):
+            values = list(value)
+            if len(values) != len(target.elts):
+                raise ScriptError("tuple unpacking arity mismatch")
+            for sub, item in zip(target.elts, values):
+                self._assign(sub, item)
+        else:
+            raise ScriptError(f"unsupported assignment target: {type(target).__name__}")
+
+    def _load_name(self, name: str) -> Any:
+        if name in self.env:
+            return self.env[name]
+        if name in _BUILTINS:
+            return _BUILTINS[name]
+        raise ScriptError(f"undefined variable {name!r}")
+
+    def _eval(self, node: ast.expr) -> Any:
+        self._tick()
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self._load_name(node.id)
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise ScriptError(f"unsupported operator {type(node.op).__name__}")
+            return op(self._eval(node.left), self._eval(node.right))
+        if isinstance(node, ast.UnaryOp):
+            op = _UNARYOPS.get(type(node.op))
+            if op is None:
+                raise ScriptError(f"unsupported unary op {type(node.op).__name__}")
+            return op(self._eval(node.operand))
+        if isinstance(node, ast.BoolOp):
+            if isinstance(node.op, ast.And):
+                result = True
+                for value_node in node.values:
+                    result = self._eval(value_node)
+                    if not result:
+                        return result
+                return result
+            result = False
+            for value_node in node.values:
+                result = self._eval(value_node)
+                if result:
+                    return result
+            return result
+        if isinstance(node, ast.Compare):
+            left = self._eval(node.left)
+            for op_node, comparator in zip(node.ops, node.comparators):
+                op = _CMPOPS.get(type(op_node))
+                if op is None:
+                    raise ScriptError(f"unsupported comparison {type(op_node).__name__}")
+                right = self._eval(comparator)
+                if not op(left, right):
+                    return False
+                left = right
+            return True
+        if isinstance(node, ast.List):
+            return [self._eval(e) for e in node.elts]
+        if isinstance(node, ast.Tuple):
+            return tuple(self._eval(e) for e in node.elts)
+        if isinstance(node, ast.Dict):
+            return {
+                self._eval(k): self._eval(v)
+                for k, v in zip(node.keys, node.values)
+                if k is not None
+            }
+        if isinstance(node, ast.Subscript):
+            return self._eval(node.value)[self._eval(node.slice)]
+        if isinstance(node, ast.Slice):
+            return slice(
+                self._eval(node.lower) if node.lower else None,
+                self._eval(node.upper) if node.upper else None,
+                self._eval(node.step) if node.step else None,
+            )
+        if isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Name):
+                raise ScriptError("only direct builtin calls are allowed")
+            if node.func.id not in _BUILTINS:
+                raise ScriptError(f"call to non-builtin {node.func.id!r} not allowed")
+            fn = _BUILTINS[node.func.id]
+            args = [self._eval(a) for a in node.args]
+            if node.keywords:
+                raise ScriptError("keyword arguments are not allowed")
+            return fn(*args)
+        if isinstance(node, ast.IfExp):
+            return self._eval(node.body) if self._eval(node.test) else self._eval(node.orelse)
+        if isinstance(node, ast.Attribute):
+            raise ScriptError("attribute access is not allowed in scripts")
+        raise ScriptError(f"unsupported expression: {type(node).__name__}")

@@ -1,0 +1,17 @@
+"""Pufferscale: rescaling heuristics for elastic data services."""
+
+from .executor import ExecutionReport, PlanExecutor
+from .model import Move, Placement, PlacementMetrics, Shard
+from .planner import MigrationPlan, Objective, plan_rebalance
+
+__all__ = [
+    "Shard",
+    "Placement",
+    "PlacementMetrics",
+    "Move",
+    "Objective",
+    "MigrationPlan",
+    "plan_rebalance",
+    "PlanExecutor",
+    "ExecutionReport",
+]

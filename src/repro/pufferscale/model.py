@@ -1,0 +1,187 @@
+"""Pufferscale's data model: shards, placements, balance metrics.
+
+Pufferscale (paper section 6, Observation 6; Cheriere et al. [24])
+"implements heuristics to decide which pieces of data to migrate and
+where in order to achieve load balance (balance of accesses to the
+data), data balance (balance of their volume on each node), rebalancing
+time, or a compromise between these three objectives."
+
+Crucially it is *composable*: it "does not require any knowledge of the
+nature of the resources being migrated" -- a :class:`Shard` is just an
+id with a size and a load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["Shard", "Placement", "Move", "PlacementMetrics"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """An opaque migratable resource."""
+
+    shard_id: str
+    size_bytes: int
+    load: float  # access rate (e.g. requests/s)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative shard size: {self.size_bytes}")
+        if self.load < 0:
+            raise ValueError(f"negative shard load: {self.load}")
+
+
+@dataclass(frozen=True)
+class Move:
+    """One planned migration."""
+
+    shard: Shard
+    source: str
+    destination: str
+
+
+@dataclass(frozen=True)
+class PlacementMetrics:
+    """The three Pufferscale objectives, evaluated on a placement."""
+
+    load_imbalance: float  # max node load / mean node load (1.0 = perfect)
+    data_imbalance: float  # max node bytes / mean node bytes (1.0 = perfect)
+    migration_bytes: int  # total bytes moved by the plan
+    estimated_migration_time: float  # bottleneck-node transfer estimate
+
+
+class Placement:
+    """A mutable mapping node -> set of shards."""
+
+    def __init__(self, nodes: Iterable[str]) -> None:
+        self._nodes: dict[str, dict[str, Shard]] = {n: {} for n in nodes}
+        if not self._nodes:
+            raise ValueError("placement needs at least one node")
+
+    @classmethod
+    def from_dict(cls, mapping: dict[str, list[Shard]]) -> "Placement":
+        placement = cls(mapping.keys())
+        for node, shards in mapping.items():
+            for shard in shards:
+                placement.add(node, shard)
+        return placement
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def shards_on(self, node: str) -> list[Shard]:
+        return sorted(self._nodes[node].values(), key=lambda s: s.shard_id)
+
+    def all_shards(self) -> list[Shard]:
+        return sorted(
+            (s for shards in self._nodes.values() for s in shards.values()),
+            key=lambda s: s.shard_id,
+        )
+
+    def node_of(self, shard_id: str) -> Optional[str]:
+        for node, shards in self._nodes.items():
+            if shard_id in shards:
+                return node
+        return None
+
+    def add(self, node: str, shard: Shard) -> None:
+        existing = self.node_of(shard.shard_id)
+        if existing is not None:
+            raise ValueError(f"shard {shard.shard_id!r} already placed on {existing}")
+        self._nodes[node][shard.shard_id] = shard
+
+    def remove(self, node: str, shard_id: str) -> Shard:
+        return self._nodes[node].pop(shard_id)
+
+    def move(self, move: Move) -> None:
+        shard = self.remove(move.source, move.shard.shard_id)
+        self._nodes[move.destination][shard.shard_id] = shard
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already in placement")
+        self._nodes[node] = {}
+
+    def drop_node(self, node: str) -> None:
+        if self._nodes[node]:
+            raise ValueError(f"node {node!r} still holds shards")
+        del self._nodes[node]
+
+    def copy(self) -> "Placement":
+        clone = Placement(self._nodes.keys())
+        for node, shards in self._nodes.items():
+            clone._nodes[node] = dict(shards)
+        return clone
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def load_of(self, node: str) -> float:
+        return sum(s.load for s in self._nodes[node].values())
+
+    def bytes_of(self, node: str) -> int:
+        return sum(s.size_bytes for s in self._nodes[node].values())
+
+    def load_imbalance(self) -> float:
+        loads = [self.load_of(n) for n in self._nodes]
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean
+
+    def data_imbalance(self) -> float:
+        sizes = [self.bytes_of(n) for n in self._nodes]
+        mean = sum(sizes) / len(sizes)
+        if mean == 0:
+            return 1.0
+        return max(sizes) / mean
+
+    @staticmethod
+    def _cv(values: list[float]) -> float:
+        mean = sum(values) / len(values)
+        if mean == 0:
+            return 0.0
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        return variance**0.5 / mean
+
+    def load_cv(self) -> float:
+        """Coefficient of variation of per-node load: zero when
+        perfectly balanced, and -- unlike max/mean or (max-min)/mean --
+        *strictly* decreased by any move of work from an above-mean node
+        to a below-mean one, so hill climbing never stalls on plateaus
+        like (3, 3, 0) or (21, 21, 14, 14, 0, 0)."""
+        return self._cv([self.load_of(n) for n in self._nodes])
+
+    def data_cv(self) -> float:
+        """Coefficient of variation of per-node stored bytes."""
+        return self._cv([float(self.bytes_of(n)) for n in self._nodes])
+
+    def metrics_with_moves(
+        self, moves: list[Move], bandwidth: float = 10e9
+    ) -> PlacementMetrics:
+        """Metrics of this placement, charging ``moves`` as the plan cost.
+
+        The rebalancing time estimate is the bottleneck node's transfer
+        volume (in + out) over ``bandwidth``: migrations run in parallel
+        across nodes, so the busiest endpoint dominates (the Pufferscale
+        cost model).
+        """
+        inout: dict[str, int] = {n: 0 for n in self._nodes}
+        total = 0
+        for move in moves:
+            size = move.shard.size_bytes
+            total += size
+            inout[move.source] = inout.get(move.source, 0) + size
+            inout[move.destination] = inout.get(move.destination, 0) + size
+        bottleneck = max(inout.values(), default=0)
+        return PlacementMetrics(
+            load_imbalance=self.load_imbalance(),
+            data_imbalance=self.data_imbalance(),
+            migration_bytes=total,
+            estimated_migration_time=bottleneck / bandwidth,
+        )

@@ -1,0 +1,165 @@
+"""Rebalancing heuristics.
+
+Given a current placement and a target node set (which may add or remove
+nodes), the planner produces a :class:`MigrationPlan` optimizing a
+weighted compromise of the three Pufferscale objectives:
+
+* **load balance** (weight ``alpha``),
+* **data balance** (weight ``beta``),
+* **rebalancing time** (weight ``gamma`` -- penalizes bytes moved).
+
+The heuristic is deterministic greedy + local improvement: mandatory
+moves first (shards on removed nodes), then hill-climbing single-shard
+moves while the objective improves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .model import Move, Placement, PlacementMetrics, Shard
+
+__all__ = ["Objective", "MigrationPlan", "plan_rebalance"]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """Weights of the three objectives (paper: 'a compromise')."""
+
+    alpha: float = 1.0  # load balance
+    beta: float = 1.0  # data balance
+    gamma: float = 1.0  # rebalancing time
+    bandwidth: float = 10e9  # for the migration-time estimate
+
+    def __post_init__(self) -> None:
+        if min(self.alpha, self.beta, self.gamma) < 0:
+            raise ValueError("objective weights must be non-negative")
+        if self.alpha == self.beta == self.gamma == 0:
+            raise ValueError("at least one objective weight must be positive")
+
+    def score(self, placement: Placement, moves: list[Move]) -> float:
+        metrics = placement.metrics_with_moves(moves, self.bandwidth)
+        return (
+            self.alpha * placement.load_cv()
+            + self.beta * placement.data_cv()
+            + self.gamma * metrics.estimated_migration_time
+        )
+
+
+@dataclass
+class MigrationPlan:
+    """Ordered moves plus before/after metrics."""
+
+    moves: list[Move]
+    before: PlacementMetrics
+    after: PlacementMetrics
+    final_placement: Placement
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.shard.size_bytes for m in self.moves)
+
+    @property
+    def num_moves(self) -> int:
+        return len(self.moves)
+
+
+def plan_rebalance(
+    current: Placement,
+    target_nodes: list[str],
+    objective: Optional[Objective] = None,
+    max_iterations: int = 10_000,
+) -> MigrationPlan:
+    """Compute a migration plan from ``current`` onto ``target_nodes``."""
+    objective = objective or Objective()
+    if not target_nodes:
+        raise ValueError("target node set must be non-empty")
+    target_set = set(target_nodes)
+
+    before = current.metrics_with_moves([], objective.bandwidth)
+    working = current.copy()
+    for node in target_set - set(working.nodes):
+        working.add_node(node)
+    moves: list[Move] = []
+
+    # Phase 1 -- mandatory evacuation of removed nodes: biggest shards
+    # first, each to the node that minimizes the objective.
+    removed = [n for n in working.nodes if n not in target_set]
+    for node in removed:
+        for shard in sorted(
+            working.shards_on(node), key=lambda s: (-s.size_bytes, s.shard_id)
+        ):
+            best = _best_destination(working, shard, node, target_set, objective, moves)
+            move = Move(shard=shard, source=node, destination=best)
+            working.move(move)
+            moves.append(move)
+    for node in removed:
+        working.drop_node(node)
+
+    # Phase 2 -- hill climbing over single moves *and* pairwise swaps
+    # (swaps escape the local optima single moves get stuck in when
+    # shard sizes are heterogeneous).
+    for _ in range(max_iterations):
+        best_delta = 0.0
+        best_moves: Optional[list[Move]] = None
+        score_now = objective.score(working, moves)
+
+        def consider(candidate_moves: list[Move]) -> None:
+            nonlocal best_delta, best_moves
+            for m in candidate_moves:
+                working.move(m)
+            delta = objective.score(working, moves + candidate_moves) - score_now
+            for m in reversed(candidate_moves):
+                working.move(Move(shard=m.shard, source=m.destination, destination=m.source))
+            if delta < best_delta - 1e-12:
+                best_delta = delta
+                best_moves = candidate_moves
+
+        nodes = working.nodes
+        for source in nodes:
+            for shard in working.shards_on(source):
+                for destination in nodes:
+                    if destination == source:
+                        continue
+                    consider([Move(shard=shard, source=source, destination=destination)])
+        for i, node_a in enumerate(nodes):
+            for node_b in nodes[i + 1 :]:
+                for shard_a in working.shards_on(node_a):
+                    for shard_b in working.shards_on(node_b):
+                        consider(
+                            [
+                                Move(shard=shard_a, source=node_a, destination=node_b),
+                                Move(shard=shard_b, source=node_b, destination=node_a),
+                            ]
+                        )
+        if best_moves is None:
+            break
+        for m in best_moves:
+            working.move(m)
+            moves.append(m)
+
+    after = working.metrics_with_moves(moves, objective.bandwidth)
+    return MigrationPlan(moves=moves, before=before, after=after, final_placement=working)
+
+
+def _best_destination(
+    placement: Placement,
+    shard: Shard,
+    source: str,
+    target_set: set,
+    objective: Objective,
+    existing_moves: list[Move],
+) -> str:
+    best_node = None
+    best_score = None
+    for node in sorted(target_set):
+        candidate = Move(shard=shard, source=source, destination=node)
+        placement.move(candidate)
+        score = objective.score(placement, existing_moves + [candidate])
+        placement.move(Move(shard=shard, source=node, destination=source))
+        if best_score is None or score < best_score:
+            best_score = score
+            best_node = node
+    assert best_node is not None
+    return best_node

@@ -1,0 +1,22 @@
+"""Mochi-RAFT: composable consensus for Mochi components (paper section 7)."""
+
+from .client import RaftClient, RaftGroupHandle, RaftUnavailableError
+from .log import CompactedError, LogEntry, RaftLog
+from .node import CONFIG_OP, RaftConfig, RaftNode, Role
+from .smr import CounterStateMachine, KVStateMachine, StateMachine
+
+__all__ = [
+    "RaftNode",
+    "RaftConfig",
+    "Role",
+    "CONFIG_OP",
+    "RaftClient",
+    "RaftGroupHandle",
+    "RaftUnavailableError",
+    "RaftLog",
+    "LogEntry",
+    "CompactedError",
+    "StateMachine",
+    "KVStateMachine",
+    "CounterStateMachine",
+]

@@ -1,0 +1,144 @@
+"""The replicated log, with snapshot-based compaction.
+
+Raft's log is 1-indexed; entry 0 is a virtual sentinel.  After a
+snapshot at index S, entries [1..S] are discarded and the log remembers
+``(snapshot_index, snapshot_term)`` so consistency checks still work at
+the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["LogEntry", "RaftLog", "CompactedError"]
+
+
+class CompactedError(RuntimeError):
+    """The requested index has been compacted into a snapshot."""
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    term: int
+    index: int
+    command: Any
+
+
+class RaftLog:
+    """In-memory Raft log with compaction."""
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+        self.snapshot_index = 0
+        self.snapshot_term = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def last_index(self) -> int:
+        if self._entries:
+            return self._entries[-1].index
+        return self.snapshot_index
+
+    @property
+    def last_term(self) -> int:
+        if self._entries:
+            return self._entries[-1].term
+        return self.snapshot_term
+
+    @property
+    def first_index(self) -> int:
+        """Smallest index still present (snapshot_index + 1), or
+        ``last_index + 1`` when empty."""
+        return self.snapshot_index + 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def append_new(self, term: int, command: Any) -> LogEntry:
+        """Leader path: append a fresh entry."""
+        entry = LogEntry(term=term, index=self.last_index + 1, command=command)
+        self._entries.append(entry)
+        return entry
+
+    def entry_at(self, index: int) -> LogEntry:
+        if index <= self.snapshot_index:
+            raise CompactedError(f"index {index} <= snapshot {self.snapshot_index}")
+        offset = index - self.snapshot_index - 1
+        if offset < 0 or offset >= len(self._entries):
+            raise IndexError(f"no entry at index {index}")
+        return self._entries[offset]
+
+    def term_at(self, index: int) -> int:
+        if index == self.snapshot_index:
+            return self.snapshot_term
+        if index == 0:
+            return 0
+        return self.entry_at(index).term
+
+    def has_index(self, index: int) -> bool:
+        return self.snapshot_index < index <= self.last_index
+
+    def entries_from(self, start: int, limit: int = 0) -> list[LogEntry]:
+        """Entries with index >= start (up to ``limit`` when non-zero)."""
+        if start <= self.snapshot_index:
+            raise CompactedError(f"start {start} <= snapshot {self.snapshot_index}")
+        offset = max(0, start - self.snapshot_index - 1)
+        out = self._entries[offset:]
+        if limit:
+            out = out[:limit]
+        return out
+
+    # ------------------------------------------------------------------
+    def match_and_append(
+        self, prev_index: int, prev_term: int, entries: list[LogEntry]
+    ) -> bool:
+        """Follower path: the AppendEntries consistency check + append.
+
+        Returns False when the log does not contain an entry at
+        ``prev_index`` with ``prev_term``.  Conflicting suffixes are
+        truncated; duplicate prefixes are skipped (idempotent).
+        """
+        if prev_index > self.last_index:
+            return False
+        if prev_index >= self.first_index and self.term_at(prev_index) != prev_term:
+            return False
+        if prev_index == self.snapshot_index and prev_term != self.snapshot_term:
+            return False
+        for entry in entries:
+            if entry.index <= self.snapshot_index:
+                continue  # already snapshotted
+            if self.has_index(entry.index):
+                if self.term_at(entry.index) == entry.term:
+                    continue  # duplicate
+                self._truncate_from(entry.index)
+            self._entries.append(entry)
+        return True
+
+    def _truncate_from(self, index: int) -> None:
+        offset = index - self.snapshot_index - 1
+        del self._entries[offset:]
+
+    # ------------------------------------------------------------------
+    def compact_to(self, index: int) -> None:
+        """Discard entries up to and including ``index`` (snapshotted)."""
+        if index <= self.snapshot_index:
+            return
+        term = self.term_at(index)
+        keep = [e for e in self._entries if e.index > index]
+        self._entries = keep
+        self.snapshot_index = index
+        self.snapshot_term = term
+
+    def reset_to_snapshot(self, index: int, term: int) -> None:
+        """InstallSnapshot path: replace the whole log."""
+        self._entries = []
+        self.snapshot_index = index
+        self.snapshot_term = term
+
+    def is_up_to_date(self, other_last_index: int, other_last_term: int) -> bool:
+        """Raft's vote rule: is the *other* log at least as up-to-date?"""
+        if other_last_term != self.last_term:
+            return other_last_term > self.last_term
+        return other_last_index >= self.last_index

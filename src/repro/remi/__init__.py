@@ -1,0 +1,20 @@
+"""REMI: Mochi's resource-migration component (paper section 6)."""
+
+from .client import (
+    AUTO_RDMA_THRESHOLD,
+    MigrationHandle,
+    MigrationReport,
+    RemiClient,
+)
+from .fileset import FileSet, RemiError
+from .provider import RemiProvider
+
+__all__ = [
+    "RemiProvider",
+    "RemiClient",
+    "MigrationHandle",
+    "MigrationReport",
+    "FileSet",
+    "RemiError",
+    "AUTO_RDMA_THRESHOLD",
+]

@@ -1,0 +1,47 @@
+"""Filesets: the unit REMI migrates.
+
+"Migrating a resource from a node to another often comes down to
+transferring files between two nodes" (paper section 6).  A
+:class:`FileSet` names a group of files in one node-local store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..storage.local import LocalStore
+
+__all__ = ["FileSet", "RemiError"]
+
+
+class RemiError(RuntimeError):
+    """Base class for REMI errors."""
+
+
+@dataclass
+class FileSet:
+    """A named set of paths inside a local store."""
+
+    store: LocalStore
+    paths: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        missing = [p for p in self.paths if not self.store.exists(p)]
+        if missing:
+            raise RemiError(f"fileset references missing files: {missing}")
+
+    @classmethod
+    def from_prefix(cls, store: LocalStore, prefix: str) -> "FileSet":
+        return cls(store, store.list(prefix))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.store.size_of(p) for p in self.paths)
+
+    @property
+    def num_files(self) -> int:
+        return len(self.paths)
+
+    def read_all(self) -> list[tuple[str, bytes]]:
+        return [(p, self.store.read(p)) for p in self.paths]

@@ -1,0 +1,42 @@
+"""Composable security (the paper's section-9 future work, implemented).
+
+* :class:`AuthProvider` -- a security building block issuing scoped,
+  expiring, revocable HMAC capability tokens;
+* :class:`GuardProvider` -- transparent authentication (and optional
+  encryption) in front of any existing component;
+* handle-side: set ``handle.auth_token`` and keep using the component's
+  ordinary client API.
+"""
+
+from ..bedrock.module import BedrockModule, register_library
+from .guard import ENCRYPTION_BYTES_PER_SECOND, GuardError, GuardProvider
+from .provider import AuthClient, AuthError, AuthHandle, AuthProvider
+from .tokens import TokenError, TokenPayload, sign_token, verify_token
+
+__all__ = [
+    "AuthProvider",
+    "AuthClient",
+    "AuthHandle",
+    "AuthError",
+    "GuardProvider",
+    "GuardError",
+    "ENCRYPTION_BYTES_PER_SECOND",
+    "sign_token",
+    "verify_token",
+    "TokenError",
+    "TokenPayload",
+]
+
+
+def _auth_factory(margo, name, provider_id, pool, config, dependencies):
+    return AuthProvider(margo, name, provider_id, pool=pool, config=config)
+
+
+register_library(
+    "libauth.so",
+    BedrockModule(
+        type_name="auth",
+        provider_factory=_auth_factory,
+        client_factory=lambda margo: AuthClient(margo),
+    ),
+)

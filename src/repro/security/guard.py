@@ -1,0 +1,134 @@
+"""Transparent guards: authentication + encryption for existing components.
+
+The paper (section 9) wants security enabled "transparently in existing
+components".  A :class:`GuardProvider` does for security what the
+virtual database does for replication: it registers the *same* RPCs as
+the component it protects (so clients keep using their ordinary
+handles, plus a token on the handle), verifies the capability token on
+every call, optionally charges authenticated-encryption costs for the
+payload, and forwards to the protected provider -- which never learns
+security exists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..core.component import Provider
+from ..margo.runtime import MargoInstance, RequestContext
+from ..margo.ult import Compute
+from ..mercury import estimate_size
+from .provider import CRYPTO_OP_COST, AuthProvider
+from .tokens import TokenError, verify_token
+
+__all__ = ["GuardProvider", "GuardError", "ENCRYPTION_BYTES_PER_SECOND"]
+
+#: AES-GCM-class authenticated encryption throughput.
+ENCRYPTION_BYTES_PER_SECOND = 3e9
+
+
+class GuardError(RuntimeError):
+    """Guard misconfiguration or authorization failure."""
+
+
+class GuardProvider(Provider):
+    """Protects one provider behind token checks (and encryption).
+
+    Parameters
+    ----------
+    protected:
+        ``{"type": ..., "address": ..., "provider_id": ...}`` of the
+        provider being protected.
+    operations:
+        The operation names to expose (e.g. ``["put", "get", ...]``).
+    auth:
+        Either a local :class:`AuthProvider` (shared-secret validation,
+        no extra RPC) or a ``(secret)`` string for mesh-style local
+        verification.
+    encrypt:
+        When true, payloads are charged authenticated-encryption cost in
+        both directions.
+    """
+
+    def __init__(
+        self,
+        margo: MargoInstance,
+        name: str,
+        provider_id: int,
+        protected: dict[str, Any],
+        operations: list[str],
+        auth: Any,
+        pool: Any = None,
+        encrypt: bool = False,
+    ) -> None:
+        missing = {"type", "address", "provider_id"} - set(protected)
+        if missing:
+            raise GuardError(f"protected spec missing {sorted(missing)}")
+        if not operations:
+            raise GuardError("guard needs at least one operation to expose")
+        # The guard impersonates the protected component's RPC namespace.
+        self.component_type = protected["type"]
+        super().__init__(margo, name, provider_id, pool=pool, config={})
+        self.protected = dict(protected)
+        self.encrypt = encrypt
+        if isinstance(auth, AuthProvider):
+            self._validator = auth.check
+        elif isinstance(auth, str):
+            secret = auth
+
+            def validate(token: str):
+                return verify_token(secret, token, now=margo.kernel.now)
+
+            self._validator = validate
+        else:
+            raise GuardError("auth must be an AuthProvider or a shared secret string")
+        self.denied = 0
+        self.allowed = 0
+        for operation in operations:
+            self.register_rpc(operation, self._make_handler(operation))
+
+    # ------------------------------------------------------------------
+    def _make_handler(self, operation: str):
+        def handler(ctx: RequestContext) -> Generator:
+            result = yield from self._guarded(operation, ctx)
+            return result
+
+        return handler
+
+    def _guarded(self, operation: str, ctx: RequestContext) -> Generator:
+        envelope = ctx.args
+        yield Compute(CRYPTO_OP_COST)
+        if not isinstance(envelope, dict) or "__token__" not in envelope:
+            self.denied += 1
+            raise GuardError(f"operation {operation!r} requires a capability token")
+        try:
+            payload = self._validator(envelope["__token__"])
+        except TokenError as err:
+            self.denied += 1
+            raise GuardError(f"token rejected: {err}") from err
+        if not payload.allows(self.component_type, operation):
+            self.denied += 1
+            raise GuardError(
+                f"principal {payload.principal!r} lacks scope "
+                f"{self.component_type}:{operation}"
+            )
+        self.allowed += 1
+        inner_args = envelope.get("__args__")
+        if self.encrypt:
+            yield Compute(estimate_size(inner_args) / ENCRYPTION_BYTES_PER_SECOND)
+        result = yield from self.margo.forward(
+            self.protected["address"],
+            f"{self.component_type}_{operation}",
+            inner_args,
+            provider_id=self.protected["provider_id"],
+        )
+        if self.encrypt:
+            yield Compute(estimate_size(result) / ENCRYPTION_BYTES_PER_SECOND)
+        return result
+
+    def get_config(self) -> dict[str, Any]:
+        return {
+            "protected": self.protected,
+            "encrypt": self.encrypt,
+            "statistics": {"allowed": self.allowed, "denied": self.denied},
+        }

@@ -1,0 +1,91 @@
+"""Capability tokens: HMAC-signed, scoped, expiring.
+
+The paper's future-work direction (section 9): "security needs to be
+enabled in a composable manner, that is, by providing security
+components to form secure building blocks."  Tokens are the portable
+capability those blocks exchange: a signed JSON payload naming the
+principal, its scopes (component type -> allowed operations), an expiry
+(in simulated time), and a unique id (for revocation).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["TokenError", "TokenPayload", "sign_token", "verify_token"]
+
+
+class TokenError(RuntimeError):
+    """Invalid, expired, or tampered token."""
+
+
+@dataclass(frozen=True)
+class TokenPayload:
+    """What a verified token asserts."""
+
+    principal: str
+    scopes: dict[str, list[str]]  # component type -> operations
+    expires_at: float  # simulated seconds
+    token_id: str
+
+    def allows(self, component_type: str, operation: str) -> bool:
+        operations = self.scopes.get(component_type)
+        if operations is None:
+            return False
+        return "*" in operations or operation in operations
+
+
+def _signature(secret: str, body: bytes) -> str:
+    return hmac.new(secret.encode(), body, hashlib.sha256).hexdigest()
+
+
+def sign_token(
+    secret: str,
+    principal: str,
+    scopes: dict[str, list[str]],
+    expires_at: float,
+    token_id: str,
+) -> str:
+    """Produce a token string: ``base64(payload).hexhmac``."""
+    payload = {
+        "principal": principal,
+        "scopes": scopes,
+        "expires_at": expires_at,
+        "token_id": token_id,
+    }
+    body = json.dumps(payload, sort_keys=True).encode()
+    encoded = base64.urlsafe_b64encode(body).decode()
+    return f"{encoded}.{_signature(secret, body)}"
+
+
+def verify_token(secret: str, token: str, now: float) -> TokenPayload:
+    """Verify signature and expiry; raises :class:`TokenError`."""
+    if not isinstance(token, str) or "." not in token:
+        raise TokenError("malformed token")
+    encoded, signature = token.rsplit(".", 1)
+    try:
+        body = base64.urlsafe_b64decode(encoded.encode())
+    except Exception as err:
+        raise TokenError("malformed token body") from err
+    expected = _signature(secret, body)
+    if not hmac.compare_digest(signature, expected):
+        raise TokenError("bad token signature")
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as err:
+        raise TokenError("unparseable token payload") from err
+    if payload["expires_at"] < now:
+        raise TokenError(
+            f"token expired at {payload['expires_at']:.3f} (now {now:.3f})"
+        )
+    return TokenPayload(
+        principal=payload["principal"],
+        scopes={k: list(v) for k, v in payload["scopes"].items()},
+        expires_at=payload["expires_at"],
+        token_id=payload["token_id"],
+    )

@@ -1,0 +1,54 @@
+"""Deterministic discrete-event substrate for the Mochi reproduction.
+
+Public surface:
+
+* :class:`~repro.sim.kernel.SimKernel` and friends -- the scheduler;
+* :class:`~repro.sim.network.Network` / ``Node`` / ``Process`` -- topology;
+* :class:`~repro.sim.faults.FaultInjector` -- crash/partition injection;
+* :class:`~repro.sim.random.RandomSource` -- named deterministic RNG streams.
+"""
+
+from .kernel import (
+    DeadlockError,
+    SimEvent,
+    SimKernel,
+    SimulationError,
+    Sleep,
+    Task,
+    Timer,
+    WaitEvent,
+    TIMED_OUT,
+)
+from .network import (
+    AddressError,
+    LinkModel,
+    Network,
+    NetworkConfig,
+    Node,
+    Process,
+    Transport,
+)
+from .faults import FaultInjector, FaultRecord
+from .random import RandomSource
+
+__all__ = [
+    "SimKernel",
+    "SimEvent",
+    "Sleep",
+    "WaitEvent",
+    "TIMED_OUT",
+    "Task",
+    "Timer",
+    "SimulationError",
+    "DeadlockError",
+    "Network",
+    "NetworkConfig",
+    "LinkModel",
+    "Node",
+    "Process",
+    "Transport",
+    "AddressError",
+    "FaultInjector",
+    "FaultRecord",
+    "RandomSource",
+]

@@ -1,0 +1,96 @@
+"""Failure injection.
+
+Implements the two fault classes the paper distinguishes (section 2.3,
+"Resilience"):
+
+* **transient failure** -- a service process crashes but its data is
+  still available in node-local storage (``kill_process``);
+* **permanent failure** -- a node dies and everything local to it is
+  lost (``kill_node``).
+
+Plus network partitions and probabilistic message loss (used by the SWIM
+experiments).  All injections are regular simulated events, so a failure
+schedule is part of the deterministic run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .kernel import SimKernel
+from .network import Network, Node, Process
+
+__all__ = ["FaultInjector", "FaultRecord"]
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, for post-run inspection."""
+
+    time: float
+    kind: str  # "process", "node", "partition", "heal", "loss"
+    target: str
+
+
+class FaultInjector:
+    """Injects crashes, node deaths, partitions, and loss into a network."""
+
+    def __init__(self, kernel: SimKernel, network: Network) -> None:
+        self.kernel = kernel
+        self.network = network
+        self.history: list[FaultRecord] = []
+
+    # ------------------------------------------------------------------
+    # immediate injections
+    # ------------------------------------------------------------------
+    def kill_process(self, proc: Process) -> None:
+        """Transient failure: the process dies; node-local data survives."""
+        if not proc.alive:
+            return
+        proc.alive = False
+        self.history.append(FaultRecord(self.kernel.now, "process", proc.name))
+        for callback in list(proc.on_killed):
+            callback()
+
+    def kill_node(self, node: Node) -> None:
+        """Permanent failure: node dies, local data is wiped, processes die."""
+        if not node.alive:
+            return
+        node.alive = False
+        self.history.append(FaultRecord(self.kernel.now, "node", node.name))
+        for store in node.attachments.values():
+            wipe = getattr(store, "wipe", None)
+            if callable(wipe):
+                wipe()
+        for proc in [p for p in self.network.processes.values() if p.node is node]:
+            self.kill_process(proc)
+
+    def partition(self, a: Node | str, b: Node | str) -> None:
+        self.network.partition(a, b)
+        self.history.append(FaultRecord(self.kernel.now, "partition", f"{a}|{b}"))
+
+    def heal(self, a: Node | str, b: Node | str) -> None:
+        self.network.heal(a, b)
+        self.history.append(FaultRecord(self.kernel.now, "heal", f"{a}|{b}"))
+
+    def set_message_loss(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability out of range: {probability}")
+        self.network.loss_probability = probability
+        self.history.append(FaultRecord(self.kernel.now, "loss", f"{probability}"))
+
+    # ------------------------------------------------------------------
+    # scheduled injections
+    # ------------------------------------------------------------------
+    def kill_process_at(self, delay: float, proc: Process) -> None:
+        self.kernel.schedule(delay, lambda: self.kill_process(proc))
+
+    def kill_node_at(self, delay: float, node: Node) -> None:
+        self.kernel.schedule(delay, lambda: self.kill_node(node))
+
+    def partition_at(self, delay: float, a: Node | str, b: Node | str) -> None:
+        self.kernel.schedule(delay, lambda: self.partition(a, b))
+
+    def heal_at(self, delay: float, a: Node | str, b: Node | str) -> None:
+        self.kernel.schedule(delay, lambda: self.heal(a, b))

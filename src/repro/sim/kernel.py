@@ -1,0 +1,378 @@
+"""Deterministic discrete-event simulation kernel.
+
+Everything in :mod:`repro` that needs a notion of time or concurrency runs
+on this kernel.  The kernel maintains a priority queue of timestamped
+events and a set of *tasks* -- cooperative coroutines implemented as
+Python generators.  A task advances by yielding :class:`Sleep` or
+:class:`WaitEvent` commands; the kernel resumes it when the requested
+condition is met.
+
+Determinism is a first-class goal: for equal seeds and equal call
+sequences, two runs produce bit-identical schedules.  Ties in the event
+queue are broken by a monotonically increasing sequence number, never by
+object identity or hashing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimKernel",
+    "Task",
+    "Timer",
+    "Sleep",
+    "WaitEvent",
+    "SimEvent",
+    "SimulationError",
+    "DeadlockError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for kernel-level errors."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when ``run()`` is asked to finish work that can never finish."""
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Command: suspend the yielding task for ``duration`` simulated seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative sleep duration: {self.duration}")
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Command: suspend the yielding task until ``event`` is set.
+
+    The task is resumed with the event's payload.  If ``timeout`` is not
+    ``None`` and the event is not set within that many simulated seconds,
+    the task is resumed with :data:`TIMED_OUT` instead.
+    """
+
+    event: "SimEvent"
+    timeout: Optional[float] = None
+
+
+class _TimedOut:
+    """Sentinel resumption value for a timed-out :class:`WaitEvent`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "TIMED_OUT"
+
+
+TIMED_OUT = _TimedOut()
+
+
+class SimEvent:
+    """A one-shot, level-triggered event usable from kernel tasks.
+
+    ``set(payload)`` wakes every current and future waiter with
+    ``payload``.  Events may be reused after :meth:`clear`, which is how
+    mailbox-style "work available" signals are built.
+    """
+
+    __slots__ = ("kernel", "name", "_set", "_payload", "_waiters")
+
+    def __init__(self, kernel: "SimKernel", name: str = "") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._set = False
+        self._payload: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    @property
+    def payload(self) -> Any:
+        return self._payload
+
+    def set(self, payload: Any = None) -> None:
+        """Set the event and wake all waiters (idempotent while set)."""
+        if self._set:
+            return
+        self._set = True
+        self._payload = payload
+        waiters, self._waiters = self._waiters, []
+        for wake in waiters:
+            wake(payload)
+
+    def clear(self) -> None:
+        """Reset the event so it can be waited on (and set) again."""
+        self._set = False
+        self._payload = None
+
+    def _add_waiter(self, wake: Callable[[Any], None]) -> Callable[[], None]:
+        """Register ``wake``; return a callable that unregisters it."""
+        self._waiters.append(wake)
+
+        def cancel() -> None:
+            try:
+                self._waiters.remove(wake)
+            except ValueError:
+                pass
+
+        return cancel
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("deadline", "_fn", "_cancelled")
+
+    def __init__(self, deadline: float, fn: Callable[[], None]) -> None:
+        self.deadline = deadline
+        self._fn = fn
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    def _fire(self) -> None:
+        if not self._cancelled:
+            self._fn()
+
+
+TaskGen = Generator[Any, Any, Any]
+
+
+class Task:
+    """A kernel coroutine.
+
+    Wraps a generator that yields :class:`Sleep` / :class:`WaitEvent`
+    commands.  On normal return the task's :attr:`done_event` is set with
+    the generator's return value; on an unhandled exception the error is
+    recorded in :attr:`error` and re-raised by the kernel unless the task
+    was marked ``daemon``.
+    """
+
+    __slots__ = ("kernel", "gen", "name", "daemon", "done_event", "error", "result", "_finished")
+
+    def __init__(self, kernel: "SimKernel", gen: TaskGen, name: str, daemon: bool) -> None:
+        self.kernel = kernel
+        self.gen = gen
+        self.name = name
+        self.daemon = daemon
+        self.done_event = SimEvent(kernel, name=f"done:{name}")
+        self.error: Optional[BaseException] = None
+        self.result: Any = None
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+        """Advance the generator one command and act on what it yields."""
+        kernel = self.kernel
+        try:
+            if exc is not None:
+                cmd = self.gen.throw(exc)
+            else:
+                cmd = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - task failure path
+            self.error = err
+            self._finish(result=None)
+            if not self.daemon:
+                kernel._task_failures.append(self)
+            return
+        self._dispatch(cmd)
+
+    def _dispatch(self, cmd: Any) -> None:
+        kernel = self.kernel
+        if isinstance(cmd, Sleep):
+            kernel.schedule(cmd.duration, lambda: self._step(None))
+        elif isinstance(cmd, WaitEvent):
+            self._wait(cmd)
+        else:
+            self._step(
+                exc=SimulationError(
+                    f"task {self.name!r} yielded unsupported command {cmd!r}; "
+                    "kernel tasks may only yield Sleep or WaitEvent"
+                )
+            )
+
+    def _wait(self, cmd: WaitEvent) -> None:
+        event = cmd.event
+        if event.is_set:
+            # Resume on a fresh event-loop turn to keep scheduling fair
+            # and re-entrancy-free.
+            self.kernel.schedule(0.0, lambda: self._step(event.payload))
+            return
+        state = {"resumed": False}
+
+        def wake(payload: Any) -> None:
+            if state["resumed"]:
+                return
+            state["resumed"] = True
+            if timer is not None:
+                timer.cancel()
+            self.kernel.schedule(0.0, lambda: self._step(payload))
+
+        cancel_waiter = event._add_waiter(wake)
+        timer: Optional[Timer] = None
+        if cmd.timeout is not None:
+
+            def on_timeout() -> None:
+                if state["resumed"]:
+                    return
+                state["resumed"] = True
+                cancel_waiter()
+                self._step(TIMED_OUT)
+
+            timer = self.kernel.schedule(cmd.timeout, on_timeout)
+
+    def _finish(self, result: Any) -> None:
+        self._finished = True
+        self.result = result
+        self.kernel._live_tasks.discard(self)
+        self.done_event.set(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "finished" if self._finished else "running"
+        return f"<Task {self.name!r} {state}>"
+
+
+class SimKernel:
+    """The discrete-event scheduler.
+
+    Typical use::
+
+        kernel = SimKernel()
+        task = kernel.spawn(my_generator(), name="driver")
+        kernel.run()
+        assert task.finished
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: list[tuple[float, int, Timer]] = []
+        self._live_tasks: set[Task] = set()
+        self._task_failures: list[Task] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # time and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """Run ``fn()`` after ``delay`` simulated seconds; return a handle."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        timer = Timer(self._now + delay, fn)
+        self._seq += 1
+        heapq.heappush(self._queue, (timer.deadline, self._seq, timer))
+        return timer
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a :class:`SimEvent` bound to this kernel."""
+        return SimEvent(self, name=name)
+
+    # ------------------------------------------------------------------
+    # tasks
+    # ------------------------------------------------------------------
+    def spawn(self, gen: TaskGen, name: str = "task", daemon: bool = False) -> Task:
+        """Start a new task from generator ``gen``.
+
+        Non-daemon tasks that die with an exception make ``run()`` raise.
+        Daemon tasks (infinite service loops) are allowed to be still
+        running when the simulation ends.
+        """
+        if not isinstance(gen, Generator):
+            raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
+        task = Task(self, gen, name=name, daemon=daemon)
+        self._live_tasks.add(task)
+        # First step happens on the event loop, not synchronously, so that
+        # spawn order does not leak into execution order mid-timestep.
+        self.schedule(0.0, lambda: task._step(None))
+        return task
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        until_tasks: Optional[Iterable[Task]] = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        """Process events until the queue drains, ``until`` is reached, or
+        every task in ``until_tasks`` has finished.
+
+        Raises the first non-daemon task failure, and :class:`DeadlockError`
+        when ``until_tasks`` can no longer make progress.
+        """
+        targets = list(until_tasks) if until_tasks is not None else None
+        if self._running:
+            raise SimulationError("kernel is already running (re-entrant run())")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                self._raise_task_failures()
+                if targets is not None and all(t.finished for t in targets):
+                    return
+                deadline, _, timer = self._queue[0]
+                if until is not None and deadline > until:
+                    self._now = until
+                    return
+                heapq.heappop(self._queue)
+                if timer.cancelled:
+                    continue
+                if deadline < self._now:
+                    raise SimulationError("event queue went backwards in time")
+                self._now = deadline
+                timer._fire()
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a runaway loop"
+                    )
+            self._raise_task_failures()
+            if targets is not None and not all(t.finished for t in targets):
+                pending = [t.name for t in targets if not t.finished]
+                raise DeadlockError(
+                    f"event queue drained but tasks still pending: {pending}"
+                )
+            # The queue drained before the horizon: time still advances
+            # to it (idle simulated time passes like any other).
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_all(self, **kwargs: Any) -> None:
+        """Alias of :meth:`run` with no stop condition (drain the queue)."""
+        self.run(**kwargs)
+
+    def _raise_task_failures(self) -> None:
+        if self._task_failures:
+            task = self._task_failures.pop(0)
+            assert task.error is not None
+            raise task.error
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimKernel t={self._now:.9f} queued={len(self._queue)}>"

@@ -1,0 +1,65 @@
+"""Group bootstrapping.
+
+"A group can be bootstrapped from PMIx, MPI, or simply a list of initial
+addresses" (paper section 6).  In the simulation the three differ only
+in where the initial address list comes from:
+
+* :func:`create_group` -- collective creation from an explicit list of
+  Margo instances (the MPI/PMIx analogue: every founding member knows
+  the full roster at start);
+* :func:`join_group` -- late join via any existing member's address.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..margo.runtime import MargoInstance
+from ..sim.random import RandomSource
+from .group import DEFAULT_SSG_PROVIDER_ID, SSGGroup
+from .swim import SwimConfig
+
+__all__ = ["create_group", "join_group"]
+
+
+def create_group(
+    group_name: str,
+    margos: list[MargoInstance],
+    randomness: RandomSource,
+    swim: Optional[SwimConfig] = None,
+    provider_id: int = DEFAULT_SSG_PROVIDER_ID,
+    start: bool = True,
+) -> list[SSGGroup]:
+    """Collectively create a group over ``margos`` (MPI/PMIx-style).
+
+    Every member starts with the full roster; the SWIM loops start
+    immediately unless ``start=False``.
+    """
+    addresses = [m.address for m in margos]
+    groups: list[SSGGroup] = []
+    for margo in margos:
+        group = SSGGroup(margo, group_name, provider_id=provider_id, swim=swim)
+        group.seed_members(addresses)
+        groups.append(group)
+    if start:
+        for group in groups:
+            group.start(randomness.stream(f"swim:{group_name}:{group.margo.address}"))
+    return groups
+
+
+def join_group(
+    group_name: str,
+    margo: MargoInstance,
+    bootstrap_addresses: list[str],
+    randomness: RandomSource,
+    swim: Optional[SwimConfig] = None,
+    provider_id: int = DEFAULT_SSG_PROVIDER_ID,
+) -> Generator:
+    """Late join from a list of known member addresses.
+
+    A ULT generator: ``group = yield from join_group(...)``.
+    """
+    group = SSGGroup(margo, group_name, provider_id=provider_id, swim=swim)
+    yield from group.join_via(bootstrap_addresses)
+    group.start(randomness.stream(f"swim:{group_name}:{margo.address}"))
+    return group

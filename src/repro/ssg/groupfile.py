@@ -1,0 +1,67 @@
+"""Group files: persisted bootstrap information.
+
+Real SSG serializes a group's membership to a *group file* that client
+applications open to find the service (the file-based variant of the
+paper's "list of initial addresses" bootstrap).  Here the file lives in
+a store (node-local or PFS); writing it after membership changes keeps
+late-coming clients bootable even if the original members are gone.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Generator, Optional
+
+from ..margo.runtime import MargoInstance
+from .group import DEFAULT_SSG_PROVIDER_ID, SSGError, SSGGroup
+from .observer import SSGObserver
+from .view import GroupView
+
+__all__ = ["write_group_file", "read_group_file", "observer_from_group_file"]
+
+FORMAT_VERSION = 1
+
+
+def write_group_file(store: Any, path: str, group: SSGGroup) -> None:
+    """Serialize ``group``'s current view to ``store`` (LocalStore or
+    ParallelFileSystem -- anything with ``write(path, bytes)``)."""
+    view = group.view
+    doc = {
+        "version": FORMAT_VERSION,
+        "group_name": group.group_name,
+        "provider_id": group.provider_id,
+        "members": list(view.members),
+        "epoch": view.epoch,
+        "hash": view.hash,
+    }
+    store.write(path, json.dumps(doc, sort_keys=True).encode())
+
+
+def read_group_file(store: Any, path: str) -> dict[str, Any]:
+    """Parse a group file; raises :class:`SSGError` on malformed input."""
+    try:
+        doc = json.loads(store.read(path).decode())
+    except Exception as err:
+        raise SSGError(f"unreadable group file {path!r}: {err}") from err
+    if doc.get("version") != FORMAT_VERSION:
+        raise SSGError(f"unsupported group file version {doc.get('version')!r}")
+    missing = {"group_name", "provider_id", "members"} - set(doc)
+    if missing:
+        raise SSGError(f"group file {path!r} missing fields {sorted(missing)}")
+    if not doc["members"]:
+        raise SSGError(f"group file {path!r} lists no members")
+    return doc
+
+
+def observer_from_group_file(
+    margo: MargoInstance, store: Any, path: str, rpc_timeout: float = 1.0
+) -> SSGObserver:
+    """Bootstrap a client-side observer from a group file."""
+    doc = read_group_file(store, path)
+    return SSGObserver(
+        margo,
+        doc["group_name"],
+        doc["members"],
+        provider_id=doc["provider_id"],
+        rpc_timeout=rpc_timeout,
+    )

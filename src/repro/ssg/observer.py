@@ -1,0 +1,76 @@
+"""Group observers: non-member clients tracking a service's location.
+
+The paper (section 6, Observation 7) describes the simplest client
+strategy for tracking an elastic service: "an explicit function that the
+application needs to call to query the current view of the group."
+:class:`SSGObserver` is that function, with failover across known
+members and staleness detection via the view hash.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..margo.errors import RpcError
+from ..margo.runtime import MargoInstance
+from .group import DEFAULT_SSG_PROVIDER_ID, SSGError
+from .view import GroupView
+
+__all__ = ["SSGObserver"]
+
+
+class SSGObserver:
+    """Client-side, pull-based view of a group it is not a member of."""
+
+    def __init__(
+        self,
+        margo: MargoInstance,
+        group_name: str,
+        bootstrap_addresses: list[str],
+        provider_id: int = DEFAULT_SSG_PROVIDER_ID,
+        rpc_timeout: float = 1.0,
+    ) -> None:
+        if not bootstrap_addresses:
+            raise SSGError("observer needs at least one bootstrap address")
+        self.margo = margo
+        self.group_name = group_name
+        self.provider_id = provider_id
+        self.rpc_timeout = rpc_timeout
+        self._known: list[str] = list(bootstrap_addresses)
+        self._view: Optional[GroupView] = None
+        self.refreshes = 0
+
+    @property
+    def view(self) -> GroupView:
+        if self._view is None:
+            raise SSGError("observer has no view yet; call refresh() first")
+        return self._view
+
+    @property
+    def view_hash(self) -> str:
+        return self.view.hash
+
+    def refresh(self) -> Generator:
+        """Query any reachable member for the current view."""
+        last: Optional[BaseException] = None
+        for address in list(self._known):
+            try:
+                reply = yield from self.margo.forward(
+                    address,
+                    f"ssg_{self.group_name}_get_view",
+                    provider_id=self.provider_id,
+                    timeout=self.rpc_timeout,
+                )
+            except RpcError as err:
+                last = err
+                continue
+            self._view = GroupView.of(
+                self.group_name, reply["members"], reply["epoch"]
+            )
+            # Future refreshes can contact any current member.
+            self._known = list(self._view.members)
+            self.refreshes += 1
+            return self._view
+        raise SSGError(
+            f"no reachable member of group {self.group_name!r} among {self._known}"
+        ) from last

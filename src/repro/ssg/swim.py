@@ -1,0 +1,287 @@
+"""SWIM protocol state: member table, updates, dissemination buffer.
+
+Implements the state-machine half of SWIM (Das et al. [27]; adapted for
+HPC storage by Snyder et al. [28]): incarnation numbers, the
+alive/suspect/dead override rules, and gossip piggybacking with a
+log-bounded retransmit budget.  The network half (pings, ping-reqs,
+timers) lives in :mod:`repro.ssg.group`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+__all__ = ["SwimConfig", "MemberStatus", "Update", "SwimState"]
+
+
+class MemberStatus(enum.Enum):
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class SwimConfig:
+    """Protocol timing/fanout parameters."""
+
+    #: Protocol period T: one ping round per period.
+    period: float = 0.5
+    #: Direct-ping ack timeout (must be << period).
+    ping_timeout: float = 0.15
+    #: Number of indirect ping-req helpers (k).
+    ping_req_k: int = 3
+    #: How long a suspect may linger before confirmation as dead.
+    suspicion_timeout: float = 2.0
+    #: Gossip retransmit multiplier: each update is piggybacked up to
+    #: ceil(gossip_mult * log2(n + 1)) times.
+    gossip_mult: float = 3.0
+    #: Max piggybacked updates per message.
+    max_piggyback: int = 8
+    #: Probability per protocol round of probing a confirmed-dead member
+    #: (rejoin/partition-heal path; 0 disables resurrection probes).
+    resurrect_probe_prob: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.ping_timeout >= self.period:
+            raise ValueError("ping_timeout must be smaller than the protocol period")
+        if self.suspicion_timeout <= 0 or self.period <= 0:
+            raise ValueError("timings must be positive")
+        if self.ping_req_k < 0:
+            raise ValueError("ping_req_k must be >= 0")
+
+
+@dataclass
+class Update:
+    """A gossiped membership event."""
+
+    kind: str  # "alive" | "suspect" | "dead"
+    address: str
+    incarnation: int
+
+    def key(self) -> tuple[str, str, int]:
+        return (self.kind, self.address, self.incarnation)
+
+    def to_wire(self) -> dict:
+        return {"kind": self.kind, "address": self.address, "incarnation": self.incarnation}
+
+    @classmethod
+    def from_wire(cls, doc: dict) -> "Update":
+        return cls(kind=doc["kind"], address=doc["address"], incarnation=doc["incarnation"])
+
+
+@dataclass
+class _MemberRecord:
+    status: MemberStatus
+    incarnation: int
+    suspect_since: Optional[float] = None
+
+
+class SwimState:
+    """Membership table + dissemination buffer for one group member."""
+
+    def __init__(self, self_address: str, config: SwimConfig) -> None:
+        self.self_address = self_address
+        self.config = config
+        self.incarnation = 0
+        self._members: dict[str, _MemberRecord] = {
+            self_address: _MemberRecord(MemberStatus.ALIVE, 0)
+        }
+        # Dissemination buffer: update-key -> [update, remaining sends].
+        self._buffer: dict[tuple, list] = {}
+        self.epoch = 0
+        #: set by the group layer; called with (kind, address).
+        self.on_change: Optional[Callable[[str, str], None]] = None
+
+    # ------------------------------------------------------------------
+    # membership queries
+    # ------------------------------------------------------------------
+    def alive_members(self) -> list[str]:
+        return sorted(
+            a for a, r in self._members.items() if r.status == MemberStatus.ALIVE
+        )
+
+    def view_members(self) -> list[str]:
+        """Alive + suspected (suspects remain in the view until confirmed)."""
+        return sorted(
+            a
+            for a, r in self._members.items()
+            if r.status in (MemberStatus.ALIVE, MemberStatus.SUSPECT)
+        )
+
+    def ping_candidates(self) -> list[str]:
+        return [a for a in self.view_members() if a != self.self_address]
+
+    def dead_members(self) -> list[str]:
+        return sorted(
+            a for a, r in self._members.items() if r.status == MemberStatus.DEAD
+        )
+
+    def status_of(self, address: str) -> Optional[MemberStatus]:
+        record = self._members.get(address)
+        return record.status if record else None
+
+    def suspects_older_than(self, deadline: float) -> list[str]:
+        return [
+            address
+            for address, record in self._members.items()
+            if record.status == MemberStatus.SUSPECT
+            and record.suspect_since is not None
+            and record.suspect_since <= deadline
+        ]
+
+    def snapshot(self) -> list[dict]:
+        """Full table, for join responses."""
+        return [
+            {"address": a, "incarnation": r.incarnation, "status": r.status.value}
+            for a, r in sorted(self._members.items())
+            if r.status != MemberStatus.DEAD
+        ]
+
+    def load_snapshot(self, rows: Iterable[dict]) -> None:
+        for row in rows:
+            if row["address"] == self.self_address:
+                continue
+            self._members.setdefault(
+                row["address"],
+                _MemberRecord(MemberStatus(row["status"]), row["incarnation"]),
+            )
+        self.epoch += 1
+
+    # ------------------------------------------------------------------
+    # local events (from the failure detector / API)
+    # ------------------------------------------------------------------
+    def local_suspect(self, address: str, now: float) -> None:
+        record = self._members.get(address)
+        if record is None or record.status != MemberStatus.ALIVE:
+            return
+        self._transition(address, MemberStatus.SUSPECT, record.incarnation, now)
+        self._enqueue(Update("suspect", address, record.incarnation))
+
+    def local_confirm_dead(self, address: str) -> None:
+        record = self._members.get(address)
+        if record is None or record.status == MemberStatus.DEAD:
+            return
+        self._transition(address, MemberStatus.DEAD, record.incarnation, None)
+        self._enqueue(Update("dead", address, record.incarnation))
+
+    def local_join(self, address: str, incarnation: int = 0) -> None:
+        self.apply(Update("alive", address, incarnation), now=0.0)
+
+    def local_leave(self) -> Update:
+        """Voluntary departure: announce self as dead at current inc."""
+        update = Update("dead", self.self_address, self.incarnation)
+        self._enqueue(update)
+        return update
+
+    # ------------------------------------------------------------------
+    # applying gossip (the SWIM override rules)
+    # ------------------------------------------------------------------
+    def apply(self, update: Update, now: float) -> bool:
+        """Apply one gossiped update; returns True if state changed."""
+        if update.address == self.self_address:
+            return self._apply_about_self(update)
+        record = self._members.get(update.address)
+        kind, inc = update.kind, update.incarnation
+        if kind == "alive":
+            if record is None or record.status == MemberStatus.DEAD:
+                if record is not None and inc <= record.incarnation:
+                    return False  # stale alive about a confirmed-dead member
+                self._members[update.address] = _MemberRecord(MemberStatus.ALIVE, inc)
+                self._bump_epoch("alive", update.address)
+                self._enqueue(update)
+                return True
+            if inc > record.incarnation:
+                # alive overrides suspect only with strictly higher inc
+                changed = record.status != MemberStatus.ALIVE
+                record.status = MemberStatus.ALIVE
+                record.incarnation = inc
+                record.suspect_since = None
+                if changed:
+                    self._bump_epoch("alive", update.address)
+                self._enqueue(update)
+                return changed
+            return False
+        if kind == "suspect":
+            if record is None:
+                self._members[update.address] = _MemberRecord(
+                    MemberStatus.SUSPECT, inc, suspect_since=now
+                )
+                self._bump_epoch("suspect", update.address)
+                self._enqueue(update)
+                return True
+            if record.status == MemberStatus.DEAD:
+                return False
+            if inc >= record.incarnation and record.status == MemberStatus.ALIVE:
+                self._transition(update.address, MemberStatus.SUSPECT, inc, now)
+                self._enqueue(update)
+                return True
+            return False
+        if kind == "dead":
+            if record is None or record.status != MemberStatus.DEAD:
+                self._transition(update.address, MemberStatus.DEAD, inc, None)
+                self._enqueue(update)
+                return True
+            return False
+        raise ValueError(f"unknown update kind {kind!r}")
+
+    def _apply_about_self(self, update: Update) -> bool:
+        """Refute suspicion/death rumours about ourselves (SWIM's
+        incarnation mechanism)."""
+        if update.kind in ("suspect", "dead") and update.incarnation >= self.incarnation:
+            self.incarnation = update.incarnation + 1
+            self._members[self.self_address].incarnation = self.incarnation
+            self._enqueue(Update("alive", self.self_address, self.incarnation))
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # dissemination buffer
+    # ------------------------------------------------------------------
+    def _retransmit_budget(self) -> int:
+        n = max(1, len(self.view_members()))
+        return max(1, math.ceil(self.config.gossip_mult * math.log2(n + 1)))
+
+    def _enqueue(self, update: Update) -> None:
+        self._buffer[update.key()] = [update, self._retransmit_budget()]
+
+    def collect_piggyback(self) -> list[dict]:
+        """Pick updates to piggyback on an outgoing message, preferring
+        the least-disseminated; decrement their budgets."""
+        entries = sorted(self._buffer.values(), key=lambda e: -e[1])
+        out: list[dict] = []
+        for entry in entries[: self.config.max_piggyback]:
+            out.append(entry[0].to_wire())
+            entry[1] -= 1
+        self._buffer = {
+            k: e for k, e in self._buffer.items() if e[1] > 0
+        }
+        return out
+
+    def absorb_piggyback(self, updates: Iterable[dict], now: float) -> None:
+        for doc in updates or []:
+            self.apply(Update.from_wire(doc), now)
+
+    # ------------------------------------------------------------------
+    def _transition(
+        self,
+        address: str,
+        status: MemberStatus,
+        incarnation: int,
+        now: Optional[float],
+    ) -> None:
+        record = self._members.get(address)
+        if record is None:
+            record = _MemberRecord(status, incarnation)
+            self._members[address] = record
+        record.status = status
+        record.incarnation = max(record.incarnation, incarnation)
+        record.suspect_since = now if status == MemberStatus.SUSPECT else None
+        self._bump_epoch(status.value, address)
+
+    def _bump_epoch(self, kind: str, address: str) -> None:
+        self.epoch += 1
+        if self.on_change is not None:
+            self.on_change(kind, address)

@@ -1,0 +1,51 @@
+"""Group views.
+
+SSG "maintains a dynamic view of a group of processes and allows this
+view to be retrieved by client applications" (paper section 6,
+Observation 7).  A view is an immutable snapshot: the sorted member
+addresses plus a short hash -- the hash is what Colza piggybacks on
+every RPC to detect stale clients.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["GroupView", "view_hash_of"]
+
+
+def view_hash_of(addresses: Iterable[str]) -> str:
+    """Order-independent 16-hex-digit digest of a member set."""
+    digest = hashlib.sha256("\n".join(sorted(addresses)).encode()).hexdigest()
+    return digest[:16]
+
+
+@dataclass(frozen=True)
+class GroupView:
+    """An immutable membership snapshot."""
+
+    group_name: str
+    members: tuple[str, ...]  # sorted addresses
+    epoch: int
+
+    @classmethod
+    def of(cls, group_name: str, addresses: Iterable[str], epoch: int) -> "GroupView":
+        return cls(group_name=group_name, members=tuple(sorted(addresses)), epoch=epoch)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def hash(self) -> str:
+        return view_hash_of(self.members)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self.members
+
+    def index_of(self, address: str) -> int:
+        """Rank of a member in the view (stable across members with the
+        same view; used for deterministic role assignment)."""
+        return self.members.index(address)

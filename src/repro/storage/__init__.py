@@ -1,0 +1,12 @@
+"""Storage substrate: node-local stores and a shared parallel file system."""
+
+from .local import LocalStore, NoSuchFileError, StorageCostModel, StorageError
+from .pfs import ParallelFileSystem
+
+__all__ = [
+    "LocalStore",
+    "ParallelFileSystem",
+    "StorageCostModel",
+    "StorageError",
+    "NoSuchFileError",
+]

@@ -1,0 +1,5 @@
+"""Diagnostic tooling (the paper's community-support lesson, section 2.2)."""
+
+from .diagnostics import cluster_report, monitoring_report, process_report
+
+__all__ = ["cluster_report", "process_report", "monitoring_report"]

@@ -1,0 +1,113 @@
+"""Diagnostic reports.
+
+Paper section 2.2 (lessons learned): "Mochi users must be able to
+rapidly diagnose behavioral and performance problems on their own ...
+we created easy-to-install Mochi packages, command-line diagnostic
+tools, and monitoring infrastructure."
+
+These helpers render the state of a cluster, a Bedrock-managed process,
+or a statistics monitor as human-readable text -- the simulated
+equivalent of those command-line tools.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..bedrock.server import BedrockServer
+from ..cluster import Cluster
+from ..monitoring.stats_monitor import StatisticsMonitor
+
+__all__ = ["cluster_report", "process_report", "monitoring_report"]
+
+
+def cluster_report(cluster: Cluster) -> str:
+    """Topology + liveness overview."""
+    lines = [f"cluster @ t={cluster.now:.6f}s"]
+    lines.append(
+        f"  nodes: {len(cluster.network.nodes)}  "
+        f"processes: {len(cluster.network.processes)}  "
+        f"messages: {cluster.network.messages_sent} sent / "
+        f"{cluster.network.messages_dropped} dropped / "
+        f"{cluster.network.bytes_sent} bytes"
+    )
+    for node_name in sorted(cluster.network.nodes):
+        node = cluster.network.nodes[node_name]
+        state = "up" if node.alive else "DEAD"
+        lines.append(f"  node {node_name} [{state}]")
+        for process in sorted(
+            (p for p in cluster.network.processes.values() if p.node is node),
+            key=lambda p: p.name,
+        ):
+            pstate = "up" if process.alive else "DEAD"
+            lines.append(f"    process {process.name} [{pstate}] {process.address}")
+    if cluster.faults.history:
+        lines.append("  fault history:")
+        for fault in cluster.faults.history:
+            lines.append(f"    t={fault.time:.3f}s {fault.kind}: {fault.target}")
+    return "\n".join(lines)
+
+
+def process_report(bedrock: BedrockServer) -> str:
+    """One Bedrock-managed process: runtime shape + providers + deps."""
+    margo = bedrock.margo
+    lines = [f"process {margo.process.name} ({margo.address})"]
+    lines.append("  argobots:")
+    for name, pool in sorted(margo.pools.items()):
+        streams = ",".join(x.name for x in pool.xstreams) or "none"
+        lines.append(
+            f"    pool {name}: queued={pool.size} "
+            f"pushed={pool.total_pushed} xstreams=[{streams}]"
+        )
+    for name, xstream in sorted(margo.xstreams.items()):
+        lines.append(
+            f"    xstream {name}: busy={xstream.busy_time:.6f}s "
+            f"slices={xstream.slices_run}"
+        )
+    lines.append(
+        f"  rpc: sent={margo.rpcs_sent} handled={margo.rpcs_handled} "
+        f"inflight={margo.inflight_incoming}/{margo.inflight_outgoing}"
+    )
+    lines.append(f"  libraries: {dict(bedrock.library_of)}")
+    lines.append("  providers:")
+    for name, record in sorted(bedrock.records.items()):
+        lines.append(
+            f"    {name} (type={record.type_name} id={record.provider_id} "
+            f"pool={record.pool})"
+        )
+        for dep_name, spec in record.dependencies.items():
+            lines.append(f"      depends on {dep_name}: {spec}")
+        holders = bedrock.dependents.get(name)
+        if holders:
+            lines.append(f"      depended on by: {sorted(holders)}")
+    return "\n".join(lines)
+
+
+def monitoring_report(monitor: StatisticsMonitor, top: int = 10) -> str:
+    """Top RPCs by total target-side time (the "where does time go"
+    question the paper's monitoring answers)."""
+    doc = monitor.to_json()
+    entries: list[tuple[float, str, dict[str, Any]]] = []
+    for key, record in doc.get("rpcs", {}).items():
+        total = 0.0
+        count = 0
+        for peer in record.get("target", {}).values():
+            duration = peer.get("ult", {}).get("duration", {})
+            total += duration.get("sum", 0.0)
+            count += duration.get("num", 0)
+        entries.append((total, record["name"], {"key": key, "count": count}))
+    entries.sort(reverse=True)
+    lines = [f"top {min(top, len(entries))} RPCs by server-side time:"]
+    for total, name, info in entries[:top]:
+        mean = total / info["count"] if info["count"] else 0.0
+        lines.append(
+            f"  {name:<24} calls={info['count']:<8} total={total * 1e6:10.2f}us "
+            f"mean={mean * 1e6:8.2f}us  [{info['key']}]"
+        )
+    if "bulk" in doc:
+        bulk = doc["bulk"]
+        lines.append(
+            f"  bulk transfers: n={bulk['duration']['num']} "
+            f"bytes={int(bulk['size']['sum'])}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Warabi: Mochi's blob-storage component."""
+
+from .client import TargetHandle, WarabiClient
+from .provider import NoSuchBlobError, WarabiError, WarabiProvider
+from .virtual import VirtualWarabiProvider
+
+__all__ = [
+    "WarabiProvider",
+    "VirtualWarabiProvider",
+    "WarabiClient",
+    "TargetHandle",
+    "WarabiError",
+    "NoSuchBlobError",
+]

@@ -1,0 +1,215 @@
+"""Warabi provider: the blob-storage component (paper section 3.2).
+
+Manages named blob *targets*: clients create blobs, then read/write byte
+ranges.  Like Yokan, backends are pluggable (``memory`` or
+``persistent``), large transfers use the bulk path, and the provider
+implements the dynamic-service hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..core.component import Provider
+from ..margo.runtime import MargoInstance, RequestContext
+from ..margo.ult import Compute, UltSleep
+from ..mercury import BULK_OP_PULL, BULK_OP_PUSH, BulkHandle
+from ..storage.local import LocalStore
+
+__all__ = ["WarabiProvider", "WarabiError", "NoSuchBlobError"]
+
+OP_BASE_COST = 300e-9
+BYTES_PER_SECOND = 10e9
+DEFAULT_BULK_THRESHOLD = 8192
+
+
+class WarabiError(RuntimeError):
+    """Base class for Warabi errors."""
+
+
+class NoSuchBlobError(WarabiError, KeyError):
+    def __init__(self, blob_id: int) -> None:
+        super().__init__(blob_id)
+        self.blob_id = blob_id
+
+    def __str__(self) -> str:
+        return f"no such blob: {self.blob_id}"
+
+
+class WarabiProvider(Provider):
+    """Manages one blob target.
+
+    Config::
+
+        {"target": {"type": "memory" | "persistent"}, "bulk_threshold": 8192}
+    """
+
+    component_type = "warabi"
+
+    def __init__(
+        self,
+        margo: MargoInstance,
+        name: str,
+        provider_id: int,
+        pool: Any = None,
+        config: Optional[dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(margo, name, provider_id, pool=pool, config=config)
+        target = dict(self.config.get("target", {}))
+        self.target_type = target.get("type", "memory")
+        if self.target_type not in ("memory", "persistent"):
+            raise WarabiError(f"unknown target type {self.target_type!r}")
+        self.store: Optional[LocalStore] = None
+        if self.target_type == "persistent":
+            attachment = target.get("store_attachment", "disk")
+            store = margo.process.node.attachments.get(attachment)
+            if not isinstance(store, LocalStore):
+                raise WarabiError(
+                    f"persistent target needs LocalStore attachment {attachment!r}"
+                )
+            self.store = store
+        self.bulk_threshold = int(self.config.get("bulk_threshold", DEFAULT_BULK_THRESHOLD))
+        self._blobs: dict[int, bytearray] = {}
+        self._next_id = 0
+
+        self.register_rpc("create", self._on_create)
+        self.register_rpc("write", self._on_write)
+        self.register_rpc("read", self._on_read)
+        self.register_rpc("size", self._on_size)
+        self.register_rpc("erase", self._on_erase)
+        self.register_rpc("list", self._on_list)
+
+    # ------------------------------------------------------------------
+    def _blob(self, blob_id: int) -> bytearray:
+        try:
+            return self._blobs[blob_id]
+        except KeyError:
+            raise NoSuchBlobError(blob_id) from None
+
+    def _blob_path(self, blob_id: int) -> str:
+        return f"warabi/{self.name}/{blob_id}"
+
+    def _persist(self, blob_id: int) -> Generator:
+        if self.store is not None:
+            data = bytes(self._blobs[blob_id])
+            yield UltSleep(self.store.write_cost(len(data)))
+            self.store.write(self._blob_path(blob_id), data)
+        return None
+
+    # ------------------------------------------------------------------
+    # RPC handlers
+    # ------------------------------------------------------------------
+    def _on_create(self, ctx: RequestContext) -> Generator:
+        size = int((ctx.args or {}).get("size", 0))
+        if size < 0:
+            raise WarabiError(f"negative blob size: {size}")
+        yield Compute(OP_BASE_COST)
+        blob_id = self._next_id
+        self._next_id += 1
+        self._blobs[blob_id] = bytearray(size)
+        yield from self._persist(blob_id)
+        return blob_id
+
+    def _on_write(self, ctx: RequestContext) -> Generator:
+        args = ctx.args
+        blob_id = args["id"]
+        offset = args.get("offset", 0)
+        bulk = args.get("bulk")
+        if bulk is not None:
+            yield from self.margo.bulk_transfer(ctx.source, bulk.size, op=BULK_OP_PULL)
+            data = bulk.data
+        else:
+            data = args["data"]
+        blob = self._blob(blob_id)
+        if offset < 0:
+            raise WarabiError(f"negative offset: {offset}")
+        end = offset + len(data)
+        if end > len(blob):
+            blob.extend(b"\x00" * (end - len(blob)))
+        yield Compute(OP_BASE_COST + len(data) / BYTES_PER_SECOND)
+        blob[offset:end] = data
+        yield from self._persist(blob_id)
+        return len(data)
+
+    def _on_read(self, ctx: RequestContext) -> Generator:
+        args = ctx.args
+        blob = self._blob(args["id"])
+        offset = args.get("offset", 0)
+        size = args.get("size")
+        if size is None:
+            size = len(blob) - offset
+        if offset < 0 or size < 0 or offset + size > len(blob):
+            raise WarabiError(
+                f"read out of range: offset={offset} size={size} blob={len(blob)}"
+            )
+        yield Compute(OP_BASE_COST + size / BYTES_PER_SECOND)
+        data = bytes(blob[offset : offset + size])
+        if self.store is not None:
+            yield UltSleep(self.store.read_cost(size))
+        if len(data) >= self.bulk_threshold:
+            yield from self.margo.bulk_transfer(ctx.source, len(data), op=BULK_OP_PUSH)
+            return BulkHandle(self.margo.address, len(data), data)
+        return data
+
+    def _on_size(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_BASE_COST)
+        return len(self._blob(ctx.args["id"]))
+
+    def _on_erase(self, ctx: RequestContext) -> Generator:
+        blob_id = ctx.args["id"]
+        self._blob(blob_id)  # existence check
+        yield Compute(OP_BASE_COST)
+        del self._blobs[blob_id]
+        if self.store is not None and self.store.exists(self._blob_path(blob_id)):
+            self.store.delete(self._blob_path(blob_id))
+        return None
+
+    def _on_list(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_BASE_COST)
+        return sorted(self._blobs)
+
+    # ------------------------------------------------------------------
+    # dynamic-service hooks
+    # ------------------------------------------------------------------
+    def local_files(self) -> list[str]:
+        if self.store is None:
+            return []
+        return self.store.list(f"warabi/{self.name}/")
+
+    def get_config(self) -> dict[str, Any]:
+        doc = dict(self.config)
+        doc["target"] = {"type": self.target_type}
+        doc["statistics"] = {
+            "num_blobs": len(self._blobs),
+            "size_bytes": sum(len(b) for b in self._blobs.values()),
+        }
+        return doc
+
+    def migrate(self, remi_client: Any, dest_address: str, dest_provider_id: int) -> Generator:
+        if self.store is None:
+            raise WarabiError("migration requires a persistent target")
+        for blob_id in self._blobs:
+            yield from self._persist(blob_id)
+        result = yield from remi_client.migrate_files(
+            dest_address, self.local_files(), dest_provider_id=dest_provider_id
+        )
+        return result
+
+    def checkpoint(self, pfs: Any, path: str) -> Generator:
+        from ..yokan.backend import encode_records
+
+        image = encode_records(
+            (str(blob_id).encode(), bytes(blob)) for blob_id, blob in sorted(self._blobs.items())
+        )
+        yield UltSleep(pfs.write_cost(len(image)))
+        pfs.write(path, image)
+        return len(image)
+
+    def restore(self, pfs: Any, path: str) -> Generator:
+        from ..yokan.backend import decode_records
+
+        image = pfs.read(path)
+        yield UltSleep(pfs.read_cost(len(image)))
+        self._blobs = {int(k): bytearray(v) for k, v in decode_records(image)}
+        self._next_id = max(self._blobs, default=-1) + 1
+        return len(image)

@@ -1,0 +1,182 @@
+"""Virtual blob targets: the virtual-resource pattern, generalized.
+
+The paper's Observation 10 (section 7) describes virtual resources for
+"a provider [that] manages a resource that forwards its requests to
+other components that hold the actual data" -- the pattern is not
+KV-specific.  :class:`VirtualWarabiProvider` applies it to Warabi:
+writes replicate to N real targets, reads fail over, and clients use
+the ordinary :class:`~repro.warabi.client.TargetHandle`.
+
+Blob ids are allocated by the virtual provider and mapped to the
+per-replica ids (replicas may number blobs differently after repairs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..core.component import Provider
+from ..core.parallel import ParallelError, parallel
+from ..margo.errors import RpcError, RpcFailedError
+from ..margo.runtime import MargoInstance, RequestContext
+from ..margo.ult import Compute
+from ..mercury import BulkHandle
+from .client import TargetHandle, WarabiClient
+from .provider import WarabiError
+
+__all__ = ["VirtualWarabiProvider"]
+
+ROUTE_COST = 200e-9
+
+
+class VirtualWarabiProvider(Provider):
+    """A Warabi-compatible provider that replicates to N real targets.
+
+    Config::
+
+        {"targets": [{"address": ..., "provider_id": ...}, ...],
+         "rpc_timeout": 1.0}
+    """
+
+    component_type = "warabi"  # same namespace: transparent to clients
+
+    def __init__(
+        self,
+        margo: MargoInstance,
+        name: str,
+        provider_id: int,
+        pool: Any = None,
+        config: Optional[dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(margo, name, provider_id, pool=pool, config=config)
+        targets = self.config.get("targets", [])
+        if not targets:
+            raise WarabiError("virtual target needs at least one real target")
+        client = WarabiClient(margo)
+        self.rpc_timeout = float(self.config.get("rpc_timeout", 1.0))
+        self.replicas: list[TargetHandle] = []
+        for target in targets:
+            handle = client.make_handle(target["address"], target["provider_id"])
+            handle.timeout = self.rpc_timeout
+            self.replicas.append(handle)
+        #: virtual blob id -> list of per-replica blob ids.
+        self._mapping: dict[int, list[int]] = {}
+        self._next_id = 0
+
+        self.register_rpc("create", self._on_create)
+        self.register_rpc("write", self._on_write)
+        self.register_rpc("read", self._on_read)
+        self.register_rpc("size", self._on_size)
+        self.register_rpc("erase", self._on_erase)
+        self.register_rpc("list", self._on_list)
+
+    # ------------------------------------------------------------------
+    def _replica_ids(self, virtual_id: int) -> list[int]:
+        try:
+            return self._mapping[virtual_id]
+        except KeyError:
+            raise WarabiError(f"no such blob: {virtual_id}") from None
+
+    def _write_all(self, make_gen) -> Generator:
+        yield Compute(ROUTE_COST)
+        try:
+            results = yield from parallel(
+                self.margo, [make_gen(i, r) for i, r in enumerate(self.replicas)]
+            )
+            return results
+        except ParallelError as err:
+            if len(err.errors) == len(self.replicas):
+                raise WarabiError(
+                    f"all {len(self.replicas)} replicas failed"
+                ) from err
+            # Partial failure tolerated; surviving replicas hold the data.
+            return [None] * len(self.replicas)
+
+    def _read_any(self, make_gen) -> Generator:
+        yield Compute(ROUTE_COST)
+        last: Optional[BaseException] = None
+        for index, replica in enumerate(self.replicas):
+            try:
+                result = yield from make_gen(index, replica)
+                return result
+            except RpcFailedError:
+                raise  # data-level error: authoritative
+            except RpcError as err:
+                last = err
+        raise WarabiError(f"no live replica among {len(self.replicas)}") from last
+
+    # ------------------------------------------------------------------
+    def _on_create(self, ctx: RequestContext) -> Generator:
+        size = int((ctx.args or {}).get("size", 0))
+        ids = yield from self._write_all(lambda i, r: r.create(size=size))
+        virtual_id = self._next_id
+        self._next_id += 1
+        # Failed replicas recorded as -1 (not repaired here).
+        self._mapping[virtual_id] = [b if b is not None else -1 for b in ids]
+        return virtual_id
+
+    def _on_write(self, ctx: RequestContext) -> Generator:
+        args = ctx.args
+        ids = self._replica_ids(args["id"])
+        offset = args.get("offset", 0)
+        bulk = args.get("bulk")
+        if bulk is not None:
+            yield from self.margo.bulk_transfer(ctx.source, bulk.size, op="pull")
+            data = bulk.data
+        else:
+            data = args["data"]
+        results = yield from self._write_all(
+            lambda i, r: r.write(ids[i], data, offset=offset) if ids[i] >= 0 else _noop()
+        )
+        return len(data)
+
+    def _on_read(self, ctx: RequestContext) -> Generator:
+        args = ctx.args
+        ids = self._replica_ids(args["id"])
+        data = yield from self._read_any(
+            lambda i, r: r.read(ids[i], offset=args.get("offset", 0),
+                                size=args.get("size"))
+            if ids[i] >= 0
+            else _fail()
+        )
+        if len(data) >= 8192:
+            yield from self.margo.bulk_transfer(ctx.source, len(data), op="push")
+            return BulkHandle(self.margo.address, len(data), data)
+        return data
+
+    def _on_size(self, ctx: RequestContext) -> Generator:
+        ids = self._replica_ids(ctx.args["id"])
+        size = yield from self._read_any(
+            lambda i, r: r.size(ids[i]) if ids[i] >= 0 else _fail()
+        )
+        return size
+
+    def _on_erase(self, ctx: RequestContext) -> Generator:
+        virtual_id = ctx.args["id"]
+        ids = self._replica_ids(virtual_id)
+        yield from self._write_all(
+            lambda i, r: r.erase(ids[i]) if ids[i] >= 0 else _noop()
+        )
+        del self._mapping[virtual_id]
+        return None
+
+    def _on_list(self, ctx: RequestContext) -> Generator:
+        yield Compute(ROUTE_COST)
+        return sorted(self._mapping)
+
+    def get_config(self) -> dict[str, Any]:
+        doc = dict(self.config)
+        doc["virtual"] = True
+        doc["num_replicas"] = len(self.replicas)
+        doc["num_blobs"] = len(self._mapping)
+        return doc
+
+
+def _noop() -> Generator:
+    return None
+    yield  # pragma: no cover
+
+
+def _fail() -> Generator:
+    raise RpcError("replica hole (blob missing on this replica)")
+    yield  # pragma: no cover

@@ -1,0 +1,172 @@
+"""Abstract key-value backend interface (the "resource" of Fig. 1).
+
+Yokan "provides key-value storage on top of backends such as RocksDB,
+LevelDB, and Berkeley DB" (paper section 3.1).  Here the backend
+interface is the same idea: the provider is backend-agnostic, and
+backends register themselves in a factory by type name.
+
+Keys and values are ``bytes`` (``str`` inputs are UTF-8 encoded at the
+provider boundary).  Backends must implement a codec-stable
+``dump()``/``load()`` pair used for checkpointing and migration.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterable, Optional
+
+__all__ = [
+    "KVBackend",
+    "register_backend",
+    "create_backend",
+    "backend_types",
+    "encode_records",
+    "decode_records",
+    "YokanError",
+    "NoSuchKeyError",
+    "UnknownBackendError",
+]
+
+
+class YokanError(RuntimeError):
+    """Base class for Yokan errors."""
+
+
+class NoSuchKeyError(YokanError, KeyError):
+    """Key not present in the database."""
+
+    def __init__(self, key: bytes) -> None:
+        super().__init__(repr(key))
+        self.key = key
+
+    def __str__(self) -> str:
+        return f"no such key: {self.key!r}"
+
+
+class UnknownBackendError(YokanError, ValueError):
+    """Backend type name not registered."""
+
+
+# ----------------------------------------------------------------------
+# binary codec for dump/load (length-prefixed records)
+# ----------------------------------------------------------------------
+_LEN = struct.Struct("<I")
+
+
+def encode_records(items: Iterable[tuple[bytes, bytes]]) -> bytes:
+    """Serialize (key, value) pairs to a flat byte string."""
+    chunks: list[bytes] = []
+    for key, value in items:
+        chunks.append(_LEN.pack(len(key)))
+        chunks.append(key)
+        chunks.append(_LEN.pack(len(value)))
+        chunks.append(value)
+    return b"".join(chunks)
+
+
+def decode_records(data: bytes) -> list[tuple[bytes, bytes]]:
+    """Inverse of :func:`encode_records`."""
+    items: list[tuple[bytes, bytes]] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _LEN.size > total:
+            raise YokanError("truncated record stream (key length)")
+        (klen,) = _LEN.unpack_from(data, offset)
+        offset += _LEN.size
+        key = data[offset : offset + klen]
+        if len(key) != klen:
+            raise YokanError("truncated record stream (key body)")
+        offset += klen
+        if offset + _LEN.size > total:
+            raise YokanError("truncated record stream (value length)")
+        (vlen,) = _LEN.unpack_from(data, offset)
+        offset += _LEN.size
+        value = data[offset : offset + vlen]
+        if len(value) != vlen:
+            raise YokanError("truncated record stream (value body)")
+        offset += vlen
+        items.append((key, value))
+    return items
+
+
+# ----------------------------------------------------------------------
+# the abstract interface
+# ----------------------------------------------------------------------
+class KVBackend:
+    """Interface all Yokan backends implement."""
+
+    #: Set by subclasses; used in configs ({"database": {"type": ...}}).
+    type_name: str = "abstract"
+
+    def put(self, key: bytes, value: bytes) -> None:
+        raise NotImplementedError
+
+    def get(self, key: bytes) -> bytes:
+        raise NotImplementedError
+
+    def erase(self, key: bytes) -> None:
+        raise NotImplementedError
+
+    def exists(self, key: bytes) -> bool:
+        raise NotImplementedError
+
+    def count(self) -> int:
+        raise NotImplementedError
+
+    def list_keys(
+        self,
+        prefix: bytes = b"",
+        start_after: Optional[bytes] = None,
+        max_keys: int = 0,
+    ) -> list[bytes]:
+        """Keys with ``prefix``, after ``start_after``, up to ``max_keys``
+        (0 = unlimited).  Ordered backends return sorted keys."""
+        raise NotImplementedError
+
+    def items(self) -> Iterable[tuple[bytes, bytes]]:
+        raise NotImplementedError
+
+    def size_bytes(self) -> int:
+        """Approximate stored size (keys + values)."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    # ---- persistence ---------------------------------------------------
+    def dump(self) -> bytes:
+        """Serialize the whole database."""
+        return encode_records(sorted(self.items()))
+
+    def load(self, data: bytes) -> None:
+        """Replace contents with a previous :meth:`dump`."""
+        self.clear()
+        for key, value in decode_records(data):
+            self.put(key, value)
+
+
+# ----------------------------------------------------------------------
+# factory
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[[dict], KVBackend]] = {}
+
+
+def register_backend(type_name: str, factory: Callable[[dict], KVBackend]) -> None:
+    if type_name in _REGISTRY:
+        raise ValueError(f"backend type {type_name!r} already registered")
+    _REGISTRY[type_name] = factory
+
+
+def create_backend(type_name: str, config: Optional[dict] = None) -> KVBackend:
+    try:
+        factory = _REGISTRY[type_name]
+    except KeyError as err:
+        raise UnknownBackendError(
+            f"unknown backend type {type_name!r}; known: {sorted(_REGISTRY)}"
+        ) from err
+    return factory(config or {})
+
+
+def backend_types() -> list[str]:
+    return sorted(_REGISTRY)

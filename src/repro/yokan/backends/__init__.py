@@ -1,0 +1,7 @@
+"""Yokan backends; importing this package registers all built-in types."""
+
+from .map import MapBackend
+from .ordered import OrderedBackend
+from .persistent import PersistentBackend
+
+__all__ = ["MapBackend", "OrderedBackend", "PersistentBackend"]

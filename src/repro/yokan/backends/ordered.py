@@ -1,0 +1,89 @@
+"""Ordered backend: sorted keys, efficient prefix/range listing.
+
+Models the LevelDB/RocksDB-style sorted backends Yokan supports; the
+sorted key array is maintained with :mod:`bisect`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Optional
+
+from ..backend import KVBackend, NoSuchKeyError, register_backend
+
+__all__ = ["OrderedBackend"]
+
+
+class OrderedBackend(KVBackend):
+    """dict + sorted key list; O(log n) ordered scans."""
+
+    type_name = "ordered"
+
+    def __init__(self, config: Optional[dict] = None) -> None:
+        self._data: dict[bytes, bytes] = {}
+        self._keys: list[bytes] = []
+        self._bytes = 0
+
+    def put(self, key: bytes, value: bytes) -> None:
+        old = self._data.get(key)
+        if old is None:
+            bisect.insort(self._keys, key)
+        else:
+            self._bytes -= len(key) + len(old)
+        self._data[key] = value
+        self._bytes += len(key) + len(value)
+
+    def get(self, key: bytes) -> bytes:
+        try:
+            return self._data[key]
+        except KeyError:
+            raise NoSuchKeyError(key) from None
+
+    def erase(self, key: bytes) -> None:
+        value = self._data.pop(key, None)
+        if value is None:
+            raise NoSuchKeyError(key)
+        index = bisect.bisect_left(self._keys, key)
+        del self._keys[index]
+        self._bytes -= len(key) + len(value)
+
+    def exists(self, key: bytes) -> bool:
+        return key in self._data
+
+    def count(self) -> int:
+        return len(self._data)
+
+    def list_keys(
+        self,
+        prefix: bytes = b"",
+        start_after: Optional[bytes] = None,
+        max_keys: int = 0,
+    ) -> list[bytes]:
+        lower = start_after if (start_after is not None and start_after >= prefix) else None
+        if lower is not None:
+            start = bisect.bisect_right(self._keys, lower)
+        else:
+            start = bisect.bisect_left(self._keys, prefix)
+        out: list[bytes] = []
+        for index in range(start, len(self._keys)):
+            key = self._keys[index]
+            if prefix and not key.startswith(prefix):
+                break
+            out.append(key)
+            if max_keys and len(out) >= max_keys:
+                break
+        return out
+
+    def items(self) -> Iterable[tuple[bytes, bytes]]:
+        return ((k, self._data[k]) for k in self._keys)
+
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._keys.clear()
+        self._bytes = 0
+
+
+register_backend("ordered", OrderedBackend)

@@ -1,0 +1,124 @@
+"""Persistent backend: ordered map mirrored to node-local files.
+
+"Most data managed by Mochi components resides in files stored in a
+local storage device" (paper section 6).  This backend keeps the working
+set in memory (like an LSM memtable + block cache) and persists it as a
+file in a :class:`~repro.storage.local.LocalStore` under a configured
+``path``.  The file is what REMI migrates and what survives a process
+crash (transient failure).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ...storage.local import LocalStore
+from ..backend import KVBackend, NoSuchKeyError, YokanError, register_backend
+from .ordered import OrderedBackend
+
+__all__ = ["PersistentBackend"]
+
+
+class PersistentBackend(KVBackend):
+    """Ordered in-memory map with an on-"disk" image.
+
+    Config keys:
+
+    * ``path`` -- file path inside the local store (required);
+    * ``store`` -- the :class:`LocalStore` instance (injected by the
+      provider, which knows its node);
+    * ``sync_on_put`` -- if true, every mutation rewrites the image
+      (slow, durable); default false (call :meth:`flush`).
+    """
+
+    type_name = "persistent"
+
+    def __init__(self, config: Optional[dict] = None) -> None:
+        config = config or {}
+        store = config.get("store")
+        if not isinstance(store, LocalStore):
+            raise YokanError(
+                "persistent backend requires a 'store' (LocalStore) in its config"
+            )
+        path = config.get("path")
+        if not path:
+            raise YokanError("persistent backend requires a 'path' in its config")
+        self.store: LocalStore = store
+        self.path: str = path
+        self.sync_on_put: bool = bool(config.get("sync_on_put", False))
+        self._mem = OrderedBackend()
+        self.dirty = False
+        if self.store.exists(self.path):
+            self._mem.load(self.store.read(self.path))
+
+    # ---- mutations -------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> None:
+        self._mem.put(key, value)
+        self._after_mutation()
+
+    def erase(self, key: bytes) -> None:
+        self._mem.erase(key)
+        self._after_mutation()
+
+    def clear(self) -> None:
+        self._mem.clear()
+        self._after_mutation()
+
+    def _after_mutation(self) -> None:
+        self.dirty = True
+        if self.sync_on_put:
+            self.flush()
+
+    # ---- reads -------------------------------------------------------
+    def get(self, key: bytes) -> bytes:
+        return self._mem.get(key)
+
+    def exists(self, key: bytes) -> bool:
+        return self._mem.exists(key)
+
+    def count(self) -> int:
+        return self._mem.count()
+
+    def list_keys(
+        self,
+        prefix: bytes = b"",
+        start_after: Optional[bytes] = None,
+        max_keys: int = 0,
+    ) -> list[bytes]:
+        return self._mem.list_keys(prefix, start_after, max_keys)
+
+    def items(self) -> Iterable[tuple[bytes, bytes]]:
+        return self._mem.items()
+
+    def size_bytes(self) -> int:
+        return self._mem.size_bytes()
+
+    # ---- persistence ---------------------------------------------------
+    def flush(self) -> int:
+        """Write the current image to the local store; returns its size."""
+        image = self._mem.dump()
+        self.store.write(self.path, image)
+        self.dirty = False
+        return len(image)
+
+    def reload(self) -> None:
+        """Discard memory state and reload from the on-disk image."""
+        if self.store.exists(self.path):
+            self._mem.load(self.store.read(self.path))
+        else:
+            self._mem.clear()
+        self.dirty = False
+
+    def files(self) -> list[str]:
+        """Paths (in the local store) holding this database's state."""
+        return [self.path] if self.store.exists(self.path) else []
+
+    def dump(self) -> bytes:
+        return self._mem.dump()
+
+    def load(self, data: bytes) -> None:
+        self._mem.load(data)
+        self.flush()
+
+
+register_backend("persistent", PersistentBackend)

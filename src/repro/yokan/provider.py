@@ -1,0 +1,287 @@
+"""Yokan provider: the server side of the key-value component.
+
+Follows the Fig. 1 anatomy: configured from JSON, backend-agnostic,
+RPCs registered under its provider id in its pool.  Values above
+``bulk_threshold`` move over the one-sided bulk (RDMA) path instead of
+inline RPC payloads, as Mercury-based services do.
+
+Implements the dynamic-service hooks: ``migrate`` (via REMI, paper
+section 6), ``checkpoint``/``restore`` (via the parallel file system,
+paper section 7 Observation 9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..core.component import Provider
+from ..margo.runtime import MargoInstance, RequestContext
+from ..margo.ult import Compute, UltSleep
+from ..mercury import BULK_OP_PULL, BULK_OP_PUSH, BulkHandle
+from ..storage.local import LocalStore
+from . import backends as _backends  # noqa: F401 - registers built-ins
+from .backend import KVBackend, YokanError, create_backend
+
+__all__ = ["YokanProvider", "OP_BASE_COST", "BYTES_PER_SECOND"]
+
+#: CPU cost of one key-value operation (hashing, lookup, allocator).
+OP_BASE_COST = 300e-9
+#: Memory bandwidth for copying keys/values inside the provider.
+BYTES_PER_SECOND = 10e9
+
+#: Values at or above this many bytes use the bulk path by default.
+DEFAULT_BULK_THRESHOLD = 8192
+
+
+def _op_cost(nbytes: int) -> float:
+    return OP_BASE_COST + nbytes / BYTES_PER_SECOND
+
+
+def _to_bytes(value: Any) -> bytes:
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, (bytearray, memoryview)):
+        return bytes(value)
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    raise YokanError(f"keys/values must be bytes or str, got {type(value).__name__}")
+
+
+class YokanProvider(Provider):
+    """Manages one key-value database and serves it over RPC."""
+
+    component_type = "yokan"
+
+    def __init__(
+        self,
+        margo: MargoInstance,
+        name: str,
+        provider_id: int,
+        pool: Any = None,
+        config: Optional[dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(margo, name, provider_id, pool=pool, config=config)
+        db_config = dict(self.config.get("database", {}))
+        backend_type = db_config.pop("type", "map")
+        if backend_type == "persistent":
+            attachment = db_config.get("store_attachment", "disk")
+            store = margo.process.node.attachments.get(attachment)
+            if not isinstance(store, LocalStore):
+                raise YokanError(
+                    f"persistent database needs LocalStore attachment "
+                    f"{attachment!r} on node {margo.process.node.name}"
+                )
+            db_config.setdefault("path", f"yokan/{name}.db")
+            db_config["store"] = store
+        self.backend: KVBackend = create_backend(backend_type, db_config)
+        self.backend_type = backend_type
+        self.bulk_threshold = int(self.config.get("bulk_threshold", DEFAULT_BULK_THRESHOLD))
+
+        self.register_rpc("put", self._on_put)
+        self.register_rpc("get", self._on_get)
+        self.register_rpc("erase", self._on_erase)
+        self.register_rpc("exists", self._on_exists)
+        self.register_rpc("count", self._on_count)
+        self.register_rpc("list_keys", self._on_list_keys)
+        self.register_rpc("put_multi", self._on_put_multi)
+        self.register_rpc("get_multi", self._on_get_multi)
+        self.register_rpc("flush", self._on_flush)
+        self.register_rpc("fetch_image", self._on_fetch_image)
+        self.register_rpc("erase_matching", self._on_erase_matching)
+
+    # ------------------------------------------------------------------
+    # RPC handlers
+    # ------------------------------------------------------------------
+    def _extract_value(self, ctx: RequestContext, args: dict) -> Generator:
+        """Get the value from inline args or via the bulk path."""
+        bulk = args.get("bulk")
+        if bulk is not None:
+            yield from self.margo.bulk_transfer(ctx.source, bulk.size, op=BULK_OP_PULL)
+            return bulk.data
+        return args["value"]
+
+    def _on_put(self, ctx: RequestContext) -> Generator:
+        args = ctx.args
+        key = args["key"]
+        value = yield from self._extract_value(ctx, args)
+        yield Compute(_op_cost(len(key) + len(value)))
+        self.backend.put(key, value)
+        yield from self._maybe_sync(len(key) + len(value))
+        return None
+
+    def _on_get(self, ctx: RequestContext) -> Generator:
+        key = ctx.args["key"]
+        yield Compute(_op_cost(len(key)))
+        value = self.backend.get(key)
+        yield Compute(len(value) / BYTES_PER_SECOND)
+        if len(value) >= self.bulk_threshold:
+            yield from self.margo.bulk_transfer(ctx.source, len(value), op=BULK_OP_PUSH)
+            return BulkHandle(self.margo.address, len(value), value)
+        return value
+
+    def _on_erase(self, ctx: RequestContext) -> Generator:
+        key = ctx.args["key"]
+        yield Compute(_op_cost(len(key)))
+        self.backend.erase(key)
+        yield from self._maybe_sync(len(key))
+        return None
+
+    def _on_exists(self, ctx: RequestContext) -> Generator:
+        key = ctx.args["key"]
+        yield Compute(_op_cost(len(key)))
+        return self.backend.exists(key)
+
+    def _on_count(self, ctx: RequestContext) -> Generator:
+        yield Compute(OP_BASE_COST)
+        return self.backend.count()
+
+    def _on_list_keys(self, ctx: RequestContext) -> Generator:
+        args = ctx.args or {}
+        prefix = args.get("prefix", b"")
+        start_after = args.get("start_after")
+        max_keys = args.get("max_keys", 0)
+        yield Compute(OP_BASE_COST)
+        keys = self.backend.list_keys(prefix, start_after, max_keys)
+        yield Compute(sum(len(k) for k in keys) / BYTES_PER_SECOND)
+        return keys
+
+    def _on_put_multi(self, ctx: RequestContext) -> Generator:
+        args = ctx.args
+        bulk = args.get("bulk")
+        if bulk is not None:
+            # Batch arrived via the bulk path as an encoded record stream.
+            from .backend import decode_records
+
+            yield from self.margo.bulk_transfer(ctx.source, bulk.size, op=BULK_OP_PULL)
+            pairs = decode_records(bulk.data)
+        else:
+            pairs = args["pairs"]
+        total = 0
+        for key, value in pairs:
+            self.backend.put(key, value)
+            total += len(key) + len(value)
+        yield Compute(OP_BASE_COST * max(1, len(pairs)) + total / BYTES_PER_SECOND)
+        yield from self._maybe_sync(total)
+        return None
+
+    def _on_get_multi(self, ctx: RequestContext) -> Generator:
+        keys = ctx.args["keys"]
+        yield Compute(OP_BASE_COST * max(1, len(keys)))
+        values = [self.backend.get(k) for k in keys]
+        total = sum(len(v) for v in values)
+        yield Compute(total / BYTES_PER_SECOND)
+        if total >= self.bulk_threshold:
+            from .backend import encode_records
+
+            encoded = encode_records(zip(keys, values))
+            yield from self.margo.bulk_transfer(ctx.source, len(encoded), op=BULK_OP_PUSH)
+            return BulkHandle(self.margo.address, len(encoded), encoded)
+        return values
+
+    def _on_erase_matching(self, ctx: RequestContext) -> Generator:
+        """Erase all keys with ``prefix`` and (optionally) ``suffix``.
+
+        Supports retention policies (e.g. dropping raw products after a
+        filtering pass) without a round trip per key."""
+        args = ctx.args or {}
+        prefix = args.get("prefix", b"")
+        suffix = args.get("suffix", b"")
+        victims = [
+            k
+            for k in self.backend.list_keys(prefix=prefix)
+            if not suffix or k.endswith(suffix)
+        ]
+        erased_bytes = 0
+        for key in victims:
+            erased_bytes += len(key) + len(self.backend.get(key))
+            self.backend.erase(key)
+        yield Compute(OP_BASE_COST * max(1, len(victims)) + erased_bytes / BYTES_PER_SECOND)
+        yield from self._maybe_sync(erased_bytes)
+        return len(victims)
+
+    def _on_flush(self, ctx: RequestContext) -> Generator:
+        yield from self._flush_backend()
+        return None
+
+    def _on_fetch_image(self, ctx: RequestContext) -> Generator:
+        """Serve the full database image over the bulk path (used by
+        virtual-database resync and top-down recovery)."""
+        image = self.backend.dump()
+        yield Compute(_op_cost(len(image)))
+        yield from self.margo.bulk_transfer(ctx.source, len(image), op=BULK_OP_PUSH)
+        return BulkHandle(self.margo.address, len(image), image)
+
+    # ------------------------------------------------------------------
+    # persistence helpers
+    # ------------------------------------------------------------------
+    def _maybe_sync(self, nbytes: int) -> Generator:
+        backend = self.backend
+        if getattr(backend, "sync_on_put", False):
+            store = backend.store  # type: ignore[attr-defined]
+            yield UltSleep(store.write_cost(nbytes))
+            backend.flush()  # type: ignore[attr-defined]
+        return None
+
+    def _flush_backend(self) -> Generator:
+        flush = getattr(self.backend, "flush", None)
+        if flush is None:
+            return 0  # memory backend: nothing to flush
+        image_size = self.backend.size_bytes()
+        store = self.backend.store  # type: ignore[attr-defined]
+        yield UltSleep(store.write_cost(image_size))
+        return flush()
+
+    def local_files(self) -> list[str]:
+        """Local-store paths holding this provider's persistent state."""
+        files = getattr(self.backend, "files", None)
+        return files() if files is not None else []
+
+    # ------------------------------------------------------------------
+    # dynamic-service hooks
+    # ------------------------------------------------------------------
+    def get_config(self) -> dict[str, Any]:
+        doc = dict(self.config)
+        doc["database"] = dict(doc.get("database", {}))
+        doc["database"]["type"] = self.backend_type
+        doc["statistics"] = {
+            "count": self.backend.count(),
+            "size_bytes": self.backend.size_bytes(),
+        }
+        return doc
+
+    def migrate(self, remi_client: Any, dest_address: str, dest_provider_id: int) -> Generator:
+        """Flush and ship this database's files to the destination process.
+
+        REMI moves the files; the caller (Bedrock) is responsible for
+        instantiating the destination provider over them and destroying
+        this one (paper section 6: "the migration of a component can be
+        reduced to the migration of its files to a new location...").
+        """
+        yield from self._flush_backend()
+        paths = self.local_files()
+        if not paths:
+            # Memory backend: materialize a one-off image file to migrate.
+            store = self.margo.process.node.attachments.get("disk")
+            if not isinstance(store, LocalStore):
+                raise YokanError("migration of a memory database needs a local store")
+            image = self.backend.dump()
+            path = f"yokan/{self.name}.migrate.db"
+            yield UltSleep(store.write_cost(len(image)))
+            store.write(path, image)
+            paths = [path]
+        result = yield from remi_client.migrate_files(
+            dest_address, paths, dest_provider_id=dest_provider_id
+        )
+        return result
+
+    def checkpoint(self, pfs: Any, path: str) -> Generator:
+        image = self.backend.dump()
+        yield UltSleep(pfs.write_cost(len(image)))
+        pfs.write(path, image)
+        return len(image)
+
+    def restore(self, pfs: Any, path: str) -> Generator:
+        image = pfs.read(path)
+        yield UltSleep(pfs.read_cost(len(image)))
+        self.backend.load(image)
+        return len(image)

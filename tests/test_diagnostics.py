@@ -1,0 +1,81 @@
+"""Tests for the diagnostic report tooling."""
+
+import pytest
+
+from repro import Cluster
+from repro.bedrock import boot_process
+from repro.monitoring import StatisticsMonitor
+from repro.tools import cluster_report, monitoring_report, process_report
+from repro.yokan import YokanClient
+
+
+@pytest.fixture()
+def rig():
+    cluster = Cluster(seed=81)
+    monitor = StatisticsMonitor()
+    margo, bedrock = boot_process(
+        cluster, "svc", "n0",
+        {
+            "libraries": {"yokan": "libyokan.so", "remi": "libremi.so"},
+            "providers": [
+                {"name": "remi0", "type": "remi", "provider_id": 0},
+                {"name": "db0", "type": "yokan", "provider_id": 1,
+                 "dependencies": {"mover": "remi0"}},
+            ],
+        },
+        monitors=(monitor,),
+    )
+    app = cluster.add_margo("app", node="na")
+    db = YokanClient(app).make_handle(margo.address, 1)
+
+    def driver():
+        yield from db.put("k", "v" * 100)
+        yield from db.get("k")
+        yield from db.count()
+
+    cluster.run_ult(app, driver())
+    return cluster, bedrock, monitor
+
+
+def test_cluster_report_contents(rig):
+    cluster, _, _ = rig
+    report = cluster_report(cluster)
+    assert "node n0" in report
+    assert "process svc [up]" in report
+    assert "messages:" in report
+
+
+def test_cluster_report_shows_faults(rig):
+    cluster, bedrock, _ = rig
+    cluster.faults.kill_process(bedrock.margo.process)
+    report = cluster_report(cluster)
+    assert "process svc [DEAD]" in report
+    assert "fault history:" in report
+    assert "process: svc" in report
+
+
+def test_process_report_contents(rig):
+    _, bedrock, _ = rig
+    report = process_report(bedrock)
+    assert "pool __primary__" in report
+    assert "db0 (type=yokan id=1" in report
+    assert "depends on mover: remi0" in report
+    assert "depended on by: ['local:db0']" in report
+    assert "libraries:" in report
+
+
+def test_monitoring_report_contents(rig):
+    _, _, monitor = rig
+    report = monitoring_report(monitor)
+    assert "yokan_put" in report
+    assert "yokan_get" in report
+    assert "calls=1" in report
+    # Sorted by total time: header first, then entries.
+    lines = report.splitlines()
+    assert lines[0].startswith("top ")
+    assert len(lines) >= 4
+
+
+def test_monitoring_report_empty():
+    report = monitoring_report(StatisticsMonitor())
+    assert "top 0" in report

@@ -1,0 +1,127 @@
+"""Tests for SSG group files and the HEPnOS scan-equivalence property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster
+from repro.ssg import (
+    SSGError,
+    SwimConfig,
+    create_group,
+    observer_from_group_file,
+    read_group_file,
+    write_group_file,
+)
+from repro.storage import ParallelFileSystem
+
+SWIM = SwimConfig(period=0.5, ping_timeout=0.15, suspicion_timeout=2.0)
+
+
+def make_group(n=3, seed=95):
+    cluster = Cluster(seed=seed)
+    margos = [cluster.add_margo(f"m{i}", node=f"n{i}") for i in range(n)]
+    groups = create_group("svc", margos, cluster.randomness, swim=SWIM)
+    cluster.run(until=2.0)
+    return cluster, margos, groups
+
+
+def test_group_file_roundtrip():
+    cluster, margos, groups = make_group()
+    pfs = ParallelFileSystem()
+    write_group_file(pfs, "svc.ssg", groups[0])
+    doc = read_group_file(pfs, "svc.ssg")
+    assert doc["group_name"] == "svc"
+    assert doc["members"] == sorted(m.address for m in margos)
+    assert doc["hash"] == groups[0].view_hash
+
+
+def test_observer_bootstraps_from_group_file():
+    cluster, margos, groups = make_group()
+    pfs = ParallelFileSystem()
+    write_group_file(pfs, "svc.ssg", groups[0])
+    app = cluster.add_margo("app", node="na")
+    observer = observer_from_group_file(app, pfs, "svc.ssg", rpc_timeout=0.5)
+
+    def refresh():
+        return (yield from observer.refresh())
+
+    view = cluster.run_ult(app, refresh())
+    assert view.size == 3
+
+
+def test_observer_from_stale_group_file_still_works():
+    """A group file written before churn still bootstraps, as long as
+    one listed member is alive (the observer fails over)."""
+    cluster, margos, groups = make_group(n=4, seed=96)
+    pfs = ParallelFileSystem()
+    write_group_file(pfs, "svc.ssg", groups[0])
+    # After the file was written, the first two members die.
+    cluster.faults.kill_process(margos[0].process)
+    cluster.faults.kill_process(margos[1].process)
+    cluster.run(until=cluster.now + 30.0)
+    app = cluster.add_margo("app", node="na")
+    observer = observer_from_group_file(app, pfs, "svc.ssg", rpc_timeout=0.3)
+
+    def refresh():
+        return (yield from observer.refresh())
+
+    view = cluster.run_ult(app, refresh())
+    assert view.size == 2
+    assert margos[0].address not in view.members
+
+
+def test_group_file_validation():
+    pfs = ParallelFileSystem()
+    with pytest.raises(SSGError, match="unreadable"):
+        read_group_file(pfs, "missing.ssg")
+    pfs.write("bad.ssg", b"not json")
+    with pytest.raises(SSGError, match="unreadable"):
+        read_group_file(pfs, "bad.ssg")
+    pfs.write("v0.ssg", b'{"version": 0}')
+    with pytest.raises(SSGError, match="version"):
+        read_group_file(pfs, "v0.ssg")
+    pfs.write("empty.ssg",
+              b'{"version": 1, "group_name": "g", "provider_id": 1, "members": []}')
+    with pytest.raises(SSGError, match="no members"):
+        read_group_file(pfs, "empty.ssg")
+
+
+# ----------------------------------------------------------------------
+# HEPnOS: paged iteration must agree with the parallel bulk scan
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),   # run
+            st.integers(min_value=0, max_value=2),   # subrun
+            st.integers(min_value=0, max_value=30),  # event
+        ),
+        min_size=1,
+        max_size=40,
+        unique=True,
+    ),
+    st.integers(min_value=1, max_value=16),  # page size
+)
+def test_hepnos_iterate_matches_list(events, page_size):
+    from repro.hepnos import EventKey, HEPnOSService
+
+    cluster = Cluster(seed=97)
+    service = HEPnOSService.deploy(cluster, ["n0", "n1"], databases_per_process=2)
+    app = cluster.add_margo("app", node="na")
+    client = service.client(app)
+
+    def driver():
+        items = [
+            (EventKey("ds", run, subrun, event), "raw", b"x")
+            for run, subrun, event in events
+        ]
+        yield from client.store_batch(items)
+        listed = yield from client.list_events("ds")
+        iterated = yield from client.iterate_events("ds", page_size=page_size)
+        return listed, iterated
+
+    listed, iterated = cluster.run_ult(app, driver())
+    assert listed == iterated
+    assert len(listed) == len(events)

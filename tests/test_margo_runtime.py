@@ -1,0 +1,402 @@
+"""Integration tests for the Margo runtime: RPC paths, config, reconfiguration."""
+
+import pytest
+
+from repro import Cluster
+from repro.margo import (
+    Compute,
+    ConfigError,
+    DuplicateNameError,
+    FinalizedError,
+    MargoConfig,
+    NoSuchPoolError,
+    NoSuchRpcError,
+    PoolInUseError,
+    RpcFailedError,
+    RpcTimeoutError,
+)
+from repro.mercury import NULL_PROVIDER
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster(seed=1)
+
+
+def two_procs(cluster, server_config=None):
+    server = cluster.add_margo("server", node="n0", config=server_config)
+    client = cluster.add_margo("client", node="n1")
+    return server, client
+
+
+# ----------------------------------------------------------------------
+# basic RPC
+# ----------------------------------------------------------------------
+def test_echo_rpc(cluster):
+    server, client = two_procs(cluster)
+    server.register("echo", lambda ctx: ctx.args)
+
+    def driver():
+        return (yield from client.forward(server.address, "echo", {"k": "v"}))
+
+    assert cluster.run_ult(client, driver()) == {"k": "v"}
+
+
+def test_rpc_to_self(cluster):
+    server = cluster.add_margo("solo", node="n0")
+    server.register("double", lambda ctx: ctx.args * 2)
+
+    def driver():
+        return (yield from server.forward(server.address, "double", 21))
+
+    assert cluster.run_ult(server, driver()) == 42
+
+
+def test_generator_handler_with_compute(cluster):
+    server, client = two_procs(cluster)
+
+    def handler(ctx):
+        yield Compute(1e-3)
+        return ctx.args + 1
+
+    server.register("inc", handler)
+
+    def driver():
+        return (yield from client.forward(server.address, "inc", 1))
+
+    assert cluster.run_ult(client, driver()) == 2
+    assert cluster.now > 1e-3
+
+
+def test_provider_id_dispatch(cluster):
+    server, client = two_procs(cluster)
+    server.register("get", lambda ctx: "from-1", provider_id=1)
+    server.register("get", lambda ctx: "from-2", provider_id=2)
+
+    def driver():
+        a = yield from client.forward(server.address, "get", provider_id=1)
+        b = yield from client.forward(server.address, "get", provider_id=2)
+        return (a, b)
+
+    assert cluster.run_ult(client, driver()) == ("from-1", "from-2")
+
+
+def test_no_such_rpc(cluster):
+    server, client = two_procs(cluster)
+    server.register("real", lambda ctx: 1, provider_id=1)
+
+    def driver():
+        yield from client.forward(server.address, "real", provider_id=9)
+
+    with pytest.raises(NoSuchRpcError):
+        cluster.run_ult(client, driver())
+
+
+def test_handler_exception_becomes_rpc_failed(cluster):
+    server, client = two_procs(cluster)
+
+    def bad(ctx):
+        raise ValueError("intentional")
+
+    server.register("bad", bad)
+
+    def driver():
+        yield from client.forward(server.address, "bad")
+
+    with pytest.raises(RpcFailedError, match="intentional"):
+        cluster.run_ult(client, driver())
+
+
+def test_rpc_timeout_on_dead_server(cluster):
+    server, client = two_procs(cluster)
+    server.register("echo", lambda ctx: ctx.args)
+    cluster.faults.kill_process(server.process)
+
+    def driver():
+        yield from client.forward(server.address, "echo", 1, timeout=0.5)
+
+    with pytest.raises(RpcTimeoutError):
+        cluster.run_ult(client, driver())
+    assert cluster.now >= 0.5
+
+
+def test_rpc_to_unknown_address_fails_fast_without_timeout(cluster):
+    _, client = two_procs(cluster)
+
+    def driver():
+        yield from client.forward("na+ofi://nowhere/x", "echo", 1)
+
+    with pytest.raises(Exception, match="unknown destination"):
+        cluster.run_ult(client, driver())
+
+
+def test_duplicate_registration_rejected(cluster):
+    server, _ = two_procs(cluster)
+    server.register("echo", lambda ctx: 1, provider_id=3)
+    with pytest.raises(DuplicateNameError):
+        server.register("echo", lambda ctx: 2, provider_id=3)
+    server.deregister("echo", provider_id=3)
+    server.register("echo", lambda ctx: 2, provider_id=3)  # ok after deregister
+
+
+def test_deregister_unknown_raises(cluster):
+    server, _ = two_procs(cluster)
+    with pytest.raises(NoSuchRpcError):
+        server.deregister("ghost")
+
+
+def test_nested_rpc(cluster):
+    a = cluster.add_margo("a", node="n0")
+    b = cluster.add_margo("b", node="n1")
+    c = cluster.add_margo("c", node="n2")
+    c.register("leaf", lambda ctx: ctx.args * 10)
+
+    def relay(ctx):
+        result = yield from b.forward(c.address, "leaf", ctx.args)
+        return result + 1
+
+    b.register("relay", relay)
+
+    def driver():
+        return (yield from a.forward(b.address, "relay", 4))
+
+    assert cluster.run_ult(a, driver()) == 41
+
+
+def test_concurrent_rpcs_interleave(cluster):
+    server, client = two_procs(cluster)
+
+    def slow(ctx):
+        yield Compute(1.0)
+        return ctx.args
+
+    server.register("slow", slow)
+    results = []
+
+    def one(i):
+        value = yield from client.forward(server.address, "slow", i)
+        results.append((value, cluster.now))
+
+    for i in range(3):
+        cluster.spawn(client, one(i))
+    cluster.run()
+    assert sorted(r for r, _ in results) == [0, 1, 2]
+    # Single default xstream on server: handlers serialize, so the last
+    # finishes around 3s, the first around 1s.
+    finish_times = sorted(t for _, t in results)
+    assert finish_times[0] < 1.5
+    assert finish_times[-1] > 2.5
+
+
+def test_bulk_transfer_cost_and_rdma(cluster):
+    server, client = two_procs(cluster)
+    size = 1 << 24  # 16 MiB
+
+    def driver():
+        duration = yield from client.bulk_transfer(server.address, size)
+        return duration
+
+    duration = cluster.run_ult(client, driver())
+    expected = cluster.network.transfer_time(
+        client.process, server.process, size, bulk=True
+    )
+    assert duration == pytest.approx(expected)
+
+
+def test_bulk_transfer_to_dead_peer_raises(cluster):
+    server, client = two_procs(cluster)
+    cluster.faults.kill_process(server.process)
+
+    def driver():
+        yield from client.bulk_transfer(server.address, 100)
+
+    with pytest.raises(Exception, match="dead"):
+        cluster.run_ult(client, driver())
+
+
+# ----------------------------------------------------------------------
+# configuration (Listing 2)
+# ----------------------------------------------------------------------
+LISTING2 = {
+    "argobots": {
+        "pools": [
+            {"name": "MyPoolX", "type": "fifo_wait", "access": "mpmc"},
+            {"name": "MyPoolZ", "type": "fifo_wait", "access": "mpmc"},
+        ],
+        "xstreams": [
+            {"name": "MyES0", "scheduler": {"type": "basic", "pools": ["MyPoolX"]}},
+            {"name": "MyES1", "scheduler": {"type": "basic", "pools": ["MyPoolZ"]}},
+        ],
+    },
+    "progress_pool": "MyPoolZ",
+    "rpc_pool": "MyPoolX",
+}
+
+
+def test_listing2_config_accepted(cluster):
+    server = cluster.add_margo("server", node="n0", config=LISTING2)
+    assert set(server.pools) == {"MyPoolX", "MyPoolZ"}
+    assert set(server.xstreams) == {"MyES0", "MyES1"}
+    doc = server.get_config()
+    names = {p["name"] for p in doc["argobots"]["pools"]}
+    assert names == {"MyPoolX", "MyPoolZ"}
+
+
+def test_config_validation_errors():
+    with pytest.raises(ConfigError):
+        MargoConfig.from_json({"argobots": {"pools": [{"name": "a"}, {"name": "a"}]}})
+    with pytest.raises(ConfigError):
+        MargoConfig.from_json(
+            {"argobots": {"pools": [{"name": "a"}],
+                          "xstreams": [{"name": "x", "scheduler": {"pools": ["ghost"]}}]}}
+        )
+    with pytest.raises(ConfigError):
+        MargoConfig.from_json({"bogus_key": 1})
+    with pytest.raises(ConfigError):
+        MargoConfig.from_json("not json at all {")
+    # Unserved pool.
+    with pytest.raises(ConfigError):
+        MargoConfig.from_json(
+            {"argobots": {"pools": [{"name": "a"}, {"name": "b"}],
+                          "xstreams": [{"name": "x", "scheduler": {"pools": ["a"]}}]}}
+        )
+
+
+def test_config_json_string_roundtrip(cluster):
+    import json
+
+    server = cluster.add_margo("server", node="n0", config=json.dumps(LISTING2))
+    assert "MyPoolX" in server.pools
+
+
+# ----------------------------------------------------------------------
+# online reconfiguration (paper section 5)
+# ----------------------------------------------------------------------
+def test_add_and_find_pool(cluster):
+    server, _ = two_procs(cluster)
+    server.add_pool({"name": "extra"})
+    assert server.find_pool("extra").name == "extra"
+    with pytest.raises(DuplicateNameError):
+        server.add_pool({"name": "extra"})
+
+
+def test_remove_unused_pool(cluster):
+    server, _ = two_procs(cluster)
+    server.add_pool({"name": "extra"})
+    server.remove_pool("extra")
+    with pytest.raises(NoSuchPoolError):
+        server.find_pool("extra")
+
+
+def test_remove_pool_in_use_by_xstream_rejected(cluster):
+    server = cluster.add_margo("server", node="n0", config=LISTING2)
+    with pytest.raises(PoolInUseError):
+        server.remove_pool("MyPoolX")
+
+
+def test_remove_pool_claimed_by_provider_rejected(cluster):
+    server, _ = two_procs(cluster)
+    server.add_pool({"name": "extra"})
+    server.claim_pool("extra", "providerA")
+    with pytest.raises(PoolInUseError):
+        server.remove_pool("extra")
+    server.release_pool("extra", "providerA")
+    server.remove_pool("extra")
+
+
+def test_remove_pool_with_registered_rpc_rejected(cluster):
+    server, _ = two_procs(cluster)
+    pool = server.add_pool({"name": "extra"})
+    server.add_xstream({"name": "es-extra", "scheduler": {"pools": ["extra"]}})
+    server.register("work", lambda ctx: 1, pool="extra")
+    server.remove_xstream("es-extra") if False else None
+    with pytest.raises(PoolInUseError):
+        server.remove_pool("extra")
+
+
+def test_add_xstream_serves_new_pool(cluster):
+    server, client = two_procs(cluster)
+    server.add_pool({"name": "fast"})
+    server.add_xstream({"name": "es-fast", "scheduler": {"type": "basic", "pools": ["fast"]}})
+    server.register("fastrpc", lambda ctx: "ok", pool="fast")
+
+    def driver():
+        return (yield from client.forward(server.address, "fastrpc"))
+
+    assert cluster.run_ult(client, driver()) == "ok"
+
+
+def test_remove_xstream_orphaning_used_pool_rejected(cluster):
+    server, _ = two_procs(cluster)
+    server.add_pool({"name": "p2"})
+    server.add_xstream({"name": "es2", "scheduler": {"pools": ["p2"]}})
+    server.register("r", lambda ctx: 1, pool="p2")
+    with pytest.raises(PoolInUseError):
+        server.remove_xstream("es2")
+
+
+def test_remove_idle_xstream_and_pool(cluster):
+    server, _ = two_procs(cluster)
+    server.add_pool({"name": "p2"})
+    server.add_xstream({"name": "es2", "scheduler": {"pools": ["p2"]}})
+    server.remove_xstream("es2")
+    server.remove_pool("p2")
+    assert "es2" not in server.xstreams
+    assert "p2" not in server.pools
+
+
+def test_reconfigure_while_serving(cluster):
+    """Adding pools/xstreams mid-stream must not disturb in-flight RPCs."""
+    server, client = two_procs(cluster)
+
+    def slow(ctx):
+        yield Compute(1.0)
+        return ctx.args
+
+    server.register("slow", slow)
+    results = []
+
+    def caller():
+        value = yield from client.forward(server.address, "slow", 7)
+        results.append(value)
+
+    cluster.spawn(client, caller())
+    cluster.kernel.schedule(0.5, lambda: server.add_pool({"name": "late"}))
+    cluster.kernel.schedule(
+        0.6, lambda: server.add_xstream({"name": "es-late", "scheduler": {"pools": ["late"]}})
+    )
+    cluster.run()
+    assert results == [7]
+    assert "late" in server.pools
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def test_finalized_instance_rejects_operations(cluster):
+    server, client = two_procs(cluster)
+    server.shutdown()
+    with pytest.raises(FinalizedError):
+        server.register("x", lambda ctx: 1)
+    with pytest.raises(FinalizedError):
+        server.spawn_ult((x for x in []))
+
+
+def test_process_death_finalizes_margo(cluster):
+    server, _ = two_procs(cluster)
+    cluster.faults.kill_process(server.process)
+    assert server.finalized
+
+
+def test_snapshot_shape(cluster):
+    server, _ = two_procs(cluster)
+    snap = server.snapshot()
+    assert set(snap) == {"time", "inflight_outgoing", "inflight_incoming", "pools"}
+    assert "__primary__" in snap["pools"]
+
+
+def test_registered_rpcs_listing(cluster):
+    server, _ = two_procs(cluster)
+    server.register("b", lambda ctx: 1, provider_id=2)
+    server.register("a", lambda ctx: 1, provider_id=1)
+    assert server.registered_rpcs() == [("a", 1), ("b", 2)]

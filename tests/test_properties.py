@@ -1,0 +1,263 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+import json
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bedrock.jx9 import jx9_execute
+from repro.margo import MargoConfig
+from repro.mercury import estimate_size
+from repro.monitoring import RunningStats
+from repro.poesie import MiniInterpreter
+from repro.raft import LogEntry, RaftLog
+from repro.ssg import SwimConfig, SwimState, Update
+
+# ----------------------------------------------------------------------
+# mercury: wire-size estimation
+# ----------------------------------------------------------------------
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=50),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(json_values)
+def test_estimate_size_nonnegative_and_stable(value):
+    size = estimate_size(value)
+    assert size >= 0
+    assert estimate_size(value) == size  # deterministic
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(max_size=1000))
+def test_estimate_size_bytes_exact(data):
+    assert estimate_size(data) == len(data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(st.text(min_size=1, max_size=8), st.integers(), max_size=8))
+def test_estimate_size_monotone_in_dict_growth(mapping):
+    size = estimate_size(mapping)
+    bigger = dict(mapping)
+    bigger["__extra_key__"] = 12345
+    assert estimate_size(bigger) > size
+
+
+# ----------------------------------------------------------------------
+# monitoring: RunningStats matches the statistics module
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
+def test_running_stats_matches_reference(values):
+    stats = RunningStats()
+    for v in values:
+        stats.update(v)
+    assert stats.num == len(values)
+    assert stats.avg == pytest.approx(statistics.fmean(values), abs=1e-6, rel=1e-9)
+    assert stats.min == min(values)
+    assert stats.max == max(values)
+    assert stats.var == pytest.approx(statistics.pvariance(values), abs=1e-4, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# poesie: the mini interpreter agrees with Python on arithmetic
+# ----------------------------------------------------------------------
+arith_expr = st.recursive(
+    st.integers(min_value=-50, max_value=50).map(str),
+    lambda children: st.tuples(children, st.sampled_from(["+", "-", "*"]), children).map(
+        lambda t: f"({t[0]} {t[1]} {t[2]})"
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(arith_expr)
+def test_poesie_arithmetic_matches_python(expression):
+    expected = eval(expression)  # noqa: S307 - generated from a safe grammar
+    assert MiniInterpreter().execute(f"return {expression}") == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=20)
+)
+def test_poesie_list_builtins_match_python(xs):
+    interp = MiniInterpreter()
+    result = interp.execute("return [sum(xs), min(xs), max(xs), len(xs)]",
+                            env={"xs": list(xs)})
+    assert result == [sum(xs), min(xs), max(xs), len(xs)]
+
+
+# ----------------------------------------------------------------------
+# jx9: JSON literals evaluate to themselves
+# ----------------------------------------------------------------------
+jx9_json = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=12,
+    ),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(
+        st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1,
+            max_size=6,
+        ),
+        children,
+        max_size=4,
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(jx9_json)
+def test_jx9_json_literal_roundtrip(value):
+    literal = json.dumps(value)
+    assert jx9_execute(f"return {literal};") == value
+
+
+@settings(max_examples=40, deadline=None)
+@given(jx9_json)
+def test_jx9_count_matches_python_len(value):
+    if isinstance(value, (list, dict, str)):
+        assert jx9_execute("return count($v);", {"v": value}) == len(value)
+
+
+# ----------------------------------------------------------------------
+# raft log: idempotent, prefix-preserving replication
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=20),
+    st.integers(min_value=0, max_value=3),
+)
+def test_raft_log_replay_idempotent(terms, replays):
+    """Replaying the same AppendEntries any number of times leaves the
+    log identical (duplicate suppression)."""
+    terms = sorted(terms)
+    leader = RaftLog()
+    for term in terms:
+        leader.append_new(term, f"c{term}")
+    follower = RaftLog()
+    batch = leader.entries_from(1)
+    for _ in range(replays + 1):
+        assert follower.match_and_append(0, 0, batch)
+    assert follower.last_index == leader.last_index
+    for index in range(1, leader.last_index + 1):
+        assert follower.term_at(index) == leader.term_at(index)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=3), min_size=2, max_size=15),
+    st.data(),
+)
+def test_raft_log_conflict_truncation_preserves_prefix(terms, data):
+    terms = sorted(terms)
+    log = RaftLog()
+    for term in terms:
+        log.append_new(term, f"old-{term}")
+    # Overwrite a suffix with higher-term entries.
+    split = data.draw(st.integers(min_value=1, max_value=len(terms)))
+    new_term = terms[-1] + 1
+    new_entries = [
+        LogEntry(new_term, i, f"new-{i}")
+        for i in range(split, len(terms) + 2)
+    ]
+    assert log.match_and_append(split - 1, log.term_at(split - 1), new_entries)
+    # Prefix intact, suffix replaced.
+    for index in range(1, split):
+        assert log.entry_at(index).command == f"old-{terms[index - 1]}"
+    for index in range(split, len(terms) + 2):
+        assert log.term_at(index) == new_term
+
+
+# ----------------------------------------------------------------------
+# swim: update application is idempotent and monotone in incarnation
+# ----------------------------------------------------------------------
+update_strategy = st.tuples(
+    st.sampled_from(["alive", "suspect", "dead"]),
+    st.sampled_from(["m1", "m2", "m3"]),
+    st.integers(min_value=0, max_value=4),
+).map(lambda t: Update(*t))
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(update_strategy, max_size=25))
+def test_swim_apply_idempotent(updates):
+    config = SwimConfig()
+    state = SwimState("self", config)
+    for update in updates:
+        state.apply(update, now=1.0)
+        before = {
+            a: (r.status, r.incarnation) for a, r in state._members.items()
+        }
+        # Re-applying the same update must not change membership state.
+        state.apply(Update(update.kind, update.address, update.incarnation), now=2.0)
+        after = {a: (r.status, r.incarnation) for a, r in state._members.items()}
+        assert after == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(update_strategy, max_size=25))
+def test_swim_dead_members_never_in_view(updates):
+    state = SwimState("self", SwimConfig())
+    for update in updates:
+        state.apply(update, now=1.0)
+    from repro.ssg import MemberStatus
+
+    for address in state.view_members():
+        assert state.status_of(address) != MemberStatus.DEAD
+    assert "self" in state.view_members()
+
+
+# ----------------------------------------------------------------------
+# margo config roundtrip
+# ----------------------------------------------------------------------
+pool_names = st.lists(
+    st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1, max_size=8),
+    min_size=1,
+    max_size=5,
+    unique=True,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pool_names, st.data())
+def test_margo_config_roundtrip(names, data):
+    pools = [{"name": n} for n in names]
+    xstreams = []
+    for i, name in enumerate(names):
+        served = data.draw(
+            st.lists(st.sampled_from(names), min_size=1, max_size=3, unique=True)
+        )
+        if name not in served:
+            served.append(name)  # ensure every pool is served
+        xstreams.append({"name": f"es{i}", "scheduler": {"pools": served}})
+    doc = {
+        "argobots": {"pools": pools, "xstreams": xstreams},
+        "progress_pool": names[0],
+        "rpc_pool": names[-1],
+    }
+    config = MargoConfig.from_json(doc)
+    roundtripped = MargoConfig.from_json(config.to_json())
+    assert roundtripped.to_json() == config.to_json()
+    assert [p.name for p in roundtripped.pools] == names

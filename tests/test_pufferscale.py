@@ -1,0 +1,260 @@
+"""Tests for Pufferscale: model, planner heuristics, executor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster
+from repro.margo.ult import UltSleep
+from repro.pufferscale import (
+    Move,
+    Objective,
+    Placement,
+    PlanExecutor,
+    Shard,
+    plan_rebalance,
+)
+
+
+def shard(i, size=100, load=1.0):
+    return Shard(shard_id=f"s{i}", size_bytes=size, load=load)
+
+
+def skewed_placement():
+    """Everything piled on n0; n1 and n2 empty."""
+    return Placement.from_dict(
+        {
+            "n0": [shard(i, size=100, load=1.0) for i in range(6)],
+            "n1": [],
+            "n2": [],
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# model
+# ----------------------------------------------------------------------
+def test_shard_validation():
+    with pytest.raises(ValueError):
+        Shard("s", -1, 0.0)
+    with pytest.raises(ValueError):
+        Shard("s", 1, -0.5)
+
+
+def test_placement_add_remove_move():
+    p = Placement(["a", "b"])
+    s = shard(0)
+    p.add("a", s)
+    assert p.node_of("s0") == "a"
+    with pytest.raises(ValueError):
+        p.add("b", s)  # duplicate placement
+    p.move(Move(shard=s, source="a", destination="b"))
+    assert p.node_of("s0") == "b"
+    assert p.shards_on("a") == []
+    p.remove("b", "s0")
+    assert p.node_of("s0") is None
+
+
+def test_placement_node_management():
+    p = Placement(["a"])
+    p.add_node("b")
+    with pytest.raises(ValueError):
+        p.add_node("b")
+    p.add("b", shard(0))
+    with pytest.raises(ValueError):
+        p.drop_node("b")  # still holds shards
+    p.remove("b", "s0")
+    p.drop_node("b")
+    assert p.nodes == ["a"]
+
+
+def test_imbalance_metrics():
+    p = skewed_placement()
+    assert p.load_imbalance() == pytest.approx(3.0)  # 6 / (6/3)
+    assert p.data_imbalance() == pytest.approx(3.0)
+    balanced = Placement.from_dict(
+        {"a": [shard(0)], "b": [shard(1)], "c": [shard(2)]}
+    )
+    assert balanced.load_imbalance() == pytest.approx(1.0)
+
+
+def test_metrics_with_moves_bottleneck():
+    p = skewed_placement()
+    moves = [
+        Move(shard=shard(0), source="n0", destination="n1"),
+        Move(shard=shard(1), source="n0", destination="n2"),
+    ]
+    metrics = p.metrics_with_moves(moves, bandwidth=100.0)
+    assert metrics.migration_bytes == 200
+    # n0 sends 200 bytes -> bottleneck 200/100 = 2s.
+    assert metrics.estimated_migration_time == pytest.approx(2.0)
+
+
+def test_empty_placement_rejected():
+    with pytest.raises(ValueError):
+        Placement([])
+
+
+# ----------------------------------------------------------------------
+# planner
+# ----------------------------------------------------------------------
+def test_objective_validation():
+    with pytest.raises(ValueError):
+        Objective(alpha=-1)
+    with pytest.raises(ValueError):
+        Objective(alpha=0, beta=0, gamma=0)
+
+
+def test_rebalance_flattens_skew():
+    plan = plan_rebalance(skewed_placement(), ["n0", "n1", "n2"], Objective(gamma=0.0))
+    assert plan.after.load_imbalance == pytest.approx(1.0)
+    assert plan.after.data_imbalance == pytest.approx(1.0)
+    assert plan.before.load_imbalance == pytest.approx(3.0)
+    # Perfect balance of 6 identical shards over 3 nodes = 2 each.
+    for node in plan.final_placement.nodes:
+        assert len(plan.final_placement.shards_on(node)) == 2
+
+
+def test_gamma_tradeoff_reduces_movement():
+    """Higher gamma (migration-cost weight) => fewer bytes moved at the
+    price of worse balance -- the Pufferscale compromise."""
+    cheap = plan_rebalance(skewed_placement(), ["n0", "n1", "n2"],
+                           Objective(alpha=1, beta=1, gamma=0.0))
+    costly = plan_rebalance(skewed_placement(), ["n0", "n1", "n2"],
+                            Objective(alpha=1, beta=1, gamma=1e9))
+    assert costly.total_bytes <= cheap.total_bytes
+    assert costly.after.load_imbalance >= cheap.after.load_imbalance
+
+
+def test_scale_in_evacuates_removed_nodes():
+    p = Placement.from_dict(
+        {
+            "n0": [shard(0), shard(1)],
+            "n1": [shard(2), shard(3)],
+            "n2": [shard(4), shard(5)],
+        }
+    )
+    plan = plan_rebalance(p, ["n0", "n1"])  # remove n2
+    assert "n2" not in plan.final_placement.nodes
+    moved_ids = {m.shard.shard_id for m in plan.moves}
+    assert {"s4", "s5"} <= moved_ids
+    assert plan.final_placement.node_of("s4") in ("n0", "n1")
+
+
+def test_scale_out_uses_new_node():
+    p = Placement.from_dict({"n0": [shard(i) for i in range(4)]})
+    plan = plan_rebalance(p, ["n0", "n1"], Objective(gamma=0.0))
+    assert len(plan.final_placement.shards_on("n1")) == 2
+
+
+def test_heterogeneous_loads_balanced():
+    p = Placement.from_dict(
+        {
+            "n0": [Shard("hot", 100, 10.0), Shard("warm", 100, 5.0),
+                   Shard("cold1", 100, 1.0), Shard("cold2", 100, 1.0)],
+            "n1": [],
+        }
+    )
+    plan = plan_rebalance(p, ["n0", "n1"], Objective(alpha=1.0, beta=0.0, gamma=0.0))
+    loads = {
+        n: sum(s.load for s in plan.final_placement.shards_on(n))
+        for n in plan.final_placement.nodes
+    }
+    # 17 total load: best split is 10 / 7 or 9 / 8.
+    assert max(loads.values()) <= 10.0
+
+
+def test_plan_target_nodes_validation():
+    with pytest.raises(ValueError):
+        plan_rebalance(skewed_placement(), [])
+
+
+def test_planner_deterministic():
+    a = plan_rebalance(skewed_placement(), ["n0", "n1", "n2"])
+    b = plan_rebalance(skewed_placement(), ["n0", "n1", "n2"])
+    assert [(m.shard.shard_id, m.source, m.destination) for m in a.moves] == [
+        (m.shard.shard_id, m.source, m.destination) for m in b.moves
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=1000),
+                  st.floats(min_value=0.0, max_value=10.0)),
+        min_size=1,
+        max_size=15,
+    ),
+    st.integers(min_value=1, max_value=4),
+)
+def test_rebalance_never_loses_shards_property(shard_specs, n_nodes):
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    placement = Placement(nodes)
+    for i, (size, load) in enumerate(shard_specs):
+        placement.add(nodes[0], Shard(f"s{i}", size, load))
+    target = nodes + ["extra"]
+    plan = plan_rebalance(placement, target)
+    final_ids = {s.shard_id for s in plan.final_placement.all_shards()}
+    assert final_ids == {f"s{i}" for i in range(len(shard_specs))}
+    # The plan is never worse than doing nothing on the same node set.
+    baseline = placement.copy()
+    baseline.add_node("extra")
+    assert plan.after.load_imbalance <= baseline.load_imbalance() + 1e-9
+
+
+# ----------------------------------------------------------------------
+# executor
+# ----------------------------------------------------------------------
+def test_executor_runs_moves_with_injected_migrator():
+    cluster = Cluster(seed=31)
+    margo = cluster.add_margo("ctl", node="n0")
+    migrated = []
+
+    def fake_migrate(s, src, dst):
+        yield UltSleep(0.01)
+        migrated.append((s.shard_id, src, dst))
+
+    plan = plan_rebalance(skewed_placement(), ["n0", "n1", "n2"], Objective(gamma=0.0))
+    executor = PlanExecutor(margo, fake_migrate, max_parallel=2)
+
+    def driver():
+        report = yield from executor.execute(plan)
+        return report
+
+    report = cluster.run_ult(margo, driver())
+    assert report.moves_executed == len(plan.moves)
+    assert len(migrated) == len(plan.moves)
+    assert report.bytes_moved == plan.total_bytes
+    assert report.duration > 0
+
+
+def test_executor_waves_do_not_reuse_nodes():
+    cluster = Cluster(seed=31)
+    margo = cluster.add_margo("ctl", node="n0")
+    active: dict[str, int] = {}
+    overlaps = []
+
+    def fake_migrate(s, src, dst):
+        for endpoint in (src, dst):
+            active[endpoint] = active.get(endpoint, 0) + 1
+            if active[endpoint] > 1:
+                overlaps.append(endpoint)
+        yield UltSleep(0.01)
+        for endpoint in (src, dst):
+            active[endpoint] -= 1
+
+    plan = plan_rebalance(skewed_placement(), ["n0", "n1", "n2"], Objective(gamma=0.0))
+    executor = PlanExecutor(margo, fake_migrate, max_parallel=8)
+
+    def driver():
+        yield from executor.execute(plan)
+
+    cluster.run_ult(margo, driver())
+    assert overlaps == []
+
+
+def test_executor_validation():
+    cluster = Cluster(seed=31)
+    margo = cluster.add_margo("ctl", node="n0")
+    with pytest.raises(ValueError):
+        PlanExecutor(margo, lambda s, a, b: None, max_parallel=0)

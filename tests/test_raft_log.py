@@ -1,0 +1,143 @@
+"""Unit + property tests for the Raft log."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.raft import CompactedError, LogEntry, RaftLog
+
+
+def filled_log(terms):
+    log = RaftLog()
+    for term in terms:
+        log.append_new(term, f"cmd-{term}")
+    return log
+
+
+def test_empty_log():
+    log = RaftLog()
+    assert log.last_index == 0
+    assert log.last_term == 0
+    assert log.term_at(0) == 0
+    assert len(log) == 0
+    assert not log.has_index(1)
+
+
+def test_append_and_lookup():
+    log = filled_log([1, 1, 2])
+    assert log.last_index == 3
+    assert log.last_term == 2
+    assert log.term_at(2) == 1
+    assert log.entry_at(3).command == "cmd-2"
+    with pytest.raises(IndexError):
+        log.entry_at(4)
+
+
+def test_match_and_append_success():
+    log = filled_log([1, 1])
+    new = [LogEntry(2, 3, "x"), LogEntry(2, 4, "y")]
+    assert log.match_and_append(2, 1, new)
+    assert log.last_index == 4
+
+
+def test_match_and_append_rejects_gap():
+    log = filled_log([1])
+    assert not log.match_and_append(5, 1, [LogEntry(1, 6, "x")])
+
+
+def test_match_and_append_rejects_term_mismatch():
+    log = filled_log([1, 1])
+    assert not log.match_and_append(2, 9, [LogEntry(2, 3, "x")])
+
+
+def test_match_and_append_truncates_conflicts():
+    log = filled_log([1, 1, 1])
+    # Replace index 2..3 with term-2 entries.
+    assert log.match_and_append(1, 1, [LogEntry(2, 2, "a"), LogEntry(2, 3, "b")])
+    assert log.term_at(2) == 2
+    assert log.entry_at(3).command == "b"
+    assert log.last_index == 3
+
+
+def test_match_and_append_idempotent_duplicates():
+    log = filled_log([1, 1])
+    dup = [LogEntry(1, 1, "cmd-1"), LogEntry(1, 2, "cmd-1")]
+    assert log.match_and_append(0, 0, dup)
+    assert log.last_index == 2
+
+
+def test_compaction():
+    log = filled_log([1, 2, 3, 4])
+    log.compact_to(2)
+    assert log.snapshot_index == 2
+    assert log.snapshot_term == 2
+    assert log.first_index == 3
+    assert log.last_index == 4
+    assert log.term_at(2) == 2  # boundary still answerable
+    with pytest.raises(CompactedError):
+        log.entry_at(1)
+    with pytest.raises(CompactedError):
+        log.entries_from(1)
+    # Compaction is monotone.
+    log.compact_to(1)
+    assert log.snapshot_index == 2
+
+
+def test_entries_from_with_limit():
+    log = filled_log([1, 1, 1, 1])
+    assert [e.index for e in log.entries_from(2)] == [2, 3, 4]
+    assert [e.index for e in log.entries_from(2, limit=2)] == [2, 3]
+
+
+def test_reset_to_snapshot():
+    log = filled_log([1, 2])
+    log.reset_to_snapshot(10, 5)
+    assert log.last_index == 10
+    assert log.last_term == 5
+    assert len(log) == 0
+
+
+def test_up_to_date_rule():
+    log = filled_log([1, 2])  # last (index=2, term=2)
+    assert log.is_up_to_date(2, 2)
+    assert log.is_up_to_date(5, 2)
+    assert log.is_up_to_date(1, 3)  # higher term wins
+    assert not log.is_up_to_date(1, 2)  # same term, shorter
+    assert not log.is_up_to_date(99, 1)  # lower term loses
+
+
+def test_match_after_compaction_boundary():
+    log = filled_log([1, 1, 2])
+    log.compact_to(2)
+    # prev at the snapshot boundary works.
+    assert log.match_and_append(2, 1, [LogEntry(2, 3, "cmd-2")])
+    # wrong term at boundary fails.
+    assert not log.match_and_append(2, 9, [LogEntry(3, 3, "x")])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=30))
+def test_terms_are_monotone_under_append(terms):
+    """Raft invariant: appended terms never decrease (leaders only append
+    in their own term, which only grows)."""
+    log = RaftLog()
+    for term in sorted(terms):
+        log.append_new(term, None)
+    collected = [log.term_at(i) for i in range(1, log.last_index + 1)]
+    assert collected == sorted(collected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=20),
+)
+def test_compaction_preserves_suffix(n, cut):
+    log = RaftLog()
+    for i in range(1, n + 1):
+        log.append_new(1, f"c{i}")
+    cut = min(cut, n)
+    log.compact_to(cut)
+    for i in range(cut + 1, n + 1):
+        assert log.entry_at(i).command == f"c{i}"
+    assert log.last_index == n

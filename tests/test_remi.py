@@ -1,0 +1,229 @@
+"""Tests for REMI: filesets, both transfer methods, provider migration."""
+
+import pytest
+
+from repro import Cluster
+from repro.remi import (
+    AUTO_RDMA_THRESHOLD,
+    FileSet,
+    MigrationReport,
+    RemiClient,
+    RemiError,
+    RemiProvider,
+)
+from repro.storage import LocalStore
+from repro.yokan import YokanClient, YokanProvider
+
+
+@pytest.fixture()
+def rig():
+    cluster = Cluster(seed=7)
+    src_node = cluster.node("src")
+    dst_node = cluster.node("dst")
+    src_store = LocalStore(src_node)
+    dst_store = LocalStore(dst_node)
+    src = cluster.add_margo("src-proc", node=src_node)
+    dst = cluster.add_margo("dst-proc", node=dst_node)
+    RemiProvider(dst, "remi", provider_id=0)
+    handle = RemiClient(src).make_handle(dst.address, 0)
+    return cluster, src, dst, src_store, dst_store, handle
+
+
+def seed_files(store, count, size, prefix="data/"):
+    for i in range(count):
+        store.write(f"{prefix}{i:04d}", bytes([i % 256]) * size)
+
+
+def test_fileset_validation(rig):
+    _, _, _, src_store, _, _ = rig
+    seed_files(src_store, 3, 10)
+    fileset = FileSet.from_prefix(src_store, "data/")
+    assert fileset.num_files == 3
+    assert fileset.total_bytes == 30
+    with pytest.raises(RemiError, match="missing files"):
+        FileSet(src_store, ["ghost"])
+
+
+@pytest.mark.parametrize("method", ["rdma", "chunks"])
+def test_migrate_fileset_both_methods(rig, method):
+    cluster, src, _, src_store, dst_store, handle = rig
+    seed_files(src_store, 5, 1000)
+    fileset = FileSet.from_prefix(src_store, "data/")
+
+    def driver():
+        report = yield from handle.migrate_fileset(fileset, method=method)
+        return report
+
+    report = cluster.run_ult(src, driver())
+    assert isinstance(report, MigrationReport)
+    assert report.method == method
+    assert report.num_files == 5
+    assert report.total_bytes == 5000
+    assert report.duration > 0
+    for i in range(5):
+        assert dst_store.read(f"data/{i:04d}") == src_store.read(f"data/{i:04d}")
+
+
+def test_chunked_splits_large_file(rig):
+    cluster, src, _, src_store, dst_store, handle = rig
+    big = bytes(range(256)) * 8192  # 2 MiB > default 1 MiB chunk
+    src_store.write("big", big)
+
+    def driver():
+        report = yield from handle.migrate_fileset(
+            FileSet(src_store, ["big"]), method="chunks", chunk_size=1 << 20
+        )
+        return report
+
+    report = cluster.run_ult(src, driver())
+    assert report.num_chunks == 2
+    assert dst_store.read("big") == big
+
+
+def test_chunk_packing_small_files():
+    from repro.remi.client import MigrationHandle
+
+    files = [(f"f{i}", b"x" * 100) for i in range(10)]
+    chunks = MigrationHandle._pack(files, chunk_size=450)
+    assert sum(len(c) for c in chunks) >= 10
+    for chunk in chunks:
+        assert sum(len(d) for _, _, _, d in chunk) <= 450
+    # Reassembled contents must match.
+    seen = {}
+    for chunk in chunks:
+        for path, offset, total, data in chunk:
+            seen.setdefault(path, {})[offset] = data
+    for path, data in files:
+        assembled = b"".join(seen[path][o] for o in sorted(seen[path]))
+        assert assembled == data
+
+
+def test_chunk_packing_empty_file():
+    from repro.remi.client import MigrationHandle
+
+    chunks = MigrationHandle._pack([("empty", b""), ("full", b"ab")], chunk_size=10)
+    pieces = [p for c in chunks for p in c]
+    assert ("empty", 0, 0, b"") in pieces
+
+
+def test_auto_method_selection(rig):
+    cluster, src, _, src_store, _, handle = rig
+    seed_files(src_store, 20, 100, prefix="small/")
+    src_store.write("large/0", b"z" * (2 * AUTO_RDMA_THRESHOLD))
+
+    def driver():
+        small = yield from handle.migrate_fileset(
+            FileSet.from_prefix(src_store, "small/"), method="auto"
+        )
+        large = yield from handle.migrate_fileset(
+            FileSet(src_store, ["large/0"]), method="auto"
+        )
+        return small.method, large.method
+
+    assert cluster.run_ult(src, driver()) == ("chunks", "rdma")
+
+
+def test_rdma_faster_for_one_large_file(rig):
+    """The paper's claim (Obs. 4): RDMA wins for large files."""
+    cluster, src, _, src_store, _, handle = rig
+    src_store.write("huge", b"q" * (64 << 20))  # 64 MiB
+    fileset = FileSet(src_store, ["huge"])
+
+    def run(method):
+        def driver():
+            report = yield from handle.migrate_fileset(fileset, method=method)
+            return report.duration
+
+        return cluster.run_ult(src, driver())
+
+    rdma_time = run("rdma")
+    chunk_time = run("chunks")
+    assert rdma_time < chunk_time
+
+
+def test_chunks_faster_for_many_small_files(rig):
+    """The paper's claim (Obs. 4): packed+pipelined chunks win for many
+    small files."""
+    cluster, src, _, src_store, _, handle = rig
+    seed_files(src_store, 400, 512, prefix="tiny/")
+    fileset = FileSet.from_prefix(src_store, "tiny/")
+
+    def run(method):
+        def driver():
+            report = yield from handle.migrate_fileset(fileset, method=method)
+            return report.duration
+
+        return cluster.run_ult(src, driver())
+
+    chunk_time = run("chunks")
+    rdma_time = run("rdma")
+    assert chunk_time < rdma_time
+
+
+def test_migration_parameter_validation(rig):
+    cluster, src, _, src_store, _, handle = rig
+    seed_files(src_store, 1, 10)
+    fileset = FileSet.from_prefix(src_store, "data/")
+
+    for bad_kwargs in ({"method": "warp"}, {"chunk_size": 0}, {"window": 0}):
+        def driver(kw=bad_kwargs):
+            yield from handle.migrate_fileset(fileset, **kw)
+
+        with pytest.raises(RemiError):
+            cluster.run_ult(src, driver())
+
+
+def test_remi_provider_requires_store():
+    cluster = Cluster(seed=7)
+    margo = cluster.add_margo("p", node="n0")
+    with pytest.raises(RemiError, match="LocalStore"):
+        RemiProvider(margo, "remi", provider_id=0)
+
+
+def test_yokan_provider_migration_end_to_end(rig):
+    """Full component migration (paper section 6): flush, REMI-transfer,
+    re-instantiate at the destination, data intact."""
+    cluster, src, dst, src_store, dst_store, _ = rig
+    provider = YokanProvider(
+        src, "db", provider_id=1, config={"database": {"type": "persistent"}}
+    )
+    remi_client = RemiClient(src)
+    cm = cluster.add_margo("client", node="nc")
+    db_src = YokanClient(cm).make_handle(src.address, 1)
+
+    def phase1():
+        yield from db_src.put_multi([(f"k{i}", f"v{i}") for i in range(20)])
+        report = yield from provider.migrate(remi_client, dst.address, 0)
+        return report
+
+    report = cluster.run_ult(src, phase1())
+    assert report.num_files == 1
+    # The database file now exists at the destination; instantiate a new
+    # provider over it (what Bedrock does after the transfer).
+    assert dst_store.exists("yokan/db.db")
+    new_provider = YokanProvider(
+        dst, "db", provider_id=1, config={"database": {"type": "persistent"}}
+    )
+    db_dst = YokanClient(cm).make_handle(dst.address, 1)
+
+    def phase2():
+        return (yield from db_dst.get("k7"))
+
+    assert cluster.run_ult(cm, phase2()) == b"v7"
+
+
+def test_memory_backend_migration_materializes_image(rig):
+    cluster, src, dst, src_store, dst_store, _ = rig
+    provider = YokanProvider(src, "memdb", provider_id=2)  # map backend
+    remi_client = RemiClient(src)
+    cm = cluster.add_margo("client", node="nc")
+    db = YokanClient(cm).make_handle(src.address, 2)
+
+    def driver():
+        yield from db.put("k", "v")
+        report = yield from provider.migrate(remi_client, dst.address, 0)
+        return report
+
+    report = cluster.run_ult(src, driver())
+    assert report.num_files == 1
+    assert dst_store.exists("yokan/memdb.migrate.db")

@@ -1,0 +1,285 @@
+"""Tests for the composable security components (paper section 9)."""
+
+import pytest
+
+from repro import Cluster
+from repro.margo import RpcFailedError
+from repro.security import (
+    AuthClient,
+    AuthProvider,
+    GuardError,
+    GuardProvider,
+    TokenError,
+    sign_token,
+    verify_token,
+)
+from repro.yokan import YokanClient, YokanProvider
+
+USERS = {
+    "alice": {"password": "wonder", "scopes": {"yokan": ["*"]}},
+    "bob": {"password": "builder", "scopes": {"yokan": ["get", "exists"]}},
+}
+
+
+# ----------------------------------------------------------------------
+# tokens
+# ----------------------------------------------------------------------
+def test_token_roundtrip():
+    token = sign_token("s3cret", "alice", {"yokan": ["*"]}, expires_at=100.0, token_id="t1")
+    payload = verify_token("s3cret", token, now=50.0)
+    assert payload.principal == "alice"
+    assert payload.allows("yokan", "put")
+    assert not payload.allows("warabi", "read")
+
+
+def test_token_scope_semantics():
+    token = sign_token("s", "bob", {"yokan": ["get"]}, expires_at=10.0, token_id="t")
+    payload = verify_token("s", token, now=0.0)
+    assert payload.allows("yokan", "get")
+    assert not payload.allows("yokan", "put")
+
+
+def test_token_expiry():
+    token = sign_token("s", "a", {}, expires_at=5.0, token_id="t")
+    verify_token("s", token, now=4.9)
+    with pytest.raises(TokenError, match="expired"):
+        verify_token("s", token, now=5.1)
+
+
+def test_token_tampering_detected():
+    token = sign_token("s", "a", {"yokan": ["get"]}, expires_at=10.0, token_id="t")
+    encoded, signature = token.rsplit(".", 1)
+    import base64
+    import json
+
+    body = json.loads(base64.urlsafe_b64decode(encoded))
+    body["scopes"] = {"yokan": ["*"]}  # privilege escalation attempt
+    forged = base64.urlsafe_b64encode(json.dumps(body, sort_keys=True).encode()).decode()
+    with pytest.raises(TokenError, match="signature"):
+        verify_token("s", f"{forged}.{signature}", now=0.0)
+    with pytest.raises(TokenError, match="signature"):
+        verify_token("wrong-secret", token, now=0.0)
+    with pytest.raises(TokenError, match="malformed"):
+        verify_token("s", "garbage", now=0.0)
+
+
+# ----------------------------------------------------------------------
+# AuthProvider
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def auth_rig():
+    cluster = Cluster(seed=73)
+    server = cluster.add_margo("authsrv", node="n0")
+    provider = AuthProvider(
+        server, "auth0", provider_id=1,
+        config={"secret": "hmac-secret", "users": USERS, "token_ttl": 30.0},
+    )
+    app = cluster.add_margo("app", node="na")
+    handle = AuthClient(app).make_handle(server.address, 1)
+    return cluster, app, provider, handle
+
+
+def test_login_and_validate(auth_rig):
+    cluster, app, _, auth = auth_rig
+
+    def driver():
+        token = yield from auth.login("alice", "wonder")
+        payload = yield from auth.validate(token)
+        return token, payload
+
+    token, payload = cluster.run_ult(app, driver())
+    assert payload["principal"] == "alice"
+    assert payload["scopes"] == {"yokan": ["*"]}
+    assert payload["expires_at"] > 0
+
+
+def test_bad_credentials_rejected(auth_rig):
+    cluster, app, _, auth = auth_rig
+
+    def driver():
+        yield from auth.login("alice", "wrong")
+
+    with pytest.raises(RpcFailedError, match="authentication failed"):
+        cluster.run_ult(app, driver())
+
+
+def test_revocation(auth_rig):
+    cluster, app, provider, auth = auth_rig
+
+    def driver():
+        token = yield from auth.login("alice", "wonder")
+        yield from auth.revoke(token)
+        yield from auth.validate(token)
+
+    with pytest.raises(RpcFailedError, match="revoked"):
+        cluster.run_ult(app, driver())
+
+
+def test_token_expires_in_simulated_time(auth_rig):
+    cluster, app, provider, auth = auth_rig
+    tokens = {}
+
+    def get_token():
+        tokens["t"] = yield from auth.login("alice", "wonder")
+
+    cluster.run_ult(app, get_token())
+    cluster.run(until=cluster.now + 31.0)  # past the 30 s TTL
+
+    def validate():
+        yield from auth.validate(tokens["t"])
+
+    with pytest.raises(RpcFailedError, match="expired"):
+        cluster.run_ult(app, validate())
+
+
+def test_auth_config_hides_secret(auth_rig):
+    _, _, provider, _ = auth_rig
+    doc = provider.get_config()
+    assert "secret" not in doc
+    assert doc["users"] == ["alice", "bob"]
+
+
+# ----------------------------------------------------------------------
+# GuardProvider: transparent security for Yokan
+# ----------------------------------------------------------------------
+YOKAN_OPS = ["put", "get", "erase", "exists", "count"]
+
+
+@pytest.fixture()
+def guarded_rig():
+    cluster = Cluster(seed=74)
+    backend_margo = cluster.add_margo("backend", node="n0")
+    YokanProvider(backend_margo, "db", provider_id=1)
+    edge_margo = cluster.add_margo("edge", node="n1")
+    auth = AuthProvider(
+        edge_margo, "auth0", provider_id=5,
+        config={"secret": "hmac-secret", "users": USERS, "token_ttl": 1000.0},
+    )
+    guard = GuardProvider(
+        edge_margo, "guard0", provider_id=1,
+        protected={"type": "yokan", "address": backend_margo.address, "provider_id": 1},
+        operations=YOKAN_OPS,
+        auth=auth,
+    )
+    app = cluster.add_margo("app", node="na")
+    auth_handle = AuthClient(app).make_handle(edge_margo.address, 5)
+    db = YokanClient(app).make_handle(edge_margo.address, 1)  # ordinary handle!
+    return cluster, app, guard, auth_handle, db
+
+
+def test_guarded_access_with_token(guarded_rig):
+    cluster, app, guard, auth, db = guarded_rig
+
+    def driver():
+        db.auth_token = yield from auth.login("alice", "wonder")
+        yield from db.put("k", "v")
+        return (yield from db.get("k"))
+
+    assert cluster.run_ult(app, driver()) == b"v"
+    assert guard.allowed == 2
+    assert guard.denied == 0
+
+
+def test_guard_rejects_missing_token(guarded_rig):
+    cluster, app, guard, _, db = guarded_rig
+
+    def driver():
+        yield from db.put("k", "v")  # no token set
+
+    with pytest.raises(RpcFailedError, match="requires a capability token"):
+        cluster.run_ult(app, driver())
+    assert guard.denied == 1
+
+
+def test_guard_enforces_scopes(guarded_rig):
+    cluster, app, guard, auth, db = guarded_rig
+
+    def driver():
+        db.auth_token = yield from auth.login("bob", "builder")  # read-only
+        exists = yield from db.exists("k")  # allowed
+        yield from db.put("k", "v")  # denied: bob lacks yokan:put
+
+    with pytest.raises(RpcFailedError, match="lacks scope"):
+        cluster.run_ult(app, driver())
+    assert guard.allowed == 1
+    assert guard.denied == 1
+
+
+def test_guard_rejects_forged_token(guarded_rig):
+    cluster, app, guard, _, db = guarded_rig
+    db.auth_token = sign_token(
+        "attacker-secret", "mallory", {"yokan": ["*"]}, expires_at=1e9, token_id="x"
+    )
+
+    def driver():
+        yield from db.get("k")
+
+    with pytest.raises(RpcFailedError, match="token rejected"):
+        cluster.run_ult(app, driver())
+
+
+def test_guard_backend_never_sees_tokens(guarded_rig):
+    """Transparency in both directions: the protected Yokan provider
+    receives plain operations; the client uses the plain handle API."""
+    cluster, app, guard, auth, db = guarded_rig
+
+    def driver():
+        db.auth_token = yield from auth.login("alice", "wonder")
+        yield from db.put("clean", "args")
+        count = yield from db.count()
+        return count
+
+    assert cluster.run_ult(app, driver()) == 1
+
+
+def test_guard_encryption_costs_time():
+    def run(encrypt):
+        cluster = Cluster(seed=75)
+        backend_margo = cluster.add_margo("backend", node="n0")
+        YokanProvider(backend_margo, "db", provider_id=1)
+        edge = cluster.add_margo("edge", node="n1")
+        guard = GuardProvider(
+            edge, "guard0", provider_id=1,
+            protected={"type": "yokan", "address": backend_margo.address,
+                       "provider_id": 1},
+            operations=["put", "get"],
+            auth="mesh-secret",
+            encrypt=encrypt,
+        )
+        app = cluster.add_margo("app", node="na")
+        db = YokanClient(app).make_handle(edge.address, 1)
+        db.auth_token = sign_token(
+            "mesh-secret", "svc", {"yokan": ["*"]}, expires_at=1e9, token_id="m"
+        )
+
+        def driver():
+            for i in range(50):
+                yield from db.put(f"k{i}", "x" * 2000)
+
+        cluster.run_ult(app, driver())
+        return cluster.now
+
+    plain = run(False)
+    encrypted = run(True)
+    assert encrypted > plain  # encryption costs simulated time
+    assert encrypted < plain * 2  # ...but not catastrophically
+
+
+def test_guard_validation():
+    cluster = Cluster(seed=76)
+    margo = cluster.add_margo("edge", node="n0")
+    with pytest.raises(GuardError, match="missing"):
+        GuardProvider(margo, "g", 1, protected={"type": "yokan"},
+                      operations=["get"], auth="s")
+    with pytest.raises(GuardError, match="at least one operation"):
+        GuardProvider(
+            margo, "g", 1,
+            protected={"type": "yokan", "address": "a", "provider_id": 1},
+            operations=[], auth="s",
+        )
+    with pytest.raises(GuardError, match="auth must be"):
+        GuardProvider(
+            margo, "g", 1,
+            protected={"type": "yokan", "address": "a", "provider_id": 1},
+            operations=["get"], auth=12345,
+        )

@@ -1,0 +1,254 @@
+"""Tests for SSG: views, SWIM state machine, and live group behaviour."""
+
+import pytest
+
+from repro import Cluster
+from repro.ssg import (
+    GroupView,
+    MemberStatus,
+    SSGError,
+    SSGGroup,
+    SwimConfig,
+    SwimState,
+    Update,
+    create_group,
+    join_group,
+    view_hash_of,
+)
+
+SWIM = SwimConfig(period=0.5, ping_timeout=0.15, suspicion_timeout=2.0)
+
+
+# ----------------------------------------------------------------------
+# GroupView
+# ----------------------------------------------------------------------
+def test_view_hash_is_order_independent():
+    assert view_hash_of(["b", "a"]) == view_hash_of(["a", "b"])
+    assert view_hash_of(["a"]) != view_hash_of(["a", "b"])
+
+
+def test_view_basics():
+    view = GroupView.of("g", ["b", "a", "c"], epoch=3)
+    assert view.members == ("a", "b", "c")
+    assert view.size == 3
+    assert "a" in view
+    assert view.index_of("b") == 1
+    assert len(view.hash) == 16
+
+
+# ----------------------------------------------------------------------
+# SWIM state machine (no network)
+# ----------------------------------------------------------------------
+def make_state(self_addr="self", members=("m1", "m2")):
+    state = SwimState(self_addr, SWIM)
+    for m in members:
+        state.local_join(m)
+    return state
+
+
+def test_swim_join_and_view():
+    state = make_state()
+    assert state.view_members() == ["m1", "m2", "self"]
+    assert state.alive_members() == ["m1", "m2", "self"]
+
+
+def test_swim_suspect_then_confirm():
+    state = make_state()
+    state.local_suspect("m1", now=10.0)
+    assert state.status_of("m1") == MemberStatus.SUSPECT
+    assert "m1" in state.view_members()  # suspects stay in view
+    assert state.suspects_older_than(8.0) == []  # not overdue yet
+    assert state.suspects_older_than(12.0) == ["m1"]
+    state.local_confirm_dead("m1")
+    assert state.status_of("m1") == MemberStatus.DEAD
+    assert "m1" not in state.view_members()
+
+
+def test_swim_alive_refutes_suspect_with_higher_incarnation():
+    state = make_state()
+    state.local_suspect("m1", now=1.0)
+    # Same incarnation: does NOT refute.
+    assert not state.apply(Update("alive", "m1", 0), now=2.0)
+    assert state.status_of("m1") == MemberStatus.SUSPECT
+    # Higher incarnation: refutes.
+    assert state.apply(Update("alive", "m1", 1), now=2.0)
+    assert state.status_of("m1") == MemberStatus.ALIVE
+
+
+def test_swim_dead_overrides_everything():
+    state = make_state()
+    state.apply(Update("dead", "m1", 0), now=1.0)
+    assert state.status_of("m1") == MemberStatus.DEAD
+    # Stale alive at same incarnation cannot resurrect.
+    assert not state.apply(Update("alive", "m1", 0), now=2.0)
+    # Higher incarnation can (the member really is back).
+    assert state.apply(Update("alive", "m1", 5), now=3.0)
+    assert state.status_of("m1") == MemberStatus.ALIVE
+
+
+def test_swim_self_refutation_bumps_incarnation():
+    state = make_state()
+    assert state.incarnation == 0
+    state.apply(Update("suspect", "self", 0), now=1.0)
+    assert state.incarnation == 1
+    # The refutation is queued for dissemination.
+    wire = state.collect_piggyback()
+    assert {"kind": "alive", "address": "self", "incarnation": 1} in wire
+
+
+def test_swim_piggyback_budget_decays():
+    state = make_state(members=())
+    state.local_join("m1")
+    drained = 0
+    while state.collect_piggyback():
+        drained += 1
+        assert drained < 50  # budget must be finite
+    assert drained >= 1
+
+
+def test_swim_snapshot_roundtrip():
+    state = make_state()
+    state.local_suspect("m2", now=1.0)
+    rows = state.snapshot()
+    other = SwimState("other", SWIM)
+    other.load_snapshot(rows)
+    assert set(other.view_members()) == {"m1", "m2", "other", "self"}
+    assert other.status_of("m2") == MemberStatus.SUSPECT
+
+
+def test_swim_config_validation():
+    with pytest.raises(ValueError):
+        SwimConfig(period=0.1, ping_timeout=0.2)
+    with pytest.raises(ValueError):
+        SwimConfig(suspicion_timeout=0)
+    with pytest.raises(ValueError):
+        SwimConfig(ping_req_k=-1)
+
+
+def test_swim_unknown_update_kind():
+    state = make_state()
+    with pytest.raises(ValueError):
+        state.apply(Update("zombie", "m1", 0), now=0.0)
+
+
+# ----------------------------------------------------------------------
+# live groups
+# ----------------------------------------------------------------------
+def make_cluster(n, seed=11):
+    cluster = Cluster(seed=seed)
+    margos = [cluster.add_margo(f"p{i}", node=f"n{i}") for i in range(n)]
+    return cluster, margos
+
+
+def test_group_creation_consistent_views():
+    cluster, margos = make_cluster(4)
+    groups = create_group("g", margos, cluster.randomness, swim=SWIM)
+    cluster.run(until=3.0)
+    hashes = {g.view_hash for g in groups}
+    assert len(hashes) == 1
+    assert groups[0].view.size == 4
+
+
+def test_group_detects_dead_member():
+    cluster, margos = make_cluster(5)
+    groups = create_group("g", margos, cluster.randomness, swim=SWIM)
+    deaths = []
+    for g in groups[1:]:
+        g.on_member_died.append(lambda addr, g=g: deaths.append((g.margo.address, addr)))
+    cluster.run(until=2.0)
+    victim = margos[0]
+    cluster.faults.kill_process(victim.process)
+    cluster.run(until=30.0)
+    survivors = groups[1:]
+    for g in survivors:
+        assert victim.address not in g.view.members, g.margo.address
+        assert g.view.size == 4
+    assert {d[1] for d in deaths} == {victim.address}
+    # Views converge to the same hash.
+    assert len({g.view_hash for g in survivors}) == 1
+
+
+def test_group_view_change_callbacks_fire():
+    cluster, margos = make_cluster(3)
+    groups = create_group("g", margos, cluster.randomness, swim=SWIM)
+    changes = []
+    groups[1].on_view_change.append(lambda view: changes.append(view.size))
+    cluster.run(until=2.0)
+    cluster.faults.kill_process(margos[0].process)
+    cluster.run(until=30.0)
+    assert changes  # at least the death was observed
+    assert changes[-1] == 2
+
+
+def test_late_join_spreads_to_all():
+    cluster, margos = make_cluster(3)
+    groups = create_group("g", margos, cluster.randomness, swim=SWIM)
+    cluster.run(until=2.0)
+    newcomer = cluster.add_margo("late", node="nl")
+
+    def driver():
+        group = yield from join_group(
+            "g", newcomer, [margos[0].address], cluster.randomness, swim=SWIM
+        )
+        return group
+
+    new_group = cluster.run_ult(newcomer, driver())
+    cluster.run(until=cluster.now + 20.0)
+    for g in groups:
+        assert newcomer.address in g.view.members
+    assert new_group.view.size == 4
+    assert len({g.view_hash for g in groups + [new_group]}) == 1
+
+
+def test_voluntary_leave_shrinks_views():
+    cluster, margos = make_cluster(4)
+    groups = create_group("g", margos, cluster.randomness, swim=SWIM)
+    cluster.run(until=2.0)
+
+    def driver():
+        yield from groups[3].leave()
+
+    cluster.run_ult(margos[3], driver())
+    cluster.run(until=cluster.now + 20.0)
+    for g in groups[:3]:
+        assert margos[3].address not in g.view.members
+    assert not groups[3].is_member
+
+
+def test_join_via_unreachable_raises():
+    cluster, margos = make_cluster(2)
+    newcomer = cluster.add_margo("late", node="nl")
+
+    def driver():
+        group = SSGGroup(newcomer, "nogroup", swim=SWIM)
+        yield from group.join_via(["na+ofi://ghost/host"])
+
+    with pytest.raises(SSGError):
+        cluster.run_ult(newcomer, driver())
+
+
+def test_no_false_positives_without_faults():
+    cluster, margos = make_cluster(6, seed=13)
+    groups = create_group("g", margos, cluster.randomness, swim=SWIM)
+    cluster.run(until=60.0)
+    for g in groups:
+        assert g.false_suspicions == 0
+        assert g.view.size == 6
+
+
+def test_detection_despite_message_loss():
+    cluster, margos = make_cluster(5, seed=17)
+    groups = create_group("g", margos, cluster.randomness, swim=SWIM)
+    cluster.run(until=2.0)
+    cluster.faults.set_message_loss(0.10)
+    cluster.faults.kill_process(margos[2].process)
+    cluster.run(until=60.0)
+    for g in groups[:2] + groups[3:]:
+        assert margos[2].address not in g.view.members
+
+
+def test_group_double_start_rejected():
+    cluster, margos = make_cluster(2)
+    groups = create_group("g", margos, cluster.randomness, swim=SWIM)
+    with pytest.raises(SSGError):
+        groups[0].start(cluster.randomness.stream("again"))

@@ -1,0 +1,114 @@
+"""Unit tests for the storage substrate."""
+
+import pytest
+
+from repro.sim import FaultInjector, Network, SimKernel
+from repro.storage import (
+    LocalStore,
+    NoSuchFileError,
+    ParallelFileSystem,
+    StorageCostModel,
+    StorageError,
+)
+
+
+@pytest.fixture()
+def node():
+    kernel = SimKernel()
+    network = Network(kernel)
+    return network.add_node("n0"), kernel, network
+
+
+def test_local_store_crud(node):
+    n, _, _ = node
+    store = LocalStore(n)
+    store.write("a/b", b"hello")
+    assert store.read("a/b") == b"hello"
+    assert store.exists("a/b")
+    assert store.size_of("a/b") == 5
+    store.write("a/c", b"x" * 10)
+    assert store.list("a/") == ["a/b", "a/c"]
+    assert store.total_bytes == 15
+    store.delete("a/b")
+    assert not store.exists("a/b")
+
+
+def test_local_store_missing_file(node):
+    n, _, _ = node
+    store = LocalStore(n)
+    with pytest.raises(NoSuchFileError):
+        store.read("ghost")
+    with pytest.raises(NoSuchFileError):
+        store.delete("ghost")
+
+
+def test_local_store_type_check(node):
+    n, _, _ = node
+    store = LocalStore(n)
+    with pytest.raises(TypeError):
+        store.write("p", "not-bytes")  # type: ignore[arg-type]
+
+
+def test_local_store_attached_to_node(node):
+    n, _, _ = node
+    store = LocalStore(n, name="nvme0")
+    assert n.attachments["nvme0"] is store
+
+
+def test_local_store_wiped_on_node_death(node):
+    n, kernel, network = node
+    store = LocalStore(n)
+    store.write("data", b"precious")
+    FaultInjector(kernel, network).kill_node(n)
+    assert store.wiped
+    with pytest.raises(StorageError):
+        store.read("data")
+
+
+def test_local_store_survives_process_death(node):
+    n, kernel, network = node
+    proc = network.add_process("p", n)
+    store = LocalStore(n)
+    store.write("data", b"precious")
+    FaultInjector(kernel, network).kill_process(proc)
+    assert store.read("data") == b"precious"  # transient failure semantics
+
+
+def test_cost_model():
+    cost = StorageCostModel(
+        read_latency=1e-6, write_latency=2e-6, read_bandwidth=1e9, write_bandwidth=5e8
+    )
+    assert cost.read_time(1_000_000) == pytest.approx(1e-6 + 1e-3)
+    assert cost.write_time(1_000_000) == pytest.approx(2e-6 + 2e-3)
+
+
+def test_local_store_costs_exposed(node):
+    n, _, _ = node
+    store = LocalStore(n)
+    assert store.write_cost(1 << 20) > store.read_cost(1 << 20) > 0
+
+
+def test_pfs_crud_and_costs():
+    pfs = ParallelFileSystem()
+    pfs.write("ckpt/1", b"abc")
+    assert pfs.read("ckpt/1") == b"abc"
+    assert pfs.exists("ckpt/1")
+    assert pfs.list("ckpt/") == ["ckpt/1"]
+    assert pfs.total_bytes == 3
+    assert pfs.write_cost(1 << 20) > pfs.read_cost(1 << 20) > 0
+    pfs.delete("ckpt/1")
+    with pytest.raises(NoSuchFileError):
+        pfs.read("ckpt/1")
+    with pytest.raises(NoSuchFileError):
+        pfs.delete("ckpt/1")
+    with pytest.raises(TypeError):
+        pfs.write("p", 123)  # type: ignore[arg-type]
+
+
+def test_pfs_slower_than_local(node):
+    n, _, _ = node
+    store = LocalStore(n)
+    pfs = ParallelFileSystem()
+    size = 1 << 24
+    assert pfs.write_cost(size) > store.write_cost(size)
+    assert pfs.read_cost(size) > store.read_cost(size)

@@ -1,0 +1,205 @@
+"""Unit + property tests for Yokan backends and the record codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Network, SimKernel
+from repro.storage import LocalStore
+from repro.yokan import (
+    MapBackend,
+    NoSuchKeyError,
+    OrderedBackend,
+    PersistentBackend,
+    UnknownBackendError,
+    YokanError,
+    backend_types,
+    create_backend,
+    decode_records,
+    encode_records,
+)
+
+
+def make_store():
+    kernel = SimKernel()
+    network = Network(kernel)
+    node = network.add_node("n0")
+    return LocalStore(node)
+
+
+BACKEND_FACTORIES = {
+    "map": lambda: MapBackend(),
+    "ordered": lambda: OrderedBackend(),
+    "persistent": lambda: PersistentBackend({"store": make_store(), "path": "db"}),
+}
+
+
+@pytest.fixture(params=sorted(BACKEND_FACTORIES))
+def backend(request):
+    return BACKEND_FACTORIES[request.param]()
+
+
+# ----------------------------------------------------------------------
+# generic behaviour across all backends
+# ----------------------------------------------------------------------
+def test_put_get_overwrite(backend):
+    backend.put(b"k", b"v1")
+    assert backend.get(b"k") == b"v1"
+    backend.put(b"k", b"v2")
+    assert backend.get(b"k") == b"v2"
+    assert backend.count() == 1
+
+
+def test_erase_and_missing(backend):
+    backend.put(b"k", b"v")
+    backend.erase(b"k")
+    assert not backend.exists(b"k")
+    with pytest.raises(NoSuchKeyError):
+        backend.get(b"k")
+    with pytest.raises(NoSuchKeyError):
+        backend.erase(b"k")
+
+
+def test_size_bytes_accounting(backend):
+    backend.put(b"ab", b"xyz")  # 5
+    backend.put(b"cd", b"1234")  # 6
+    assert backend.size_bytes() == 11
+    backend.put(b"ab", b"z")  # 3: overwrite shrinks
+    assert backend.size_bytes() == 9
+    backend.erase(b"cd")
+    assert backend.size_bytes() == 3
+    backend.clear()
+    assert backend.size_bytes() == 0
+    assert backend.count() == 0
+
+
+def test_list_keys_prefix_and_pagination(backend):
+    for key in [b"a1", b"a2", b"a3", b"b1"]:
+        backend.put(key, b"v")
+    assert backend.list_keys(prefix=b"a") == [b"a1", b"a2", b"a3"]
+    assert backend.list_keys(prefix=b"a", max_keys=2) == [b"a1", b"a2"]
+    assert backend.list_keys(prefix=b"a", start_after=b"a1") == [b"a2", b"a3"]
+    assert backend.list_keys(prefix=b"zz") == []
+    assert backend.list_keys() == [b"a1", b"a2", b"a3", b"b1"]
+
+
+def test_dump_load_roundtrip(backend):
+    for i in range(20):
+        backend.put(f"key{i:03d}".encode(), f"value{i}".encode())
+    image = backend.dump()
+    other = MapBackend()
+    other.load(image)
+    assert other.count() == 20
+    assert other.get(b"key007") == b"value7"
+
+
+# ----------------------------------------------------------------------
+# codec
+# ----------------------------------------------------------------------
+def test_codec_roundtrip_simple():
+    pairs = [(b"a", b"1"), (b"", b""), (b"k", b"x" * 1000)]
+    assert decode_records(encode_records(pairs)) == pairs
+
+
+def test_codec_truncation_detected():
+    data = encode_records([(b"key", b"value")])
+    for cut in (1, 3, 5, 8, len(data) - 1):
+        with pytest.raises(YokanError):
+            decode_records(data[:cut])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.binary(max_size=64), st.binary(max_size=256)),
+        max_size=30,
+    )
+)
+def test_codec_roundtrip_property(pairs):
+    assert decode_records(encode_records(pairs)) == pairs
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(st.binary(min_size=1, max_size=32), st.binary(max_size=64), max_size=40)
+)
+def test_backends_agree_property(mapping):
+    """Map and ordered backends expose identical contents."""
+    a, b = MapBackend(), OrderedBackend()
+    for key, value in mapping.items():
+        a.put(key, value)
+        b.put(key, value)
+    assert a.count() == b.count() == len(mapping)
+    assert a.list_keys() == b.list_keys() == sorted(mapping)
+    assert a.dump() == b.dump()
+    assert a.size_bytes() == b.size_bytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.binary(min_size=1, max_size=16), unique=True, min_size=1, max_size=20),
+    st.data(),
+)
+def test_ordered_list_keys_matches_sorted_model(keys, data):
+    backend = OrderedBackend()
+    for key in keys:
+        backend.put(key, b"v")
+    all_sorted = sorted(keys)
+    prefix = data.draw(st.sampled_from(all_sorted))[:1]
+    expected = [k for k in all_sorted if k.startswith(prefix)]
+    assert backend.list_keys(prefix=prefix) == expected
+
+
+# ----------------------------------------------------------------------
+# factory
+# ----------------------------------------------------------------------
+def test_factory_known_types():
+    assert {"map", "ordered", "persistent"} <= set(backend_types())
+    assert isinstance(create_backend("map"), MapBackend)
+    with pytest.raises(UnknownBackendError):
+        create_backend("rocksdb")
+
+
+# ----------------------------------------------------------------------
+# persistent backend specifics
+# ----------------------------------------------------------------------
+def test_persistent_requires_store_and_path():
+    with pytest.raises(YokanError):
+        PersistentBackend({"path": "db"})
+    with pytest.raises(YokanError):
+        PersistentBackend({"store": make_store()})
+
+
+def test_persistent_flush_and_reload():
+    store = make_store()
+    backend = PersistentBackend({"store": store, "path": "db"})
+    backend.put(b"k", b"v")
+    assert backend.dirty
+    assert backend.files() == []  # nothing on disk yet
+    backend.flush()
+    assert not backend.dirty
+    assert backend.files() == ["db"]
+    # Mutate in memory, then reload from the image.
+    backend.put(b"k2", b"v2")
+    backend.reload()
+    assert backend.exists(b"k")
+    assert not backend.exists(b"k2")
+
+
+def test_persistent_survives_reopen():
+    """A new backend over the same file sees the flushed data (process
+    crash + restart on the same node)."""
+    store = make_store()
+    first = PersistentBackend({"store": store, "path": "db"})
+    first.put(b"k", b"v")
+    first.flush()
+    second = PersistentBackend({"store": store, "path": "db"})
+    assert second.get(b"k") == b"v"
+
+
+def test_persistent_sync_on_put():
+    store = make_store()
+    backend = PersistentBackend({"store": store, "path": "db", "sync_on_put": True})
+    backend.put(b"k", b"v")
+    assert not backend.dirty
+    assert store.exists("db")

@@ -1,0 +1,299 @@
+"""Integration tests: Yokan provider/client over RPC, virtual replication."""
+
+import pytest
+
+from repro import Cluster
+from repro.core.component import ProviderIdError
+from repro.margo import RpcFailedError
+from repro.storage import LocalStore, ParallelFileSystem
+from repro.yokan import (
+    DatabaseHandle,
+    VirtualYokanProvider,
+    YokanClient,
+    YokanError,
+    YokanProvider,
+)
+
+
+@pytest.fixture()
+def rig():
+    cluster = Cluster(seed=3)
+    server = cluster.add_margo("server", node="n0")
+    client_margo = cluster.add_margo("client", node="n1")
+    provider = YokanProvider(server, "db0", provider_id=1)
+    handle = YokanClient(client_margo).make_handle(server.address, 1)
+    return cluster, server, client_margo, provider, handle
+
+
+def run(cluster, margo, gen):
+    return cluster.run_ult(margo, gen)
+
+
+def test_put_get_roundtrip(rig):
+    cluster, _, cm, _, db = rig
+
+    def driver():
+        yield from db.put("key", "value")
+        return (yield from db.get("key"))
+
+    assert run(cluster, cm, driver()) == b"value"
+
+
+def test_get_missing_key_raises_remote_error(rig):
+    cluster, _, cm, _, db = rig
+
+    def driver():
+        yield from db.get("ghost")
+
+    with pytest.raises(RpcFailedError, match="no such key"):
+        run(cluster, cm, driver())
+
+
+def test_exists_erase_count(rig):
+    cluster, _, cm, _, db = rig
+
+    def driver():
+        yield from db.put("a", "1")
+        yield from db.put("b", "2")
+        existed = yield from db.exists("a")
+        count_before = yield from db.count()
+        yield from db.erase("a")
+        exists_after = yield from db.exists("a")
+        count_after = yield from db.count()
+        return existed, count_before, exists_after, count_after
+
+    assert run(cluster, cm, driver()) == (True, 2, False, 1)
+
+
+def test_multi_ops_and_list_keys(rig):
+    cluster, _, cm, _, db = rig
+
+    def driver():
+        yield from db.put_multi([(f"k{i}", f"v{i}") for i in range(5)])
+        keys = yield from db.list_keys(prefix="k", max_keys=3)
+        values = yield from db.get_multi(["k0", "k4"])
+        return keys, values
+
+    keys, values = run(cluster, cm, driver())
+    assert keys == [b"k0", b"k1", b"k2"]
+    assert values == [b"v0", b"v4"]
+
+
+def test_large_value_uses_bulk_path(rig):
+    cluster, server, cm, _, db = rig
+    big = b"x" * (1 << 20)
+    bytes_before = cluster.network.bytes_sent
+
+    def driver():
+        yield from db.put("big", big)
+        return (yield from db.get("big"))
+
+    result = run(cluster, cm, driver())
+    assert result == big
+    # Bulk moved the megabyte twice (put pull + get push); RPC payloads
+    # stayed small, so total bytes is ~2 MiB, not 4.
+    moved = cluster.network.bytes_sent - bytes_before
+    assert (2 << 20) <= moved < (2 << 20) + 20_000
+
+
+def test_provider_id_bounds():
+    cluster = Cluster(seed=1)
+    server = cluster.add_margo("server", node="n0")
+    with pytest.raises(ProviderIdError):
+        YokanProvider(server, "bad", provider_id=65535)
+    with pytest.raises(ProviderIdError):
+        YokanProvider(server, "bad", provider_id=-1)
+
+
+def test_two_providers_same_process(rig):
+    cluster, server, cm, _, db1 = rig
+    YokanProvider(server, "db2", provider_id=2)
+    db2 = YokanClient(cm).make_handle(server.address, 2)
+
+    def driver():
+        yield from db1.put("k", "in-1")
+        yield from db2.put("k", "in-2")
+        a = yield from db1.get("k")
+        b = yield from db2.get("k")
+        return a, b
+
+    assert run(cluster, cm, driver()) == (b"in-1", b"in-2")
+
+
+def test_provider_destroy_deregisters(rig):
+    cluster, server, cm, provider, db = rig
+    provider.destroy()
+    assert provider.destroyed
+
+    def driver():
+        yield from db.put("k", "v")
+
+    from repro.margo import NoSuchRpcError
+
+    with pytest.raises(NoSuchRpcError):
+        run(cluster, cm, driver())
+
+
+def test_persistent_provider_flush_to_local_store():
+    cluster = Cluster(seed=3)
+    node = cluster.node("n0")
+    store = LocalStore(node)
+    server = cluster.add_margo("server", node=node)
+    cm = cluster.add_margo("client", node="n1")
+    YokanProvider(
+        server, "pdb", provider_id=1, config={"database": {"type": "persistent"}}
+    )
+    db = YokanClient(cm).make_handle(server.address, 1)
+
+    def driver():
+        yield from db.put("k", "v")
+        yield from db.flush()
+
+    run(cluster, cm, driver())
+    assert store.exists("yokan/pdb.db")
+
+
+def test_persistent_provider_without_store_raises():
+    cluster = Cluster(seed=3)
+    server = cluster.add_margo("server", node="n0")
+    with pytest.raises(YokanError, match="LocalStore"):
+        YokanProvider(
+            server, "pdb", provider_id=1, config={"database": {"type": "persistent"}}
+        )
+
+
+def test_checkpoint_restore_via_pfs():
+    cluster = Cluster(seed=3)
+    pfs = ParallelFileSystem()
+    s1 = cluster.add_margo("s1", node="n0")
+    s2 = cluster.add_margo("s2", node="n1")
+    cm = cluster.add_margo("client", node="n2")
+    p1 = YokanProvider(s1, "db", provider_id=1)
+    db1 = YokanClient(cm).make_handle(s1.address, 1)
+
+    def phase1():
+        yield from db1.put_multi([(f"k{i}", f"v{i}") for i in range(10)])
+        yield from p1.checkpoint(pfs, "ckpt/db")
+
+    run(cluster, cm, phase1())
+    assert pfs.exists("ckpt/db")
+
+    # Restore into a fresh provider on another node (node replacement).
+    p2 = YokanProvider(s2, "db-restored", provider_id=1)
+    db2 = YokanClient(cm).make_handle(s2.address, 1)
+
+    def phase2():
+        yield from p2.restore(pfs, "ckpt/db")
+        return (yield from db2.get("k7"))
+
+    assert run(cluster, cm, phase2()) == b"v7"
+
+
+def test_get_config_reports_statistics(rig):
+    cluster, _, cm, provider, db = rig
+
+    def driver():
+        yield from db.put("k", "value")
+
+    run(cluster, cm, driver())
+    doc = provider.get_config()
+    assert doc["database"]["type"] == "map"
+    assert doc["statistics"]["count"] == 1
+    assert doc["statistics"]["size_bytes"] == 6
+
+
+# ----------------------------------------------------------------------
+# virtual databases (paper section 7, Observation 10)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def virtual_rig():
+    cluster = Cluster(seed=4)
+    backends = []
+    targets = []
+    for i in range(3):
+        margo = cluster.add_margo(f"replica{i}", node=f"n{i}")
+        provider = YokanProvider(margo, f"rdb{i}", provider_id=1)
+        backends.append(provider)
+        targets.append({"address": margo.address, "provider_id": 1})
+    front_margo = cluster.add_margo("front", node="nf")
+    virtual = VirtualYokanProvider(
+        front_margo, "vdb", provider_id=9,
+        config={"targets": targets, "rpc_timeout": 0.5},
+    )
+    client_margo = cluster.add_margo("client", node="nc")
+    handle = YokanClient(client_margo).make_handle(front_margo.address, 9)
+    return cluster, backends, virtual, client_margo, handle
+
+
+def test_virtual_put_replicates_to_all(virtual_rig):
+    cluster, backends, _, cm, db = virtual_rig
+
+    def driver():
+        yield from db.put("k", "v")
+        return (yield from db.get("k"))
+
+    assert run(cluster, cm, driver()) == b"v"
+    for provider in backends:
+        assert provider.backend.get(b"k") == b"v"
+
+
+def test_virtual_transparent_to_client(virtual_rig):
+    """The client uses a plain DatabaseHandle -- it cannot tell the
+    provider is virtual (the transparency requirement of Obs. 10)."""
+    _, _, _, _, db = virtual_rig
+    assert isinstance(db, DatabaseHandle)
+
+
+def test_virtual_read_fails_over_dead_replica(virtual_rig):
+    cluster, backends, _, cm, db = virtual_rig
+
+    def write():
+        yield from db.put("k", "v")
+
+    run(cluster, cm, write())
+    # Kill the first replica; reads must fail over to the second.
+    cluster.faults.kill_process(backends[0].margo.process)
+
+    def read():
+        return (yield from db.get("k"))
+
+    assert run(cluster, cm, read()) == b"v"
+
+
+def test_virtual_write_with_dead_replica_still_succeeds(virtual_rig):
+    cluster, backends, _, cm, db = virtual_rig
+    cluster.faults.kill_process(backends[1].margo.process)
+
+    def driver():
+        yield from db.put("k", "v")
+        return (yield from db.get("k"))
+
+    assert run(cluster, cm, driver()) == b"v"
+    assert backends[0].backend.get(b"k") == b"v"
+    assert backends[2].backend.get(b"k") == b"v"
+
+
+def test_virtual_requires_targets():
+    cluster = Cluster(seed=1)
+    margo = cluster.add_margo("front", node="n0")
+    with pytest.raises(YokanError, match="at least one target"):
+        VirtualYokanProvider(margo, "vdb", provider_id=1, config={})
+
+
+def test_virtual_resync_repairs_replaced_replica(virtual_rig):
+    cluster, backends, virtual, cm, db = virtual_rig
+
+    def write():
+        yield from db.put_multi([(f"k{i}", f"v{i}") for i in range(5)])
+
+    run(cluster, cm, write())
+    # Simulate a replaced replica: wipe replica 2's backend.
+    backends[2].backend.clear()
+    assert backends[2].backend.count() == 0
+
+    def repair():
+        return (yield from virtual.resync(source_index=0))
+
+    moved = run(cluster, virtual.margo, repair())
+    assert moved == 5
+    assert backends[2].backend.count() == 5
