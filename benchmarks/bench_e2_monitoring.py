@@ -1,12 +1,14 @@
 """E2 -- section 4: monitoring "at no engineering cost", and at what
 runtime cost.
 
-An echo-RPC storm runs three ways: no monitoring, the default
-StatisticsMonitor (Listing 1), and a full CallbackMonitor subscribed to
-every hook.  The experiment reports simulated completion time and the
-collected statistics' fidelity.  The claim being validated: monitoring
-is cheap enough to be always-on (small single-digit-percent overhead),
-and the Listing-1 document is produced with zero component changes.
+An echo-RPC storm runs four ways: no monitoring, the default
+StatisticsMonitor (Listing 1), a full CallbackMonitor subscribed to
+every hook, and statistics plus the distributed tracer.  The experiment
+reports simulated completion time and the collected statistics' /
+spans' fidelity.  The claim being validated: monitoring is cheap enough
+to be always-on (small single-digit-percent overhead), the Listing-1
+document is produced with zero component changes, and full per-RPC
+tracing stays within the same budget.
 """
 
 import pytest
@@ -20,7 +22,7 @@ N_RPCS = 1500
 
 
 def run_storm(monitor_kind: str):
-    cluster = Cluster(seed=102)
+    config = None
     monitors = ()
     monitor = None
     counter = {"events": 0}
@@ -32,8 +34,13 @@ def run_storm(monitor_kind: str):
             counter["events"] += 1
 
         monitors = (CallbackMonitor({name: count for name in HOOK_NAMES}),)
-    server = cluster.add_margo("server", node="n0", monitors=monitors)
-    client = cluster.add_margo("client", node="n1", monitors=monitors)
+    elif monitor_kind == "statistics+tracing":
+        monitor = StatisticsMonitor()
+        monitors = (monitor,)
+        config = {"observability": {"tracing": True}}
+    cluster = Cluster(seed=102)
+    server = cluster.add_margo("server", node="n0", config=config, monitors=monitors)
+    client = cluster.add_margo("client", node="n1", config=config, monitors=monitors)
     server.register("echo", lambda ctx: ctx.args)
 
     def driver():
@@ -41,18 +48,20 @@ def run_storm(monitor_kind: str):
             yield from client.forward(server.address, "echo", i)
 
     cluster.run_ult(client, driver())
+    spans = sum(len(t.spans) for t in cluster.tracers())
     return {
         "monitoring": monitor_kind,
         "rpcs": N_RPCS,
         "simulated_seconds": cluster.now,
         "hook_events": counter["events"],
+        "spans": spans,
     }, monitor
 
 
 def run_experiment():
     rows = []
     stats_monitor = None
-    for kind in ("off", "statistics", "callbacks-all-hooks"):
+    for kind in ("off", "statistics", "callbacks-all-hooks", "statistics+tracing"):
         row, monitor = run_storm(kind)
         if kind == "statistics":
             stats_monitor = monitor
@@ -73,6 +82,13 @@ def test_e2_monitoring_overhead(benchmark):
     assert rows[1]["overhead_pct"] < 10.0
     assert rows[2]["overhead_pct"] < 10.0
     assert rows[2]["hook_events"] > 0
+
+    # Tracing rides the same hook path: every RPC materializes its
+    # client- and server-side spans, still within the overhead budget.
+    traced = rows[3]
+    assert traced["overhead_pct"] < 10.0
+    # forward (client) + queue/handler/respond (server) per RPC.
+    assert traced["spans"] == 4 * N_RPCS
 
     # Fidelity: the Listing-1 document accounts for every RPC, at no
     # engineering cost to the echo "component".

@@ -90,6 +90,17 @@ class ServiceHandle(ResourceHandle):
         result = yield from self._forward("query", {"script": jx9_script})
         return result
 
+    # ---- observability access ------------------------------------------
+    def get_metrics(self) -> Generator:
+        """Snapshot of the remote process's metrics registry."""
+        result = yield from self._forward("get_metrics")
+        return result
+
+    def get_traces(self) -> Generator:
+        """Remote process's spans as a Chrome trace-event document."""
+        result = yield from self._forward("get_traces")
+        return result
+
     # ---- dynamic-service operations --------------------------------------
     def migrate_provider(
         self,

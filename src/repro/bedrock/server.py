@@ -26,6 +26,7 @@ from typing import Any, Generator, Optional
 from ..core.component import Provider
 from ..margo.runtime import MargoInstance, RequestContext
 from ..margo.ult import Compute
+from ..observability.exporters import chrome_trace
 from ..storage.pfs import ParallelFileSystem
 from .errors import (
     BedrockConfigError,
@@ -106,6 +107,8 @@ class BedrockServer(Provider):
             "add_xstream",
             "remove_xstream",
             "get_config",
+            "get_metrics",
+            "get_traces",
             "query",
             "migrate_provider",
             "checkpoint_provider",
@@ -118,6 +121,19 @@ class BedrockServer(Provider):
             "tx_abort",
         ):
             self.register_rpc(operation, getattr(self, f"_on_{operation}"))
+
+        self._providers_started = margo.metrics.counter(
+            "bedrock_providers_started", "providers started on this process"
+        )
+        self._providers_stopped = margo.metrics.counter(
+            "bedrock_providers_stopped", "providers stopped on this process"
+        )
+        self._migrations = margo.metrics.counter(
+            "bedrock_migrations", "provider migrations orchestrated from here"
+        )
+        self._migrated_bytes = margo.metrics.counter(
+            "bedrock_migrated_bytes", "bytes shipped by provider migrations"
+        )
 
         doc = dict(config or {})
         doc.pop("margo", None)  # consumed by the Margo instance itself
@@ -253,6 +269,7 @@ class BedrockServer(Provider):
             instance=instance,
         )
         self.records[name] = record
+        self._providers_started.inc()
         for spec in dependencies.values():
             if isinstance(spec, str):
                 self.dependents.setdefault(spec, set()).add(f"local:{name}")
@@ -277,6 +294,7 @@ class BedrockServer(Provider):
                 if holders:
                     holders.discard(f"local:{record.name}")
         self.dependents.pop(record.name, None)
+        self._providers_stopped.inc()
         record.instance.destroy()
 
     # ------------------------------------------------------------------
@@ -439,6 +457,24 @@ class BedrockServer(Provider):
         yield Compute(OP_COST)
         return self.get_config()
 
+    def _on_get_metrics(self, ctx: RequestContext) -> Generator:
+        """The process's metrics registry as a JSON snapshot (the
+        observability counterpart of ``bedrock_get_config``)."""
+        yield Compute(OP_COST)
+        return self.margo.metrics.snapshot()
+
+    def _on_get_traces(self, ctx: RequestContext) -> Generator:
+        """Spans collected on this process, as Chrome trace-event JSON.
+
+        Empty document when tracing is off; note that wire spans whose
+        other endpoint lives on an untraced process are omitted (they
+        pair up when exports are merged cluster-side).
+        """
+        yield Compute(OP_COST)
+        if self.margo.tracer is None:
+            return chrome_trace()
+        return chrome_trace(self.margo.tracer)
+
     def _on_query(self, ctx: RequestContext) -> Generator:
         yield Compute(OP_COST)
         return self.query(ctx.args["script"])
@@ -472,6 +508,7 @@ class BedrockServer(Provider):
 
         from ..remi.client import RemiClient
 
+        migration_started = self.margo.kernel.now
         remi_client = RemiClient(self.margo)
         report = yield from record.instance.migrate(
             _BoundRemi(remi_client, dest_address, remi_provider_id, method),
@@ -516,6 +553,22 @@ class BedrockServer(Provider):
             timeout=10.0,
         )
         self._execute_stop({"name": name})
+        self._migrations.inc()
+        self._migrated_bytes.inc(report.total_bytes)
+        if self.margo.tracer is not None:
+            self.margo.tracer.record_span(
+                f"migrate:{name}",
+                "migration",
+                self.margo.process.name,
+                migration_started,
+                self.margo.kernel.now,
+                attributes={
+                    "dest": dest_address,
+                    "files": report.num_files,
+                    "bytes": report.total_bytes,
+                    "method": report.method,
+                },
+            )
         return {
             "moved_files": report.num_files,
             "moved_bytes": report.total_bytes,

@@ -23,6 +23,8 @@ from typing import Any, Generator, Optional
 
 from .margo.runtime import MargoInstance
 from .margo.ult import ULT
+from .observability import exporters as _obs_exporters
+from .observability.tracer import Tracer
 from .sim.faults import FaultInjector
 from .sim.kernel import SimKernel, WaitEvent
 from .sim.network import Network, NetworkConfig, Node, Process
@@ -150,3 +152,27 @@ class Cluster:
     @property
     def now(self) -> float:
         return self.kernel.now
+
+    # ------------------------------------------------------------------
+    # observability (cluster-wide views over per-process planes)
+    # ------------------------------------------------------------------
+    def tracers(self) -> list[Tracer]:
+        """Tracers of every margo with tracing enabled (sorted by name)."""
+        return [
+            self.margos[name].tracer
+            for name in sorted(self.margos)
+            if self.margos[name].tracer is not None
+        ]
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """All spans cluster-wide as one Chrome trace-event document."""
+        return _obs_exporters.chrome_trace(*self.tracers())
+
+    def dumps_chrome_trace(self, indent: int = 2) -> str:
+        return _obs_exporters.dumps_chrome_trace(*self.tracers(), indent=indent)
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Every process's metrics registry, keyed by process name."""
+        return _obs_exporters.metrics_snapshot(
+            {name: margo.metrics for name, margo in self.margos.items()}
+        )

@@ -22,6 +22,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from ..observability.spec import ObservabilitySpec
 from .errors import ConfigError
 
 __all__ = ["MargoConfig", "PoolSpec", "XStreamSpec"]
@@ -103,6 +104,9 @@ class MargoConfig:
     #: Extra simulated cost charged per monitoring callback fired in the
     #: RPC fast path (0 when no monitors are attached).
     monitoring_cost_per_event: float = 20e-9
+    #: Observability plane (tracing + metrics export), see
+    #: :class:`repro.observability.ObservabilitySpec`.
+    observability: ObservabilitySpec = field(default_factory=ObservabilitySpec)
 
     @classmethod
     def from_json(cls, doc: str | dict[str, Any] | None) -> "MargoConfig":
@@ -122,6 +126,7 @@ class MargoConfig:
             "rpc_pool",
             "dispatch_cost",
             "monitoring_cost_per_event",
+            "observability",
         }
         if unknown:
             raise ConfigError(f"unknown margo config keys: {sorted(unknown)}")
@@ -145,6 +150,7 @@ class MargoConfig:
             monitoring_cost_per_event=float(
                 doc.get("monitoring_cost_per_event", cls.monitoring_cost_per_event)
             ),
+            observability=_parse_observability(doc.get("observability")),
         )
         config.validate()
         return config
@@ -180,4 +186,12 @@ class MargoConfig:
             },
             "progress_pool": self.progress_pool,
             "rpc_pool": self.rpc_pool,
+            "observability": self.observability.to_json(),
         }
+
+
+def _parse_observability(doc: Any) -> ObservabilitySpec:
+    try:
+        return ObservabilitySpec.from_json(doc)
+    except ValueError as err:
+        raise ConfigError(str(err)) from err

@@ -39,6 +39,9 @@ from ..mercury import (
     rpc_id_of,
     serialize_cost,
 )
+from ..observability.metrics import MetricsRegistry
+from ..observability.span import HANDLER_SUFFIX, child_span_id
+from ..observability.tracer import Tracer
 from ..sim.kernel import TIMED_OUT, SimKernel
 from ..sim.network import Network, Process
 from .config import MargoConfig, PoolSpec, XStreamSpec
@@ -131,13 +134,34 @@ class MargoInstance:
         self._incoming: deque[Any] = deque()
         self._progress_event: Optional[UltEvent] = None
 
-        # Live counters (sampled by the monitoring sampler, section 4:
-        # "periodically tracks the number of in-flight RPCs and the sizes
-        # of user-level thread pools").
-        self.inflight_outgoing = 0
-        self.inflight_incoming = 0
-        self.rpcs_sent = 0
-        self.rpcs_handled = 0
+        # Live runtime metrics (sampled by the monitoring sampler,
+        # section 4: "periodically tracks the number of in-flight RPCs
+        # and the sizes of user-level thread pools").  Components on
+        # this instance register their own metrics into this registry;
+        # the public counter attributes below are views over it.
+        obs = self.config.observability
+        self.metrics = MetricsRegistry(enabled=obs.metrics)
+        self._rpcs_sent = self.metrics.counter(
+            "margo_rpcs_sent", "RPCs issued by the client path"
+        )
+        self._rpcs_handled = self.metrics.counter(
+            "margo_rpcs_handled", "RPCs whose handler ULT completed"
+        )
+        self._monitor_errors = self.metrics.counter(
+            "margo_monitor_errors",
+            "monitor hooks that raised (swallowed: monitoring must "
+            "never take the data path down)",
+        )
+        self._inflight_out = self.metrics.gauge(
+            "margo_inflight_outgoing", "RPCs sent and awaiting a response"
+        )
+        self._inflight_in = self.metrics.gauge(
+            "margo_inflight_incoming", "handler ULTs currently executing"
+        )
+        self.tracer: Optional[Tracer] = None
+        if obs.tracing:
+            self.tracer = Tracer(max_spans=obs.max_spans)
+            self.monitors.append(self.tracer)
 
         self._build()
         process.on_message = self._on_message
@@ -174,6 +198,27 @@ class MargoInstance:
     def finalized(self) -> bool:
         return self._finalized
 
+    # Backwards-compatible counter views (now backed by the registry).
+    @property
+    def inflight_outgoing(self) -> int:
+        return int(self._inflight_out.value)
+
+    @property
+    def inflight_incoming(self) -> int:
+        return int(self._inflight_in.value)
+
+    @property
+    def rpcs_sent(self) -> int:
+        return int(self._rpcs_sent.value)
+
+    @property
+    def rpcs_handled(self) -> int:
+        return int(self._rpcs_handled.value)
+
+    @property
+    def monitor_errors(self) -> int:
+        return int(self._monitor_errors.value)
+
     # ------------------------------------------------------------------
     # monitoring
     # ------------------------------------------------------------------
@@ -186,12 +231,21 @@ class MargoInstance:
 
     def _emit(self, hook: str, **kwargs: Any) -> int:
         """Fire ``hook`` on every monitor; return the number fired (the
-        RPC path charges ``monitoring_cost_per_event`` per firing)."""
+        RPC path charges ``monitoring_cost_per_event`` per firing).
+
+        The ``Monitor`` contract says hooks must not raise; if one does
+        anyway, the failure is contained here -- counted in
+        ``margo_monitor_errors`` -- rather than crashing the RPC fast
+        path: a monitoring failure must never take the data path down.
+        """
         fired = 0
         for monitor in self.monitors:
             fn = getattr(monitor, hook, None)
             if fn is not None:
-                fn(time=self.kernel.now, margo=self, **kwargs)
+                try:
+                    fn(time=self.kernel.now, margo=self, **kwargs)
+                except Exception:
+                    self._monitor_errors.inc()
                 fired += 1
         return fired
 
@@ -286,6 +340,17 @@ class MargoInstance:
         payload_size = estimate_size(args)
         self._seq += 1
         seq = self._seq
+        # Trace-context propagation (repro.observability): every call
+        # gets a deterministic span id; a call issued from inside a
+        # handler joins its parent's trace as a child of the handler
+        # span, so nested RPCs form one causal tree end to end.
+        span_id = f"{self.process.name}:{seq}"
+        if parent is not None and getattr(parent, "trace_id", ""):
+            trace_id = parent.trace_id
+            parent_span_id = child_span_id(parent.span_id, HANDLER_SUFFIX)
+        else:
+            trace_id = span_id
+            parent_span_id = ""
         request = RPCRequest(
             seq=seq,
             rpc_id=rpc_id_of(rpc_name),
@@ -297,6 +362,9 @@ class MargoInstance:
             dst_address=address,
             parent_rpc_id=parent.rpc_id if parent is not None else NULL_RPC,
             parent_provider_id=parent.provider_id if parent is not None else NULL_PROVIDER,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_span_id=parent_span_id,
         )
         started = self.kernel.now
         fired = self._emit("on_forward_start", request=request)
@@ -304,8 +372,8 @@ class MargoInstance:
 
         event = UltEvent(self.kernel, name=f"rpc:{rpc_name}:{seq}")
         self._pending[seq] = (event, request, self.kernel.now)
-        self.inflight_outgoing += 1
-        self.rpcs_sent += 1
+        self._inflight_out.inc()
+        self._rpcs_sent.inc()
         known = self.network.send(self.process, address, request, request.wire_size)
         fired = self._emit("on_forward_sent", request=request)
         if fired:
@@ -314,11 +382,11 @@ class MargoInstance:
             # The destination does not exist and no timeout would ever
             # fire: fail fast instead of hanging the simulation.
             self._pending.pop(seq, None)
-            self.inflight_outgoing -= 1
+            self._inflight_out.dec()
             raise RpcError(f"unknown destination address {address!r}")
 
         value = yield Park(event, timeout)
-        self.inflight_outgoing -= 1
+        self._inflight_out.dec()
         if value is TIMED_OUT:
             self._pending.pop(seq, None)
             raise RpcTimeoutError(
@@ -436,7 +504,7 @@ class MargoInstance:
     def _handler_body(
         self, registration: Registration, request: RPCRequest, enqueued_at: float
     ) -> Generator:
-        self.inflight_incoming += 1
+        self._inflight_in.inc()
         queued_for = self.kernel.now - enqueued_at
         ult_started = self.kernel.now
         fired = self._emit("on_ult_start", request=request, queued_for=queued_for)
@@ -475,8 +543,8 @@ class MargoInstance:
             src_address=self.process.address,
             error_message=error_message,
         )
-        self.inflight_incoming -= 1
-        self.rpcs_handled += 1
+        self._inflight_in.dec()
+        self._rpcs_handled.inc()
         self.network.send(self.process, request.src_address, response, response.wire_size)
         self._emit("on_respond", request=request, response=response)
 

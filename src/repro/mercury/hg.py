@@ -54,6 +54,13 @@ class RPCRequest:
     dst_address: str = ""
     parent_rpc_id: int = NULL_RPC
     parent_provider_id: int = NULL_PROVIDER
+    #: Trace context (repro.observability): the causal tree this call
+    #: belongs to, this call's span id, and the span that issued it.
+    #: Stamped by the Margo forward path; generalizes the Listing-1
+    #: parent_rpc_id chain to per-call identity.
+    trace_id: str = ""
+    span_id: str = ""
+    parent_span_id: str = ""
 
     #: Fixed header size added to the payload on the wire.
     HEADER_SIZE = 64

@@ -1,0 +1,63 @@
+"""End-to-end observability for the Mochi runtime (paper section 4+).
+
+The Listing-1 :class:`~repro.monitoring.StatisticsMonitor` answers
+"how long do RPCs of this kind take, on aggregate".  This package adds
+the causal, per-request view the dynamic pillars (reconfiguration,
+elasticity, resilience) need to act on:
+
+* :class:`Tracer` -- per-RPC **spans** (forward -> wire -> queue ->
+  handler -> respond) with trace-context propagation across processes,
+  so nested RPCs form a single causal trace tree;
+* :class:`MetricsRegistry` -- labelled counters / gauges / histograms
+  that margo, bedrock, raft, remi, pufferscale and ssg register into;
+* exporters -- Chrome trace-event JSON (``chrome://tracing`` /
+  Perfetto) and a deterministic metrics snapshot;
+* :class:`ObservabilitySpec` -- the ``"observability"`` section of the
+  margo/bedrock JSON configuration that turns it all on.
+
+Everything is deterministic (simulated clocks only): same seed, same
+bytes out.
+"""
+
+from .exporters import (
+    build_trace_tree,
+    chrome_trace,
+    collect_spans,
+    dumps_chrome_trace,
+    dumps_metrics,
+    metrics_snapshot,
+)
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .span import Span, SpanContext, child_span_id
+from .spec import ObservabilitySpec
+from .tracer import Tracer, current_span_context
+
+__all__ = [
+    "Tracer",
+    "current_span_context",
+    "Span",
+    "SpanContext",
+    "child_span_id",
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "DEFAULT_BUCKETS",
+    "ObservabilitySpec",
+    "collect_spans",
+    "chrome_trace",
+    "dumps_chrome_trace",
+    "metrics_snapshot",
+    "dumps_metrics",
+    "build_trace_tree",
+]

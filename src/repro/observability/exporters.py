@@ -1,0 +1,131 @@
+"""Trace and metrics exporters.
+
+Two formats:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace` /
+  :func:`dumps_chrome_trace`): loadable in ``chrome://tracing`` or
+  Perfetto.  Each span becomes a complete ("ph": "X") event; the
+  process name maps to ``pid`` and the trace id to ``tid``, so one row
+  per causal tree per process.
+* **Metrics snapshot** (:func:`metrics_snapshot` /
+  :func:`dumps_metrics`): the per-process registries as one JSON
+  document, dumped on finalize alongside the Listing-1 statistics.
+
+Both are deterministic: timestamps are simulated seconds (never wall
+clocks), events are sorted by explicit keys, and JSON is rendered with
+sorted keys -- two runs with the same seed produce byte-identical
+output (tested).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from .span import Span, WIRE_SUFFIX, child_span_id
+from .tracer import Tracer
+
+__all__ = [
+    "collect_spans",
+    "chrome_trace",
+    "dumps_chrome_trace",
+    "metrics_snapshot",
+    "dumps_metrics",
+    "build_trace_tree",
+]
+
+
+def collect_spans(*tracers: Tracer) -> list[Span]:
+    """All completed spans across ``tracers``, plus wire spans.
+
+    A wire span is assembled from its two halves (client "sent", server
+    "received"); when the endpoints are observed by different tracers
+    the halves live in different ``edges`` maps, so pairing happens
+    here, over the union.
+    """
+    spans: list[Span] = []
+    for tracer in tracers:
+        spans.extend(tracer.spans)
+    merged: dict[tuple[str, str], dict[str, Any]] = {}
+    for tracer in tracers:
+        for key, half in tracer.edges.items():
+            merged.setdefault(key, {}).update(half)
+    for (trace_id, span_id), edge in merged.items():
+        if "sent" not in edge or "received" not in edge:
+            continue  # one-sided observation (peer not traced): skip
+        spans.append(
+            Span(
+                name=edge.get("name", ""),
+                category="wire",
+                trace_id=trace_id,
+                span_id=child_span_id(span_id, WIRE_SUFFIX),
+                parent_span_id=span_id,
+                process=edge.get("dst", edge.get("src", "")),
+                start=edge["sent"],
+                end=edge["received"],
+                attributes={"src": edge.get("src", ""), "dst": edge.get("dst", "")},
+            )
+        )
+    spans.sort(key=lambda s: (s.trace_id, s.start, s.span_id))
+    return spans
+
+
+def chrome_trace(*tracers: Tracer) -> dict[str, Any]:
+    """Render all spans as a Chrome trace-event document."""
+    events: list[dict[str, Any]] = []
+    for span in collect_spans(*tracers):
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),  # microseconds
+                "dur": round(span.duration * 1e6, 3),
+                "pid": span.process,
+                "tid": span.trace_id,
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_span_id": span.parent_span_id,
+                    **span.attributes,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dumps_chrome_trace(*tracers: Tracer, indent: int = 2) -> str:
+    return json.dumps(chrome_trace(*tracers), indent=indent, sort_keys=True)
+
+
+def metrics_snapshot(registries: Mapping[str, Any]) -> dict[str, Any]:
+    """``{process_name: registry}`` -> one deterministic document."""
+    return {name: registries[name].snapshot() for name in sorted(registries)}
+
+
+def dumps_metrics(registries: Mapping[str, Any], indent: int = 2) -> str:
+    return json.dumps(metrics_snapshot(registries), indent=indent, sort_keys=True)
+
+
+def build_trace_tree(spans: list[Span], trace_id: str) -> list[dict[str, Any]]:
+    """The parent/child tree of one trace.
+
+    Returns the list of root nodes (normally one), each
+    ``{"span": <span doc>, "children": [...]}``, children sorted by
+    start time.  Spans whose parent was not captured (e.g. the peer ran
+    untraced) surface as extra roots rather than disappearing.
+    """
+    nodes = {
+        s.span_id: {"span": s.to_json(), "children": []}
+        for s in spans
+        if s.trace_id == trace_id
+    }
+    roots = []
+    for span_id, node in sorted(
+        nodes.items(), key=lambda item: (item[1]["span"]["start"], item[0])
+    ):
+        parent = nodes.get(node["span"]["parent_span_id"])
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    return roots

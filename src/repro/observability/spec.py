@@ -1,0 +1,61 @@
+"""ObservabilitySpec: the JSON surface of the observability plane.
+
+Margo (and therefore Bedrock, whose ``margo`` section is consumed by
+the Margo instance) accepts an ``observability`` object::
+
+    {
+      "observability": {
+        "tracing": true,        # materialize per-RPC spans (default off)
+        "metrics": true,        # export the metrics registry (default on)
+        "max_spans": 100000     # span-buffer cap (default unbounded)
+      }
+    }
+
+Like every other part of the Listing-2/Listing-3 configuration it is
+validated on parse and reflected back by ``get_config`` so a shared
+configuration document reproduces the observability setup too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["ObservabilitySpec"]
+
+
+@dataclass(frozen=True)
+class ObservabilitySpec:
+    """Per-process observability configuration."""
+
+    tracing: bool = False
+    metrics: bool = True
+    max_spans: Optional[int] = None
+
+    @classmethod
+    def from_json(cls, doc: Any) -> "ObservabilitySpec":
+        if doc is None:
+            return cls()
+        if not isinstance(doc, dict):
+            raise ValueError(
+                f"'observability' must be an object, got {type(doc).__name__}"
+            )
+        unknown = set(doc) - {"tracing", "metrics", "max_spans"}
+        if unknown:
+            raise ValueError(f"unknown observability keys: {sorted(unknown)}")
+        max_spans = doc.get("max_spans")
+        if max_spans is not None:
+            max_spans = int(max_spans)
+            if max_spans <= 0:
+                raise ValueError(f"max_spans must be positive, got {max_spans}")
+        return cls(
+            tracing=bool(doc.get("tracing", False)),
+            metrics=bool(doc.get("metrics", True)),
+            max_spans=max_spans,
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"tracing": self.tracing, "metrics": self.metrics}
+        if self.max_spans is not None:
+            doc["max_spans"] = self.max_spans
+        return doc

@@ -105,10 +105,24 @@ class RaftNode(Provider):
         self._next_heartbeat = 0.0
         self._reset_election_deadline()
 
-        # counters for tests/benchmarks
-        self.elections_started = 0
-        self.terms_seen = 0
-        self.snapshots_taken = 0
+        # Protocol counters (tests/benchmarks read the properties below);
+        # registered into the process metrics registry, labelled by
+        # group so several consensus groups per process stay distinct.
+        def _counter(suffix: str, help: str):
+            return margo.metrics.counter(
+                f"raft_{suffix}", help, label_names=("group",)
+            ).labels(group=name)
+
+        self._elections_started = _counter(
+            "elections_started", "elections this node initiated"
+        )
+        self._terms_seen = _counter("terms_seen", "distinct terms observed")
+        self._snapshots_taken = _counter(
+            "snapshots_taken", "log compactions performed"
+        )
+        self._entries_applied = _counter(
+            "entries_applied", "committed entries applied to the state machine"
+        )
 
         self.register_rpc("request_vote", self._on_request_vote)
         self.register_rpc("append_entries", self._on_append_entries)
@@ -130,6 +144,22 @@ class RaftNode(Provider):
     def is_leader(self) -> bool:
         return self.role == Role.LEADER
 
+    @property
+    def elections_started(self) -> int:
+        return int(self._elections_started.value)
+
+    @property
+    def terms_seen(self) -> int:
+        return int(self._terms_seen.value)
+
+    @property
+    def snapshots_taken(self) -> int:
+        return int(self._snapshots_taken.value)
+
+    @property
+    def entries_applied(self) -> int:
+        return int(self._entries_applied.value)
+
     def _majority(self) -> int:
         return len(self.peers) // 2 + 1
 
@@ -147,7 +177,7 @@ class RaftNode(Provider):
         if term > self.current_term:
             self.current_term = term
             self.voted_for = None
-            self.terms_seen += 1
+            self._terms_seen.inc()
         self.role = Role.FOLLOWER
         self._reset_election_deadline()
 
@@ -181,7 +211,7 @@ class RaftNode(Provider):
         self.role = Role.CANDIDATE
         self.current_term += 1
         self.voted_for = self.address
-        self.elections_started += 1
+        self._elections_started.inc()
         term = self.current_term
         votes = {"count": 1}  # self-vote
         won = UltEvent(self.margo.kernel, name=f"election:{self.name}:{term}")
@@ -356,6 +386,7 @@ class RaftNode(Provider):
     def _apply_committed(self) -> None:
         while self.last_applied < self.commit_index:
             self.last_applied += 1
+            self._entries_applied.inc()
             entry = self.log.entry_at(self.last_applied)
             command = entry.command
             if isinstance(command, dict) and CONFIG_OP in command:
@@ -416,7 +447,7 @@ class RaftNode(Provider):
             # exactly-once semantics survive snapshot installation.
             self._snapshot_data = self._encode_snapshot()
             self.log.compact_to(self.last_applied)
-            self.snapshots_taken += 1
+            self._snapshots_taken.inc()
 
     def _encode_snapshot(self) -> bytes:
         import base64

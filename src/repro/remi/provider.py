@@ -62,8 +62,12 @@ class RemiProvider(Provider):
         self.sync = bool(self.config.get("sync", True))
         # Partially received files (chunked path): path -> {offset: bytes}.
         self._partial: dict[str, dict[int, bytes]] = {}
-        self.files_received = 0
-        self.bytes_received = 0
+        self._files_received = margo.metrics.counter(
+            "remi_files_received", "migrated files landed", label_names=("provider",)
+        ).labels(provider=name)
+        self._bytes_received = margo.metrics.counter(
+            "remi_bytes_received", "migrated bytes landed", label_names=("provider",)
+        ).labels(provider=name)
 
         self.register_rpc("recv_file", self._on_recv_file)
         self.register_rpc("recv_chunk", self._on_recv_chunk)
@@ -86,8 +90,8 @@ class RemiProvider(Provider):
         if overlapped > wire:
             yield UltSleep(overlapped - wire)
         self.store.write(path, bulk.data)
-        self.files_received += 1
-        self.bytes_received += bulk.size
+        self._files_received.inc()
+        self._bytes_received.inc(bulk.size)
         return bulk.size
 
     def _on_recv_chunk(self, ctx: RequestContext) -> Generator:
@@ -100,7 +104,7 @@ class RemiProvider(Provider):
         for path, offset, total_size, data in pieces:
             if offset == 0 and len(data) == total_size:
                 self.store.write(path, data)
-                self.files_received += 1
+                self._files_received.inc()
             else:
                 parts = self._partial.setdefault(path, {})
                 parts[offset] = data
@@ -109,8 +113,8 @@ class RemiProvider(Provider):
                     assembled = b"".join(parts[o] for o in sorted(parts))
                     self.store.write(path, assembled)
                     del self._partial[path]
-                    self.files_received += 1
-            self.bytes_received += len(data)
+                    self._files_received.inc()
+            self._bytes_received.inc(len(data))
         return total
 
     def _on_finalize(self, ctx: RequestContext) -> Generator:
@@ -123,6 +127,14 @@ class RemiProvider(Provider):
         return {"files": self.files_received, "bytes": self.bytes_received}
 
     # ------------------------------------------------------------------
+    @property
+    def files_received(self) -> int:
+        return int(self._files_received.value)
+
+    @property
+    def bytes_received(self) -> int:
+        return int(self._bytes_received.value)
+
     def get_config(self) -> dict[str, Any]:
         doc = dict(self.config)
         doc["sync"] = self.sync

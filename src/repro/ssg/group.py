@@ -61,15 +61,37 @@ class SSGGroup(Provider):
         #: user callbacks
         self.on_view_change: list[Callable[[GroupView], None]] = []
         self.on_member_died: list[Callable[[str], None]] = []
-        # protocol counters (benchmarks)
-        self.pings_sent = 0
-        self.ping_reqs_sent = 0
-        self.false_suspicions = 0
+        # protocol counters (benchmarks read the properties below);
+        # registered into the process metrics registry per group.
+        def _counter(suffix: str, help: str):
+            return margo.metrics.counter(
+                f"ssg_{suffix}", help, label_names=("group",)
+            ).labels(group=group_name)
+
+        self._pings_sent = _counter("pings_sent", "SWIM direct pings sent")
+        self._ping_reqs_sent = _counter(
+            "ping_reqs_sent", "SWIM indirect ping-req fan-outs sent"
+        )
+        self._false_suspicions = _counter(
+            "false_suspicions", "suspected members that refuted in time"
+        )
 
         self.register_rpc(f"{group_name}_ping", self._on_ping)
         self.register_rpc(f"{group_name}_ping_req", self._on_ping_req)
         self.register_rpc(f"{group_name}_join", self._on_join)
         self.register_rpc(f"{group_name}_get_view", self._on_get_view)
+
+    @property
+    def pings_sent(self) -> int:
+        return int(self._pings_sent.value)
+
+    @property
+    def ping_reqs_sent(self) -> int:
+        return int(self._ping_reqs_sent.value)
+
+    @property
+    def false_suspicions(self) -> int:
+        return int(self._false_suspicions.value)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -255,7 +277,7 @@ class SSGGroup(Provider):
         ]
         self._rng.shuffle(helpers)
         for helper in helpers[: config.ping_req_k]:
-            self.ping_reqs_sent += 1
+            self._ping_reqs_sent.inc()
             try:
                 reply = yield from self.margo.forward(
                     helper,
@@ -272,7 +294,7 @@ class SSGGroup(Provider):
         return False
 
     def _send_ping(self, target: str) -> Generator:
-        self.pings_sent += 1
+        self._pings_sent.inc()
         status = self.state.status_of(target)
         record = self.state._members.get(target)
         reply = yield from self.margo.forward(
@@ -303,7 +325,7 @@ class SSGGroup(Provider):
             try:
                 process = self.margo.network.lookup(address)
                 if process.alive:
-                    self.false_suspicions += 1
+                    self._false_suspicions.inc()
             except Exception:
                 pass
             for callback in self.on_member_died:

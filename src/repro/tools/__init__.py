@@ -1,5 +1,10 @@
 """Diagnostic tooling (the paper's community-support lesson, section 2.2)."""
 
-from .diagnostics import cluster_report, monitoring_report, process_report
+from .diagnostics import (
+    cluster_report,
+    monitoring_report,
+    process_report,
+    trace_report,
+)
 
-__all__ = ["cluster_report", "process_report", "monitoring_report"]
+__all__ = ["cluster_report", "process_report", "monitoring_report", "trace_report"]

@@ -17,8 +17,15 @@ from typing import Any
 from ..bedrock.server import BedrockServer
 from ..cluster import Cluster
 from ..monitoring.stats_monitor import StatisticsMonitor
+from ..observability.exporters import build_trace_tree, collect_spans
+from ..observability.tracer import Tracer
 
-__all__ = ["cluster_report", "process_report", "monitoring_report"]
+__all__ = [
+    "cluster_report",
+    "process_report",
+    "monitoring_report",
+    "trace_report",
+]
 
 
 def cluster_report(cluster: Cluster) -> str:
@@ -110,4 +117,54 @@ def monitoring_report(monitor: StatisticsMonitor, top: int = 10) -> str:
             f"  bulk transfers: n={bulk['duration']['num']} "
             f"bytes={int(bulk['size']['sum'])}"
         )
+    return "\n".join(lines)
+
+
+def trace_report(
+    *tracers: Tracer, trace_id: "str | None" = None, limit: int = 20
+) -> str:
+    """Causal trace trees, rendered as indented text.
+
+    Accepts any number of tracers (typically ``cluster.tracers()``) and
+    merges their spans, so cross-process wire spans pair up.  Shows the
+    ``limit`` longest traces (all of them when ``trace_id`` is given).
+    """
+    spans = collect_spans(*tracers)
+    if not spans:
+        return "no spans recorded (is tracing enabled?)"
+    by_trace: dict[str, list] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    if trace_id is not None:
+        if trace_id not in by_trace:
+            return f"no trace {trace_id!r} (known: {sorted(by_trace)[:10]})"
+        selected = [trace_id]
+    else:
+        # Longest root-to-end traces first; ties broken by id for
+        # deterministic output.
+        selected = sorted(
+            by_trace,
+            key=lambda t: (-(max(s.end for s in by_trace[t])
+                            - min(s.start for s in by_trace[t])), t),
+        )[:limit]
+    lines = [f"{len(by_trace)} trace(s), {len(spans)} span(s)"]
+
+    def render(node: dict, depth: int) -> None:
+        doc = node["span"]
+        duration_us = (doc["end"] - doc["start"]) * 1e6
+        lines.append(
+            f"  {'  ' * depth}{doc['category']:<8} {doc['name']:<24} "
+            f"[{doc['process']}] {duration_us:9.2f}us  ({doc['span_id']})"
+        )
+        for child in node["children"]:
+            render(child, depth + 1)
+
+    for tid in selected:
+        trace_spans = by_trace[tid]
+        total_us = (
+            max(s.end for s in trace_spans) - min(s.start for s in trace_spans)
+        ) * 1e6
+        lines.append(f"trace {tid}: {len(trace_spans)} spans, {total_us:.2f}us")
+        for root in build_trace_tree(spans, tid):
+            render(root, 0)
     return "\n".join(lines)

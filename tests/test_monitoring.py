@@ -8,6 +8,7 @@ from repro import Cluster
 from repro.margo import Compute
 from repro.mercury import NULL_PROVIDER, NULL_RPC, rpc_id_of
 from repro.monitoring import (
+    HOOK_NAMES,
     CallbackMonitor,
     Monitor,
     PeriodicSampler,
@@ -102,6 +103,27 @@ def test_callback_monitor_invoked_at_lifecycle_points():
     assert events == ["forward_start", "ult_start", "respond", "response"]
 
 
+def test_callback_monitor_dispatches_every_hook():
+    # One RPC + one bulk transfer + a shutdown exercise the complete
+    # hook surface; each registered callback must fire at least once.
+    cluster = Cluster(seed=1)
+    fired = set()
+    monitor = CallbackMonitor(
+        {name: (lambda _n=name, **kw: fired.add(_n)) for name in HOOK_NAMES}
+    )
+    server = cluster.add_margo("server", node="n0", monitors=(monitor,))
+    client = cluster.add_margo("client", node="n1", monitors=(monitor,))
+    server.register("echo", lambda ctx: ctx.args)
+
+    def driver():
+        yield from client.forward(server.address, "echo", "x")
+        yield from client.bulk_transfer(server.address, 1 << 16)
+
+    cluster.run_ult(client, driver())
+    server.shutdown()
+    assert fired == set(HOOK_NAMES)
+
+
 # ----------------------------------------------------------------------
 # StatisticsMonitor (Listing 1)
 # ----------------------------------------------------------------------
@@ -185,6 +207,36 @@ def test_statistics_monitor_nested_rpc_parent_context():
     assert leaf_record["parent_rpc_id"] == rpc_id_of("relay")
     assert leaf_record["parent_provider_id"] == 3
     assert leaf_record["provider_id"] == 7
+
+
+def test_statistics_monitor_json_round_trip_nested_rpcs():
+    # Under nested RPCs the document carries one record per calling
+    # context (Listing 1's parent_rpc_id keys); the JSON text must
+    # round-trip losslessly back to the in-memory document.
+    cluster = Cluster(seed=1)
+    b_mon = StatisticsMonitor()
+    a = cluster.add_margo("a", node="n0")
+    b = cluster.add_margo("b", node="n1", monitors=(b_mon,))
+    c = cluster.add_margo("c", node="n2")
+    c.register("leaf", lambda ctx: 1, provider_id=7)
+
+    def relay(ctx):
+        return (yield from b.forward(c.address, "leaf", provider_id=7))
+
+    b.register("relay", relay, provider_id=3)
+
+    def driver():
+        return (yield from a.forward(b.address, "relay", provider_id=3))
+
+    cluster.run_ult(a, driver())
+    doc = b_mon.to_json()
+    assert json.loads(b_mon.dumps()) == doc
+    # Both contexts present: relay called from the top (parent NULL_RPC)
+    # and leaf called from inside relay's handler.
+    relay_key = f"{NULL_RPC}:{NULL_PROVIDER}:{rpc_id_of('relay')}:3"
+    leaf_key = f"{rpc_id_of('relay')}:3:{rpc_id_of('leaf')}:7"
+    assert relay_key in doc["rpcs"]
+    assert leaf_key in doc["rpcs"]
 
 
 def test_statistics_monitor_runtime_query_and_dump():

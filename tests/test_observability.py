@@ -1,0 +1,490 @@
+"""Tests for the observability plane: metrics registry, tracer, exporters.
+
+The acceptance scenario from the issue lives here: a nested RPC
+(a -> b "relay" -> c "leaf") with tracing enabled must produce a single
+trace whose spans form the correct parent/child tree, exported as valid
+Chrome trace-event JSON, byte-identical across two runs with the same
+seed.
+"""
+
+import json
+
+import pytest
+
+from repro import Cluster
+from repro.bedrock import BedrockClient, boot_process
+from repro.margo import MargoConfig
+from repro.margo.errors import ConfigError
+from repro.observability import (
+    DEFAULT_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+    ObservabilitySpec,
+    Tracer,
+    build_trace_tree,
+    chrome_trace,
+    collect_spans,
+    dumps_chrome_trace,
+    dumps_metrics,
+)
+from repro.tools import trace_report
+
+TRACED = {"observability": {"tracing": True}}
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+def test_counter_is_monotonic():
+    registry = MetricsRegistry()
+    c = registry.counter("reqs", "requests served")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == pytest.approx(3.5)
+    with pytest.raises(MetricError, match="cannot decrease"):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = MetricsRegistry().gauge("inflight")
+    g.inc()
+    g.inc()
+    g.dec()
+    assert g.value == 1.0
+    g.set(7)
+    assert g.value == 7.0
+
+
+def test_histogram_buckets_and_summary():
+    h = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 0.5, 5.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(6.05)
+    assert h.min == 0.05 and h.max == 5.0
+    doc = h.to_json()
+    assert doc["buckets"] == {"le:0.1": 1, "le:1": 2, "le:+inf": 1}
+
+
+def test_histogram_default_buckets_sorted():
+    assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+
+def test_labelled_family_one_series_per_label_set():
+    registry = MetricsRegistry()
+    fam = registry.counter("pings", "pings", label_names=("group",))
+    fam.labels(group="g1").inc()
+    fam.labels(group="g1").inc()
+    fam.labels(group="g2").inc(5)
+    assert fam.labels(group="g1").value == 2.0
+    assert fam.labels(group="g2").value == 5.0
+    assert [s.labels_key for s in fam.series] == ["group=g1", "group=g2"]
+    with pytest.raises(MetricError, match="takes labels"):
+        fam.labels(grp="oops")
+
+
+def test_registration_is_idempotent_but_kind_checked():
+    registry = MetricsRegistry()
+    a = registry.counter("x", "first")
+    b = registry.counter("x", "second registration ignored")
+    assert a is b
+    with pytest.raises(MetricError, match="already registered as a counter"):
+        registry.gauge("x")
+    registry.counter("y", label_names=("a",))
+    with pytest.raises(MetricError, match="already registered with labels"):
+        registry.counter("y", label_names=("b",))
+
+
+def test_disabled_registry_counts_but_exports_nothing():
+    registry = MetricsRegistry(enabled=False)
+    c = registry.counter("still_works")
+    c.inc(3)
+    assert c.value == 3.0  # live counters keep backing properties
+    assert registry.snapshot() == {}
+    assert json.loads(registry.dumps()) == {}
+
+
+def test_snapshot_shape_and_determinism():
+    registry = MetricsRegistry()
+    registry.counter("b_metric", "help b").inc()
+    registry.gauge("a_metric").set(2)
+    snap = registry.snapshot()
+    assert list(snap) == ["a_metric", "b_metric"]  # sorted
+    assert snap["b_metric"]["kind"] == "counter"
+    assert snap["b_metric"]["help"] == "help b"
+    assert snap["b_metric"]["series"][""] == {"value": 1.0}
+    assert registry.dumps() == registry.dumps()
+
+
+# ----------------------------------------------------------------------
+# runtime integration: counters replace the ad-hoc ones
+# ----------------------------------------------------------------------
+def test_margo_runtime_counters_live_in_registry():
+    cluster = Cluster(seed=1)
+    server = cluster.add_margo("server", node="n0")
+    client = cluster.add_margo("client", node="n1")
+    server.register("echo", lambda ctx: ctx.args)
+
+    def driver():
+        for _ in range(3):
+            yield from client.forward(server.address, "echo", "x")
+
+    cluster.run_ult(client, driver())
+    assert client.rpcs_sent == 3
+    assert server.rpcs_handled == 3
+    snap = client.metrics.snapshot()
+    assert snap["margo_rpcs_sent"]["series"][""]["value"] == 3.0
+    cluster_doc = cluster.metrics_snapshot()
+    assert set(cluster_doc) == {"server", "client"}
+    assert cluster_doc["server"]["margo_rpcs_handled"]["series"][""]["value"] == 3.0
+
+
+# ----------------------------------------------------------------------
+# satellite: a faulty monitor must not take the data path down
+# ----------------------------------------------------------------------
+def test_faulty_monitor_contained_and_counted():
+    class ExplodingMonitor:
+        def on_forward_start(self, **kwargs):
+            raise RuntimeError("monitor bug")
+
+        def on_ult_start(self, **kwargs):
+            raise ValueError("another monitor bug")
+
+    cluster = Cluster(seed=1)
+    server = cluster.add_margo("server", node="n0", monitors=(ExplodingMonitor(),))
+    client = cluster.add_margo("client", node="n1", monitors=(ExplodingMonitor(),))
+    server.register("echo", lambda ctx: ctx.args)
+
+    def driver():
+        return (yield from client.forward(server.address, "echo", "payload"))
+
+    # The RPC succeeds despite both monitors raising on the fast path...
+    assert cluster.run_ult(client, driver()) == "payload"
+    # ...and the failures are visible in the error counter.
+    assert client.monitor_errors >= 1
+    assert server.monitor_errors >= 1
+
+
+def test_faulty_monitor_does_not_starve_healthy_monitors():
+    fired = []
+
+    class Exploding:
+        def on_respond(self, **kwargs):
+            raise RuntimeError("boom")
+
+    class Healthy:
+        def on_respond(self, **kwargs):
+            fired.append("respond")
+
+    cluster = Cluster(seed=1)
+    server = cluster.add_margo(
+        "server", node="n0", monitors=(Exploding(), Healthy())
+    )
+    client = cluster.add_margo("client", node="n1")
+    server.register("echo", lambda ctx: ctx.args)
+
+    def driver():
+        return (yield from client.forward(server.address, "echo", 1))
+
+    cluster.run_ult(client, driver())
+    assert fired == ["respond"]
+
+
+# ----------------------------------------------------------------------
+# tracing: the acceptance scenario
+# ----------------------------------------------------------------------
+def nested_rpc_run(seed=1):
+    """a --relay--> b --leaf--> c, all three traced."""
+    cluster = Cluster(seed=seed)
+    a = cluster.add_margo("a", node="n0", config=TRACED)
+    b = cluster.add_margo("b", node="n1", config=TRACED)
+    c = cluster.add_margo("c", node="n2", config=TRACED)
+    c.register("leaf", lambda ctx: 1, provider_id=7)
+
+    def relay(ctx):
+        return (yield from b.forward(c.address, "leaf", provider_id=7))
+
+    b.register("relay", relay, provider_id=3)
+
+    def driver():
+        return (yield from a.forward(b.address, "relay", provider_id=3))
+
+    assert cluster.run_ult(a, driver()) == 1
+    return cluster
+
+
+def test_nested_rpc_single_trace_with_correct_tree():
+    cluster = nested_rpc_run()
+    spans = collect_spans(*cluster.tracers())
+    trace_ids = {s.trace_id for s in spans}
+    assert trace_ids == {"a:1"}  # ONE causal trace, rooted at a's call
+
+    by_id = {s.span_id: s for s in spans}
+    # Root forward span on the client.
+    root = by_id["a:1"]
+    assert root.category == "forward" and root.parent_span_id == ""
+    assert root.process == "a" and root.name == "relay"
+    # Server-side phases of the root request hang off it.
+    assert by_id["a:1/w"].category == "wire"
+    assert by_id["a:1/w"].parent_span_id == "a:1"
+    assert by_id["a:1/q"].category == "queue"
+    assert by_id["a:1/h"].category == "handler"
+    assert by_id["a:1/h"].process == "b"
+    # The nested forward is parented to the handler that issued it.
+    nested = by_id["b:1"]
+    assert nested.name == "leaf"
+    assert nested.trace_id == "a:1"
+    assert nested.parent_span_id == "a:1/h"
+    assert by_id["b:1/h"].process == "c"
+    # Tree structure: one root; nested forward under the relay handler.
+    (tree_root,) = build_trace_tree(spans, "a:1")
+    assert tree_root["span"]["span_id"] == "a:1"
+    handler = next(
+        n for n in tree_root["children"] if n["span"]["span_id"] == "a:1/h"
+    )
+    assert any(n["span"]["span_id"] == "b:1" for n in handler["children"])
+    # Timing sanity: children fit inside their parents.
+    assert root.start <= by_id["a:1/h"].start <= by_id["a:1/h"].end <= root.end
+    assert by_id["a:1/h"].start <= nested.start <= nested.end <= by_id["a:1/h"].end
+
+
+def test_nested_rpc_chrome_trace_is_valid_and_deterministic():
+    first = nested_rpc_run(seed=1).dumps_chrome_trace()
+    second = nested_rpc_run(seed=1).dumps_chrome_trace()
+    assert first == second  # byte-identical across runs: acceptance criterion
+
+    doc = json.loads(first)
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert len(events) >= 9  # 2x (forward, wire, queue, handler, respond) - root respond overlap
+    for event in events:
+        assert event["ph"] == "X"
+        assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+        assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+        assert event["tid"] == "a:1"
+        assert event["pid"] in {"a", "b", "c"}
+        assert "span_id" in event["args"]
+        assert "parent_span_id" in event["args"]
+
+
+def test_wire_span_pairs_across_different_tracers():
+    # Client and server have *separate* tracer instances; the wire span
+    # only exists once their edge halves are merged at export time.
+    cluster = nested_rpc_run()
+    a_tracer = cluster.margos["a"].tracer
+    b_tracer = cluster.margos["b"].tracer
+    solo_a = collect_spans(a_tracer)
+    assert not any(s.category == "wire" for s in solo_a)  # one-sided: skipped
+    paired = collect_spans(a_tracer, b_tracer)
+    wire = [s for s in paired if s.span_id == "a:1/w"]
+    assert len(wire) == 1
+    assert wire[0].attributes == {"src": "a", "dst": "b"}
+    assert wire[0].end >= wire[0].start
+
+
+def test_tracing_off_by_default():
+    cluster = Cluster(seed=1)
+    margo = cluster.add_margo("m", node="n0")
+    assert margo.tracer is None
+    assert cluster.tracers() == []
+    assert cluster.chrome_trace() == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+def test_max_spans_drops_and_counts():
+    cluster = Cluster(seed=1)
+    server = cluster.add_margo(
+        "server", node="n0", config={"observability": {"tracing": True, "max_spans": 2}}
+    )
+    client = cluster.add_margo("client", node="n1", config=TRACED)
+    server.register("echo", lambda ctx: ctx.args)
+
+    def driver():
+        for _ in range(5):
+            yield from client.forward(server.address, "echo", "x")
+
+    cluster.run_ult(client, driver())
+    assert len(server.tracer.spans) == 2
+    assert server.tracer.dropped_spans > 0
+    assert server.tracer.to_json()["dropped_spans"] == server.tracer.dropped_spans
+
+
+def test_bulk_span_attaches_to_enclosing_trace():
+    cluster = Cluster(seed=1)
+    server = cluster.add_margo("server", node="n0", config=TRACED)
+    client = cluster.add_margo("client", node="n1", config=TRACED)
+
+    def pull(ctx):
+        yield from server.bulk_transfer(ctx.source, 1 << 20)
+        return "done"
+
+    server.register("pull", pull)
+
+    def driver():
+        return (yield from client.forward(server.address, "pull"))
+
+    cluster.run_ult(client, driver())
+    bulk = [s for s in server.tracer.spans if s.category == "bulk"]
+    assert len(bulk) == 1
+    assert bulk[0].trace_id == "client:1"  # inside the RPC's trace
+    assert bulk[0].parent_span_id == "client:1/h"
+    assert bulk[0].attributes["size"] == 1 << 20
+
+
+def test_record_span_roots_own_trace_outside_rpc():
+    tracer = Tracer()
+    span = tracer.record_span("compaction", "maintenance", "p0", 1.0, 2.5)
+    assert span.trace_id == span.span_id
+    assert span.parent_span_id == ""
+    assert span.duration == pytest.approx(1.5)
+    assert tracer.trace_ids() == [span.trace_id]
+
+
+def test_trace_report_renders_tree():
+    cluster = nested_rpc_run()
+    text = trace_report(*cluster.tracers())
+    assert "trace a:1" in text
+    assert "relay" in text and "leaf" in text
+    assert "handler" in text and "wire" in text
+    # The nested forward is indented under the relay handler.
+    lines = text.splitlines()
+    (relay_handler_line,) = [
+        l for l in lines if "(a:1/h)" in l
+    ]
+    (nested_line,) = [l for l in lines if "(b:1)" in l]
+    indent = lambda l: len(l) - len(l.lstrip())
+    assert indent(nested_line) > indent(relay_handler_line)
+    # Unknown trace id and the empty case degrade gracefully.
+    assert "no trace" in trace_report(*cluster.tracers(), trace_id="nope")
+    assert "no spans" in trace_report(Tracer())
+
+
+# ----------------------------------------------------------------------
+# configuration surface
+# ----------------------------------------------------------------------
+def test_observability_spec_parses_and_validates():
+    spec = ObservabilitySpec.from_json({"tracing": True, "max_spans": 10})
+    assert spec.tracing and spec.metrics and spec.max_spans == 10
+    assert ObservabilitySpec.from_json(None) == ObservabilitySpec()
+    with pytest.raises(ValueError, match="unknown observability keys"):
+        ObservabilitySpec.from_json({"traicng": True})
+    with pytest.raises(ValueError, match="must be positive"):
+        ObservabilitySpec.from_json({"max_spans": 0})
+    with pytest.raises(ValueError, match="must be an object"):
+        ObservabilitySpec.from_json([1])
+
+
+def test_margo_config_round_trips_observability():
+    config = MargoConfig.from_json(
+        {"observability": {"tracing": True, "metrics": False, "max_spans": 5}}
+    )
+    assert config.observability == ObservabilitySpec(
+        tracing=True, metrics=False, max_spans=5
+    )
+    again = MargoConfig.from_json(config.to_json())
+    assert again.observability == config.observability
+    with pytest.raises(ConfigError, match="unknown observability keys"):
+        MargoConfig.from_json({"observability": {"bogus": 1}})
+
+
+def test_margo_get_config_reflects_observability():
+    cluster = Cluster(seed=1)
+    margo = cluster.add_margo("m", node="n0", config=TRACED)
+    doc = margo.get_config()
+    assert doc["observability"] == {"tracing": True, "metrics": True}
+
+
+def test_metrics_spec_disables_snapshot_but_not_counters():
+    cluster = Cluster(seed=1)
+    server = cluster.add_margo(
+        "server", node="n0", config={"observability": {"metrics": False}}
+    )
+    client = cluster.add_margo("client", node="n1")
+    server.register("echo", lambda ctx: ctx.args)
+
+    def driver():
+        return (yield from client.forward(server.address, "echo", 1))
+
+    cluster.run_ult(client, driver())
+    assert server.rpcs_handled == 1  # live property still works
+    assert server.metrics.snapshot() == {}
+    assert cluster.metrics_snapshot()["server"] == {}
+
+
+# ----------------------------------------------------------------------
+# bedrock query surface
+# ----------------------------------------------------------------------
+def test_bedrock_serves_metrics_and_traces():
+    cluster = Cluster(seed=41)
+    margo, bedrock = boot_process(
+        cluster,
+        "server",
+        "n0",
+        {
+            "margo": {"observability": {"tracing": True}},
+            "libraries": {"yokan": "libyokan.so"},
+            "providers": [
+                {
+                    "name": "db",
+                    "type": "yokan",
+                    "provider_id": 1,
+                    "config": {"database": {"type": "map"}},
+                }
+            ],
+        },
+    )
+    client_margo = cluster.add_margo("client", node="nc")
+    handle = BedrockClient(client_margo).make_service_handle(margo.address)
+
+    def driver():
+        metrics = yield from handle.get_metrics()
+        traces = yield from handle.get_traces()
+        return metrics, traces
+
+    metrics, traces = cluster.run_ult(client_margo, driver())
+    # The metrics document is the remote registry snapshot...
+    assert metrics["bedrock_providers_started"]["series"][""]["value"] == 1.0
+    # The snapshot is taken *inside* the get_metrics handler, so that
+    # very RPC shows up as an in-flight handler ULT.
+    assert metrics["margo_inflight_incoming"]["series"][""]["value"] == 1.0
+    assert "margo_rpcs_handled" in metrics
+    # ...and the trace document is Chrome trace-event shaped, already
+    # containing the server-side spans of the get_metrics call itself.
+    assert traces["displayTimeUnit"] == "ms"
+    assert any(
+        e["name"] == "bedrock_get_metrics" and e["cat"] == "handler"
+        for e in traces["traceEvents"]
+    )
+
+
+def test_bedrock_get_traces_without_tracer_is_empty():
+    cluster = Cluster(seed=41)
+    margo, _ = boot_process(cluster, "server", "n0", {})
+    client_margo = cluster.add_margo("client", node="nc")
+    handle = BedrockClient(client_margo).make_service_handle(margo.address)
+
+    def driver():
+        return (yield from handle.get_traces())
+
+    traces = cluster.run_ult(client_margo, driver())
+    assert traces == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# exporters: metrics documents
+# ----------------------------------------------------------------------
+def test_dumps_metrics_is_sorted_and_stable():
+    r1, r2 = MetricsRegistry(), MetricsRegistry()
+    r1.counter("z").inc()
+    r2.counter("a").inc(2)
+    text = dumps_metrics({"p2": r2, "p1": r1})
+    doc = json.loads(text)
+    assert list(doc) == ["p1", "p2"]
+    assert text == dumps_metrics({"p1": r1, "p2": r2})
+
+
+def test_chrome_trace_merges_multiple_tracers():
+    cluster = nested_rpc_run()
+    merged = chrome_trace(*cluster.tracers())
+    solo = chrome_trace(cluster.margos["a"].tracer)
+    assert len(merged["traceEvents"]) > len(solo["traceEvents"])
+    assert dumps_chrome_trace(*cluster.tracers()) == cluster.dumps_chrome_trace()
