@@ -123,6 +123,12 @@ class MargoInstance:
         self.monitors: list[Any] = list(monitors)
         self.default_rpc_timeout = default_rpc_timeout
         self._finalized = False
+        # Per-hook monitor-method cache (the RPC fast path): with no
+        # monitors attached, emit sites skip kwargs construction and
+        # monitor iteration entirely; with monitors, each hook resolves
+        # its bound methods once instead of getattr-ing per event.
+        self._hook_cache: dict[str, tuple[Callable[..., None], ...]] = {}
+        self._hook_cache_len = -1
 
         self.pools: dict[str, Pool] = {}
         self.xstreams: dict[str, XStream] = {}
@@ -225,9 +231,33 @@ class MargoInstance:
     def add_monitor(self, monitor: Any) -> None:
         """Attach a monitoring object (see :mod:`repro.monitoring`)."""
         self.monitors.append(monitor)
+        self._hook_cache.clear()
+        self._hook_cache_len = -1
 
     def remove_monitor(self, monitor: Any) -> None:
         self.monitors.remove(monitor)
+        self._hook_cache.clear()
+        self._hook_cache_len = -1
+
+    def _hook_fns(self, hook: str) -> tuple[Callable[..., None], ...]:
+        """The bound hook methods of all attached monitors (cached).
+
+        The length check is a backstop for code that mutates
+        ``self.monitors`` directly instead of via ``add_monitor``.
+        """
+        monitors = self.monitors
+        if len(monitors) != self._hook_cache_len:
+            self._hook_cache.clear()
+            self._hook_cache_len = len(monitors)
+        fns = self._hook_cache.get(hook)
+        if fns is None:
+            fns = tuple(
+                fn
+                for fn in (getattr(m, hook, None) for m in monitors)
+                if fn is not None
+            )
+            self._hook_cache[hook] = fns
+        return fns
 
     def _emit(self, hook: str, **kwargs: Any) -> int:
         """Fire ``hook`` on every monitor; return the number fired (the
@@ -238,16 +268,16 @@ class MargoInstance:
         ``margo_monitor_errors`` -- rather than crashing the RPC fast
         path: a monitoring failure must never take the data path down.
         """
-        fired = 0
-        for monitor in self.monitors:
-            fn = getattr(monitor, hook, None)
-            if fn is not None:
-                try:
-                    fn(time=self.kernel.now, margo=self, **kwargs)
-                except Exception:
-                    self._monitor_errors.inc()
-                fired += 1
-        return fired
+        fns = self._hook_fns(hook)
+        if not fns:
+            return 0
+        now = self.kernel.now
+        for fn in fns:
+            try:
+                fn(time=now, margo=self, **kwargs)
+            except Exception:
+                self._monitor_errors.inc()
+        return len(fns)
 
     def _mon_cost(self, fired: int) -> float:
         return fired * self.config.monitoring_cost_per_event
@@ -367,17 +397,23 @@ class MargoInstance:
             parent_span_id=parent_span_id,
         )
         started = self.kernel.now
-        fired = self._emit("on_forward_start", request=request)
-        yield Compute(serialize_cost(payload_size) + self._mon_cost(fired))
+        # Observability fast path: with no monitors attached, the emit
+        # sites below skip kwargs construction entirely.
+        if self.monitors:
+            fired = self._emit("on_forward_start", request=request)
+            yield Compute(serialize_cost(payload_size) + self._mon_cost(fired))
+        else:
+            yield Compute(serialize_cost(payload_size))
 
         event = UltEvent(self.kernel, name=f"rpc:{rpc_name}:{seq}")
         self._pending[seq] = (event, request, self.kernel.now)
         self._inflight_out.inc()
         self._rpcs_sent.inc()
         known = self.network.send(self.process, address, request, request.wire_size)
-        fired = self._emit("on_forward_sent", request=request)
-        if fired:
-            yield Compute(self._mon_cost(fired))
+        if self.monitors:
+            fired = self._emit("on_forward_sent", request=request)
+            if fired:
+                yield Compute(self._mon_cost(fired))
         if not known and timeout is None:
             # The destination does not exist and no timeout would ever
             # fire: fail fast instead of hanging the simulation.
@@ -394,13 +430,16 @@ class MargoInstance:
                 f"timed out after {timeout}s"
             )
         response: RPCResponse = value
-        fired = self._emit(
-            "on_response_received",
-            request=request,
-            response=response,
-            elapsed=self.kernel.now - started,
-        )
-        yield Compute(deserialize_cost(response.payload_size) + self._mon_cost(fired))
+        if self.monitors:
+            fired = self._emit(
+                "on_response_received",
+                request=request,
+                response=response,
+                elapsed=self.kernel.now - started,
+            )
+            yield Compute(deserialize_cost(response.payload_size) + self._mon_cost(fired))
+        else:
+            yield Compute(deserialize_cost(response.payload_size))
         if response.status == STATUS_OK:
             return response.value
         if response.status == STATUS_NO_RPC:
@@ -437,15 +476,16 @@ class MargoInstance:
         yield Compute(BULK_SETUP_COST)
         yield UltSleep(duration)
         self.network.bytes_sent += size
-        fired = self._emit(
-            "on_bulk_transfer",
-            remote=remote_address,
-            size=size,
-            op=op,
-            duration=self.kernel.now - started,
-        )
-        if fired:
-            yield Compute(self._mon_cost(fired))
+        if self.monitors:
+            fired = self._emit(
+                "on_bulk_transfer",
+                remote=remote_address,
+                size=size,
+                op=op,
+                duration=self.kernel.now - started,
+            )
+            if fired:
+                yield Compute(self._mon_cost(fired))
         return duration
 
     # ------------------------------------------------------------------
@@ -479,7 +519,8 @@ class MargoInstance:
             raise MargoError(f"unexpected message on the wire: {message!r}")
 
     def _dispatch_request(self, request: RPCRequest) -> None:
-        fired = self._emit("on_request_received", request=request)
+        if self.monitors:
+            self._emit("on_request_received", request=request)
         registration = self._registry.get((request.rpc_id, request.provider_id))
         if registration is None:
             response = RPCResponse(
@@ -499,7 +540,8 @@ class MargoInstance:
         )
         ult.rpc_context = request
         registration.pool.push(ult)
-        self._emit("on_ult_enqueued", request=request, pool=registration.pool)
+        if self.monitors:
+            self._emit("on_ult_enqueued", request=request, pool=registration.pool)
 
     def _handler_body(
         self, registration: Registration, request: RPCRequest, enqueued_at: float
@@ -507,8 +549,11 @@ class MargoInstance:
         self._inflight_in.inc()
         queued_for = self.kernel.now - enqueued_at
         ult_started = self.kernel.now
-        fired = self._emit("on_ult_start", request=request, queued_for=queued_for)
-        yield Compute(deserialize_cost(request.payload_size) + self._mon_cost(fired))
+        if self.monitors:
+            fired = self._emit("on_ult_start", request=request, queued_for=queued_for)
+            yield Compute(deserialize_cost(request.payload_size) + self._mon_cost(fired))
+        else:
+            yield Compute(deserialize_cost(request.payload_size))
         context = RequestContext(margo=self, request=request)
         status = STATUS_OK
         value: Any = None
@@ -530,11 +575,12 @@ class MargoInstance:
         # deserialization, the handler body, and output serialization
         # (the phases Listing 1's "ult"/"duration" aggregates).
         duration = self.kernel.now - ult_started
-        fired = self._emit(
-            "on_ult_complete", request=request, duration=duration, queued_for=queued_for
-        )
-        if fired:
-            yield Compute(self._mon_cost(fired))
+        if self.monitors:
+            fired = self._emit(
+                "on_ult_complete", request=request, duration=duration, queued_for=queued_for
+            )
+            if fired:
+                yield Compute(self._mon_cost(fired))
         response = RPCResponse(
             seq=request.seq,
             status=status,
@@ -546,7 +592,8 @@ class MargoInstance:
         self._inflight_in.dec()
         self._rpcs_handled.inc()
         self.network.send(self.process, request.src_address, response, response.wire_size)
-        self._emit("on_respond", request=request, response=response)
+        if self.monitors:
+            self._emit("on_respond", request=request, response=response)
 
     def _dispatch_response(self, response: RPCResponse) -> None:
         pending = self._pending.pop(response.seq, None)

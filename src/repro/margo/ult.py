@@ -137,6 +137,12 @@ class ULT:
             raise RuntimeError(f"ULT {self.name} has no pool to return to")
         self.pool.push(self)
 
+    def _timed_ready(self, token: int) -> None:
+        """Timer target for ``UltSleep``: wake if the sleep is still current
+        (scheduled as a bound method -- no closure per sleep)."""
+        if self._park_token == token and self.state == UltState.BLOCKED:
+            self.ready()
+
     def finish(self, result: Any = None, error: Optional[BaseException] = None) -> None:
         self.state = UltState.DONE
         self.result = result
@@ -189,28 +195,39 @@ class UltEvent:
         """Called by the executing stream to park ``ult`` here."""
         if self._set:
             # Resume on a fresh turn for fairness (matches kernel events).
-            payload = self._payload
-            self.kernel.schedule(0.0, lambda: ult.ready(payload))
+            self.kernel.schedule(0.0, ult.ready, self._payload)
             return
         ult.state = UltState.BLOCKED
         token = ult._park_token
         self._parked.append((ult, token))
         if timeout is not None:
-
-            def on_timeout() -> None:
-                if ult._park_token == token and ult.state == UltState.BLOCKED:
-                    try:
-                        self._parked.remove((ult, token))
-                    except ValueError:
-                        pass
-                    ult.ready(TIMED_OUT)
-
-            self.kernel.schedule(timeout, on_timeout)
+            self.kernel.schedule(timeout, _ParkTimeout(self, ult, token))
 
     def wait(self, timeout: Optional[float] = None) -> UltGen:
         """``yield from event.wait()`` from ULT code."""
         value = yield Park(self, timeout)
         return value
+
+
+class _ParkTimeout:
+    """Slotted timeout callback for :meth:`UltEvent._park` (replaces a
+    per-park closure on the RPC timeout path)."""
+
+    __slots__ = ("event", "ult", "token")
+
+    def __init__(self, event: UltEvent, ult: ULT, token: int) -> None:
+        self.event = event
+        self.ult = ult
+        self.token = token
+
+    def __call__(self) -> None:
+        ult = self.ult
+        if ult._park_token == self.token and ult.state == UltState.BLOCKED:
+            try:
+                self.event._parked.remove((ult, self.token))
+            except ValueError:
+                pass
+            ult.ready(TIMED_OUT)
 
 
 class UltMutex:

@@ -146,23 +146,23 @@ class XStream:
                     return
                 finally:
                     _set_current(None)
+                # This dispatch runs once per ULT step across every RPC
+                # in the system; isinstance on these frozen dataclasses
+                # is cheap, but the UltSleep wakeup is a bound method
+                # (no closure per sleep).
                 if isinstance(cmd, Compute):
                     self.busy_time += cmd.duration
                     yield Sleep(cmd.duration + SCHED_OVERHEAD)
                     continue
-                if isinstance(cmd, UltYield):
-                    ult.pool.push(ult)
-                    return
                 if isinstance(cmd, Park):
                     cmd.event._park(ult, cmd.timeout)
                     return
                 if isinstance(cmd, UltSleep):
                     ult.state = UltState.BLOCKED
-                    token = ult._park_token
-                    self.kernel.schedule(
-                        cmd.duration,
-                        lambda u=ult, t=token: u.ready() if u._park_token == t and u.state == UltState.BLOCKED else None,
-                    )
+                    self.kernel.schedule(cmd.duration, ult._timed_ready, ult._park_token)
+                    return
+                if isinstance(cmd, UltYield):
+                    ult.pool.push(ult)
                     return
                 # Unknown command: surface as a ULT error.
                 exc = TypeError(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Optional
 
 __all__ = [
@@ -35,8 +36,13 @@ STATUS_ERROR = "error"
 STATUS_NO_RPC = "no_rpc"
 
 
+@lru_cache(maxsize=4096)
 def rpc_id_of(name: str) -> int:
-    """Stable 32-bit id for an RPC name (CRC-32, like Mercury's hash)."""
+    """Stable 32-bit id for an RPC name (CRC-32, like Mercury's hash).
+
+    Memoized: the id is recomputed on every ``forward()`` and the set of
+    RPC names in a deployment is small and fixed.
+    """
     return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
 
 

@@ -11,12 +11,31 @@ Determinism is a first-class goal: for equal seeds and equal call
 sequences, two runs produce bit-identical schedules.  Ties in the event
 queue are broken by a monotonically increasing sequence number, never by
 object identity or hashing.
+
+This module is the hottest code in the repository -- every RPC, ULT
+slice, and timer in every component turns into events here -- so the
+implementation favors the wall-clock fast path:
+
+* timers carry a callable plus an optional argument slot, so the task
+  resume paths schedule *bound methods* instead of allocating a closure
+  per event;
+* ``run(until_tasks=...)`` detects completion through a shrinking set of
+  watched tasks (O(1) per event) instead of scanning every target after
+  every event;
+* the run loop drains all events sharing a timestamp in one batch,
+  touching the heap invariants once per distinct time, not once per
+  condition check;
+* cancelled timers are compacted out of the heap once they outnumber
+  half the queue, so mass cancellation (e.g. per-RPC timeout timers)
+  cannot hold memory hostage.  Compaction preserves each entry's
+  ``(deadline, seq)`` key, so event order is bit-identical with or
+  without it.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -56,7 +75,10 @@ class WaitEvent:
 
     The task is resumed with the event's payload.  If ``timeout`` is not
     ``None`` and the event is not set within that many simulated seconds,
-    the task is resumed with :data:`TIMED_OUT` instead.
+    the task is resumed with :data:`TIMED_OUT` instead.  Both resumption
+    paths -- wake and timeout -- deliver on a *fresh* event-loop turn, so
+    the relative order of same-timestamp callbacks never depends on which
+    path fired.
     """
 
     event: "SimEvent"
@@ -71,6 +93,13 @@ class _TimedOut:
 
 
 TIMED_OUT = _TimedOut()
+
+#: Sentinel for "timer fires ``fn()`` with no argument".
+_NO_ARG = object()
+
+#: Compaction trigger: cancelled entries must exceed this count *and*
+#: half the queue before the heap is rebuilt without them.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class SimEvent:
@@ -113,42 +142,92 @@ class SimEvent:
         self._set = False
         self._payload = None
 
-    def _add_waiter(self, wake: Callable[[Any], None]) -> Callable[[], None]:
-        """Register ``wake``; return a callable that unregisters it."""
+    def _add_waiter(self, wake: Callable[[Any], None]) -> None:
         self._waiters.append(wake)
 
-        def cancel() -> None:
-            try:
-                self._waiters.remove(wake)
-            except ValueError:
-                pass
-
-        return cancel
+    def _remove_waiter(self, wake: Callable[[Any], None]) -> None:
+        try:
+            self._waiters.remove(wake)
+        except ValueError:
+            pass
 
 
 class Timer:
-    """Handle for a scheduled callback; supports cancellation."""
+    """Handle for a scheduled callback; supports cancellation.
 
-    __slots__ = ("deadline", "_fn", "_cancelled")
+    The callback is ``fn()`` when scheduled without an argument and
+    ``fn(arg)`` otherwise -- the argument slot is what lets the task
+    machinery schedule bound methods instead of per-event closures.
+    """
 
-    def __init__(self, deadline: float, fn: Callable[[], None]) -> None:
+    __slots__ = ("deadline", "_fn", "_arg", "_cancelled", "_kernel")
+
+    def __init__(
+        self,
+        deadline: float,
+        fn: Callable[..., None],
+        arg: Any = _NO_ARG,
+        kernel: Optional["SimKernel"] = None,
+    ) -> None:
         self.deadline = deadline
         self._fn = fn
+        self._arg = arg
         self._cancelled = False
+        self._kernel = kernel
 
     @property
     def cancelled(self) -> bool:
         return self._cancelled
 
     def cancel(self) -> None:
+        if self._cancelled:
+            return
         self._cancelled = True
+        kernel = self._kernel
+        if kernel is not None:
+            kernel._note_cancelled()
 
     def _fire(self) -> None:
         if not self._cancelled:
-            self._fn()
+            if self._arg is _NO_ARG:
+                self._fn()
+            else:
+                self._fn(self._arg)
 
 
 TaskGen = Generator[Any, Any, Any]
+
+
+class _EventWaiter:
+    """Per-``WaitEvent`` state: replaces the closure pair the wait path
+    used to allocate with one slotted object holding two bound methods."""
+
+    __slots__ = ("task", "event", "timer", "resumed")
+
+    def __init__(self, task: "Task", event: "SimEvent") -> None:
+        self.task = task
+        self.event = event
+        self.timer: Optional[Timer] = None
+        self.resumed = False
+
+    def wake(self, payload: Any) -> None:
+        if self.resumed:
+            return
+        self.resumed = True
+        if self.timer is not None:
+            self.timer.cancel()
+        task = self.task
+        task.kernel.schedule(0.0, task._step, payload)
+
+    def on_timeout(self) -> None:
+        if self.resumed:
+            return
+        self.resumed = True
+        self.event._remove_waiter(self.wake)
+        # Resume on a fresh event-loop turn, symmetric with wake(): the
+        # task must never advance from inside the timer that timed it out.
+        task = self.task
+        task.kernel.schedule(0.0, task._step, TIMED_OUT)
 
 
 class Task:
@@ -194,12 +273,17 @@ class Task:
             if not self.daemon:
                 kernel._task_failures.append(self)
             return
-        self._dispatch(cmd)
+        if type(cmd) is Sleep:
+            kernel.schedule(cmd.duration, self._step)
+        elif type(cmd) is WaitEvent:
+            self._wait(cmd)
+        else:
+            self._dispatch_slow(cmd)
 
-    def _dispatch(self, cmd: Any) -> None:
-        kernel = self.kernel
+    def _dispatch_slow(self, cmd: Any) -> None:
+        # Subclasses of Sleep/WaitEvent still work; anything else errors.
         if isinstance(cmd, Sleep):
-            kernel.schedule(cmd.duration, lambda: self._step(None))
+            self.kernel.schedule(cmd.duration, self._step)
         elif isinstance(cmd, WaitEvent):
             self._wait(cmd)
         else:
@@ -215,35 +299,21 @@ class Task:
         if event.is_set:
             # Resume on a fresh event-loop turn to keep scheduling fair
             # and re-entrancy-free.
-            self.kernel.schedule(0.0, lambda: self._step(event.payload))
+            self.kernel.schedule(0.0, self._step, event.payload)
             return
-        state = {"resumed": False}
-
-        def wake(payload: Any) -> None:
-            if state["resumed"]:
-                return
-            state["resumed"] = True
-            if timer is not None:
-                timer.cancel()
-            self.kernel.schedule(0.0, lambda: self._step(payload))
-
-        cancel_waiter = event._add_waiter(wake)
-        timer: Optional[Timer] = None
+        waiter = _EventWaiter(self, event)
+        event._add_waiter(waiter.wake)
         if cmd.timeout is not None:
-
-            def on_timeout() -> None:
-                if state["resumed"]:
-                    return
-                state["resumed"] = True
-                cancel_waiter()
-                self._step(TIMED_OUT)
-
-            timer = self.kernel.schedule(cmd.timeout, on_timeout)
+            waiter.timer = self.kernel.schedule(cmd.timeout, waiter.on_timeout)
 
     def _finish(self, result: Any) -> None:
         self._finished = True
         self.result = result
-        self.kernel._live_tasks.discard(self)
+        kernel = self.kernel
+        kernel._live_tasks.discard(self)
+        watch = kernel._watch
+        if watch is not None:
+            watch.discard(self)
         self.done_event.set(result)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -269,6 +339,12 @@ class SimKernel:
         self._live_tasks: set[Task] = set()
         self._task_failures: list[Task] = []
         self._running = False
+        #: Cancelled timers still sitting in the heap (compaction trigger).
+        self._cancelled_count = 0
+        #: Unfinished tasks the current ``run(until_tasks=...)`` watches;
+        #: tasks remove themselves on finish, making completion detection
+        #: O(1) per event instead of a scan over all targets.
+        self._watch: Optional[set[Task]] = None
 
     # ------------------------------------------------------------------
     # time and scheduling
@@ -278,11 +354,12 @@ class SimKernel:
         """Current simulated time, in seconds."""
         return self._now
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> Timer:
-        """Run ``fn()`` after ``delay`` simulated seconds; return a handle."""
+    def schedule(self, delay: float, fn: Callable[..., None], arg: Any = _NO_ARG) -> Timer:
+        """Run ``fn()`` -- or ``fn(arg)`` if ``arg`` is given -- after
+        ``delay`` simulated seconds; return a cancellable handle."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        timer = Timer(self._now + delay, fn)
+        timer = Timer(self._now + delay, fn, arg, self)
         self._seq += 1
         heapq.heappush(self._queue, (timer.deadline, self._seq, timer))
         return timer
@@ -290,6 +367,27 @@ class SimKernel:
     def event(self, name: str = "") -> SimEvent:
         """Create a :class:`SimEvent` bound to this kernel."""
         return SimEvent(self, name=name)
+
+    # ------------------------------------------------------------------
+    # cancelled-timer bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._cancelled_count += 1
+        count = self._cancelled_count
+        if count >= _COMPACT_MIN_CANCELLED and count * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify in place.
+
+        Entries keep their ``(deadline, seq)`` keys, so the relative
+        order of live timers -- and therefore the event schedule -- is
+        bit-identical with or without compaction.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[2]._cancelled]
+        heapq.heapify(queue)
+        self._cancelled_count = 0
 
     # ------------------------------------------------------------------
     # tasks
@@ -307,7 +405,7 @@ class SimKernel:
         self._live_tasks.add(task)
         # First step happens on the event loop, not synchronously, so that
         # spawn order does not leak into execution order mid-timestep.
-        self.schedule(0.0, lambda: task._step(None))
+        self.schedule(0.0, task._step)
         return task
 
     # ------------------------------------------------------------------
@@ -322,38 +420,67 @@ class SimKernel:
         """Process events until the queue drains, ``until`` is reached, or
         every task in ``until_tasks`` has finished.
 
-        Raises the first non-daemon task failure, and :class:`DeadlockError`
+        Raises pending non-daemon task failures (the first one, with any
+        others attached as ``__notes__``), and :class:`DeadlockError`
         when ``until_tasks`` can no longer make progress.
         """
         targets = list(until_tasks) if until_tasks is not None else None
         if self._running:
             raise SimulationError("kernel is already running (re-entrant run())")
         self._running = True
+        watch: Optional[set[Task]] = None
+        if targets is not None:
+            watch = {t for t in targets if not t._finished}
+            self._watch = watch
         processed = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        failures = self._task_failures
         try:
-            while self._queue:
+            if failures:
                 self._raise_task_failures()
-                if targets is not None and all(t.finished for t in targets):
-                    return
-                deadline, _, timer = self._queue[0]
+            if watch is not None and not watch:
+                return
+            while queue:
+                # Drop cancelled timers at the top without advancing the
+                # clock: a deadline with no live timer never becomes now.
+                while queue and queue[0][2]._cancelled:
+                    heappop(queue)
+                    self._cancelled_count -= 1
+                if not queue:
+                    break
+                deadline = queue[0][0]
                 if until is not None and deadline > until:
                     self._now = until
                     return
-                heapq.heappop(self._queue)
-                if timer.cancelled:
-                    continue
                 if deadline < self._now:
                     raise SimulationError("event queue went backwards in time")
                 self._now = deadline
-                timer._fire()
-                processed += 1
+                # Drain every event at this timestamp in one batch; new
+                # same-timestamp events land behind the current heap top
+                # (higher seq) and are picked up by the same batch.
+                while queue and queue[0][0] == deadline:
+                    timer = heappop(queue)[2]
+                    if timer._cancelled:
+                        self._cancelled_count -= 1
+                        continue
+                    if timer._arg is _NO_ARG:
+                        timer._fn()
+                    else:
+                        timer._fn(timer._arg)
+                    processed += 1
+                    if failures:
+                        self._raise_task_failures()
+                    if watch is not None and not watch:
+                        return
                 if processed > max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely a runaway loop"
                     )
-            self._raise_task_failures()
-            if targets is not None and not all(t.finished for t in targets):
-                pending = [t.name for t in targets if not t.finished]
+            if failures:
+                self._raise_task_failures()
+            if watch:
+                pending = [t.name for t in targets if not t._finished]
                 raise DeadlockError(
                     f"event queue drained but tasks still pending: {pending}"
                 )
@@ -363,16 +490,35 @@ class SimKernel:
                 self._now = until
         finally:
             self._running = False
+            self._watch = None
 
     def run_all(self, **kwargs: Any) -> None:
         """Alias of :meth:`run` with no stop condition (drain the queue)."""
         self.run(**kwargs)
 
     def _raise_task_failures(self) -> None:
-        if self._task_failures:
-            task = self._task_failures.pop(0)
-            assert task.error is not None
-            raise task.error
+        """Raise the oldest pending task failure.
+
+        Any *other* failures pending at the same moment are not silently
+        dropped: each is attached to the raised exception as a
+        ``__notes__`` line and the failed tasks ride along in a
+        ``pending_task_failures`` attribute for programmatic access.
+        """
+        failures = self._task_failures
+        if not failures:
+            return
+        first = failures.pop(0)
+        error = first.error
+        assert error is not None
+        if failures:
+            rest, failures[:] = list(failures), []
+            for task in rest:
+                error.add_note(
+                    f"[SimKernel] additional pending task failure in "
+                    f"{task.name!r}: {type(task.error).__name__}: {task.error}"
+                )
+            error.pending_task_failures = rest  # type: ignore[attr-defined]
+        raise error
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<SimKernel t={self._now:.9f} queued={len(self._queue)}>"

@@ -105,6 +105,19 @@ class KVBackend:
     def get(self, key: bytes) -> bytes:
         raise NotImplementedError
 
+    # ---- batch operations ---------------------------------------------
+    # Backends override these when they can do better than a per-key
+    # loop; the provider's multi_put/multi_get RPCs call them so a bulk
+    # workload pays one backend crossing per batch, not one per record.
+    def put_multi(self, pairs: Iterable[tuple[bytes, bytes]]) -> None:
+        """Store every (key, value) pair in one call."""
+        for key, value in pairs:
+            self.put(key, value)
+
+    def get_multi(self, keys: Iterable[bytes]) -> list[bytes]:
+        """Values for ``keys``, in order; raises on the first missing key."""
+        return [self.get(key) for key in keys]
+
     def erase(self, key: bytes) -> None:
         raise NotImplementedError
 

@@ -31,6 +31,25 @@ class MapBackend(KVBackend):
         except KeyError:
             raise NoSuchKeyError(key) from None
 
+    def put_multi(self, pairs: Iterable[tuple[bytes, bytes]]) -> None:
+        # One pass over a local dict reference: no per-key method dispatch.
+        data = self._data
+        nbytes = self._bytes
+        for key, value in pairs:
+            old = data.get(key)
+            if old is not None:
+                nbytes -= len(key) + len(old)
+            data[key] = value
+            nbytes += len(key) + len(value)
+        self._bytes = nbytes
+
+    def get_multi(self, keys: Iterable[bytes]) -> list[bytes]:
+        data = self._data
+        try:
+            return [data[key] for key in keys]
+        except KeyError as err:
+            raise NoSuchKeyError(err.args[0]) from None
+
     def erase(self, key: bytes) -> None:
         value = self._data.pop(key, None)
         if value is None:

@@ -39,6 +39,31 @@ class OrderedBackend(KVBackend):
         except KeyError:
             raise NoSuchKeyError(key) from None
 
+    def put_multi(self, pairs: Iterable[tuple[bytes, bytes]]) -> None:
+        # Insert into the dict first, then re-sort the key array once per
+        # batch instead of paying an insort per key.
+        data = self._data
+        nbytes = self._bytes
+        fresh = False
+        for key, value in pairs:
+            old = data.get(key)
+            if old is None:
+                fresh = True
+            else:
+                nbytes -= len(key) + len(old)
+            data[key] = value
+            nbytes += len(key) + len(value)
+        if fresh:
+            self._keys = sorted(data)
+        self._bytes = nbytes
+
+    def get_multi(self, keys: Iterable[bytes]) -> list[bytes]:
+        data = self._data
+        try:
+            return [data[key] for key in keys]
+        except KeyError as err:
+            raise NoSuchKeyError(err.args[0]) from None
+
     def erase(self, key: bytes) -> None:
         value = self._data.pop(key, None)
         if value is None:

@@ -56,6 +56,11 @@ class PersistentBackend(KVBackend):
         self._mem.put(key, value)
         self._after_mutation()
 
+    def put_multi(self, pairs: Iterable[tuple[bytes, bytes]]) -> None:
+        # One image rewrite per batch under sync_on_put, not one per key.
+        self._mem.put_multi(pairs)
+        self._after_mutation()
+
     def erase(self, key: bytes) -> None:
         self._mem.erase(key)
         self._after_mutation()
@@ -72,6 +77,9 @@ class PersistentBackend(KVBackend):
     # ---- reads -------------------------------------------------------
     def get(self, key: bytes) -> bytes:
         return self._mem.get(key)
+
+    def get_multi(self, keys: Iterable[bytes]) -> list[bytes]:
+        return self._mem.get_multi(keys)
 
     def exists(self, key: bytes) -> bool:
         return self._mem.exists(key)

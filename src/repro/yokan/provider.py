@@ -85,6 +85,10 @@ class YokanProvider(Provider):
         self.register_rpc("list_keys", self._on_list_keys)
         self.register_rpc("put_multi", self._on_put_multi)
         self.register_rpc("get_multi", self._on_get_multi)
+        # Batch aliases matching the C Yokan "multi" API family; same
+        # handlers, so either name reaches the batched backend path.
+        self.register_rpc("multi_put", self._on_put_multi)
+        self.register_rpc("multi_get", self._on_get_multi)
         self.register_rpc("flush", self._on_flush)
         self.register_rpc("fetch_image", self._on_fetch_image)
         self.register_rpc("erase_matching", self._on_erase_matching)
@@ -156,10 +160,8 @@ class YokanProvider(Provider):
             pairs = decode_records(bulk.data)
         else:
             pairs = args["pairs"]
-        total = 0
-        for key, value in pairs:
-            self.backend.put(key, value)
-            total += len(key) + len(value)
+        total = sum(len(key) + len(value) for key, value in pairs)
+        self.backend.put_multi(pairs)
         yield Compute(OP_BASE_COST * max(1, len(pairs)) + total / BYTES_PER_SECOND)
         yield from self._maybe_sync(total)
         return None
@@ -167,7 +169,7 @@ class YokanProvider(Provider):
     def _on_get_multi(self, ctx: RequestContext) -> Generator:
         keys = ctx.args["keys"]
         yield Compute(OP_BASE_COST * max(1, len(keys)))
-        values = [self.backend.get(k) for k in keys]
+        values = self.backend.get_multi(keys)
         total = sum(len(v) for v in values)
         yield Compute(total / BYTES_PER_SECOND)
         if total >= self.bulk_threshold:

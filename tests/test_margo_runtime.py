@@ -400,3 +400,74 @@ def test_registered_rpcs_listing(cluster):
     server.register("b", lambda ctx: 1, provider_id=2)
     server.register("a", lambda ctx: 1, provider_id=1)
     assert server.registered_rpcs() == [("a", 1), ("b", 2)]
+
+
+# ----------------------------------------------------------------------
+# monitor fast path: hook caching, zero-cost when disabled
+# ----------------------------------------------------------------------
+def test_rpc_without_monitors_fires_no_hooks(cluster):
+    server, client = two_procs(cluster)
+    server.register("echo", lambda ctx: ctx.args)
+
+    def driver():
+        return (yield from client.forward(server.address, "echo", 1))
+
+    assert cluster.run_ult(client, driver()) == 1
+    assert client._hook_fns("on_forward_start") == ()
+    assert server._hook_fns("on_request_received") == ()
+
+
+def test_monitor_attached_after_traffic_sees_later_rpcs(cluster):
+    """The per-hook cache must be invalidated by add/remove_monitor (and
+    by direct list mutation, its backstop)."""
+    server, client = two_procs(cluster)
+    server.register("echo", lambda ctx: ctx.args)
+
+    def driver():
+        return (yield from client.forward(server.address, "echo", 1))
+
+    cluster.run_ult(client, driver())  # warms the (empty) hook cache
+
+    class Recorder:
+        def __init__(self):
+            self.starts = 0
+
+        def on_forward_start(self, **kwargs):
+            self.starts += 1
+
+    recorder = Recorder()
+    client.add_monitor(recorder)
+    cluster.run_ult(client, driver())
+    assert recorder.starts == 1
+
+    client.remove_monitor(recorder)
+    cluster.run_ult(client, driver())
+    assert recorder.starts == 1
+
+    # Backstop: append to .monitors directly, bypassing add_monitor.
+    client.monitors.append(recorder)
+    cluster.run_ult(client, driver())
+    assert recorder.starts == 2
+
+
+def test_monitorless_rpc_timing_unchanged_by_hook_cache(cluster):
+    """Simulated completion time must be identical whether the hook
+    cache is warm or cold -- no hidden cost on the disabled path."""
+    server, client = two_procs(cluster)
+    server.register("echo", lambda ctx: ctx.args)
+
+    def driver():
+        yield from client.forward(server.address, "echo", 1)
+        return client.kernel.now
+
+    t_cold = cluster.run_ult(client, driver())
+    cluster2 = Cluster(seed=1)
+    server2, client2 = two_procs(cluster2)
+    server2.register("echo", lambda ctx: ctx.args)
+
+    def driver2():
+        yield from client2.forward(server2.address, "echo", 1)
+        return client2.kernel.now
+
+    client2._hook_fns("on_forward_start")  # pre-warm
+    assert cluster2.run_ult(client2, driver2()) == t_cold

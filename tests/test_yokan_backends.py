@@ -203,3 +203,43 @@ def test_persistent_sync_on_put():
     backend.put(b"k", b"v")
     assert not backend.dirty
     assert store.exists("db")
+
+
+# ----------------------------------------------------------------------
+# batch operations (put_multi / get_multi fast paths)
+# ----------------------------------------------------------------------
+def test_put_multi_matches_sequential_puts(backend):
+    pairs = [(f"k{i}".encode(), (b"v" * (i + 1))) for i in range(20)]
+    backend.put_multi(pairs)
+    for key, value in pairs:
+        assert backend.get(key) == value
+    assert backend.count() == 20
+    reference = BACKEND_FACTORIES["map"]()
+    for key, value in pairs:
+        reference.put(key, value)
+    assert backend.size_bytes() == reference.size_bytes()
+
+
+def test_put_multi_overwrites_and_tracks_bytes(backend):
+    backend.put(b"k", b"long-old-value")
+    backend.put_multi([(b"k", b"v"), (b"k2", b"vv")])
+    assert backend.get(b"k") == b"v"
+    assert backend.size_bytes() == len(b"k") + len(b"v") + len(b"k2") + len(b"vv")
+
+
+def test_put_multi_keeps_ordered_listing():
+    backend = OrderedBackend()
+    backend.put(b"m", b"1")
+    backend.put_multi([(b"z", b"1"), (b"a", b"1"), (b"m", b"2")])
+    assert backend.list_keys() == [b"a", b"m", b"z"]
+
+
+def test_get_multi_missing_key_raises(backend):
+    backend.put(b"k", b"v")
+    with pytest.raises(NoSuchKeyError):
+        backend.get_multi([b"k", b"ghost"])
+
+
+def test_get_multi_returns_values_in_key_order(backend):
+    backend.put_multi([(b"a", b"1"), (b"b", b"2"), (b"c", b"3")])
+    assert backend.get_multi([b"c", b"a"]) == [b"3", b"1"]

@@ -297,3 +297,30 @@ def test_virtual_resync_repairs_replaced_replica(virtual_rig):
     moved = run(cluster, virtual.margo, repair())
     assert moved == 5
     assert backends[2].backend.count() == 5
+
+
+# ----------------------------------------------------------------------
+# batch RPC aliases (multi_put / multi_get, C Yokan naming)
+# ----------------------------------------------------------------------
+def test_multi_put_multi_get_aliases(rig):
+    cluster, _, cm, provider, db = rig
+
+    def driver():
+        yield from db.multi_put([(f"k{i}", f"v{i}") for i in range(8)])
+        return (yield from db.multi_get([f"k{i}" for i in range(8)]))
+
+    values = run(cluster, cm, driver())
+    assert values == [f"v{i}".encode() for i in range(8)]
+    assert provider.backend.count() == 8
+
+
+def test_multi_put_alias_on_virtual_provider(virtual_rig):
+    cluster, backends, _, cm, db = virtual_rig
+
+    def driver():
+        yield from db.multi_put([(b"a", b"1"), (b"b", b"2")])
+        return (yield from db.multi_get([b"a", b"b"]))
+
+    assert run(cluster, cm, driver()) == [b"1", b"2"]
+    for provider in backends:
+        assert provider.backend.count() == 2
