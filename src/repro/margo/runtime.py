@@ -128,7 +128,7 @@ class MargoInstance:
         # monitor iteration entirely; with monitors, each hook resolves
         # its bound methods once instead of getattr-ing per event.
         self._hook_cache: dict[str, tuple[Callable[..., None], ...]] = {}
-        self._hook_cache_len = -1
+        self._hook_cache_key: Optional[tuple[int, ...]] = None
 
         self.pools: dict[str, Pool] = {}
         self.xstreams: dict[str, XStream] = {}
@@ -232,23 +232,28 @@ class MargoInstance:
         """Attach a monitoring object (see :mod:`repro.monitoring`)."""
         self.monitors.append(monitor)
         self._hook_cache.clear()
-        self._hook_cache_len = -1
+        self._hook_cache_key = None
 
     def remove_monitor(self, monitor: Any) -> None:
         self.monitors.remove(monitor)
         self._hook_cache.clear()
-        self._hook_cache_len = -1
+        self._hook_cache_key = None
 
     def _hook_fns(self, hook: str) -> tuple[Callable[..., None], ...]:
         """The bound hook methods of all attached monitors (cached).
 
-        The length check is a backstop for code that mutates
-        ``self.monitors`` directly instead of via ``add_monitor``.
+        The identity-tuple check is a backstop for code that mutates
+        ``self.monitors`` directly instead of via ``add_monitor`` --
+        including in-place replacement, which keeps the same length.
+        Only reached with monitors attached (callers gate on
+        ``self.monitors``), so the tuple build is off the no-monitor
+        fast path.
         """
         monitors = self.monitors
-        if len(monitors) != self._hook_cache_len:
+        key = tuple(map(id, monitors))
+        if key != self._hook_cache_key:
             self._hook_cache.clear()
-            self._hook_cache_len = len(monitors)
+            self._hook_cache_key = key
         fns = self._hook_cache.get(hook)
         if fns is None:
             fns = tuple(

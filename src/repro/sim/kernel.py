@@ -183,16 +183,12 @@ class Timer:
         if self._cancelled:
             return
         self._cancelled = True
+        # ``_kernel`` is cleared when the timer leaves the heap, so
+        # cancelling an already-fired timer does not inflate the
+        # cancelled-entry count that drives heap compaction.
         kernel = self._kernel
         if kernel is not None:
             kernel._note_cancelled()
-
-    def _fire(self) -> None:
-        if not self._cancelled:
-            if self._arg is _NO_ARG:
-                self._fn()
-            else:
-                self._fn(self._arg)
 
 
 TaskGen = Generator[Any, Any, Any]
@@ -464,19 +460,25 @@ class SimKernel:
                     if timer._cancelled:
                         self._cancelled_count -= 1
                         continue
+                    # The timer has left the heap: a late cancel() must not
+                    # count toward the compaction trigger.
+                    timer._kernel = None
                     if timer._arg is _NO_ARG:
                         timer._fn()
                     else:
                         timer._fn(timer._arg)
                     processed += 1
+                    if processed > max_events:
+                        # Checked inside the batch loop: a zero-delay
+                        # self-rescheduling callback keeps the same
+                        # deadline forever and would otherwise hang here.
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; likely a runaway loop"
+                        )
                     if failures:
                         self._raise_task_failures()
                     if watch is not None and not watch:
                         return
-                if processed > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; likely a runaway loop"
-                    )
             if failures:
                 self._raise_task_failures()
             if watch:

@@ -160,6 +160,10 @@ class YokanProvider(Provider):
             pairs = decode_records(bulk.data)
         else:
             pairs = args["pairs"]
+            if not isinstance(pairs, list):
+                # Materialize so computing the total below cannot exhaust
+                # a one-shot iterator before put_multi sees it.
+                pairs = list(pairs)
         total = sum(len(key) + len(value) for key, value in pairs)
         self.backend.put_multi(pairs)
         yield Compute(OP_BASE_COST * max(1, len(pairs)) + total / BYTES_PER_SECOND)

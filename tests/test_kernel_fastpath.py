@@ -13,7 +13,7 @@ These pin the *semantics* that the perf work must not change:
 
 import pytest
 
-from repro.sim import SimKernel, Sleep, Task, WaitEvent
+from repro.sim import SimKernel, SimulationError, Sleep, Task, WaitEvent
 from repro.sim import kernel as kernel_mod
 
 
@@ -204,6 +204,34 @@ def test_mass_cancelled_timers_do_not_grow_queue_unboundedly():
     assert len(kernel._queue) < 2 * kernel_mod._COMPACT_MIN_CANCELLED
     kernel.run()
     assert kernel.now == 0.0  # nothing ever fired
+
+
+def test_max_events_catches_same_timestamp_runaway():
+    """A zero-delay self-rescheduling callback pins the batch loop to
+    one deadline forever; the ``max_events`` guard must fire from
+    *inside* that loop (regression: the check once ran only after the
+    batch drained, so this workload hung instead of raising)."""
+    kernel = SimKernel()
+
+    def reschedule():
+        kernel.schedule(0.0, reschedule)
+
+    kernel.schedule(0.0, reschedule)
+    with pytest.raises(SimulationError, match="max_events"):
+        kernel.run(max_events=1_000)
+
+
+def test_cancel_after_fire_does_not_count_toward_compaction():
+    """Cancelling an already-fired timer is a no-op for the compaction
+    trigger: the entry has left the heap, so counting it would only
+    cause needless sweeps."""
+    kernel = SimKernel()
+    timers = [kernel.schedule(0.1, lambda: None) for _ in range(10)]
+    kernel.run()
+    for timer in timers:
+        timer.cancel()
+        assert timer.cancelled
+    assert kernel._cancelled_count == 0
 
 
 def test_compaction_preserves_live_timers():

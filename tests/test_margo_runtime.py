@@ -449,6 +449,15 @@ def test_monitor_attached_after_traffic_sees_later_rpcs(cluster):
     cluster.run_ult(client, driver())
     assert recorder.starts == 2
 
+    # Backstop, same-length case: replace the element in place. The
+    # cache keys on monitor identity, not list length, so the stale
+    # bound method must stop firing and the new one must start.
+    replacement = Recorder()
+    client.monitors[0] = replacement
+    cluster.run_ult(client, driver())
+    assert recorder.starts == 2
+    assert replacement.starts == 1
+
 
 def test_monitorless_rpc_timing_unchanged_by_hook_cache(cluster):
     """Simulated completion time must be identical whether the hook
