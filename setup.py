@@ -22,4 +22,11 @@ setup(
     packages=find_packages(where="src"),
     install_requires=[],
     extras_require={"test": ["pytest", "hypothesis", "pytest-benchmark"]},
+    entry_points={
+        "console_scripts": [
+            # mochi-lint: the Mochi-aware static analyzer + config
+            # cross-validator (same as `python -m repro.analysis`).
+            "repro-lint=repro.analysis.cli:main",
+        ]
+    },
 )

@@ -1,0 +1,42 @@
+"""mochi-lint: Mochi-aware static analysis + runtime sanitizing.
+
+The reproduction rests on invariants no off-the-shelf tool checks: code
+under the simulated Margo runtime must never touch wall-clock time,
+unseeded randomness, or real blocking I/O; RPC handlers must always
+respond; ULTs must not suspend while holding a mutex; and configuration
+documents must cross-reference consistently.  This package enforces all
+of that three ways:
+
+* a static AST pass (:mod:`repro.analysis.rules`, ``repro-lint`` /
+  ``python -m repro.analysis``);
+* a configuration cross-validator (:mod:`repro.analysis.config_check`),
+  reused by ``bedrock.boot`` so files and live boots agree;
+* a runtime sanitizer (:mod:`repro.analysis.sanitize`,
+  ``REPRO_SANITIZE=1``) asserting the invariants the AST cannot prove,
+  under the same ``MCH0xx`` rule ids.
+
+This module deliberately does not import :mod:`.config_check` at import
+time: that module depends on the margo/bedrock packages, which in turn
+import :mod:`.sanitize` from here -- importing it lazily keeps the
+package importable from both directions.
+"""
+
+from __future__ import annotations
+
+from . import rules  # noqa: F401 - registers the static rule catalog
+from .engine import lint_file, lint_paths, lint_source
+from .findings import Finding, Severity, format_findings
+from .registry import RuleInfo, rule_catalog
+from .suppress import parse_suppressions
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "RuleInfo",
+    "format_findings",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "parse_suppressions",
+    "rule_catalog",
+]

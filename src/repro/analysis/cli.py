@@ -1,0 +1,97 @@
+"""The mochi-lint command line.
+
+Installed as ``repro-lint`` (see ``setup.py``), also runnable as
+``python -m repro.analysis``.  Exit status: 0 when clean, 1 when any
+finding survives suppression, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from . import config_check  # noqa: F401 - registers the MCH02x config rules
+from .engine import lint_paths
+from .findings import format_findings
+from .registry import rule_catalog
+
+__all__ = ["main"]
+
+
+def _list_rules() -> str:
+    lines = ["mochi-lint rule catalog:"]
+    group = None
+    for info in rule_catalog():
+        if info.group != group:
+            group = info.group
+            lines.append(f"\n[{group}]")
+        runtime = "  (also runtime-checked)" if info.runtime_checked else ""
+        lines.append(f"  {info.id}  {info.name:<36} {info.summary}{runtime}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Mochi-aware static analyzer: enforces the simulator's "
+            "determinism and cooperative-scheduling invariants over "
+            "Python sources, and cross-validates Margo/Bedrock JSON "
+            "configuration documents."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "examples", "benchmarks"],
+        help="files or directories to check (default: src examples benchmarks)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run exclusively (e.g. MCH001,MCH011)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        findings = lint_paths(args.paths, select=select, ignore=ignore)
+    except FileNotFoundError as err:
+        print(f"repro-lint: {err}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps([f.to_json() for f in findings], indent=2, sort_keys=True))
+    elif findings:
+        print(format_findings(findings))
+        print(f"\n{len(findings)} finding(s)")
+    else:
+        print("mochi-lint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""The mochi-lint engine: file discovery, rule execution, suppression.
+
+``lint_paths`` is the one entry point the CLI, the CI gate, and the
+diagnostics report all use.  Directories are walked in sorted order and
+rules run in id order, so the finding list is deterministic -- the
+linter holds itself to the invariant it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Iterator, Optional
+
+from .findings import Finding, Severity
+from .registry import PARSE_ERROR, FileContext, all_rules
+from .suppress import parse_suppressions
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "iter_target_files"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".pytest_cache", "node_modules", ".venv", "results"}
+)
+
+#: Top-level JSON keys that mark a document as a Margo/Bedrock config
+#: (other JSON files -- benchmark results, datasets -- are skipped).
+CONFIG_MARKERS = frozenset(
+    {"margo", "argobots", "libraries", "providers", "progress_pool", "rpc_pool"}
+)
+
+
+def _selected_rules(select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]):
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        rules = [r for r in rules if r.info.id in wanted]
+    if ignore:
+        dropped = set(ignore)
+        rules = [r for r in rules if r.info.id not in dropped]
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Lint Python source text; returns unsuppressed findings."""
+    suppressions = parse_suppressions(source, path)
+    findings: list[Finding] = list(suppressions.findings)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        findings.append(
+            Finding(
+                rule_id=PARSE_ERROR.id,
+                severity=Severity.ERROR,
+                path=path,
+                line=err.lineno or 0,
+                message=f"syntax error: {err.msg}",
+            )
+        )
+        return findings
+    ctx = FileContext(path=path, source=source, tree=tree)
+    for rule in _selected_rules(select, ignore):
+        findings.extend(rule.check(ctx))
+    kept = [f for f in findings if not suppressions.is_suppressed(f)]
+    kept.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return kept
+
+
+def lint_file(
+    path: str,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Lint one file: ``.py`` via the AST rules, ``.json`` via the
+    configuration cross-validator (non-config JSON is skipped)."""
+    if path.endswith(".json"):
+        # Imported lazily: config_check pulls in the margo package, which
+        # itself imports the sanitizer from this package at startup.
+        from .config_check import validate_config_file
+
+        return validate_config_file(path, only_configs=True)
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path, select=select, ignore=ignore)
+
+
+def iter_target_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of lintable files."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+            for name in sorted(files):
+                if name.endswith((".py", ".json")):
+                    yield os.path.join(root, name)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Lint every Python file and config document under ``paths``."""
+    findings: list[Finding] = []
+    for path in iter_target_files(paths):
+        findings.extend(lint_file(path, select=select, ignore=ignore))
+    return findings

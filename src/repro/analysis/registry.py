@@ -1,0 +1,183 @@
+"""The mochi-lint rule registry.
+
+Every rule -- static AST rule, configuration cross-check, or runtime
+sanitizer assertion -- registers here under a stable ``MCH0xx`` id so
+that suppressions, the CLI, the docs, and the sanitizer all speak the
+same vocabulary.
+
+Rule id blocks:
+
+* ``MCH00x`` -- determinism (wall clock, unseeded randomness,
+  environment-dependent iteration);
+* ``MCH01x`` -- cooperative scheduling (blocking calls in ULTs,
+  yield-while-holding-lock, handlers that never respond, misbehaving
+  monitor hooks);
+* ``MCH02x`` -- configuration (dangling pool references, duplicate
+  names, unresolvable/cyclic provider dependencies);
+* ``MCH09x`` -- meta (parse errors, bare suppressions).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .findings import Finding, Severity
+
+__all__ = [
+    "RuleInfo",
+    "AstRule",
+    "FileContext",
+    "register",
+    "rule",
+    "all_rules",
+    "get_rule",
+    "rule_catalog",
+    "GROUP_DETERMINISM",
+    "GROUP_SCHEDULING",
+    "GROUP_CONFIG",
+    "GROUP_META",
+]
+
+GROUP_DETERMINISM = "determinism"
+GROUP_SCHEDULING = "scheduling"
+GROUP_CONFIG = "configuration"
+GROUP_META = "meta"
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Identity + documentation for one rule."""
+
+    id: str
+    name: str
+    group: str
+    severity: str
+    summary: str
+    #: Why the invariant matters for the reproduction (rendered in
+    #: ``--list-rules`` and the DESIGN.md catalog).
+    rationale: str
+    #: Whether the runtime sanitizer also asserts this invariant.
+    runtime_checked: bool = False
+
+
+@dataclass
+class FileContext:
+    """Everything an AST rule may look at for one file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+
+    @property
+    def lines(self) -> list[str]:
+        return self.source.splitlines()
+
+
+class AstRule:
+    """A static rule: ``check`` walks one parsed file and yields findings."""
+
+    def __init__(self, info: RuleInfo, check: Callable[[FileContext], list[Finding]]):
+        self.info = info
+        self._check = check
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        return self._check(ctx)
+
+    def finding(self, ctx: FileContext, line: int, message: str) -> Finding:
+        return Finding(
+            rule_id=self.info.id,
+            severity=self.info.severity,
+            path=ctx.path,
+            line=line,
+            message=message,
+            source="static",
+        )
+
+
+_RULES: dict[str, AstRule] = {}
+_INFOS: dict[str, RuleInfo] = {}
+
+
+def register(info: RuleInfo, check: Optional[Callable[[FileContext], list[Finding]]] = None) -> None:
+    """Register a rule.  Config/runtime-only rules pass ``check=None``:
+    they appear in the catalog but run from their own pass."""
+    if info.id in _INFOS:
+        raise ValueError(f"duplicate rule id {info.id}")
+    _INFOS[info.id] = info
+    if check is not None:
+        _RULES[info.id] = AstRule(info, check)
+
+
+def rule(info: RuleInfo) -> Callable:
+    """Decorator form of :func:`register` for AST rules."""
+
+    def wrap(check: Callable[[FileContext], list[Finding]]) -> Callable:
+        register(info, check)
+        return check
+
+    return wrap
+
+
+def all_rules() -> list[AstRule]:
+    """Registered AST rules, in id order (deterministic run order)."""
+    return [_RULES[rid] for rid in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Optional[AstRule]:
+    return _RULES.get(rule_id)
+
+
+def rule_catalog() -> list[RuleInfo]:
+    """Every known rule (static, config, and runtime), in id order."""
+    return [_INFOS[rid] for rid in sorted(_INFOS)]
+
+
+def info_for(rule_id: str) -> Optional[RuleInfo]:
+    return _INFOS.get(rule_id)
+
+
+def make_finding(
+    rule_id: str, path: str, line: int, message: str, source: str = "config"
+) -> Finding:
+    """Build a finding for a registered non-AST rule (config/runtime)."""
+    info = _INFOS[rule_id]
+    return Finding(
+        rule_id=rule_id,
+        severity=info.severity,
+        path=path,
+        line=line,
+        message=message,
+        source=source,
+    )
+
+
+# Meta rules (registered here so the ids exist before any pass runs).
+PARSE_ERROR = RuleInfo(
+    id="MCH090",
+    name="parse-error",
+    group=GROUP_META,
+    severity=Severity.ERROR,
+    summary="file could not be parsed (Python syntax error / invalid JSON)",
+    rationale=(
+        "a file the linter cannot read is a file none of the invariants "
+        "below are checked on; CI must fail loudly, not skip silently"
+    ),
+)
+
+BARE_SUPPRESSION = RuleInfo(
+    id="MCH091",
+    name="suppression-without-justification",
+    group=GROUP_META,
+    severity=Severity.ERROR,
+    summary="`# mochi-lint: disable=...` without a `-- justification` tail",
+    rationale=(
+        "suppressions are load-bearing: each one is a claim that a "
+        "checked invariant holds for out-of-band reasons, and that claim "
+        "must be written down where the suppression lives"
+    ),
+)
+
+register(PARSE_ERROR)
+register(BARE_SUPPRESSION)

@@ -1,0 +1,99 @@
+"""mochi-lint rule catalog.
+
+Importing this package registers every static rule with the registry.
+Shared AST helpers used by the rule modules live here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+__all__ = [
+    "dotted_name",
+    "call_name",
+    "own_body_walk",
+    "function_defs",
+    "is_ult_generator",
+    "ordered_walk",
+]
+
+FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Kernel / ULT command constructors: a generator that yields one of
+#: these is, by construction, code running under the simulation kernel.
+ULT_COMMANDS = frozenset(
+    {"Sleep", "WaitEvent", "Compute", "Park", "UltSleep", "UltYield"}
+)
+
+#: Methods whose generators ULT code composes with ``yield from``.
+ULT_DELEGATES = frozenset(
+    {"forward", "bulk_transfer", "acquire", "wait", "ult_sleep"}
+)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    return dotted_name(node.func)
+
+
+def last_attr(node: ast.AST) -> Optional[str]:
+    """The final attribute/name of a call target (``c`` for ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def function_defs(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, FunctionNode):
+            yield node
+
+
+def own_body_walk(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own body, not entering nested function/class defs."""
+    stack: list[ast.AST] = list(getattr(func, "body", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, FunctionNode + (ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def ordered_walk(node: ast.AST) -> list[ast.AST]:
+    """All descendants of ``node`` in source order (line, column)."""
+    nodes = [n for n in ast.walk(node) if hasattr(n, "lineno")]
+    nodes.sort(key=lambda n: (n.lineno, n.col_offset))
+    return nodes
+
+
+def is_ult_generator(func: ast.AST) -> bool:
+    """True when the function body is a kernel task / ULT body: it yields
+    kernel commands, or delegates to runtime generators via yield-from."""
+    for node in own_body_walk(func):
+        if isinstance(node, ast.Yield) and isinstance(node.value, ast.Call):
+            if last_attr(node.value.func) in ULT_COMMANDS:
+                return True
+        elif isinstance(node, ast.YieldFrom) and isinstance(node.value, ast.Call):
+            if last_attr(node.value.func) in ULT_DELEGATES:
+                return True
+    return False
+
+
+# Import the rule modules for their registration side effects.
+from . import determinism as _determinism  # noqa: E402,F401
+from . import scheduling as _scheduling  # noqa: E402,F401

@@ -1,0 +1,328 @@
+"""Cooperative-scheduling rules (MCH01x).
+
+The kernel is single-threaded and cooperative: an RPC handler ULT that
+blocks for real, parks forever, or suspends while holding a mutex does
+not crash anything -- it silently wedges or serializes the simulation.
+PR 2 fixed two shipped bugs of exactly this shape; these rules catch the
+class statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..findings import Finding, Severity
+from ..registry import GROUP_SCHEDULING, FileContext, RuleInfo, rule
+from . import (
+    FunctionNode,
+    call_name,
+    function_defs,
+    is_ult_generator,
+    last_attr,
+    own_body_walk,
+)
+
+#: Real-world blocking calls that stall the whole event loop when issued
+#: from inside a kernel task / ULT body.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "input",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "select.select",
+        "socket.socket",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "requests.get",
+        "requests.post",
+        "requests.put",
+        "requests.delete",
+        "requests.request",
+        "urllib.request.urlopen",
+        "threading.Thread",
+        "threading.Lock",
+        "threading.Event",
+        "multiprocessing.Process",
+        "queue.Queue",
+    }
+)
+
+#: Yielded commands that suspend the ULT (give up the stream).
+_SUSPENDING_COMMANDS = frozenset({"Sleep", "UltSleep", "Park", "WaitEvent"})
+
+#: ``yield from`` delegates that suspend the calling ULT.
+_SUSPENDING_DELEGATES = frozenset({"forward", "wait", "ult_sleep", "bulk_transfer"})
+
+
+def _is_handler(func: ast.AST) -> bool:
+    """Heuristic: RPC handler bodies follow the ``_on_<rpc>`` convention
+    (and must be generators to yield kernel commands)."""
+    name = getattr(func, "name", "")
+    if not name.startswith(("on_", "_on_")):
+        return False
+    return any(
+        isinstance(node, (ast.Yield, ast.YieldFrom)) for node in own_body_walk(func)
+    )
+
+
+@rule(
+    RuleInfo(
+        id="MCH010",
+        name="blocking-call-in-ult",
+        group=GROUP_SCHEDULING,
+        severity=Severity.ERROR,
+        summary="real blocking call inside a kernel task / ULT body",
+        rationale=(
+            "the kernel is single-threaded: one time.sleep() or socket "
+            "read inside a ULT freezes every simulated process at once; "
+            "blocking must be expressed as Sleep/UltSleep/Park so the "
+            "scheduler can run other work"
+        ),
+        runtime_checked=False,
+    )
+)
+def check_blocking_call(ctx: FileContext) -> list[Finding]:
+    findings = []
+    for func in function_defs(ctx.tree):
+        if not is_ult_generator(func):
+            continue
+        for node in own_body_walk(func):
+            if isinstance(node, ast.Call) and call_name(node) in BLOCKING_CALLS:
+                findings.append(
+                    Finding(
+                        "MCH010",
+                        Severity.ERROR,
+                        ctx.path,
+                        node.lineno,
+                        f"blocking call {call_name(node)}() inside ULT body "
+                        f"{func.name!r}; yield a kernel command instead",
+                    )
+                )
+    return findings
+
+
+def _lock_events(func: ast.AST) -> list[tuple[int, int, str, str]]:
+    """(line, col, kind, detail) events in source order.
+
+    kinds: ``acquire`` (yield from ...acquire()), ``release``
+    (...release() call), ``suspend`` (a yielded command or delegate that
+    gives up the stream).
+    """
+    events = []
+    yielded_calls: set[int] = set()
+    for node in own_body_walk(func):
+        if isinstance(node, ast.YieldFrom) and isinstance(node.value, ast.Call):
+            call = node.value
+            yielded_calls.add(id(call))
+            attr = last_attr(call.func)
+            if attr == "acquire":
+                events.append((node.lineno, node.col_offset, "acquire", "acquire"))
+            elif attr in _SUSPENDING_DELEGATES:
+                events.append((node.lineno, node.col_offset, "suspend", f"{attr}()"))
+        elif isinstance(node, ast.Yield) and isinstance(node.value, ast.Call):
+            call = node.value
+            yielded_calls.add(id(call))
+            attr = last_attr(call.func)
+            if attr in _SUSPENDING_COMMANDS:
+                events.append((node.lineno, node.col_offset, "suspend", attr))
+    for node in own_body_walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and id(node) not in yielded_calls
+            and last_attr(node.func) == "release"
+        ):
+            events.append((node.lineno, node.col_offset, "release", "release"))
+    events.sort()
+    return events
+
+
+@rule(
+    RuleInfo(
+        id="MCH011",
+        name="yield-while-holding-lock",
+        group=GROUP_SCHEDULING,
+        severity=Severity.ERROR,
+        summary="ULT suspends (Sleep/Park/forward/...) while holding a mutex",
+        rationale=(
+            "a suspended lock holder serializes every other ULT that "
+            "needs the mutex behind an arbitrary sleep or remote peer -- "
+            "and deadlocks outright if the wakeup depends on a waiter; "
+            "hold locks only across Compute sections"
+        ),
+        runtime_checked=True,
+    )
+)
+def check_yield_holding_lock(ctx: FileContext) -> list[Finding]:
+    findings = []
+    for func in function_defs(ctx.tree):
+        held = 0
+        for line, _col, kind, detail in _lock_events(func):
+            if kind == "acquire":
+                held += 1
+            elif kind == "release":
+                held = max(0, held - 1)
+            elif kind == "suspend" and held > 0:
+                findings.append(
+                    Finding(
+                        "MCH011",
+                        Severity.ERROR,
+                        ctx.path,
+                        line,
+                        f"{func.name!r} suspends ({detail}) while holding a "
+                        "mutex; release before yielding the stream",
+                    )
+                )
+    return findings
+
+
+def _unbounded_wait(node: ast.AST) -> Optional[str]:
+    """Describe ``node`` if it waits with no timeout, else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    attr = last_attr(node.func)
+    if attr in ("Park", "WaitEvent"):
+        timeout: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            timeout = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "timeout":
+                timeout = kw.value
+        if timeout is None or (
+            isinstance(timeout, ast.Constant) and timeout.value is None
+        ):
+            return f"{attr} with no timeout"
+    elif attr == "wait" and not node.args and not node.keywords:
+        return "wait() with no timeout"
+    return None
+
+
+def _loops_forever(func: ast.AST) -> Optional[int]:
+    """Line of a ``while True:`` in ``func`` with no exit path, if any."""
+    for node in own_body_walk(func):
+        if not isinstance(node, ast.While):
+            continue
+        test = node.test
+        if not (isinstance(test, ast.Constant) and test.value is True):
+            continue
+        exits = any(
+            isinstance(inner, (ast.Return, ast.Break, ast.Raise))
+            for inner in ast.walk(node)
+        )
+        if not exits:
+            return node.lineno
+    return None
+
+
+@rule(
+    RuleInfo(
+        id="MCH012",
+        name="handler-never-responds",
+        group=GROUP_SCHEDULING,
+        severity=Severity.ERROR,
+        summary="RPC handler path that can block forever without responding",
+        rationale=(
+            "every dispatched RPC must end in a response or an error "
+            "response -- a handler parked on an event with no timeout, or "
+            "spinning in an exit-less loop, leaves the caller waiting "
+            "until its own timeout (or forever), which is how the paper's "
+            "services wedge under reconfiguration"
+        ),
+        runtime_checked=True,
+    )
+)
+def check_handler_responds(ctx: FileContext) -> list[Finding]:
+    findings = []
+    for func in function_defs(ctx.tree):
+        if not _is_handler(func):
+            continue
+        for node in own_body_walk(func):
+            why = _unbounded_wait(node)
+            if why is not None:
+                findings.append(
+                    Finding(
+                        "MCH012",
+                        Severity.ERROR,
+                        ctx.path,
+                        node.lineno,
+                        f"handler {func.name!r} waits unboundedly ({why}); "
+                        "pass a timeout so the caller always gets a response",
+                    )
+                )
+        loop_line = _loops_forever(func)
+        if loop_line is not None:
+            findings.append(
+                Finding(
+                    "MCH012",
+                    Severity.ERROR,
+                    ctx.path,
+                    loop_line,
+                    f"handler {func.name!r} contains a `while True` loop "
+                    "with no return/break/raise; it can never respond",
+                )
+            )
+    return findings
+
+
+def _is_monitor_class(node: ast.ClassDef) -> bool:
+    if "Monitor" in node.name or node.name.endswith("Tracer"):
+        return True
+    for base in node.bases:
+        name = last_attr(base)
+        if name is not None and ("Monitor" in name or name.endswith("Tracer")):
+            return True
+    return False
+
+
+@rule(
+    RuleInfo(
+        id="MCH013",
+        name="monitor-hook-misbehavior",
+        group=GROUP_SCHEDULING,
+        severity=Severity.ERROR,
+        summary="monitor hook raises, yields, or issues RPCs",
+        rationale=(
+            "monitoring callbacks run inline on the RPC fast path with "
+            "no ULT context of their own: a raise would take the data "
+            "path down (the runtime now contains it, but counts it as an "
+            "error), a forward() would recurse into the dispatcher, and "
+            "a yield makes the hook a no-op generator"
+        ),
+    )
+)
+def check_monitor_hooks(ctx: FileContext) -> list[Finding]:
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.ClassDef) and _is_monitor_class(node)):
+            continue
+        for method in node.body:
+            if not isinstance(method, FunctionNode):
+                continue
+            if not method.name.startswith("on_"):
+                continue
+            for inner in own_body_walk(method):
+                bad = None
+                if isinstance(inner, ast.Raise):
+                    bad = "raises"
+                elif isinstance(inner, (ast.Yield, ast.YieldFrom)):
+                    bad = "yields (hooks are plain callbacks, not ULTs)"
+                elif isinstance(inner, ast.Call) and last_attr(inner.func) == "forward":
+                    bad = "issues an RPC via forward()"
+                if bad is not None:
+                    findings.append(
+                        Finding(
+                            "MCH013",
+                            Severity.ERROR,
+                            ctx.path,
+                            inner.lineno,
+                            f"monitor hook {node.name}.{method.name} {bad}; "
+                            "hooks must observe and record only",
+                        )
+                    )
+    return findings

@@ -27,12 +27,24 @@ def boot_process(
     pfs: Optional[ParallelFileSystem] = None,
     with_local_store: bool = True,
     monitors: tuple = (),
+    validate: bool = True,
 ) -> tuple[MargoInstance, BedrockServer]:
     """Create a process on ``node`` and boot it from ``config``.
 
     Returns the Margo instance and its Bedrock server.  A node-local
     store is attached (once per node) unless ``with_local_store=False``.
+
+    Unless ``validate=False``, the whole document is first run through
+    the static cross-validator (:mod:`repro.analysis.config_check`) --
+    the same pass ``repro-lint`` applies to config files on disk -- so
+    a bad document fails before any process exists, with the exception
+    type the runtime would have raised for the same mistake.
     """
+    if validate:
+        # Imported lazily: config_check depends on this package.
+        from ..analysis.config_check import check_boot_config
+
+        check_boot_config(config, path=f"<boot:{name}>")
     config = dict(config or {})
     node_obj = cluster.node(node)
     if with_local_store and "disk" not in node_obj.attachments:

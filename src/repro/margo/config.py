@@ -157,11 +157,13 @@ class MargoConfig:
 
     def validate(self) -> None:
         names = [p.name for p in self.pools]
-        if len(set(names)) != len(names):
-            raise ConfigError(f"duplicate pool names in config: {names}")
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise ConfigError(f"duplicate pool names in config: {dupes}")
         xnames = [x.name for x in self.xstreams]
-        if len(set(xnames)) != len(xnames):
-            raise ConfigError(f"duplicate xstream names in config: {xnames}")
+        xdupes = sorted({n for n in xnames if xnames.count(n) > 1})
+        if xdupes:
+            raise ConfigError(f"duplicate xstream names in config: {xdupes}")
         known = set(names)
         for xstream in self.xstreams:
             missing = [p for p in xstream.pools if p not in known]

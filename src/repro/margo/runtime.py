@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..analysis import sanitize as _sanitize
 from ..mercury import (
     BULK_OP_PULL,
     BULK_OP_PUSH,
@@ -544,6 +545,8 @@ class MargoInstance:
             name=f"rpc:{request.rpc_name}:{request.seq}",
         )
         ult.rpc_context = request
+        if _sanitize.ENABLED:
+            _sanitize.note_handler_dispatched(self, request, ult)
         registration.pool.push(ult)
         if self.monitors:
             self._emit("on_ult_enqueued", request=request, pool=registration.pool)
@@ -597,6 +600,8 @@ class MargoInstance:
         self._inflight_in.dec()
         self._rpcs_handled.inc()
         self.network.send(self.process, request.src_address, response, response.wire_size)
+        if _sanitize.ENABLED:
+            _sanitize.note_handler_responded(self, request.seq)
         if self.monitors:
             self._emit("on_respond", request=request, response=response)
 
@@ -725,6 +730,8 @@ class MargoInstance:
         if self._finalized:
             return
         self._finalized = True
+        if _sanitize.ENABLED:
+            _sanitize.check_margo_shutdown(self)
         self._emit("on_finalize")
         for xstream in self.xstreams.values():
             xstream.stop()

@@ -20,6 +20,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
+from ..analysis import sanitize as _sanitize
 from ..sim.kernel import SimKernel, TIMED_OUT
 
 __all__ = [
@@ -250,12 +251,16 @@ class UltMutex:
             self._waiters.append(gate)
             yield Park(gate, None)
         self._locked = True
+        if _sanitize.ENABLED:
+            _sanitize.note_acquire(current_ult(), self)
         return None
 
     def release(self) -> None:
         if not self._locked:
             raise RuntimeError(f"mutex {self.name!r} released while unlocked")
         self._locked = False
+        if _sanitize.ENABLED:
+            _sanitize.note_release(current_ult(), self)
         if self._waiters:
             self._waiters.pop(0).set()
 

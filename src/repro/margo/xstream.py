@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..analysis import sanitize as _sanitize
 from ..sim.kernel import SimKernel, Sleep, WaitEvent
 from .errors import ConfigError
 from .pool import Pool
@@ -155,9 +156,23 @@ class XStream:
                     yield Sleep(cmd.duration + SCHED_OVERHEAD)
                     continue
                 if isinstance(cmd, Park):
+                    if _sanitize.ENABLED:
+                        # A strict violation fails the offending ULT (via
+                        # gen.throw on the next loop turn), not the stream.
+                        try:
+                            _sanitize.check_blocking_yield(ult, cmd)
+                        except AssertionError as err:
+                            exc = err
+                            continue
                     cmd.event._park(ult, cmd.timeout)
                     return
                 if isinstance(cmd, UltSleep):
+                    if _sanitize.ENABLED:
+                        try:
+                            _sanitize.check_blocking_yield(ult, cmd)
+                        except AssertionError as err:
+                            exc = err
+                            continue
                     ult.state = UltState.BLOCKED
                     self.kernel.schedule(cmd.duration, ult._timed_ready, ult._park_token)
                     return

@@ -266,7 +266,10 @@ class Task:
         except BaseException as err:  # noqa: BLE001 - task failure path
             self.error = err
             self._finish(result=None)
-            if not self.daemon:
+            # Daemon failures are normally tolerated (service loops dying
+            # at shutdown), but assertion failures -- including the
+            # runtime sanitizer's SanitizerError -- must always surface.
+            if not self.daemon or isinstance(err, AssertionError):
                 kernel._task_failures.append(self)
             return
         if type(cmd) is Sleep:

@@ -2,9 +2,18 @@
 
 from .diagnostics import (
     cluster_report,
+    config_report,
+    lint_report,
     monitoring_report,
     process_report,
     trace_report,
 )
 
-__all__ = ["cluster_report", "process_report", "monitoring_report", "trace_report"]
+__all__ = [
+    "cluster_report",
+    "process_report",
+    "monitoring_report",
+    "trace_report",
+    "lint_report",
+    "config_report",
+]

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..analysis import format_findings, lint_paths
+from ..analysis import sanitize as _sanitize
 from ..bedrock.server import BedrockServer
 from ..cluster import Cluster
 from ..monitoring.stats_monitor import StatisticsMonitor
@@ -25,6 +27,8 @@ __all__ = [
     "process_report",
     "monitoring_report",
     "trace_report",
+    "lint_report",
+    "config_report",
 ]
 
 
@@ -118,6 +122,50 @@ def monitoring_report(monitor: StatisticsMonitor, top: int = 10) -> str:
             f"bytes={int(bulk['size']['sum'])}"
         )
     return "\n".join(lines)
+
+
+def lint_report(*paths: str) -> str:
+    """Static-analysis health of a source tree (the ``repro-lint`` view).
+
+    Runs the full mochi-lint pass (AST rules plus the configuration
+    cross-validator for any config JSON encountered) over ``paths`` and
+    appends whatever the runtime sanitizer has recorded so far, so one
+    report answers "is this deployment clean?" across all three passes.
+    """
+    findings = lint_paths(paths or ("src", "examples", "benchmarks"))
+    findings = findings + list(_sanitize.violations)
+    if not findings:
+        return "mochi-lint: clean"
+    by_severity: dict[str, int] = {}
+    for finding in findings:
+        by_severity[finding.severity] = by_severity.get(finding.severity, 0) + 1
+    summary = ", ".join(f"{n} {sev}" for sev, n in sorted(by_severity.items()))
+    return f"mochi-lint: {len(findings)} finding(s) ({summary})\n" + format_findings(
+        findings
+    )
+
+
+def config_report(config: "dict[str, Any] | str | None", name: str = "<config>") -> str:
+    """Cross-validate one Margo/Bedrock document and render the verdict.
+
+    ``config`` may be a parsed dict, JSON text, or a path to a ``.json``
+    file.  This is the same validation :func:`repro.bedrock.boot_process`
+    applies before booting, exposed as a report for interactive use.
+    """
+    # Imported lazily: config_check depends on the margo/bedrock packages.
+    from ..analysis.config_check import validate_config_doc, validate_config_file
+
+    if isinstance(config, str) and config.lstrip()[:1] not in ("{", "["):
+        findings = validate_config_file(config)
+        name = config
+    else:
+        import json
+
+        doc = json.loads(config) if isinstance(config, str) else config
+        findings = validate_config_doc(doc, path=name)
+    if not findings:
+        return f"{name}: config OK"
+    return f"{name}: {len(findings)} problem(s)\n" + format_findings(findings)
 
 
 def trace_report(

@@ -1,0 +1,111 @@
+"""The repro-lint command line: exit codes, formats, and the acceptance
+criterion that the repository itself lints clean."""
+
+import json
+import os
+import textwrap
+
+from repro.analysis.cli import main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CLEAN = """
+def worker(kernel):
+    yield Sleep(kernel.now + 1.0)
+    return kernel.now
+"""
+
+DIRTY = """
+import time
+
+def worker():
+    yield Sleep(1.0)
+    return time.time()
+"""
+
+
+def write(tmp_path, name, body):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(body))
+    return str(path)
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    path = write(tmp_path, "clean.py", CLEAN)
+    assert main([path]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_locations(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", DIRTY)
+    assert main([path]) == 1
+    out = capsys.readouterr().out
+    assert f"{path}:6: MCH001" in out
+    assert "1 finding(s)" in out
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "repro-lint:" in capsys.readouterr().err
+
+
+def test_json_format(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", DIRTY)
+    assert main(["--format", "json", path]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc[0]["rule_id"] == "MCH001"
+    assert doc[0]["path"] == path
+    assert doc[0]["line"] == 6
+    assert doc[0]["source"] == "static"
+
+
+def test_select_and_ignore(tmp_path):
+    path = write(tmp_path, "dirty.py", DIRTY)
+    assert main(["--select", "MCH002", path]) == 0
+    assert main(["--ignore", "MCH001", path]) == 0
+    assert main(["--select", "MCH001", path]) == 1
+
+
+def test_directory_walk_includes_configs(tmp_path, capsys):
+    write(tmp_path, "dirty.py", DIRTY)
+    (tmp_path / "bad.json").write_text(
+        json.dumps({"argobots": {}, "progress_pool": "ghost"})
+    )
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "MCH001" in out
+    assert "MCH020" in out
+    assert "2 finding(s)" in out
+
+
+def test_list_rules_covers_catalog(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "MCH001", "MCH002", "MCH003",
+        "MCH010", "MCH011", "MCH012", "MCH013",
+        "MCH020", "MCH021", "MCH022", "MCH023",
+        "MCH090", "MCH091",
+    ):
+        assert rule_id in out
+    # The runtime-checked rules advertise their dynamic half.
+    assert out.count("also runtime-checked") == 2
+
+
+def test_module_entry_point_matches_cli():
+    from repro.analysis import __main__  # noqa: F401 - importable
+
+    from repro.analysis.cli import main as cli_main
+
+    assert cli_main is main
+
+
+def test_repository_lints_clean(capsys):
+    """The ISSUE acceptance criterion: zero unsuppressed findings over
+    src/repro, examples/, and benchmarks/."""
+    targets = [
+        os.path.join(REPO_ROOT, "src", "repro"),
+        os.path.join(REPO_ROOT, "examples"),
+        os.path.join(REPO_ROOT, "benchmarks"),
+    ]
+    assert main(targets) == 0, capsys.readouterr().out

@@ -1,0 +1,362 @@
+"""mochi-lint AST rules: one positive + one negative fixture per rule."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def lint(code, **kwargs):
+    return lint_source(textwrap.dedent(code), path="fixture.py", **kwargs)
+
+
+def ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ----------------------------------------------------------------------
+# MCH001 wall-clock-access
+# ----------------------------------------------------------------------
+def test_mch001_flags_wall_clock_calls():
+    findings = lint(
+        """
+        import time, datetime
+        def stamp():
+            a = time.time()
+            b = time.perf_counter()
+            c = datetime.datetime.now()
+            return a, b, c
+        """
+    )
+    assert ids(findings) == ["MCH001", "MCH001", "MCH001"]
+    assert findings[0].line == 4
+    assert "time.time" in findings[0].message
+
+
+def test_mch001_clean_on_simulated_time():
+    findings = lint(
+        """
+        def stamp(kernel):
+            now = kernel.now
+            yield Sleep(0.5)
+            return now
+        """
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# MCH002 unseeded-randomness
+# ----------------------------------------------------------------------
+def test_mch002_flags_global_random_and_entropy():
+    findings = lint(
+        """
+        import random, uuid, secrets
+        def pick(items):
+            x = random.choice(items)
+            r = random.Random()
+            t = uuid.uuid4()
+            s = secrets.token_bytes(8)
+            random.seed()
+            return x, r, t, s
+        """
+    )
+    assert ids(findings) == ["MCH002"] * 5
+
+
+def test_mch002_clean_on_seeded_sources():
+    findings = lint(
+        """
+        import random
+        def pick(rng, items):
+            seeded = random.Random(42)
+            return rng.choice(items), seeded.random()
+        """
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# MCH003 env-dependent-iteration
+# ----------------------------------------------------------------------
+def test_mch003_flags_unordered_iteration():
+    findings = lint(
+        """
+        import os, glob
+        def sweep(names):
+            for n in set(names):
+                print(n)
+            for f in os.listdir("."):
+                print(f)
+            out = [k for k in os.environ]
+            pairs = list({1, 2, 3})
+            return out, pairs
+        """
+    )
+    assert ids(findings) == ["MCH003"] * 4
+
+
+def test_mch003_clean_when_sorted():
+    findings = lint(
+        """
+        import os
+        def sweep(names):
+            for n in sorted(set(names)):
+                print(n)
+            for f in sorted(os.listdir(".")):
+                print(f)
+        """
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# MCH010 blocking-call-in-ult
+# ----------------------------------------------------------------------
+def test_mch010_flags_blocking_call_in_ult_body():
+    findings = lint(
+        """
+        import subprocess
+        def worker():
+            yield Sleep(1.0)
+            subprocess.run(["ls"])
+        """,
+        select=["MCH010"],
+    )
+    assert ids(findings) == ["MCH010"]
+    assert "subprocess.run" in findings[0].message
+
+
+def test_mch010_ignores_plain_functions():
+    # Not a ULT generator: blocking here is ordinary host-side code.
+    findings = lint(
+        """
+        import subprocess
+        def build():
+            return subprocess.run(["make"])
+        """,
+        select=["MCH010"],
+    )
+    assert findings == []
+
+
+def test_mch010_ignores_nested_non_ult_helpers():
+    # The blocking call lives in a nested plain function, not the ULT.
+    findings = lint(
+        """
+        import subprocess
+        def worker():
+            def helper():
+                return subprocess.run(["ls"])
+            yield Sleep(1.0)
+            return helper
+        """,
+        select=["MCH010"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# MCH011 yield-while-holding-lock
+# ----------------------------------------------------------------------
+def test_mch011_flags_suspend_between_acquire_and_release():
+    findings = lint(
+        """
+        def critical(mutex):
+            yield from mutex.acquire()
+            yield UltSleep(0.1)
+            mutex.release()
+        """,
+        select=["MCH011"],
+    )
+    assert ids(findings) == ["MCH011"]
+    assert "UltSleep" in findings[0].message
+
+
+def test_mch011_flags_forward_while_holding():
+    findings = lint(
+        """
+        def critical(mutex, margo, addr):
+            yield from mutex.acquire()
+            reply = yield from margo.forward(addr, "rpc", None)
+            mutex.release()
+            return reply
+        """,
+        select=["MCH011"],
+    )
+    assert ids(findings) == ["MCH011"]
+
+
+def test_mch011_clean_when_released_before_suspend():
+    findings = lint(
+        """
+        def critical(mutex):
+            yield from mutex.acquire()
+            yield Compute(1e-6)
+            mutex.release()
+            yield UltSleep(0.1)
+        """,
+        select=["MCH011"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# MCH012 handler-never-responds
+# ----------------------------------------------------------------------
+def test_mch012_flags_unbounded_park_in_handler():
+    findings = lint(
+        """
+        def on_fetch(ctx, gate):
+            value = yield Park(gate)
+            return value
+        """,
+        select=["MCH012"],
+    )
+    assert ids(findings) == ["MCH012"]
+    assert "no timeout" in findings[0].message
+
+
+def test_mch012_flags_exitless_loop_in_handler():
+    findings = lint(
+        """
+        def on_poll(ctx):
+            while True:
+                yield UltSleep(0.1)
+        """,
+        select=["MCH012"],
+    )
+    assert ids(findings) == ["MCH012"]
+
+
+def test_mch012_clean_with_timeout_or_exit():
+    findings = lint(
+        """
+        def on_fetch(ctx, gate):
+            value = yield Park(gate, 5.0)
+            while True:
+                if value is not None:
+                    return value
+                value = yield Park(gate, timeout=1.0)
+        """,
+        select=["MCH012"],
+    )
+    assert findings == []
+
+
+def test_mch012_ignores_non_handler_functions():
+    # Unbounded waits are legal outside the RPC-handler naming convention
+    # (e.g. daemon loops that the kernel tears down at exit).
+    findings = lint(
+        """
+        def progress_loop(gate):
+            value = yield Park(gate)
+            return value
+        """,
+        select=["MCH012"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# MCH013 monitor-hook-misbehavior
+# ----------------------------------------------------------------------
+def test_mch013_flags_raising_and_forwarding_hooks():
+    findings = lint(
+        """
+        class AuditMonitor:
+            def on_forward(self, **kw):
+                raise RuntimeError("boom")
+
+            def on_respond(self, margo, addr, **kw):
+                margo.forward(addr, "audit", kw)
+        """,
+        select=["MCH013"],
+    )
+    assert ids(findings) == ["MCH013", "MCH013"]
+
+
+def test_mch013_clean_on_recording_hooks():
+    findings = lint(
+        """
+        class StatsMonitor:
+            def __init__(self):
+                self.calls = 0
+
+            def on_forward(self, **kw):
+                self.calls += 1
+        """,
+        select=["MCH013"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# MCH090 parse-error
+# ----------------------------------------------------------------------
+def test_mch090_on_syntax_error():
+    findings = lint("def broken(:\n    pass\n")
+    assert ids(findings) == ["MCH090"]
+    assert findings[0].severity == "error"
+
+
+# ----------------------------------------------------------------------
+# Suppressions (incl. MCH091)
+# ----------------------------------------------------------------------
+def test_line_suppression_with_justification():
+    findings = lint(
+        """
+        import time
+        def stamp():
+            return time.time()  # mochi-lint: disable=MCH001 -- host-side harness code
+        """
+    )
+    assert findings == []
+
+
+def test_line_suppression_only_covers_its_rule_and_line():
+    findings = lint(
+        """
+        import time
+        def stamp():
+            a = time.time()  # mochi-lint: disable=MCH002 -- wrong id on purpose
+            b = time.time()
+            return a, b
+        """
+    )
+    assert ids(findings) == ["MCH001", "MCH001"]
+
+
+def test_file_suppression_covers_whole_file():
+    findings = lint(
+        """
+        # mochi-lint: disable-file=MCH001 -- benchmark measuring real time
+        import time
+        def stamp():
+            return time.time(), time.perf_counter()
+        """
+    )
+    assert findings == []
+
+
+def test_bare_suppression_is_mch091():
+    findings = lint(
+        """
+        import time
+        def stamp():
+            return time.time()  # mochi-lint: disable=MCH001
+        """
+    )
+    # The bare comment still suppresses nothing and is itself flagged.
+    assert ids(findings) == ["MCH001", "MCH091"]
+
+
+def test_meta_rules_cannot_be_suppressed():
+    findings = lint(
+        """
+        # mochi-lint: disable-file=MCH091 -- trying to turn the gate off
+        import time
+        def stamp():
+            return time.time()  # mochi-lint: disable=MCH001
+        """
+    )
+    assert "MCH091" in ids(findings)

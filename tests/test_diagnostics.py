@@ -1,11 +1,20 @@
 """Tests for the diagnostic report tooling."""
 
+import json
+import textwrap
+
 import pytest
 
 from repro import Cluster
 from repro.bedrock import boot_process
 from repro.monitoring import StatisticsMonitor
-from repro.tools import cluster_report, monitoring_report, process_report
+from repro.tools import (
+    cluster_report,
+    config_report,
+    lint_report,
+    monitoring_report,
+    process_report,
+)
 from repro.yokan import YokanClient
 
 
@@ -79,3 +88,72 @@ def test_monitoring_report_contents(rig):
 def test_monitoring_report_empty():
     report = monitoring_report(StatisticsMonitor())
     assert "top 0" in report
+
+
+def test_lint_report_clean_tree(tmp_path):
+    (tmp_path / "ok.py").write_text("def f(kernel):\n    return kernel.now\n")
+    assert lint_report(str(tmp_path)) == "mochi-lint: clean"
+
+
+def test_lint_report_renders_findings(tmp_path):
+    (tmp_path / "dirty.py").write_text(
+        textwrap.dedent(
+            """
+            import time
+            def worker():
+                yield Sleep(1.0)
+                time.sleep(1.0)
+            """
+        )
+    )
+    report = lint_report(str(tmp_path))
+    assert "2 finding(s)" in report  # wall clock + blocking call in ULT
+    assert "MCH001" in report
+    assert "MCH010" in report
+    assert "dirty.py:5" in report
+
+
+def test_lint_report_includes_sanitizer_violations(tmp_path):
+    from repro.analysis import sanitize
+    from repro.margo.ult import UltMutex, UltSleep
+
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    sanitize.reset()
+    sanitize.enable(strict=False)
+    try:
+        cluster = Cluster(seed=3)
+        margo = cluster.add_margo("m", node="n0")
+        mutex = UltMutex(cluster.kernel, name="state")
+
+        def bad():
+            yield from mutex.acquire()
+            yield UltSleep(0.1)  # mochi-lint: disable=MCH011 -- the violation under test
+            mutex.release()
+
+        cluster.run_ult(margo, bad())
+        report = lint_report(str(tmp_path))
+        assert "MCH011" in report
+        assert "ult:" in report  # the runtime violation's context location
+    finally:
+        sanitize.disable()
+
+
+def test_config_report_on_documents_and_files(tmp_path):
+    good = {
+        "argobots": {
+            "pools": [{"name": "p"}],
+            "xstreams": [{"name": "x", "scheduler": {"pools": ["p"]}}],
+        }
+    }
+    assert config_report(good, "good") == "good: config OK"
+
+    bad = dict(good, progress_pool="ghost")
+    report = config_report(bad, "bad")
+    assert "1 problem(s)" in report
+    assert "MCH020" in report
+
+    path = tmp_path / "cfg.json"
+    path.write_text(json.dumps(bad))
+    assert "MCH020" in config_report(str(path))
+
+    assert "MCH020" in config_report(json.dumps(bad), "inline")

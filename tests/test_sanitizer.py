@@ -1,0 +1,261 @@
+"""Runtime sanitizer (REPRO_SANITIZE): the dynamic half of MCH011/MCH012."""
+
+import pytest
+
+from repro import Cluster
+from repro.analysis import sanitize
+from repro.analysis.sanitize import SanitizerError
+from repro.margo.ult import UltMutex, UltSleep
+
+
+@pytest.fixture()
+def strict():
+    sanitize.reset()
+    sanitize.enable(strict=True)
+    yield sanitize
+    sanitize.disable()
+
+
+@pytest.fixture()
+def recording():
+    sanitize.reset()
+    sanitize.enable(strict=False)
+    yield sanitize
+    sanitize.disable()
+
+
+def make_rig():
+    cluster = Cluster(seed=13)
+    margo = cluster.add_margo("m", node="n0")
+    return cluster, margo
+
+
+# ----------------------------------------------------------------------
+# MCH011: lock held across a suspend
+# ----------------------------------------------------------------------
+def test_sleep_while_holding_mutex_raises(strict):
+    cluster, margo = make_rig()
+    mutex = UltMutex(cluster.kernel, name="state")
+
+    def bad():
+        yield from mutex.acquire()
+        yield UltSleep(0.1)  # mochi-lint: disable=MCH011 -- the violation under test
+        mutex.release()
+
+    with pytest.raises(SanitizerError, match="MCH011"):
+        cluster.run_ult(margo, bad())
+    assert strict.violations[0].rule_id == "MCH011"
+    assert strict.violations[0].source == "runtime"
+
+
+def test_finishing_while_holding_mutex_raises(strict):
+    cluster, margo = make_rig()
+    mutex = UltMutex(cluster.kernel, name="state")
+
+    def leaky():
+        yield from mutex.acquire()
+        return "done"  # never releases
+
+    with pytest.raises(SanitizerError, match="MCH011"):
+        cluster.run_ult(margo, leaky())
+
+
+def test_release_before_suspend_is_clean(strict):
+    cluster, margo = make_rig()
+    mutex = UltMutex(cluster.kernel, name="state")
+
+    def good():
+        yield from mutex.acquire()
+        mutex.release()
+        yield UltSleep(0.1)
+        return "ok"
+
+    assert cluster.run_ult(margo, good()) == "ok"
+    assert strict.violations == []
+
+
+def test_contended_mutex_stays_clean(strict):
+    # acquire() parks *waiters*; parking while waiting (not holding) must
+    # not trip the sanitizer, and the FIFO handoff must stay legal.
+    cluster, margo = make_rig()
+    mutex = UltMutex(cluster.kernel, name="state")
+    order = []
+
+    def worker(tag):
+        yield from mutex.acquire()
+        order.append(tag)
+        mutex.release()
+        return tag
+
+    ults = [cluster.spawn(margo, worker(i), name=f"w{i}") for i in range(3)]
+    cluster.wait_ults(ults)
+    assert order == [0, 1, 2]
+    assert strict.violations == []
+
+
+def test_strict_violation_fails_only_the_offending_ult(strict):
+    # The SanitizerError must land on the guilty ULT; the xstream (and
+    # therefore the whole margo instance) keeps scheduling afterwards.
+    cluster, margo = make_rig()
+    mutex = UltMutex(cluster.kernel, name="state")
+
+    def bad():
+        yield from mutex.acquire()
+        yield UltSleep(0.1)  # mochi-lint: disable=MCH011 -- the violation under test
+        mutex.release()
+
+    with pytest.raises(SanitizerError):
+        cluster.run_ult(margo, bad())
+    strict.reset()
+
+    def good():
+        yield UltSleep(0.1)
+        return "still scheduling"
+
+    assert cluster.run_ult(margo, good()) == "still scheduling"
+    assert strict.violations == []
+
+
+def test_recording_mode_collects_without_raising(recording):
+    cluster, margo = make_rig()
+    mutex = UltMutex(cluster.kernel, name="state")
+
+    def bad():
+        yield from mutex.acquire()
+        yield UltSleep(0.1)  # mochi-lint: disable=MCH011 -- the violation under test
+        mutex.release()
+        return "finished"
+
+    assert cluster.run_ult(margo, bad()) == "finished"
+    assert [v.rule_id for v in recording.violations] == ["MCH011"]
+
+
+def test_disabled_sanitizer_is_a_no_op():
+    sanitize.disable()
+    cluster, margo = make_rig()
+    mutex = UltMutex(cluster.kernel, name="state")
+
+    def bad():
+        yield from mutex.acquire()
+        yield UltSleep(0.1)  # mochi-lint: disable=MCH011 -- the violation under test
+        mutex.release()
+        return "finished"
+
+    assert cluster.run_ult(margo, bad()) == "finished"
+    assert sanitize.violations == []
+
+
+# ----------------------------------------------------------------------
+# MCH012: dropped RPC handles
+# ----------------------------------------------------------------------
+class _FakeProcess:
+    def __init__(self, alive=True):
+        self.alive = alive
+        self.name = "fake"
+
+
+class _FakeMargo:
+    def __init__(self, alive=True):
+        self.process = _FakeProcess(alive)
+
+
+class _FakeRequest:
+    def __init__(self, seq, rpc_name="echo"):
+        self.seq = seq
+        self.rpc_name = rpc_name
+
+
+class _FakeUlt:
+    def __init__(self, name="handler"):
+        self.name = name
+        self.error = None
+        self.on_finish = []
+
+    def finish(self):
+        for hook in self.on_finish:
+            hook(self)
+
+
+def test_handler_finishing_without_response_fails_the_ult(strict):
+    # Finish-time violations attach to the ULT (there is no generator
+    # left to throw into, and raising would kill the xstream instead).
+    margo, ult = _FakeMargo(), _FakeUlt()
+    sanitize.note_handler_dispatched(margo, _FakeRequest(7), ult)
+    ult.finish()
+    assert isinstance(ult.error, SanitizerError)
+    assert ult.error.finding.rule_id == "MCH012"
+    assert [v.rule_id for v in strict.violations] == ["MCH012"]
+
+
+def test_responded_handler_is_clean(strict):
+    margo, ult = _FakeMargo(), _FakeUlt()
+    sanitize.note_handler_dispatched(margo, _FakeRequest(7), ult)
+    sanitize.note_handler_responded(margo, 7)
+    ult.finish()
+    assert strict.violations == []
+
+
+def test_shutdown_with_pending_handler_raises(strict):
+    margo = _FakeMargo()
+    sanitize.note_handler_dispatched(margo, _FakeRequest(3, "slow"), _FakeUlt())
+    with pytest.raises(SanitizerError, match="MCH012"):
+        sanitize.check_margo_shutdown(margo)
+
+
+def test_killed_process_may_drop_handles(strict):
+    # Fault injection kills processes mid-RPC; dropping their in-flight
+    # handles is crash semantics, not a bug.
+    margo = _FakeMargo(alive=False)
+    sanitize.note_handler_dispatched(margo, _FakeRequest(3), _FakeUlt())
+    sanitize.check_margo_shutdown(margo)
+    assert strict.violations == []
+
+
+def test_rpc_roundtrip_is_clean_end_to_end(strict):
+    from repro.margo import Compute
+
+    cluster = Cluster(seed=13)
+    server = cluster.add_margo("server", node="n0")
+    client = cluster.add_margo("client", node="n1")
+
+    def handler(ctx):
+        yield Compute(1e-6)
+        return ctx.args * 2
+
+    server.register("double", handler)
+
+    def driver():
+        reply = yield from client.forward(server.address, "double", 21)
+        return reply
+
+    assert cluster.run_ult(client, driver()) == 42
+    server.shutdown()
+    client.shutdown()
+    assert strict.violations == []
+
+
+def test_suite_scenarios_under_sanitizer(strict):
+    # A representative workload (boot + KV traffic + clean shutdown)
+    # must produce zero violations -- the sanitizer gates the repo's own
+    # behavior, not just synthetic fixtures.
+    from repro.bedrock import boot_process
+    from repro.yokan import YokanClient
+
+    cluster = Cluster(seed=29)
+    margo, _bedrock = boot_process(
+        cluster, "svc", "n0",
+        {
+            "libraries": {"yokan": "libyokan.so"},
+            "providers": [{"name": "db", "type": "yokan", "provider_id": 1}],
+        },
+    )
+    app = cluster.add_margo("app", node="na")
+    db = YokanClient(app).make_handle(margo.address, 1)
+
+    def driver():
+        yield from db.put(b"k", b"v")
+        value = yield from db.get(b"k")
+        return value
+
+    assert cluster.run_ult(app, driver()) == b"v"
+    assert strict.violations == []
