@@ -1,0 +1,245 @@
+"""Race-detector overhead on the P0 hot paths (kernel + RPC).
+
+The mochi-race layer promises zero-cost-when-off: the kernel's
+``schedule`` is method-swapped (no wrapper object, no branch) and every
+margo-layer hook hides behind one module-attribute load.  This suite
+measures exactly that promise, plus the price of turning detection on:
+
+* ``kernel_off`` / ``kernel_on``  -- events/sec of the discrete-event
+  core with the detector disabled / enabled;
+* ``rpc_off`` / ``rpc_on``        -- end-to-end RPCs/sec through
+  ``forward()`` -> progress loop -> handler ULT -> response.
+
+Results land in ``benchmarks/results/RACE_overhead.json`` and the
+repo-root ``BENCH_RACE.json``.  The acceptance gate for this PR: the
+*disabled* path must stay within 2% of the BENCH_P0.json trajectory
+numbers (same workloads, same machine class).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_race_overhead.py          # full run
+    PYTHONPATH=src python benchmarks/bench_race_overhead.py --smoke  # CI smoke
+"""
+
+from __future__ import annotations
+
+# mochi-lint: disable-file=MCH001 -- this harness measures real wall-clock
+# throughput of the simulator itself; time.perf_counter here reads the host
+# clock on purpose and never runs under the kernel.
+
+import gc
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import print_table, save_results  # noqa: E402
+
+from repro import Cluster  # noqa: E402
+from repro.analysis.race import hooks  # noqa: E402
+from repro.margo import Compute  # noqa: E402
+from repro.sim.kernel import SimKernel, Sleep  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+P0_TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_P0.json")
+TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_RACE.json")
+
+OBS_OFF = {"observability": {"tracing": False, "metrics": False}}
+
+#: Same workload shapes as bench_p0_throughput so the off-path numbers
+#: are directly comparable against the BENCH_P0.json trajectory.
+FULL = dict(repeats=5, n_tasks=300, n_steps=50, n_rpcs=2500)
+SMOKE = dict(repeats=1, n_tasks=40, n_steps=10, n_rpcs=60)
+
+
+def _best_of(repeats: int, fn):
+    best = None
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        try:
+            stats = fn()
+        finally:
+            gc.enable()
+        if best is None or stats["wall_s"] < best["wall_s"]:
+            best = stats
+    return best
+
+
+def bench_kernel(n_tasks: int, n_steps: int) -> dict:
+    """Identical to the P0 kernel workload (sleep swarm + timer fan)."""
+    kernel = SimKernel()
+
+    def worker(i: int):
+        for step in range(n_steps):
+            yield Sleep(1e-6 * ((i + step) % 7 + 1))
+        return i
+
+    tasks = [kernel.spawn(worker(i), name=f"w{i}") for i in range(n_tasks)]
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+
+    for burst in range(n_steps):
+        for _ in range(n_tasks // 4):
+            kernel.schedule(1e-6 * (burst + 1), tick)
+
+    started = time.perf_counter()
+    kernel.run(until_tasks=tasks)
+    wall = time.perf_counter() - started
+    events = kernel._seq
+    return {
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall,
+        "sim_time": kernel.now,
+    }
+
+
+def bench_rpc(n_rpcs: int) -> dict:
+    """Identical to the P0 rpc workload (observability off)."""
+    cluster = Cluster(seed=7)
+    server = cluster.add_margo("server", node="n0", config=dict(OBS_OFF))
+    client = cluster.add_margo("client", node="n1", config=dict(OBS_OFF))
+
+    def handler(ctx):
+        yield Compute(1e-6)
+        return ctx.args
+
+    server.register("echo", handler)
+
+    def driver():
+        for i in range(n_rpcs):
+            yield from client.forward(server.address, "echo", i)
+        return None
+
+    started = time.perf_counter()
+    cluster.run_ult(client, driver())
+    wall = time.perf_counter() - started
+    return {
+        "rpcs": n_rpcs,
+        "wall_s": wall,
+        "rpcs_per_sec": n_rpcs / wall,
+        "sim_time": cluster.now,
+    }
+
+
+def _with_detector(enabled: bool, fn):
+    def run():
+        hooks.disable()
+        hooks.reset()
+        if enabled:
+            hooks.enable()
+        try:
+            return fn()
+        finally:
+            hooks.disable()
+            hooks.reset()
+
+    return run
+
+
+def run_suite(params: dict) -> dict:
+    repeats = params["repeats"]
+    kernel_args = (params["n_tasks"], params["n_steps"])
+    results = {
+        "kernel_off": _best_of(
+            repeats, _with_detector(False, lambda: bench_kernel(*kernel_args))
+        ),
+        "kernel_on": _best_of(
+            repeats, _with_detector(True, lambda: bench_kernel(*kernel_args))
+        ),
+        "rpc_off": _best_of(
+            repeats, _with_detector(False, lambda: bench_rpc(params["n_rpcs"]))
+        ),
+        "rpc_on": _best_of(
+            repeats, _with_detector(True, lambda: bench_rpc(params["n_rpcs"]))
+        ),
+        "params": dict(params),
+    }
+    return results
+
+
+_PAIRS = (
+    ("kernel", "events_per_sec"),
+    ("rpc", "rpcs_per_sec"),
+)
+
+
+def _rows(results: dict, p0: dict | None) -> list[dict]:
+    rows = []
+    for bench, rate_key in _PAIRS:
+        off = results[f"{bench}_off"][rate_key]
+        on = results[f"{bench}_on"][rate_key]
+        row = {
+            "bench": bench,
+            "rate_off": off,
+            "rate_on": on,
+            "unit": rate_key,
+            "detector_on_overhead": 1.0 - on / off,
+        }
+        if p0 is not None:
+            p0_bench = p0.get("current", {}).get(bench, {})
+            p0_rate = p0_bench.get(rate_key)
+            if p0_rate:
+                row["p0_rate"] = p0_rate
+                row["off_vs_p0"] = off / p0_rate
+        rows.append(row)
+    return rows
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    params = SMOKE if smoke else FULL
+
+    results = run_suite(params)
+
+    p0 = None
+    if os.path.exists(P0_TRAJECTORY_PATH):
+        with open(P0_TRAJECTORY_PATH) as handle:
+            p0 = json.load(handle)
+
+    rows = _rows(results, p0 if not smoke else None)
+    print_table("race-detector overhead" + (" (smoke)" if smoke else ""), rows)
+
+    if smoke:
+        # CI rot check only: the harness must run end to end; no wall-clock
+        # assertions on shared runners.
+        print("race-overhead smoke OK")
+        return 0
+
+    save_results("RACE_overhead", {"results": results, "p0_trajectory": p0})
+    trajectory = {
+        "experiment": "RACE_overhead",
+        "description": (
+            "Wall-clock throughput of the SimKernel event loop and the "
+            "Margo RPC path with the mochi-race detector off vs on; the "
+            "off numbers use the same workloads as BENCH_P0.json so "
+            "'off_vs_p0' measures the disabled-path regression (the PR "
+            "gate requires it within 2%), and 'detector_on_overhead' is "
+            "the fractional cost of turning detection on."
+        ),
+        "results": results,
+        "comparison": rows,
+    }
+    with open(TRAJECTORY_PATH, "w") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+    print(f"trajectory written to {TRAJECTORY_PATH}")
+    return 0
+
+
+# Pytest entry point (smoke-sized so `pytest benchmarks/` stays fast).
+def test_race_overhead_smoke():
+    results = run_suite(SMOKE)
+    assert results["kernel_off"]["events"] > 0
+    assert results["rpc_on"]["rpcs"] == SMOKE["n_rpcs"]
+    # Determinism: enabling the detector must not change simulated time.
+    assert results["kernel_off"]["sim_time"] == results["kernel_on"]["sim_time"]
+    assert results["rpc_off"]["sim_time"] == results["rpc_on"]["sim_time"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

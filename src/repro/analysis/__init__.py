@@ -24,6 +24,7 @@ package importable from both directions.
 from __future__ import annotations
 
 from . import rules  # noqa: F401 - registers the static rule catalog
+from .race import hooks as _race_hooks  # noqa: F401 - registers MCH03x/MCH04x
 from .engine import lint_file, lint_paths, lint_source
 from .findings import Finding, Severity, format_findings
 from .registry import RuleInfo, rule_catalog

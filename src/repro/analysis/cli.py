@@ -60,7 +60,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -69,27 +69,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--race",
+        action="store_true",
+        help=(
+            "run the mochi-race dynamic suite (happens-before + lock-order "
+            "+ schedule exploration over the example services) instead of "
+            "the static pass"
+        ),
+    )
+    parser.add_argument(
+        "--race-seeds",
+        type=int,
+        default=8,
+        metavar="N",
+        help="perturbation seeds per scenario for --race (default: 8)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
         print(_list_rules())
         return 0
 
-    select = args.select.split(",") if args.select else None
-    ignore = args.ignore.split(",") if args.ignore else None
-    try:
-        findings = lint_paths(args.paths, select=select, ignore=ignore)
-    except FileNotFoundError as err:
-        print(f"repro-lint: {err}", file=sys.stderr)
-        return 2
+    if args.race:
+        # Imported lazily: the scenarios pull in the full runtime stack.
+        from .race.scenarios import run_race_suite
+
+        emit = print if args.format == "text" else (lambda _line: None)
+        findings, _reports = run_race_suite(seeds=args.race_seeds, emit=emit)
+    else:
+        select = args.select.split(",") if args.select else None
+        ignore = args.ignore.split(",") if args.ignore else None
+        try:
+            findings = lint_paths(args.paths, select=select, ignore=ignore)
+        except FileNotFoundError as err:
+            print(f"repro-lint: {err}", file=sys.stderr)
+            return 2
 
     if args.format == "json":
         print(json.dumps([f.to_json() for f in findings], indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from .sarif import to_sarif
+
+        print(json.dumps(to_sarif(findings), indent=2, sort_keys=True))
     elif findings:
         print(format_findings(findings))
         print(f"\n{len(findings)} finding(s)")
     else:
-        print("mochi-lint: clean")
+        print("mochi-lint: clean" + (" (race suite)" if args.race else ""))
     return 1 if findings else 0
 
 

@@ -1,0 +1,21 @@
+"""mochi-race: concurrency correctness for the simulated Mochi runtime.
+
+Three detectors, one reporting pipeline:
+
+* :mod:`.hb` + :mod:`.hooks` -- vector-clock happens-before engine
+  flagging unordered accesses to tracked shared state (MCH030/MCH031);
+* :mod:`.lockgraph` -- lock-order cycles and wait-while-holding
+  deadlock potential (MCH040/MCH041), reported without the deadlock
+  ever firing;
+* :mod:`.explore` -- deterministic schedule explorer re-running a
+  scenario under seeded ready-queue perturbations and pinning
+  order-dependent outcomes (MCH032) to the first diverging event.
+
+Only :mod:`.hooks` is imported here: it registers the rules and is safe
+to import from anywhere (stdlib + analysis core only).  The explorer and
+its scenarios import the full runtime stack; pull them in explicitly.
+"""
+
+from . import hooks
+
+__all__ = ["hooks"]

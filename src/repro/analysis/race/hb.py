@@ -1,0 +1,160 @@
+"""Vector-clock happens-before machinery for mochi-race.
+
+The kernel is single-threaded, so there are no *data* races in the
+hardware sense -- what the detector hunts is *order dependence*: two
+accesses to the same shared state whose relative order is not forced by
+any synchronization edge, and which the deterministic scheduler merely
+happens to serialize one way.  Change the schedule (a new pool, a
+perturbed ready queue, a slower network) and the other order runs --
+that is exactly the reproducibility hazard the paper's dynamic features
+(reconfiguration, migration, elasticity) introduce.
+
+The model is FastTrack-flavored:
+
+* a :class:`Ctx` is one logical thread of causality -- a ULT, a timer
+  fire, or the host ("root") driving the simulation between runs;
+* clocks are sparse dicts ``tid -> count``.  A context only gets a
+  ``tid`` (and therefore an entry in anyone's clock) lazily, on its
+  *first tracked access* -- timer fires and ULTs that never touch
+  tracked state cost no clock space no matter how many there are;
+* every *publication* (scheduling a timer, pushing a ULT, setting an
+  event, releasing a mutex) snapshots the publisher's clock and then
+  increments the publisher's own component, so the publisher's *later*
+  accesses can never appear ordered before the receiver;
+* each tracked variable keeps a write epoch ``(tid, count)`` plus a
+  read map ``tid -> count``; an access races with a prior epoch
+  ``(t, c)`` iff the accessor's clock has ``clock.get(t, 0) < c``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["Ctx", "VarState", "HBState"]
+
+
+class Ctx:
+    """One logical thread of causality (ULT / timer fire / root)."""
+
+    __slots__ = ("clock", "tid", "label")
+
+    def __init__(self, clock: Optional[dict[str, int]] = None, label: str = "") -> None:
+        self.clock: dict[str, int] = clock if clock is not None else {}
+        self.tid: Optional[str] = None
+        self.label = label
+
+    def join(self, other_clock: dict[str, int]) -> None:
+        clock = self.clock
+        for tid, count in other_clock.items():
+            if count > clock.get(tid, 0):
+                clock[tid] = count
+
+    def publish(self) -> dict[str, int]:
+        """Snapshot the clock for a receiver, then advance own component.
+
+        The root context never advances: the host driving the simulation
+        is single-threaded, so *everything* it does is ordered before
+        every event of every subsequent ``kernel.run()`` -- a constant
+        ``root`` epoch (plus the run-end barrier joining everyone back
+        into root) encodes exactly that total order.  Incrementing would
+        instead make late pre-run root actions (e.g. registering an RPC
+        after scheduling a timer) look concurrent with the run.
+        """
+        snap = dict(self.clock)
+        tid = self.tid
+        if tid is not None and tid != "root":
+            self.clock[tid] += 1
+        return snap
+
+
+class VarState:
+    """Per-(state, key) access history: one write epoch + a read map."""
+
+    __slots__ = ("write_tid", "write_count", "write_label", "reads")
+
+    def __init__(self) -> None:
+        self.write_tid: Optional[str] = None
+        self.write_count = 0
+        self.write_label = ""
+        #: tid -> (count, label) of reads since the last write.
+        self.reads: dict[str, tuple[int, str]] = {}
+
+
+class HBState:
+    """All mutable happens-before state for one detection session."""
+
+    def __init__(self) -> None:
+        self.root = Ctx(label="root")
+        self.root.tid = "root"
+        self.root.clock["root"] = 1
+        #: id(ult) -> (ult, Ctx); the strong ref pins id() uniqueness.
+        self.ult_ctx: dict[int, tuple[Any, Ctx]] = {}
+        #: id(event/mutex) -> (obj, clock snapshot at last publication).
+        self.sync_clock: dict[int, tuple[Any, dict[str, int]]] = {}
+        #: (id(state), key) -> VarState; state objects pinned separately.
+        self.vars: dict[tuple[int, Any], VarState] = {}
+        #: id(state) -> (state, display name).
+        self.tracked: dict[int, tuple[Any, str]] = {}
+        self._tid_counter = 0
+        self._state_counter = 0
+
+    # ------------------------------------------------------------------
+    def ensure_tid(self, ctx: Ctx) -> str:
+        """Assign a deterministic tid on first tracked access."""
+        if ctx.tid is None:
+            self._tid_counter += 1
+            ctx.tid = f"c{self._tid_counter}"
+            ctx.clock[ctx.tid] = 1
+        return ctx.tid
+
+    def ctx_for_ult(self, ult: Any) -> Ctx:
+        key = id(ult)
+        entry = self.ult_ctx.get(key)
+        if entry is None:
+            ctx = Ctx(label=f"ult:{getattr(ult, 'name', '?')}")
+            self.ult_ctx[key] = (ult, ctx)
+            return ctx
+        return entry[1]
+
+    def publish_to(self, obj: Any, ctx: Ctx) -> None:
+        """Record ``ctx``'s publication on a sync object (event/mutex)."""
+        self.sync_clock[id(obj)] = (obj, ctx.publish())
+
+    def join_from(self, obj: Any, ctx: Ctx) -> None:
+        entry = self.sync_clock.get(id(obj))
+        if entry is not None:
+            ctx.join(entry[1])
+
+    def track(self, state: Any, name: str = "") -> str:
+        key = id(state)
+        entry = self.tracked.get(key)
+        if entry is not None:
+            if name and entry[1].startswith("state-"):
+                self.tracked[key] = (state, name)
+                return name
+            return entry[1]
+        if not name:
+            self._state_counter += 1
+            name = f"state-{self._state_counter}:{type(state).__name__}"
+        self.tracked[key] = (state, name)
+        return name
+
+    def var(self, state: Any, key: Any) -> VarState:
+        vkey = (id(state), key)
+        entry = self.vars.get(vkey)
+        if entry is None:
+            entry = self.vars[vkey] = VarState()
+        return entry
+
+    def barrier_into_root(self) -> None:
+        """Order root after everything that ran (end of ``kernel.run``).
+
+        Root's own component stays constant (see :meth:`Ctx.publish`);
+        the join is what makes subsequent root accesses ordered after
+        every context of the finished run.
+        """
+        root = self.root
+        for _ult, ctx in self.ult_ctx.values():
+            root.join(ctx.clock)
+        for _obj, clock in self.sync_clock.values():
+            root.join(clock)

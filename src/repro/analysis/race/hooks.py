@@ -1,0 +1,465 @@
+"""mochi-race runtime hooks: the gated entry points the runtime calls.
+
+This module is to the race detector what :mod:`repro.analysis.sanitize`
+is to the classic sanitizer: the kernel and the margo layer call the
+``note_*`` functions below behind ``if _race.ENABLED:`` module-attribute
+gates, so the disabled cost is one attribute load per call site -- and
+the hottest site of all, :meth:`SimKernel.schedule`, is *method-swapped*
+(see ``_set_race_hooks`` in ``sim/kernel.py``) so the disabled path pays
+literally nothing there.
+
+Three detectors share the state recorded here:
+
+* the happens-before engine (:mod:`.hb`) flags unordered access pairs on
+  tracked shared state -- ``MCH030`` (write/write), ``MCH031``
+  (read/write);
+* the lock-order graph (:mod:`.lockgraph`) flags acquisition-order
+  cycles (``MCH040``) and unbounded wait-while-holding (``MCH041``),
+  even when the deadlock did not fire this run;
+* the schedule explorer (:mod:`.explore`) re-runs scenarios under seeded
+  ready-queue perturbations (the :data:`PERTURB` gate in ``Pool.pop``)
+  and reports order-dependent outcomes as ``MCH032``.
+
+Enable via ``REPRO_SANITIZE=race`` (which also turns on the classic
+sanitizer in record mode) or programmatically with :func:`enable`.
+Findings accumulate in :data:`findings` in detection order, which is
+deterministic for a deterministic schedule: same seed, same report.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from random import Random
+from typing import Any, Callable, Optional
+
+from ..findings import Finding
+from ..registry import GROUP_CONCURRENCY, RuleInfo, Severity, make_finding, register
+from .hb import Ctx, HBState
+from .lockgraph import LockOrderGraph
+
+__all__ = [
+    "ENABLED",
+    "PERTURB",
+    "TRACE",
+    "findings",
+    "enable",
+    "disable",
+    "reset",
+    "track",
+    "note_read",
+    "note_write",
+]
+
+RULE_UNORDERED_WRITES = "MCH030"
+RULE_UNORDERED_READ_WRITE = "MCH031"
+RULE_ORDER_DEPENDENT_OUTCOME = "MCH032"
+RULE_LOCK_ORDER_CYCLE = "MCH040"
+RULE_WAIT_WHILE_HOLDING = "MCH041"
+
+register(
+    RuleInfo(
+        id=RULE_UNORDERED_WRITES,
+        name="unordered-writes",
+        group=GROUP_CONCURRENCY,
+        severity=Severity.ERROR,
+        summary="two writes to the same shared state with no happens-before edge",
+        rationale=(
+            "whichever write the scheduler happens to run last wins; a new "
+            "pool, a perturbed ready queue, or a slower link runs them the "
+            "other way and the final state silently changes"
+        ),
+        runtime_checked=True,
+    )
+)
+register(
+    RuleInfo(
+        id=RULE_UNORDERED_READ_WRITE,
+        name="unordered-read-write",
+        group=GROUP_CONCURRENCY,
+        severity=Severity.ERROR,
+        summary="a read and a write to the same shared state with no happens-before edge",
+        rationale=(
+            "the read observes either the old or the new value depending "
+            "only on scheduling; results become schedule-dependent, the "
+            "main enemy of reproducible systems experiments"
+        ),
+        runtime_checked=True,
+    )
+)
+register(
+    RuleInfo(
+        id=RULE_ORDER_DEPENDENT_OUTCOME,
+        name="order-dependent-outcome",
+        group=GROUP_CONCURRENCY,
+        severity=Severity.ERROR,
+        summary="a scenario's final state changed under a perturbed ready-queue order",
+        rationale=(
+            "the schedule explorer re-runs the scenario under seeded pool "
+            "perturbations; a diverging final-state digest proves the "
+            "outcome depends on scheduling accidents, pinned to the first "
+            "diverging scheduling event"
+        ),
+        runtime_checked=True,
+    )
+)
+register(
+    RuleInfo(
+        id=RULE_LOCK_ORDER_CYCLE,
+        name="lock-order-cycle",
+        group=GROUP_CONCURRENCY,
+        severity=Severity.ERROR,
+        summary="mutexes acquired in cyclic order across ULTs",
+        rationale=(
+            "a cycle in the acquisition-order graph is deadlock potential "
+            "even if this run serialized the critical sections; the graph "
+            "persists across the session so the cycle is reported without "
+            "the deadlock ever firing"
+        ),
+        runtime_checked=True,
+    )
+)
+register(
+    RuleInfo(
+        id=RULE_WAIT_WHILE_HOLDING,
+        name="wait-while-holding",
+        group=GROUP_CONCURRENCY,
+        severity=Severity.ERROR,
+        summary="ULT parks on an event with no timeout while holding a mutex",
+        rationale=(
+            "if the signaler ever needs the held mutex the system "
+            "deadlocks, and nothing bounds the wait; release first, or "
+            "park with a timeout"
+        ),
+        runtime_checked=True,
+    )
+)
+
+
+#: Fast-path gate read by the margo-layer hooks (pool/ult/xstream/runtime).
+ENABLED: bool = False
+
+#: Seeded ready-queue perturbation source, read by ``Pool.pop``.
+PERTURB: Optional[Random] = None
+
+#: When not None, scheduling events are appended here (explorer runs).
+TRACE: Optional[list[str]] = None
+
+#: Race findings in detection order (deterministic per seed).
+findings: list[Finding] = []
+
+_STATE = HBState()
+_LOCKS = LockOrderGraph()
+_reported: set[tuple] = set()
+
+#: Lazily-resolved ``current_ult`` (imports margo on first hook call).
+_current_ult: Optional[Callable[[], Any]] = None
+
+#: The context of the timer currently firing (built lazily per fire).
+_FIRE: Optional[Ctx] = None
+_FIRE_WRAP: Optional["_TimerWrap"] = None
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def enable() -> None:
+    """Turn the race layer on (idempotent).
+
+    Swaps the instrumented ``SimKernel.schedule`` in so every timer
+    carries its scheduler's clock; all other hooks read :data:`ENABLED`.
+    """
+    global ENABLED
+    if ENABLED:
+        return
+    from ...sim import kernel as _kernel_mod
+
+    _kernel_mod._set_race_hooks(sys.modules[__name__])
+    ENABLED = True
+
+
+def disable() -> None:
+    global ENABLED
+    if not ENABLED:
+        return
+    from ...sim import kernel as _kernel_mod
+
+    _kernel_mod._set_race_hooks(None)
+    ENABLED = False
+    reset()
+
+
+def reset() -> None:
+    """Drop all recorded state (between scenarios / explorer runs)."""
+    global _STATE, _LOCKS, _FIRE, _FIRE_WRAP, PERTURB, TRACE
+    _STATE = HBState()
+    _LOCKS = LockOrderGraph()
+    _reported.clear()
+    findings.clear()
+    _FIRE = None
+    _FIRE_WRAP = None
+    PERTURB = None
+    TRACE = None
+
+
+def set_perturbation(seed: Optional[int]) -> None:
+    """Install (or clear) the seeded ready-queue perturbation source."""
+    global PERTURB
+    PERTURB = None if seed is None else Random(seed)
+
+
+# ----------------------------------------------------------------------
+# context resolution
+# ----------------------------------------------------------------------
+def _fn_label(fn: Any) -> str:
+    owner = getattr(fn, "__self__", None)
+    name = getattr(owner, "name", "") if owner is not None else ""
+    base = getattr(fn, "__qualname__", None) or type(fn).__name__
+    return f"{base}:{name}" if name else base
+
+
+def _current_ctx() -> Ctx:
+    global _current_ult, _FIRE
+    if _current_ult is None:
+        from ...margo.ult import current_ult as _cu
+
+        _current_ult = _cu
+    ult = _current_ult()
+    if ult is not None:
+        return _STATE.ctx_for_ult(ult)
+    if _FIRE is not None:
+        return _FIRE
+    if _FIRE_WRAP is not None:
+        wrap = _FIRE_WRAP
+        _FIRE = Ctx(wrap.snap, label=f"timer:{_fn_label(wrap.fn)}")
+        return _FIRE
+    return _STATE.root
+
+
+# ----------------------------------------------------------------------
+# timer propagation (installed into SimKernel.schedule when enabled)
+# ----------------------------------------------------------------------
+class _TimerWrap:
+    """Carries the scheduler's clock snapshot to the fire context."""
+
+    __slots__ = ("fn", "arg", "no_arg", "snap")
+
+    def __init__(self, fn: Any, arg: Any, no_arg: Any, snap: dict) -> None:
+        self.fn = fn
+        self.arg = arg
+        self.no_arg = no_arg
+        self.snap = snap
+
+    def __call__(self) -> None:
+        global _FIRE, _FIRE_WRAP
+        if TRACE is not None:
+            TRACE.append(f"fire:{_fn_label(self.fn)}")
+        prev_ctx, prev_wrap = _FIRE, _FIRE_WRAP
+        _FIRE, _FIRE_WRAP = None, self
+        try:
+            if self.arg is self.no_arg:
+                self.fn()
+            else:
+                self.fn(self.arg)
+        finally:
+            _FIRE, _FIRE_WRAP = prev_ctx, prev_wrap
+
+
+def wrap_timer(fn: Any, arg: Any, no_arg: Any) -> _TimerWrap:
+    """Called by the instrumented ``SimKernel.schedule``."""
+    return _TimerWrap(fn, arg, no_arg, _current_ctx().publish())
+
+
+def note_run_end() -> None:
+    """End of ``SimKernel.run``: order the host after everything that ran."""
+    _STATE.barrier_into_root()
+
+
+# ----------------------------------------------------------------------
+# scheduling / synchronization edges
+# ----------------------------------------------------------------------
+def note_push(pool: Any, ult: Any) -> None:
+    """``Pool.push``: the pusher's clock flows into the pushed ULT."""
+    ctx = _current_ctx()
+    target = _STATE.ctx_for_ult(ult)
+    if target is not ctx:
+        target.join(ctx.publish())
+    if TRACE is not None:
+        TRACE.append(f"push:{pool.name}:{ult.name}")
+
+
+def note_event_set(event: Any) -> None:
+    """``UltEvent.set`` / ``SimEvent.set``: publish the setter's clock."""
+    _STATE.publish_to(event, _current_ctx())
+
+
+def note_event_join(event: Any) -> None:
+    """Parking/waiting on an already-set event: join the set-time clock."""
+    _STATE.join_from(event, _current_ctx())
+
+
+def note_acquire(ult: Any, mutex: Any) -> None:
+    """``UltMutex.acquire``: HB edge from the last releaser + lock order."""
+    ctx = _current_ctx()
+    _STATE.join_from(mutex, ctx)
+    if ult is None:
+        return
+    cycle = _LOCKS.note_acquire(ult, mutex, where=getattr(ult, "name", "?"))
+    if cycle is not None:
+        key = (RULE_LOCK_ORDER_CYCLE, tuple(sorted(cycle)))
+        if key not in _reported:
+            _reported.add(key)
+            findings.append(
+                make_finding(
+                    RULE_LOCK_ORDER_CYCLE,
+                    path="race:lock-order",
+                    line=0,
+                    message=(
+                        f"lock-order cycle {' -> '.join(cycle)} "
+                        f"(closed by ULT {ult.name!r}); two ULTs taking "
+                        "these mutexes concurrently can deadlock"
+                    ),
+                    source="runtime",
+                )
+            )
+
+
+def note_release(ult: Any, mutex: Any) -> None:
+    """``UltMutex.release``: publish the releaser's clock on the lock."""
+    _STATE.publish_to(mutex, _current_ctx())
+    _LOCKS.note_release(ult, mutex)
+
+
+def note_park(ult: Any, cmd: Any) -> None:
+    """``XStream._run_slice`` Park branch: wait-while-holding check."""
+    if cmd.timeout is not None:
+        return
+    held = _LOCKS.held_names(ult)
+    if not held:
+        return
+    event_name = getattr(cmd.event, "name", "") or "<unnamed>"
+    if event_name.startswith("mutex:"):
+        # Contended UltMutex.acquire parks on an internal gate event;
+        # nested-acquisition ordering is the lock-order graph's job
+        # (MCH040), not a wait-while-holding finding.
+        return
+    key = (RULE_WAIT_WHILE_HOLDING, ult.name, event_name, tuple(held))
+    if key in _reported:
+        return
+    _reported.add(key)
+    findings.append(
+        make_finding(
+            RULE_WAIT_WHILE_HOLDING,
+            path="race:lock-order",
+            line=0,
+            message=(
+                f"ULT {ult.name!r} parks on event {event_name!r} with no "
+                f"timeout while holding mutex(es) {held}; if the signaler "
+                "needs those locks this deadlocks, and nothing bounds the wait"
+            ),
+            source="runtime",
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# tracked shared state (the MCH03x checks)
+# ----------------------------------------------------------------------
+def track(state: Any, name: str = "") -> None:
+    """Give ``state`` a display name for race reports (optional: tracked
+    objects are auto-named on first access otherwise)."""
+    _STATE.track(state, name)
+
+
+def _report_pair(
+    rule_id: str, state_name: str, key: Any, kinds: str, prev_label: str, cur_label: str
+) -> None:
+    dedup = (rule_id, state_name, repr(key), prev_label, cur_label)
+    if dedup in _reported:
+        return
+    _reported.add(dedup)
+    findings.append(
+        make_finding(
+            rule_id,
+            path=f"race:{state_name}",
+            line=0,
+            message=(
+                f"unordered {kinds} on {state_name}[{key!r}]: "
+                f"{prev_label} vs {cur_label}; no synchronization edge "
+                "orders them, so the outcome depends on the schedule"
+            ),
+            source="runtime",
+        )
+    )
+
+
+def note_write(state: Any, key: Any, where: str) -> None:
+    """A write to ``state[key]`` by the current context."""
+    ctx = _current_ctx()
+    tid = _STATE.ensure_tid(ctx)
+    clock = ctx.clock
+    var = _STATE.var(state, key)
+    name = _STATE.track(state)
+    label = f"{where} [{ctx.label}]"
+    if (
+        var.write_tid is not None
+        and var.write_tid != tid
+        and clock.get(var.write_tid, 0) < var.write_count
+    ):
+        _report_pair(
+            RULE_UNORDERED_WRITES, name, key, "write/write", var.write_label, label
+        )
+    for rtid, (rcount, rlabel) in var.reads.items():
+        if rtid != tid and clock.get(rtid, 0) < rcount:
+            _report_pair(
+                RULE_UNORDERED_READ_WRITE, name, key, "read/write", rlabel, label
+            )
+    var.write_tid = tid
+    var.write_count = clock[tid]
+    var.write_label = label
+    var.reads.clear()
+
+
+def note_read(state: Any, key: Any, where: str) -> None:
+    """A read of ``state[key]`` by the current context."""
+    ctx = _current_ctx()
+    tid = _STATE.ensure_tid(ctx)
+    var = _STATE.var(state, key)
+    if (
+        var.write_tid is not None
+        and var.write_tid != tid
+        and ctx.clock.get(var.write_tid, 0) < var.write_count
+    ):
+        name = _STATE.track(state)
+        _report_pair(
+            RULE_UNORDERED_READ_WRITE,
+            name,
+            key,
+            "write/read",
+            var.write_label,
+            f"{where} [{ctx.label}]",
+        )
+    var.reads[tid] = (ctx.clock[tid], f"{where} [{ctx.label}]")
+
+
+def report_order_dependence(scenario: str, seed: int, divergence: str) -> Finding:
+    """Used by the explorer to emit MCH032 for a diverging scenario."""
+    finding = make_finding(
+        RULE_ORDER_DEPENDENT_OUTCOME,
+        path=f"race:{scenario}",
+        line=0,
+        message=(
+            f"final state of scenario {scenario!r} diverged under "
+            f"perturbation seed {seed}; first diverging scheduling event: "
+            f"{divergence}"
+        ),
+        source="runtime",
+    )
+    findings.append(finding)
+    return finding
+
+
+# Environment opt-in: REPRO_SANITIZE=race turns the race layer on (the
+# classic sanitizer reads the same variable and switches to record mode).
+if os.environ.get("REPRO_SANITIZE", "").strip().lower() == "race":
+    enable()

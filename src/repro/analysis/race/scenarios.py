@@ -1,0 +1,182 @@
+"""Example-service scenarios for the mochi-race CI gate.
+
+Each scenario boots one of the repository's example services (the same
+ones the paper's evaluation exercises), drives a representative
+workload, and returns **schedule-invariant facts** for the explorer to
+digest: final KV contents, blob checksums, destination file hashes,
+"exactly one leader".  Facts must not mention anything a legal schedule
+may reorder (ULT names, timestamps, who won an election) -- the whole
+point is that these digests stay identical under every perturbation
+while the happens-before engine watches for unordered accesses.
+
+This module imports the full runtime stack; pull it in lazily (the CLI
+and CI job do), never from :mod:`repro.analysis.race.hooks`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable
+
+from ...cluster import Cluster
+from ...raft import CounterStateMachine, RaftConfig, RaftNode, Role
+from ...remi import FileSet, RemiClient, RemiProvider
+from ...storage import LocalStore
+from ...warabi import WarabiClient, WarabiProvider
+from ...yokan import YokanClient, YokanProvider
+from .explore import ExplorationReport, explore
+
+__all__ = [
+    "yokan_scenario",
+    "warabi_scenario",
+    "remi_scenario",
+    "raft_scenario",
+    "SCENARIOS",
+    "run_race_suite",
+]
+
+
+def yokan_scenario() -> dict[str, Any]:
+    """Two clients hammer disjoint key ranges of one Yokan provider."""
+    cluster = Cluster(seed=29)
+    server = cluster.add_margo("server", node="n0")
+    provider = YokanProvider(server, "db", provider_id=1)
+    apps = [cluster.add_margo(f"app{i}", node=f"a{i}") for i in range(2)]
+    handles = [YokanClient(app).make_handle(server.address, 1) for app in apps]
+
+    def driver(handle, tag):
+        for i in range(4):
+            yield from handle.put(f"{tag}:{i}".encode(), f"value-{tag}-{i}".encode())
+        value = yield from handle.get(f"{tag}:0".encode())
+        yield from handle.erase(f"{tag}:3".encode())
+        return value
+
+    ults = [
+        cluster.spawn(apps[i], driver(handles[i], f"t{i}"), name=f"driver{i}")
+        for i in range(2)
+    ]
+    cluster.wait_ults(ults)
+    backend = provider.backend
+    keys = backend.list_keys(b"", None, 0)
+    return {k.decode(): backend.get(k).decode() for k in keys}
+
+
+def warabi_scenario() -> dict[str, Any]:
+    """Sequential blob creation, then concurrent writers on disjoint blobs."""
+    cluster = Cluster(seed=31)
+    server = cluster.add_margo("server", node="n0")
+    provider = WarabiProvider(server, "blobs", provider_id=1)
+    app = cluster.add_margo("app", node="a0")
+    handle = WarabiClient(app).make_handle(server.address, 1)
+
+    def setup():
+        ids = []
+        for _ in range(3):
+            blob_id = yield from handle.create(size=0)
+            ids.append(blob_id)
+        return ids
+
+    blob_ids = cluster.run_ult(app, setup())
+
+    def writer(blob_id, fill):
+        yield from handle.write(blob_id, bytes([fill]) * 512)
+        data = yield from handle.read(blob_id)
+        return len(data)
+
+    ults = [
+        cluster.spawn(app, writer(blob_id, 65 + i), name=f"writer{i}")
+        for i, blob_id in enumerate(blob_ids)
+    ]
+    cluster.wait_ults(ults)
+    return {
+        str(blob_id): hashlib.sha256(bytes(provider._blobs[blob_id])).hexdigest()
+        for blob_id in blob_ids
+    }
+
+
+def remi_scenario() -> dict[str, Any]:
+    """Chunked fileset migration, small chunk size to exercise reassembly."""
+    cluster = Cluster(seed=7)
+    src_node = cluster.node("src")
+    dst_node = cluster.node("dst")
+    src_store = LocalStore(src_node)
+    dst_store = LocalStore(dst_node)
+    src = cluster.add_margo("src-proc", node=src_node)
+    dst = cluster.add_margo("dst-proc", node=dst_node)
+    RemiProvider(dst, "remi", provider_id=0)
+    handle = RemiClient(src).make_handle(dst.address, 0)
+    paths = []
+    for i in range(4):
+        path = f"data/{i:04d}"
+        src_store.write(path, bytes([i % 256]) * 1000)
+        paths.append(path)
+    fileset = FileSet.from_prefix(src_store, "data/")
+
+    def driver():
+        report = yield from handle.migrate_fileset(
+            fileset, method="chunks", chunk_size=512
+        )
+        return report
+
+    cluster.run_ult(src, driver())
+    return {p: hashlib.sha256(dst_store.read(p)).hexdigest() for p in paths}
+
+
+def raft_scenario() -> dict[str, Any]:
+    """Three-node Raft election; facts are invariants, not who won."""
+    rc = RaftConfig(
+        heartbeat_interval=0.05,
+        election_timeout_min=0.15,
+        election_timeout_max=0.3,
+        rpc_timeout=0.06,
+        submit_timeout=5.0,
+        snapshot_threshold=64,
+    )
+    cluster = Cluster(seed=21)
+    margos = [cluster.add_margo(f"r{i}", node=f"n{i}") for i in range(3)]
+    peers = [m.address for m in margos]
+    nodes = [
+        RaftNode(
+            margo,
+            f"raft{i}",
+            provider_id=1,
+            state_machine=CounterStateMachine(),
+            peers=peers,
+            rng=cluster.randomness.stream(f"raft:{i}"),
+            config=rc,
+        )
+        for i, margo in enumerate(margos)
+    ]
+    cluster.run(until=3.0)
+    leaders = [n for n in nodes if n.role == Role.LEADER and n._running]
+    terms = {n.current_term for n in nodes}
+    return {
+        "num_leaders": len(leaders),
+        "terms_converged": len(terms) == 1,
+        "all_running": all(n._running for n in nodes),
+    }
+
+
+SCENARIOS: list[tuple[str, Callable[[], dict[str, Any]]]] = [
+    ("yokan-kv", yokan_scenario),
+    ("warabi-blobs", warabi_scenario),
+    ("remi-migration", remi_scenario),
+    ("raft-election", raft_scenario),
+]
+
+
+def run_race_suite(
+    seeds: int = 8, emit: Callable[[str], Any] = print
+) -> tuple[list, list[ExplorationReport]]:
+    """Explore every example-service scenario; return (findings, reports)."""
+    findings = []
+    reports = []
+    for name, scenario in SCENARIOS:
+        report = explore(scenario, name, seeds=tuple(range(1, seeds + 1)))
+        reports.append(report)
+        findings.extend(report.findings)
+        emit(
+            f"race: {name}: {len(report.runs)} perturbed runs, "
+            f"{len(report.diverging)} diverging, {len(report.findings)} finding(s)"
+        )
+    return findings, reports

@@ -14,6 +14,9 @@ Rule id blocks:
   monitor hooks);
 * ``MCH02x`` -- configuration (dangling pool references, duplicate
   names, unresolvable/cyclic provider dependencies);
+* ``MCH03x``/``MCH04x`` -- concurrency (mochi-race: unordered accesses
+  to shared state, order-dependent outcomes, lock-order cycles,
+  wait-while-holding);
 * ``MCH09x`` -- meta (parse errors, bare suppressions).
 """
 
@@ -37,12 +40,14 @@ __all__ = [
     "GROUP_DETERMINISM",
     "GROUP_SCHEDULING",
     "GROUP_CONFIG",
+    "GROUP_CONCURRENCY",
     "GROUP_META",
 ]
 
 GROUP_DETERMINISM = "determinism"
 GROUP_SCHEDULING = "scheduling"
 GROUP_CONFIG = "configuration"
+GROUP_CONCURRENCY = "concurrency"
 GROUP_META = "meta"
 
 

@@ -61,6 +61,39 @@ _SUSPENDING_COMMANDS = frozenset({"Sleep", "UltSleep", "Park", "WaitEvent"})
 _SUSPENDING_DELEGATES = frozenset({"forward", "wait", "ult_sleep", "bulk_transfer"})
 
 
+def _blocking_helpers(tree: ast.Module) -> dict[str, tuple[str, int]]:
+    """name -> (blocking call, def line) for plain helpers that block.
+
+    One hop of call graph: a helper that is *not* itself a ULT generator
+    (those are flagged directly) but whose own body issues a blocking
+    call.  Calling such a helper from a ULT stalls the loop just as
+    surely as inlining the ``time.sleep``.
+    """
+    helpers: dict[str, tuple[str, int]] = {}
+    for func in function_defs(tree):
+        if is_ult_generator(func):
+            continue
+        for node in own_body_walk(func):
+            if isinstance(node, ast.Call) and call_name(node) in BLOCKING_CALLS:
+                helpers[func.name] = (call_name(node), func.lineno)
+                break
+    return helpers
+
+
+def _local_callee(node: ast.Call) -> Optional[str]:
+    """The called name when the target is ``helper()`` or ``self.helper()``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return func.attr
+    return None
+
+
 def _is_handler(func: ast.AST) -> bool:
     """Heuristic: RPC handler bodies follow the ``_on_<rpc>`` convention
     (and must be generators to yield kernel commands)."""
@@ -90,11 +123,14 @@ def _is_handler(func: ast.AST) -> bool:
 )
 def check_blocking_call(ctx: FileContext) -> list[Finding]:
     findings = []
+    helpers = _blocking_helpers(ctx.tree)
     for func in function_defs(ctx.tree):
         if not is_ult_generator(func):
             continue
         for node in own_body_walk(func):
-            if isinstance(node, ast.Call) and call_name(node) in BLOCKING_CALLS:
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) in BLOCKING_CALLS:
                 findings.append(
                     Finding(
                         "MCH010",
@@ -103,6 +139,21 @@ def check_blocking_call(ctx: FileContext) -> list[Finding]:
                         node.lineno,
                         f"blocking call {call_name(node)}() inside ULT body "
                         f"{func.name!r}; yield a kernel command instead",
+                    )
+                )
+                continue
+            callee = _local_callee(node)
+            if callee is not None and callee in helpers:
+                blocked_by, def_line = helpers[callee]
+                findings.append(
+                    Finding(
+                        "MCH010",
+                        Severity.ERROR,
+                        ctx.path,
+                        node.lineno,
+                        f"ULT body {func.name!r} calls helper {callee!r} "
+                        f"(defined line {def_line}) which blocks via "
+                        f"{blocked_by}(); yield a kernel command instead",
                     )
                 )
     return findings

@@ -56,10 +56,15 @@ class SanitizerError(AssertionError):
         self.finding = finding
 
 
-#: Fast-path gate read by the margo runtime hooks.
-ENABLED: bool = os.environ.get("REPRO_SANITIZE", "").strip() in ("1", "true", "yes")
+#: Fast-path gate read by the margo runtime hooks.  ``REPRO_SANITIZE=race``
+#: also counts: the race layer (:mod:`repro.analysis.race.hooks`) reads
+#: the same variable and enables itself, while the classic sanitizer runs
+#: in record (non-strict) mode so race findings are not preempted by a
+#: raising MCH011/MCH012.
+_env = os.environ.get("REPRO_SANITIZE", "").strip().lower()
+ENABLED: bool = _env in ("1", "true", "yes", "race")
 
-_strict: bool = True
+_strict: bool = _env != "race"
 
 #: Violations recorded in non-strict mode (and, in strict mode, the one
 #: violation that raised).

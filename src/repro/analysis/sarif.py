@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 serialization for mochi-lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading a run makes every finding annotate the PR
+diff at its file/line.  One ``run`` carries the whole mochi-lint pass --
+static, config, and runtime findings alike -- with each referenced rule
+documented once in the tool driver so the annotations link back to the
+catalog summary and rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .findings import Finding, Severity
+from .registry import info_for
+
+__all__ = ["to_sarif"]
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: mochi-lint severity -> SARIF result level.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _uri(path: str) -> str:
+    """A SARIF artifact URI: forward slashes, no pseudo-URI schemes.
+
+    Runtime findings use pseudo-paths like ``race:lock-order``; a bare
+    colon would parse as a URI scheme, so it becomes a path separator.
+    """
+    return path.replace("\\", "/").replace(":", "/").lstrip("./") or "unknown"
+
+
+def _rule_doc(rule_id: str, fallback_level: str) -> dict[str, Any]:
+    info = info_for(rule_id)
+    if info is None:
+        return {
+            "id": rule_id,
+            "defaultConfiguration": {"level": fallback_level},
+        }
+    return {
+        "id": info.id,
+        "name": info.name,
+        "shortDescription": {"text": info.summary},
+        "fullDescription": {"text": info.rationale},
+        "defaultConfiguration": {"level": _LEVELS.get(info.severity, "warning")},
+    }
+
+
+def to_sarif(findings: list[Finding], tool_name: str = "mochi-lint") -> dict[str, Any]:
+    """Render findings as one SARIF 2.1.0 document with a single run."""
+    rules: dict[str, dict[str, Any]] = {}
+    results: list[dict[str, Any]] = []
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule_id, f.message))
+    for finding in ordered:
+        level = _LEVELS.get(finding.severity, "warning")
+        if finding.rule_id not in rules:
+            rules[finding.rule_id] = _rule_doc(finding.rule_id, level)
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "level": level,
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": _uri(finding.path)},
+                            "region": {"startLine": max(1, finding.line)},
+                        }
+                    }
+                ],
+                "properties": {"source": finding.source},
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "https://github.com/mochi-hpc",
+                        "rules": [rules[rid] for rid in sorted(rules)],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

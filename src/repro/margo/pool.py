@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Optional
 
+from ..analysis.race import hooks as _race
 from .errors import ConfigError
 from .ult import ULT, UltState
 
@@ -60,14 +61,25 @@ class Pool:
         ult.state = UltState.READY
         self._queue.append(ult)
         self.total_pushed += 1
+        if _race.ENABLED:
+            _race.note_push(self, ult)
         for xstream in self._watchers:
             xstream.notify()
 
     def pop(self) -> Optional[ULT]:
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return None
         self.total_popped += 1
-        return self._queue.popleft()
+        if _race.PERTURB is not None:
+            # Schedule-explorer mode: pop a seeded-random ready ULT
+            # instead of the head.  Any pop order is a legal cooperative
+            # schedule, so outcomes that change under it are bugs.
+            index = _race.PERTURB.randrange(len(queue))
+            ult = queue[index]
+            del queue[index]
+            return ult
+        return queue.popleft()
 
     # ------------------------------------------------------------------
     def attach_xstream(self, xstream: "XStream") -> None:

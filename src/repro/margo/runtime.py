@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..analysis import sanitize as _sanitize
+from ..analysis.race import hooks as _race
 from ..mercury import (
     BULK_OP_PULL,
     BULK_OP_PUSH,
@@ -307,6 +308,10 @@ class MargoInstance:
     def _resolve_pool(self, pool: str | Pool) -> Pool:
         if isinstance(pool, Pool):
             return pool
+        if _race.ENABLED:
+            _race.note_read(
+                self.pools, pool, f"margo:{self.process.name}.resolve_pool:{pool}"
+            )
         try:
             return self.pools[pool]
         except KeyError as err:
@@ -338,6 +343,12 @@ class MargoInstance:
             )
         target = self._resolve_pool(pool) if pool is not None else self.pools[self.config.rpc_pool]
         self._registry[key] = Registration(name, rpc_id, provider_id, handler, target)
+        if _race.ENABLED:
+            _race.track(self._registry, f"{self.process.name}.rpc_registry")
+            _race.note_write(
+                self._registry, key,
+                f"margo:{self.process.name}.register:{name}/{provider_id}",
+            )
         return rpc_id
 
     def deregister(self, name: str, provider_id: int = NULL_PROVIDER) -> None:
@@ -345,6 +356,12 @@ class MargoInstance:
         if key not in self._registry:
             raise NoSuchRpcError(f"RPC {name!r} not registered for provider {provider_id}")
         del self._registry[key]
+        if _race.ENABLED:
+            _race.track(self._registry, f"{self.process.name}.rpc_registry")
+            _race.note_write(
+                self._registry, key,
+                f"margo:{self.process.name}.deregister:{name}/{provider_id}",
+            )
 
     def registered_rpcs(self) -> list[tuple[str, int]]:
         """(name, provider_id) pairs currently registered."""
@@ -527,6 +544,11 @@ class MargoInstance:
     def _dispatch_request(self, request: RPCRequest) -> None:
         if self.monitors:
             self._emit("on_request_received", request=request)
+        if _race.ENABLED:
+            _race.note_read(
+                self._registry, (request.rpc_id, request.provider_id),
+                f"margo:{self.process.name}.dispatch:{request.rpc_name}/{request.provider_id}",
+            )
         registration = self._registry.get((request.rpc_id, request.provider_id))
         if registration is None:
             response = RPCResponse(
@@ -630,6 +652,11 @@ class MargoInstance:
         pool = Pool(spec.name, spec.kind, spec.access)
         self.pools[spec.name] = pool
         self.config.pools.append(spec)
+        if _race.ENABLED:
+            _race.track(self.pools, f"{self.process.name}.pools")
+            _race.note_write(
+                self.pools, spec.name, f"margo:{self.process.name}.add_pool:{spec.name}"
+            )
         return pool
 
     def remove_pool(self, name: str) -> None:
@@ -651,6 +678,11 @@ class MargoInstance:
             raise PoolInUseError(f"pool {name!r} is the handler pool of RPCs {users}")
         del self.pools[name]
         self.config.pools = [p for p in self.config.pools if p.name != name]
+        if _race.ENABLED:
+            _race.track(self.pools, f"{self.process.name}.pools")
+            _race.note_write(
+                self.pools, name, f"margo:{self.process.name}.remove_pool:{name}"
+            )
 
     def add_xstream(self, spec: str | dict[str, Any] | XStreamSpec) -> XStream:
         if isinstance(spec, str):
@@ -663,6 +695,12 @@ class MargoInstance:
         xstream = XStream(self.kernel, spec.name, pools, scheduler=spec.scheduler)
         self.xstreams[spec.name] = xstream
         self.config.xstreams.append(spec)
+        if _race.ENABLED:
+            _race.track(self.xstreams, f"{self.process.name}.xstreams")
+            _race.note_write(
+                self.xstreams, spec.name,
+                f"margo:{self.process.name}.add_xstream:{spec.name}",
+            )
         xstream.start()
         return xstream
 
@@ -681,6 +719,11 @@ class MargoInstance:
         xstream.stop()
         del self.xstreams[name]
         self.config.xstreams = [x for x in self.config.xstreams if x.name != name]
+        if _race.ENABLED:
+            _race.track(self.xstreams, f"{self.process.name}.xstreams")
+            _race.note_write(
+                self.xstreams, name, f"margo:{self.process.name}.remove_xstream:{name}"
+            )
 
     def _pool_has_users(self, pool: Pool) -> bool:
         if pool.size:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
 from ..analysis import sanitize as _sanitize
+from ..analysis.race import hooks as _race
 from ..sim.kernel import SimKernel, TIMED_OUT
 
 __all__ = [
@@ -183,6 +184,8 @@ class UltEvent:
             return
         self._set = True
         self._payload = payload
+        if _race.ENABLED:
+            _race.note_event_set(self)
         parked, self._parked = self._parked, []
         for ult, token in parked:
             if ult._park_token == token and ult.state == UltState.BLOCKED:
@@ -195,6 +198,8 @@ class UltEvent:
     def _park(self, ult: ULT, timeout: Optional[float]) -> None:
         """Called by the executing stream to park ``ult`` here."""
         if self._set:
+            if _race.ENABLED:
+                _race.note_event_join(self)
             # Resume on a fresh turn for fairness (matches kernel events).
             self.kernel.schedule(0.0, ult.ready, self._payload)
             return
@@ -253,6 +258,8 @@ class UltMutex:
         self._locked = True
         if _sanitize.ENABLED:
             _sanitize.note_acquire(current_ult(), self)
+        if _race.ENABLED:
+            _race.note_acquire(current_ult(), self)
         return None
 
     def release(self) -> None:
@@ -261,6 +268,8 @@ class UltMutex:
         self._locked = False
         if _sanitize.ENABLED:
             _sanitize.note_release(current_ult(), self)
+        if _race.ENABLED:
+            _race.note_release(current_ult(), self)
         if self._waiters:
             self._waiters.pop(0).set()
 

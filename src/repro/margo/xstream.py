@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..analysis import sanitize as _sanitize
+from ..analysis.race import hooks as _race
 from ..sim.kernel import SimKernel, Sleep, WaitEvent
 from .errors import ConfigError
 from .pool import Pool
@@ -164,6 +165,8 @@ class XStream:
                         except AssertionError as err:
                             exc = err
                             continue
+                    if _race.ENABLED:
+                        _race.note_park(ult, cmd)
                     cmd.event._park(ult, cmd.timeout)
                     return
                 if isinstance(cmd, UltSleep):

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from ..analysis.race import hooks as _race
 from ..core.component import Provider
 from ..margo.runtime import MargoInstance, RequestContext
 from ..margo.ult import Compute, UltSleep
@@ -60,6 +61,8 @@ class RemiProvider(Provider):
             )
         self.store: LocalStore = store
         self.sync = bool(self.config.get("sync", True))
+        if _race.ENABLED:
+            _race.track(self.store, f"remi:{name}.store")
         # Partially received files (chunked path): path -> {offset: bytes}.
         self._partial: dict[str, dict[int, bytes]] = {}
         self._files_received = margo.metrics.counter(
@@ -89,6 +92,8 @@ class RemiProvider(Provider):
         overlapped = max(src_read_cost, self.store.write_cost(bulk.size) if self.sync else 0.0)
         if overlapped > wire:
             yield UltSleep(overlapped - wire)
+        if _race.ENABLED:
+            _race.note_write(self.store, path, f"remi:{self.name}.recv_file")
         self.store.write(path, bulk.data)
         self._files_received.inc()
         self._bytes_received.inc(bulk.size)
@@ -103,14 +108,28 @@ class RemiProvider(Provider):
             yield UltSleep(self.store.write_cost(total))
         for path, offset, total_size, data in pieces:
             if offset == 0 and len(data) == total_size:
+                if _race.ENABLED:
+                    _race.note_write(self.store, path, f"remi:{self.name}.recv_chunk")
                 self.store.write(path, data)
                 self._files_received.inc()
             else:
+                # Pipelined chunks land pieces of the same file from
+                # concurrent handler ULTs *by design*; assembly sorts by
+                # offset, so the granularity that must be ordered is the
+                # (path, offset) cell, not the whole file.
+                if _race.ENABLED:
+                    _race.note_write(
+                        self.store, (path, offset), f"remi:{self.name}.recv_chunk"
+                    )
                 parts = self._partial.setdefault(path, {})
                 parts[offset] = data
                 have = sum(len(d) for d in parts.values())
                 if have == total_size:
                     assembled = b"".join(parts[o] for o in sorted(parts))
+                    if _race.ENABLED:
+                        _race.note_write(
+                            self.store, path, f"remi:{self.name}.assemble"
+                        )
                     self.store.write(path, assembled)
                     del self._partial[path]
                     self._files_received.inc()

@@ -101,6 +101,12 @@ _NO_ARG = object()
 #: half the queue before the heap is rebuilt without them.
 _COMPACT_MIN_CANCELLED = 64
 
+#: The mochi-race hooks module, injected by ``_set_race_hooks`` when the
+#: race detector enables.  ``None`` keeps every gate below a single
+#: module-global load; the hot path (``schedule``) is method-swapped
+#: instead of gated, so it pays nothing at all while disabled.
+_RACE: Any = None
+
 
 class SimEvent:
     """A one-shot, level-triggered event usable from kernel tasks.
@@ -133,6 +139,8 @@ class SimEvent:
             return
         self._set = True
         self._payload = payload
+        if _RACE is not None:
+            _RACE.note_event_set(self)
         waiters, self._waiters = self._waiters, []
         for wake in waiters:
             wake(payload)
@@ -296,6 +304,8 @@ class Task:
     def _wait(self, cmd: WaitEvent) -> None:
         event = cmd.event
         if event.is_set:
+            if _RACE is not None:
+                _RACE.note_event_join(event)
             # Resume on a fresh event-loop turn to keep scheduling fair
             # and re-entrancy-free.
             self.kernel.schedule(0.0, self._step, event.payload)
@@ -496,6 +506,8 @@ class SimKernel:
         finally:
             self._running = False
             self._watch = None
+            if _RACE is not None:
+                _RACE.note_run_end()
 
     def run_all(self, **kwargs: Any) -> None:
         """Alias of :meth:`run` with no stop condition (drain the queue)."""
@@ -527,3 +539,30 @@ class SimKernel:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<SimKernel t={self._now:.9f} queued={len(self._queue)}>"
+
+
+#: The pristine fast-path ``schedule``, restored when the race layer
+#: disables.  Swapping the *method* keeps the disabled path identical to
+#: an uninstrumented kernel -- not even a gate check on the hottest call.
+_plain_schedule = SimKernel.schedule
+
+
+def _set_race_hooks(mod: Any) -> None:
+    """Install (or, with ``None``, remove) the mochi-race hooks.
+
+    Called by :func:`repro.analysis.race.hooks.enable` /
+    ``disable`` -- the kernel never imports the race layer itself.
+    """
+    global _RACE
+    _RACE = mod
+    if mod is None:
+        SimKernel.schedule = _plain_schedule
+        return
+
+    def _race_schedule(
+        self: SimKernel, delay: float, fn: Callable[..., None], arg: Any = _NO_ARG
+    ) -> Timer:
+        return _plain_schedule(self, delay, mod.wrap_timer(fn, arg, _NO_ARG), _NO_ARG)
+
+    _race_schedule.__doc__ = _plain_schedule.__doc__
+    SimKernel.schedule = _race_schedule

@@ -6,6 +6,7 @@ from .diagnostics import (
     lint_report,
     monitoring_report,
     process_report,
+    race_report,
     trace_report,
 )
 
@@ -16,4 +17,5 @@ __all__ = [
     "trace_report",
     "lint_report",
     "config_report",
+    "race_report",
 ]

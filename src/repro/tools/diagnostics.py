@@ -29,6 +29,7 @@ __all__ = [
     "trace_report",
     "lint_report",
     "config_report",
+    "race_report",
 ]
 
 
@@ -143,6 +144,31 @@ def lint_report(*paths: str) -> str:
     return f"mochi-lint: {len(findings)} finding(s) ({summary})\n" + format_findings(
         findings
     )
+
+
+def race_report(seeds: int = 8) -> str:
+    """Concurrency-correctness health of the example services.
+
+    Runs the full mochi-race suite -- the happens-before engine and the
+    lock-order graph watch every scenario while the schedule explorer
+    re-runs it under ``seeds`` seeded ready-queue perturbations -- and
+    renders one line per scenario plus any MCH03x/MCH04x findings.
+    """
+    # Imported lazily: the scenarios pull in the full runtime stack.
+    from ..analysis.race.scenarios import run_race_suite
+
+    lines: list[str] = []
+    findings, reports = run_race_suite(seeds=seeds, emit=lines.append)
+    total_runs = sum(len(r.runs) for r in reports)
+    if not findings:
+        lines.append(
+            f"mochi-race: clean ({len(reports)} scenario(s), "
+            f"{total_runs} perturbed runs)"
+        )
+        return "\n".join(lines)
+    lines.append(f"mochi-race: {len(findings)} finding(s)")
+    lines.append(format_findings(findings))
+    return "\n".join(lines)
 
 
 def config_report(config: "dict[str, Any] | str | None", name: str = "<config>") -> str:

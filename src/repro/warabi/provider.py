@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from ..analysis.race import hooks as _race
 from ..core.component import Provider
 from ..margo.runtime import MargoInstance, RequestContext
 from ..margo.ult import Compute, UltSleep
@@ -71,6 +72,8 @@ class WarabiProvider(Provider):
         self.bulk_threshold = int(self.config.get("bulk_threshold", DEFAULT_BULK_THRESHOLD))
         self._blobs: dict[int, bytearray] = {}
         self._next_id = 0
+        if _race.ENABLED:
+            _race.track(self._blobs, f"warabi:{name}.blobs")
 
         self.register_rpc("create", self._on_create)
         self.register_rpc("write", self._on_write)
@@ -106,6 +109,11 @@ class WarabiProvider(Provider):
         yield Compute(OP_BASE_COST)
         blob_id = self._next_id
         self._next_id += 1
+        if _race.ENABLED:
+            # The id counter is itself shared state: unordered creates
+            # hand out schedule-dependent blob ids.
+            _race.note_write(self._blobs, "next_id", f"warabi:{self.name}.create")
+            _race.note_write(self._blobs, blob_id, f"warabi:{self.name}.create")
         self._blobs[blob_id] = bytearray(size)
         yield from self._persist(blob_id)
         return blob_id
@@ -127,6 +135,8 @@ class WarabiProvider(Provider):
         if end > len(blob):
             blob.extend(b"\x00" * (end - len(blob)))
         yield Compute(OP_BASE_COST + len(data) / BYTES_PER_SECOND)
+        if _race.ENABLED:
+            _race.note_write(self._blobs, blob_id, f"warabi:{self.name}.write")
         blob[offset:end] = data
         yield from self._persist(blob_id)
         return len(data)
@@ -134,6 +144,8 @@ class WarabiProvider(Provider):
     def _on_read(self, ctx: RequestContext) -> Generator:
         args = ctx.args
         blob = self._blob(args["id"])
+        if _race.ENABLED:
+            _race.note_read(self._blobs, args["id"], f"warabi:{self.name}.read")
         offset = args.get("offset", 0)
         size = args.get("size")
         if size is None:
@@ -153,12 +165,16 @@ class WarabiProvider(Provider):
 
     def _on_size(self, ctx: RequestContext) -> Generator:
         yield Compute(OP_BASE_COST)
+        if _race.ENABLED:
+            _race.note_read(self._blobs, ctx.args["id"], f"warabi:{self.name}.size")
         return len(self._blob(ctx.args["id"]))
 
     def _on_erase(self, ctx: RequestContext) -> Generator:
         blob_id = ctx.args["id"]
         self._blob(blob_id)  # existence check
         yield Compute(OP_BASE_COST)
+        if _race.ENABLED:
+            _race.note_write(self._blobs, blob_id, f"warabi:{self.name}.erase")
         del self._blobs[blob_id]
         if self.store is not None and self.store.exists(self._blob_path(blob_id)):
             self.store.delete(self._blob_path(blob_id))

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from ..analysis.race import hooks as _race
 from ..core.component import Provider
 from ..margo.runtime import MargoInstance, RequestContext
 from ..margo.ult import Compute, UltSleep
@@ -75,6 +76,8 @@ class YokanProvider(Provider):
             db_config["store"] = store
         self.backend: KVBackend = create_backend(backend_type, db_config)
         self.backend_type = backend_type
+        if _race.ENABLED:
+            _race.track(self.backend, f"yokan:{name}.db")
         self.bulk_threshold = int(self.config.get("bulk_threshold", DEFAULT_BULK_THRESHOLD))
 
         self.register_rpc("put", self._on_put)
@@ -109,6 +112,8 @@ class YokanProvider(Provider):
         key = args["key"]
         value = yield from self._extract_value(ctx, args)
         yield Compute(_op_cost(len(key) + len(value)))
+        if _race.ENABLED:
+            _race.note_write(self.backend, key, f"yokan:{self.name}.put")
         self.backend.put(key, value)
         yield from self._maybe_sync(len(key) + len(value))
         return None
@@ -116,6 +121,8 @@ class YokanProvider(Provider):
     def _on_get(self, ctx: RequestContext) -> Generator:
         key = ctx.args["key"]
         yield Compute(_op_cost(len(key)))
+        if _race.ENABLED:
+            _race.note_read(self.backend, key, f"yokan:{self.name}.get")
         value = self.backend.get(key)
         yield Compute(len(value) / BYTES_PER_SECOND)
         if len(value) >= self.bulk_threshold:
@@ -126,6 +133,8 @@ class YokanProvider(Provider):
     def _on_erase(self, ctx: RequestContext) -> Generator:
         key = ctx.args["key"]
         yield Compute(_op_cost(len(key)))
+        if _race.ENABLED:
+            _race.note_write(self.backend, key, f"yokan:{self.name}.erase")
         self.backend.erase(key)
         yield from self._maybe_sync(len(key))
         return None
@@ -133,6 +142,8 @@ class YokanProvider(Provider):
     def _on_exists(self, ctx: RequestContext) -> Generator:
         key = ctx.args["key"]
         yield Compute(_op_cost(len(key)))
+        if _race.ENABLED:
+            _race.note_read(self.backend, key, f"yokan:{self.name}.exists")
         return self.backend.exists(key)
 
     def _on_count(self, ctx: RequestContext) -> Generator:
@@ -165,6 +176,9 @@ class YokanProvider(Provider):
                 # a one-shot iterator before put_multi sees it.
                 pairs = list(pairs)
         total = sum(len(key) + len(value) for key, value in pairs)
+        if _race.ENABLED:
+            for key, _value in pairs:
+                _race.note_write(self.backend, key, f"yokan:{self.name}.put_multi")
         self.backend.put_multi(pairs)
         yield Compute(OP_BASE_COST * max(1, len(pairs)) + total / BYTES_PER_SECOND)
         yield from self._maybe_sync(total)
@@ -173,6 +187,9 @@ class YokanProvider(Provider):
     def _on_get_multi(self, ctx: RequestContext) -> Generator:
         keys = ctx.args["keys"]
         yield Compute(OP_BASE_COST * max(1, len(keys)))
+        if _race.ENABLED:
+            for key in keys:
+                _race.note_read(self.backend, key, f"yokan:{self.name}.get_multi")
         values = self.backend.get_multi(keys)
         total = sum(len(v) for v in values)
         yield Compute(total / BYTES_PER_SECOND)

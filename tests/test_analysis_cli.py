@@ -44,6 +44,44 @@ def test_findings_exit_one_with_locations(tmp_path, capsys):
     assert "1 finding(s)" in out
 
 
+def test_sarif_format(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", DIRTY)
+    assert main(["--format", "sarif", path]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "mochi-lint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == ["MCH001"]
+    result = run["results"][0]
+    assert result["ruleId"] == "MCH001"
+    assert result["level"] == "error"
+    region = result["locations"][0]["physicalLocation"]
+    assert region["region"]["startLine"] == 6
+    # Pseudo-paths (runtime findings) must still be valid artifact URIs.
+    from repro.analysis.registry import make_finding
+    from repro.analysis.sarif import to_sarif
+
+    race = to_sarif([make_finding("MCH030", "race:db", 0, "msg", source="runtime")])
+    location = race["runs"][0]["results"][0]["locations"][0]["physicalLocation"]
+    assert ":" not in location["artifactLocation"]["uri"]
+    assert location["region"]["startLine"] == 1
+
+
+def test_sarif_format_clean_is_empty_run(tmp_path, capsys):
+    path = write(tmp_path, "clean.py", CLEAN)
+    assert main(["--format", "sarif", path]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"] == []
+
+
+def test_race_cli_runs_suite(capsys):
+    assert main(["--race", "--race-seeds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "yokan-kv" in out and "raft-election" in out
+    assert "clean (race suite)" in out
+
+
 def test_missing_path_exits_two(tmp_path, capsys):
     assert main([str(tmp_path / "nope")]) == 2
     assert "repro-lint:" in capsys.readouterr().err
@@ -85,11 +123,13 @@ def test_list_rules_covers_catalog(capsys):
         "MCH001", "MCH002", "MCH003",
         "MCH010", "MCH011", "MCH012", "MCH013",
         "MCH020", "MCH021", "MCH022", "MCH023",
+        "MCH030", "MCH031", "MCH032", "MCH040", "MCH041",
         "MCH090", "MCH091",
     ):
         assert rule_id in out
-    # The runtime-checked rules advertise their dynamic half.
-    assert out.count("also runtime-checked") == 2
+    # The runtime-checked rules advertise their dynamic half: MCH011,
+    # MCH012, and the five mochi-race concurrency rules.
+    assert out.count("also runtime-checked") == 7
 
 
 def test_module_entry_point_matches_cli():

@@ -140,7 +140,8 @@ def test_mch010_ignores_plain_functions():
 
 
 def test_mch010_ignores_nested_non_ult_helpers():
-    # The blocking call lives in a nested plain function, not the ULT.
+    # The blocking call lives in a nested plain function, not the ULT,
+    # and the ULT never *calls* it -- it only returns the reference.
     findings = lint(
         """
         import subprocess
@@ -153,6 +154,77 @@ def test_mch010_ignores_nested_non_ult_helpers():
         select=["MCH010"],
     )
     assert findings == []
+
+
+def test_mch010_flags_call_to_blocking_helper():
+    # One hop of call graph: the ULT calls a plain helper that blocks.
+    findings = lint(
+        """
+        import time
+        def pause():
+            time.sleep(0.5)
+        def worker():
+            yield Sleep(1.0)
+            pause()
+        """,
+        select=["MCH010"],
+    )
+    assert ids(findings) == ["MCH010"]
+    assert "pause" in findings[0].message
+    assert "time.sleep" in findings[0].message
+    assert findings[0].line == 7
+
+
+def test_mch010_flags_self_call_to_blocking_helper():
+    findings = lint(
+        """
+        import socket
+        class Peer:
+            def _connect(self):
+                return socket.create_connection(("host", 80))
+            def handler(self):
+                yield UltSleep(0.1)
+                self._connect()
+        """,
+        select=["MCH010"],
+    )
+    assert ids(findings) == ["MCH010"]
+    assert "_connect" in findings[0].message
+    assert "socket.create_connection" in findings[0].message
+
+
+def test_mch010_ignores_call_to_clean_helper():
+    # The helper does host-side work but nothing blocking.
+    findings = lint(
+        """
+        def shape(data):
+            return sorted(data)
+        def worker(data):
+            yield Sleep(1.0)
+            return shape(data)
+        """,
+        select=["MCH010"],
+    )
+    assert findings == []
+
+
+def test_mch010_blocking_ult_helper_not_double_flagged():
+    # A helper that is itself a ULT generator is flagged directly at its
+    # own blocking call; delegating to it is not a second finding.
+    findings = lint(
+        """
+        import time
+        def inner():
+            yield Sleep(1.0)
+            time.sleep(0.5)
+        def outer():
+            yield Sleep(1.0)
+            yield from inner()
+        """,
+        select=["MCH010"],
+    )
+    assert ids(findings) == ["MCH010"]
+    assert findings[0].line == 5
 
 
 # ----------------------------------------------------------------------
@@ -338,12 +410,18 @@ def test_file_suppression_covers_whole_file():
     assert findings == []
 
 
+# Assembled at runtime so this *test file* itself lints clean: a literal
+# bare suppression here would (correctly) be flagged when CI lints tests/.
+BARE_SUPPRESSION = "# mochi-lint: " + "disable=MCH001"
+META_SUPPRESSION = "# mochi-lint: " + "disable-file=MCH091 -- trying to turn the gate off"
+
+
 def test_bare_suppression_is_mch091():
     findings = lint(
-        """
+        f"""
         import time
         def stamp():
-            return time.time()  # mochi-lint: disable=MCH001
+            return time.time()  {BARE_SUPPRESSION}
         """
     )
     # The bare comment still suppresses nothing and is itself flagged.
@@ -352,11 +430,11 @@ def test_bare_suppression_is_mch091():
 
 def test_meta_rules_cannot_be_suppressed():
     findings = lint(
-        """
-        # mochi-lint: disable-file=MCH091 -- trying to turn the gate off
+        f"""
+        {META_SUPPRESSION}
         import time
         def stamp():
-            return time.time()  # mochi-lint: disable=MCH001
+            return time.time()  {BARE_SUPPRESSION}
         """
     )
     assert "MCH091" in ids(findings)

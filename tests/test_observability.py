@@ -145,10 +145,11 @@ def test_margo_runtime_counters_live_in_registry():
 def test_faulty_monitor_contained_and_counted():
     class ExplodingMonitor:
         def on_forward_start(self, **kwargs):
-            raise RuntimeError("monitor bug")
+            # The raise is the point: the runtime must contain it.
+            raise RuntimeError("monitor bug")  # mochi-lint: disable=MCH013 -- faulty-hook fixture
 
         def on_ult_start(self, **kwargs):
-            raise ValueError("another monitor bug")
+            raise ValueError("another monitor bug")  # mochi-lint: disable=MCH013 -- faulty-hook fixture
 
     cluster = Cluster(seed=1)
     server = cluster.add_margo("server", node="n0", monitors=(ExplodingMonitor(),))
