@@ -1,0 +1,199 @@
+"""Continuous-profiler overhead on the P0 RPC hot path.
+
+mochi-profile promises zero-cost-when-off: with ``profiling`` disabled
+no profiler object exists, the pool hooks are one ``is not None`` check,
+and no monitor is attached.  This suite measures exactly that promise,
+plus the price of turning profiling on:
+
+* ``rpc_off``  -- end-to-end RPCs/sec with profiling disabled (same
+  workload as ``bench_p0_throughput``, directly comparable against the
+  BENCH_P0.json trajectory);
+* ``rpc_on``   -- the same workload with both endpoints profiled
+  (window sampling + full latency decomposition + waterfall ring).
+
+Results land in ``benchmarks/results/PROFILE_overhead.json`` and the
+repo-root ``BENCH_PROFILE.json``.  The acceptance gate for this PR: the
+*disabled* path must stay within 2% of the BENCH_P0.json trajectory
+numbers (same workloads, same machine class).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_profile_overhead.py          # full run
+    PYTHONPATH=src python benchmarks/bench_profile_overhead.py --smoke  # CI smoke
+"""
+
+from __future__ import annotations
+
+# mochi-lint: disable-file=MCH001 -- this harness measures real wall-clock
+# throughput of the simulator itself; time.perf_counter here reads the host
+# clock on purpose and never runs under the kernel.
+
+import gc
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import print_table, save_results  # noqa: E402
+
+from repro import Cluster  # noqa: E402
+from repro.margo import Compute  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+P0_TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_P0.json")
+TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_PROFILE.json")
+
+OBS_OFF = {"observability": {"tracing": False, "metrics": False}}
+#: Profiling on, everything else identical.  The window is sized so the
+#: boundary timer actually fires many times during the run (the sampling
+#: path is part of what is being priced).
+OBS_PROFILED = {
+    "observability": {
+        "tracing": False,
+        "metrics": False,
+        "profiling": True,
+        "profile_window": 1e-4,
+    }
+}
+
+#: Same RPC workload shape as bench_p0_throughput so the off-path
+#: numbers are directly comparable against the BENCH_P0.json trajectory.
+#: Repeats are higher than the P0 suite because shared runners show
+#: bimodal phases; best-of needs to sample the fast phase of both arms.
+FULL = dict(repeats=15, n_rpcs=2500)
+SMOKE = dict(repeats=1, n_rpcs=60)
+
+
+def _best_of(repeats: int, fn):
+    best = None
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        try:
+            stats = fn()
+        finally:
+            gc.enable()
+        if best is None or stats["wall_s"] < best["wall_s"]:
+            best = stats
+    return best
+
+
+def bench_rpc(n_rpcs: int, profiled: bool) -> dict:
+    """Identical to the P0 rpc workload, profiling off or on."""
+    config = OBS_PROFILED if profiled else OBS_OFF
+    cluster = Cluster(seed=7)
+    server = cluster.add_margo("server", node="n0", config=dict(config))
+    client = cluster.add_margo("client", node="n1", config=dict(config))
+
+    def handler(ctx):
+        yield Compute(1e-6)
+        return ctx.args
+
+    server.register("echo", handler)
+
+    def driver():
+        for i in range(n_rpcs):
+            yield from client.forward(server.address, "echo", i)
+        return None
+
+    started = time.perf_counter()
+    cluster.run_ult(client, driver())
+    wall = time.perf_counter() - started
+    stats = {
+        "rpcs": n_rpcs,
+        "wall_s": wall,
+        "rpcs_per_sec": n_rpcs / wall,
+        "sim_time": cluster.now,
+        "profiled": profiled,
+    }
+    if profiled:
+        stats["windows_closed"] = len(server.profiler.store.windows)
+        stats["waterfalls"] = len(client.profiler.waterfalls)
+    return stats
+
+
+def run_suite(params: dict) -> dict:
+    repeats = params["repeats"]
+    n_rpcs = params["n_rpcs"]
+    return {
+        "rpc_off": _best_of(repeats, lambda: bench_rpc(n_rpcs, profiled=False)),
+        "rpc_on": _best_of(repeats, lambda: bench_rpc(n_rpcs, profiled=True)),
+        "params": dict(params),
+    }
+
+
+def _rows(results: dict, p0: dict | None) -> list[dict]:
+    off = results["rpc_off"]["rpcs_per_sec"]
+    on = results["rpc_on"]["rpcs_per_sec"]
+    row = {
+        "bench": "rpc",
+        "rate_off": off,
+        "rate_on": on,
+        "unit": "rpcs_per_sec",
+        "profiler_on_overhead": 1.0 - on / off,
+    }
+    if p0 is not None:
+        p0_rate = p0.get("current", {}).get("rpc", {}).get("rpcs_per_sec")
+        if p0_rate:
+            row["p0_rate"] = p0_rate
+            row["off_vs_p0"] = off / p0_rate
+    return [row]
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    params = SMOKE if smoke else FULL
+
+    results = run_suite(params)
+
+    p0 = None
+    if os.path.exists(P0_TRAJECTORY_PATH):
+        with open(P0_TRAJECTORY_PATH) as handle:
+            p0 = json.load(handle)
+
+    rows = _rows(results, p0 if not smoke else None)
+    print_table("continuous-profiler overhead" + (" (smoke)" if smoke else ""), rows)
+
+    if smoke:
+        # CI rot check only: the harness must run end to end; no wall-clock
+        # assertions on shared runners.
+        print("profile-overhead smoke OK")
+        return 0
+
+    save_results("PROFILE_overhead", {"results": results, "p0_trajectory": p0})
+    trajectory = {
+        "experiment": "PROFILE_overhead",
+        "description": (
+            "Wall-clock throughput of the Margo RPC path with the "
+            "continuous profiler off vs on; the off numbers use the same "
+            "workload as BENCH_P0.json so 'off_vs_p0' measures the "
+            "disabled-path regression (the PR gate requires it within "
+            "2%), and 'profiler_on_overhead' is the fractional cost of "
+            "window sampling + latency decomposition + waterfalls."
+        ),
+        "results": results,
+        "comparison": rows,
+    }
+    with open(TRAJECTORY_PATH, "w") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+    print(f"trajectory written to {TRAJECTORY_PATH}")
+    return 0
+
+
+# Pytest entry point (smoke-sized so `pytest benchmarks/` stays fast).
+def test_profile_overhead_smoke():
+    results = run_suite(SMOKE)
+    assert results["rpc_off"]["rpcs"] == SMOKE["n_rpcs"]
+    assert results["rpc_on"]["rpcs"] == SMOKE["n_rpcs"]
+    # The profiled run really profiled: windows closed, waterfalls kept.
+    assert results["rpc_on"]["windows_closed"] > 0
+    assert results["rpc_on"]["waterfalls"] > 0
+    # Profiling is modeled observation (monitoring cost per event), so
+    # the profiled run's simulated time moves -- but never backwards.
+    assert results["rpc_on"]["sim_time"] >= results["rpc_off"]["sim_time"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

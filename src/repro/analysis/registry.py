@@ -8,7 +8,8 @@ same vocabulary.
 Rule id blocks:
 
 * ``MCH00x`` -- determinism (wall clock, unseeded randomness,
-  environment-dependent iteration);
+  environment-dependent iteration) and observability (``MCH004``:
+  monitoring callbacks growing unbounded state);
 * ``MCH01x`` -- cooperative scheduling (blocking calls in ULTs,
   yield-while-holding-lock, handlers that never respond, misbehaving
   monitor hooks);
@@ -38,6 +39,7 @@ __all__ = [
     "get_rule",
     "rule_catalog",
     "GROUP_DETERMINISM",
+    "GROUP_OBSERVABILITY",
     "GROUP_SCHEDULING",
     "GROUP_CONFIG",
     "GROUP_CONCURRENCY",
@@ -45,6 +47,7 @@ __all__ = [
 ]
 
 GROUP_DETERMINISM = "determinism"
+GROUP_OBSERVABILITY = "observability"
 GROUP_SCHEDULING = "scheduling"
 GROUP_CONFIG = "configuration"
 GROUP_CONCURRENCY = "concurrency"

@@ -52,6 +52,9 @@ def _rule_doc(rule_id: str, fallback_level: str) -> dict[str, Any]:
         "shortDescription": {"text": info.summary},
         "fullDescription": {"text": info.rationale},
         "defaultConfiguration": {"level": _LEVELS.get(info.severity, "warning")},
+        # The registry's group is the one source of truth for rule
+        # categories; --list-rules and this writer both render it.
+        "properties": {"category": info.group, "tags": [info.group]},
     }
 
 

@@ -101,6 +101,18 @@ class ServiceHandle(ResourceHandle):
         result = yield from self._forward("get_traces")
         return result
 
+    def get_profile(self, last: Optional[int] = None) -> Generator:
+        """Closed profile windows of the remote continuous profiler
+        (``last`` limits the reply to the N most recent windows)."""
+        args: dict[str, Any] = {} if last is None else {"last": last}
+        result = yield from self._forward("get_profile", args)
+        return result
+
+    def get_utilization(self) -> Generator:
+        """Latest closed window's utilization and per-provider rates."""
+        result = yield from self._forward("get_utilization")
+        return result
+
     # ---- dynamic-service operations --------------------------------------
     def migrate_provider(
         self,

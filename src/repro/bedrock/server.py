@@ -47,6 +47,15 @@ BEDROCK_PROVIDER_ID = 0
 
 OP_COST = 500e-9
 
+#: Read-only introspection operations (metric export / profile query):
+#: their handlers are wrapped so an exception degrades to an error
+#: response -- counted in ``bedrock_introspection_errors`` -- instead of
+#: propagating through the Bedrock ULT (mirrors the
+#: ``margo_monitor_errors`` treatment of monitor hooks).
+_INTROSPECTION_OPS = frozenset(
+    {"get_metrics", "get_traces", "get_profile", "get_utilization", "query"}
+)
+
 
 @dataclass
 class ProviderRecord:
@@ -109,6 +118,8 @@ class BedrockServer(Provider):
             "get_config",
             "get_metrics",
             "get_traces",
+            "get_profile",
+            "get_utilization",
             "query",
             "migrate_provider",
             "checkpoint_provider",
@@ -120,8 +131,16 @@ class BedrockServer(Provider):
             "tx_commit",
             "tx_abort",
         ):
-            self.register_rpc(operation, getattr(self, f"_on_{operation}"))
+            handler = getattr(self, f"_on_{operation}")
+            if operation in _INTROSPECTION_OPS:
+                handler = self._contain_introspection(operation, handler)
+            self.register_rpc(operation, handler)
 
+        self._introspection_errors = margo.metrics.counter(
+            "bedrock_introspection_errors",
+            "introspection/query RPCs whose handler raised (contained: "
+            "a malformed query degrades to an error response)",
+        )
         self._providers_started = margo.metrics.counter(
             "bedrock_providers_started", "providers started on this process"
         )
@@ -474,6 +493,61 @@ class BedrockServer(Provider):
         if self.margo.tracer is None:
             return chrome_trace()
         return chrome_trace(self.margo.tracer)
+
+    def _on_get_profile(self, ctx: RequestContext) -> Generator:
+        """Closed profile windows (rolling store) as one JSON document.
+
+        Args: ``{"last": N}`` limits the reply to the N most recent
+        windows.  Replies ``{"enabled": False}`` when profiling is off.
+        """
+        yield Compute(OP_COST)
+        profiler = self.margo.profiler
+        if profiler is None:
+            return {"enabled": False, "process": self.margo.process.name, "windows": []}
+        args = ctx.args or {}
+        unknown = set(args) - {"last"}
+        if unknown:
+            raise BedrockError(f"unknown get_profile keys: {sorted(unknown)}")
+        doc = profiler.profile(last=args.get("last"))
+        doc["enabled"] = True
+        return doc
+
+    def _on_get_utilization(self, ctx: RequestContext) -> Generator:
+        """The latest closed window's utilization + per-provider rates
+        (what the reconfiguration controller polls)."""
+        yield Compute(OP_COST)
+        profiler = self.margo.profiler
+        if profiler is None:
+            return {
+                "enabled": False,
+                "process": self.margo.process.name,
+                "providers": {},
+                "pools": {},
+                "xstreams": {},
+            }
+        doc = profiler.utilization()
+        doc["enabled"] = True
+        return doc
+
+    def _contain_introspection(self, operation: str, handler: Any) -> Any:
+        """Wrap an introspection handler: failures become error responses
+        plus a ``bedrock_introspection_errors`` tick, never a dead ULT."""
+
+        def guarded(ctx: RequestContext) -> Generator:
+            try:
+                result = handler(ctx)
+                if isinstance(result, Generator):
+                    result = yield from result
+                return result
+            except Exception as err:
+                self._introspection_errors.inc()
+                raise BedrockError(
+                    f"introspection operation {operation!r} failed: "
+                    f"{type(err).__name__}: {err}"
+                ) from err
+
+        guarded.__name__ = f"_guarded_{operation}"
+        return guarded
 
     def _on_query(self, ctx: RequestContext) -> Generator:
         yield Compute(OP_COST)

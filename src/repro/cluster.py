@@ -164,6 +164,14 @@ class Cluster:
             if self.margos[name].tracer is not None
         ]
 
+    def profilers(self) -> list[Any]:
+        """Profilers of every margo with profiling enabled (sorted by name)."""
+        return [
+            self.margos[name].profiler
+            for name in sorted(self.margos)
+            if self.margos[name].profiler is not None
+        ]
+
     def chrome_trace(self) -> dict[str, Any]:
         """All spans cluster-wide as one Chrome trace-event document."""
         return _obs_exporters.chrome_trace(*self.tracers())

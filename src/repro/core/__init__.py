@@ -26,6 +26,7 @@ __all__ = [
     "ProcessSpec",
     "SpecError",
     "DynamicService",
+    "ReconfigurationController",
     "ManagedProcess",
     "ServiceError",
     "ElasticityManager",
@@ -37,6 +38,7 @@ __all__ = [
 
 _LAZY = {
     "DynamicService": "service",
+    "ReconfigurationController": "service",
     "ManagedProcess": "service",
     "ServiceError": "service",
     "ElasticityManager": "elasticity",

@@ -18,11 +18,15 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Optional
 
+from collections import deque
+
 from ..bedrock.boot import boot_process
 from ..bedrock.client import BedrockClient, ServiceHandle
 from ..bedrock.server import BEDROCK_PROVIDER_ID, BedrockServer
 from ..cluster import Cluster
 from ..margo.runtime import MargoInstance
+from ..margo.ult import UltSleep
+from ..observability.profile import LoadEstimator
 from ..pufferscale.model import Placement, Shard
 from ..pufferscale.planner import MigrationPlan, Objective, plan_rebalance
 from ..ssg.bootstrap import create_group
@@ -30,7 +34,12 @@ from ..ssg.group import SSGGroup
 from ..storage.pfs import ParallelFileSystem
 from .spec import ProcessSpec, ServiceSpec
 
-__all__ = ["DynamicService", "ServiceError", "ManagedProcess"]
+__all__ = [
+    "DynamicService",
+    "ReconfigurationController",
+    "ServiceError",
+    "ManagedProcess",
+]
 
 
 class ServiceError(RuntimeError):
@@ -255,11 +264,53 @@ class DynamicService:
                 )
         return placement
 
+    def measured_placement(
+        self, estimates_by_process: dict[str, dict[str, dict[str, float]]]
+    ) -> Placement:
+        """Placement whose shard loads come from *measured* windows.
+
+        ``estimates_by_process`` maps process name to a
+        :meth:`LoadEstimator.estimate` result (provider key
+        ``"<type>:<provider_id>"`` -> ``{"load": ...}``).  Shard sizes
+        still come from provider statistics (bytes at rest are known
+        exactly); loads are the observed request rates -- this is the
+        seam where the monitor -> decide loop replaces hand-fed
+        ``Shard.load`` values.
+        """
+        placement = Placement([p.name for p in self.processes.values() if p.alive])
+        for process in self.processes.values():
+            if not process.alive:
+                continue
+            estimates = estimates_by_process.get(process.name, {})
+            for record in process.bedrock.records.values():
+                if not record.module.supports_migration:
+                    continue
+                stats = record.instance.get_config().get("statistics", {})
+                key = f"{record.type_name}:{record.provider_id}"
+                entry = estimates.get(key)
+                placement.add(
+                    process.name,
+                    Shard(
+                        shard_id=record.name,
+                        size_bytes=int(stats.get("size_bytes", 0)),
+                        load=entry["load"] if entry is not None else 0.0,
+                    ),
+                )
+        return placement
+
     def rebalance(
-        self, objective: Optional[Objective] = None, target: Optional[list[str]] = None
+        self,
+        objective: Optional[Objective] = None,
+        target: Optional[list[str]] = None,
+        placement: Optional[Placement] = None,
     ) -> Generator:
-        """Plan with Pufferscale; execute with Bedrock/REMI migrations."""
-        placement = self.placement()
+        """Plan with Pufferscale; execute with Bedrock/REMI migrations.
+
+        ``placement`` overrides the synthetically-sized default -- the
+        :class:`ReconfigurationController` passes a measured one.
+        """
+        if placement is None:
+            placement = self.placement()
         target_nodes = target if target is not None else placement.nodes
         plan = plan_rebalance(placement, target_nodes, objective)
         for move in plan.moves:
@@ -299,3 +350,147 @@ class DynamicService:
             process.margo.shutdown()
         if self.control is not None:
             self.control.shutdown()
+
+
+class ReconfigurationController:
+    """Autonomic monitor -> decide -> reconfigure loop (ROADMAP north
+    star: the paper's "performance introspection" made actionable).
+
+    Each control cycle the controller queries every live process's
+    Bedrock ``get_profile`` / ``get_utilization`` RPCs, reduces the
+    measured windows to per-provider loads with a
+    :class:`~repro.observability.profile.LoadEstimator`, and compares
+    them against the declarative thresholds of the processes'
+    :class:`~repro.observability.ObservabilitySpec`:
+
+    * ``load_imbalance_threshold`` -- measured max/mean node load above
+      which a Pufferscale rebalance is planned and executed;
+    * ``busy_threshold`` -- measured per-xstream busy fraction above
+      which a process counts as overloaded (same reaction).
+
+    Every decision -- triggered or not -- is recorded in a bounded ring
+    and attributed to the profile windows that produced it; when the
+    control process traces, each decision is also emitted as a span.
+    Decisions are deterministic functions of the measured windows, so
+    two identical runs produce byte-identical decision traces (tested).
+    """
+
+    def __init__(
+        self,
+        service: DynamicService,
+        objective: Optional[Objective] = None,
+        period: Optional[float] = None,
+        smoothing: int = 3,
+        load_imbalance_threshold: Optional[float] = None,
+        busy_threshold: Optional[float] = None,
+        max_decisions: int = 64,
+    ) -> None:
+        self.service = service
+        self.objective = objective
+        self.estimator = LoadEstimator(smoothing=smoothing)
+        first = next(iter(service.processes.values()), None)
+        obs = first.margo.config.observability if first is not None else None
+        if period is None:
+            period = obs.profile_window if obs is not None else 1.0
+        if load_imbalance_threshold is None:
+            load_imbalance_threshold = (
+                obs.load_imbalance_threshold if obs is not None else 1.5
+            )
+        if busy_threshold is None:
+            busy_threshold = obs.busy_threshold if obs is not None else 0.9
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period
+        self.load_imbalance_threshold = load_imbalance_threshold
+        self.busy_threshold = busy_threshold
+        #: Bounded decision trace (see lint rule MCH004: control loops
+        #: must not accumulate unbounded state).
+        self.decisions: deque[dict[str, Any]] = deque(maxlen=max_decisions)
+        self.rebalances = 0
+
+    # ------------------------------------------------------------------
+    def run(self, cycles: int) -> Generator:
+        """Drive ``cycles`` control cycles (a ULT on the control
+        process); returns the list of decisions taken."""
+        taken: list[dict[str, Any]] = []
+        for cycle in range(cycles):
+            yield UltSleep(self.period)
+            decision = yield from self.evaluate_once(cycle)
+            taken.append(decision)
+        return taken
+
+    def evaluate_once(self, cycle: int = 0) -> Generator:
+        """One control cycle: measure, decide, (maybe) rebalance."""
+        service = self.service
+        control = service.control
+        assert control is not None
+        started = control.kernel.now
+        estimates: dict[str, dict[str, dict[str, float]]] = {}
+        windows_used: dict[str, Any] = {}
+        busy: dict[str, float] = {}
+        for name in sorted(service.processes):
+            process = service.processes[name]
+            if not process.alive:
+                continue
+            handle = service.handle_for(name)
+            profile = yield from handle.get_profile(last=self.estimator.smoothing)
+            if not profile.get("enabled"):
+                continue
+            estimates[name] = self.estimator.estimate(profile)
+            windows = profile.get("windows", [])
+            windows_used[name] = (
+                [windows[0]["index"], windows[-1]["index"]] if windows else None
+            )
+            utilization = yield from handle.get_utilization()
+            xstreams = utilization.get("xstreams", {})
+            busy[name] = max(
+                (s["utilization"] for s in xstreams.values()), default=0.0
+            )
+        placement = service.measured_placement(estimates)
+        imbalance = placement.load_imbalance()
+        max_busy = max(busy.values(), default=0.0)
+        total_load = sum(placement.load_of(n) for n in placement.nodes)
+        triggered = total_load > 0 and (
+            imbalance > self.load_imbalance_threshold
+            or max_busy > self.busy_threshold
+        )
+        decision: dict[str, Any] = {
+            "cycle": cycle,
+            "time": started,
+            "windows": windows_used,
+            "load_imbalance": imbalance,
+            "max_busy": max_busy,
+            "loads": {n: placement.load_of(n) for n in sorted(placement.nodes)},
+            "triggered": triggered,
+            "moves": [],
+        }
+        if triggered:
+            plan = yield from service.rebalance(
+                objective=self.objective, placement=placement
+            )
+            self.rebalances += 1
+            decision["moves"] = [
+                {
+                    "shard": move.shard.shard_id,
+                    "source": move.source,
+                    "destination": move.destination,
+                }
+                for move in plan.moves
+            ]
+        self.decisions.append(decision)
+        if control.tracer is not None:
+            control.tracer.record_span(
+                name="reconfiguration_decision",
+                category="control",
+                process=control.process.name,
+                start=started,
+                end=control.kernel.now,
+                attributes={
+                    "cycle": cycle,
+                    "triggered": triggered,
+                    "load_imbalance": imbalance,
+                    "max_busy": max_busy,
+                    "moves": len(decision["moves"]),
+                },
+            )
+        return decision

@@ -49,6 +49,10 @@ class Pool:
         # Cumulative counters for monitoring/benchmarks.
         self.total_pushed = 0
         self.total_popped = 0
+        # Continuous profiler hook (None when profiling is off, so the
+        # hot path pays a single identity check -- same discipline as the
+        # race-detector gates below).
+        self._profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     @property
@@ -63,6 +67,8 @@ class Pool:
         self.total_pushed += 1
         if _race.ENABLED:
             _race.note_push(self, ult)
+        if self._profiler is not None:
+            self._profiler._note_pool_push(self, ult)
         for xstream in self._watchers:
             xstream.notify()
 
@@ -78,8 +84,11 @@ class Pool:
             index = _race.PERTURB.randrange(len(queue))
             ult = queue[index]
             del queue[index]
-            return ult
-        return queue.popleft()
+        else:
+            ult = queue.popleft()
+        if self._profiler is not None:
+            self._profiler._note_pool_pop(self, ult)
+        return ult
 
     # ------------------------------------------------------------------
     def attach_xstream(self, xstream: "XStream") -> None:

@@ -42,6 +42,7 @@ from ..mercury import (
     serialize_cost,
 )
 from ..observability.metrics import MetricsRegistry
+from ..observability.profile import ContinuousProfiler
 from ..observability.span import HANDLER_SUFFIX, child_span_id
 from ..observability.tracer import Tracer
 from ..sim.kernel import TIMED_OUT, SimKernel
@@ -172,6 +173,22 @@ class MargoInstance:
             self.monitors.append(self.tracer)
 
         self._build()
+        # Continuous profiler (after _build: it hooks the live pools).
+        # As a monitor it fires on the same hooks as the tracer and is
+        # charged the same modeled monitoring cost per event; off, it
+        # does not exist and the fast paths above stay monitor-free.
+        self.profiler: Optional[ContinuousProfiler] = None
+        if obs.profiling:
+            self.profiler = ContinuousProfiler(
+                self,
+                window=obs.profile_window,
+                history=obs.profile_history,
+                waterfalls=obs.profile_waterfalls,
+            )
+            self.monitors.append(self.profiler)
+            self._hook_cache.clear()
+            self._hook_cache_key = None
+            self.profiler.start()
         process.on_message = self._on_message
         process.on_killed.append(self.shutdown)
 
@@ -650,6 +667,8 @@ class MargoInstance:
         if spec.name in self.pools:
             raise DuplicateNameError(f"pool {spec.name!r} already exists")
         pool = Pool(spec.name, spec.kind, spec.access)
+        if self.profiler is not None:
+            pool._profiler = self.profiler
         self.pools[spec.name] = pool
         self.config.pools.append(spec)
         if _race.ENABLED:
@@ -776,6 +795,8 @@ class MargoInstance:
         if _sanitize.ENABLED:
             _sanitize.check_margo_shutdown(self)
         self._emit("on_finalize")
+        if self.profiler is not None:
+            self.profiler.stop()
         for xstream in self.xstreams.values():
             xstream.stop()
         self._incoming.clear()

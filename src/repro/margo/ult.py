@@ -103,6 +103,7 @@ class ULT:
         "result",
         "error",
         "rpc_context",
+        "profile_enqueued_at",
         "_resume_value",
         "_resume_exc",
         "_park_token",
@@ -123,6 +124,9 @@ class ULT:
         # Context of the RPC this ULT is currently servicing, if any; used
         # by the monitoring layer to attribute nested RPCs to a parent.
         self.rpc_context: Any = None
+        # Simulated time of the last pool push, stamped by the continuous
+        # profiler (slots forbid ad-hoc attributes, hence a real slot).
+        self.profile_enqueued_at: Optional[float] = None
         self._resume_value: Any = None
         self._resume_exc: Optional[BaseException] = None
         self._park_token = 0

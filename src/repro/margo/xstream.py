@@ -57,6 +57,7 @@ class XStream:
         # Counters for monitoring/benchmarks.
         self.slices_run = 0
         self.busy_time = 0.0
+        self.ults_finished = 0
         for pool in self.pools:
             pool.attach_xstream(self)
 
@@ -141,9 +142,11 @@ class XStream:
                         cmd = ult.gen.send(value)
                     value = None
                 except StopIteration as stop:
+                    self.ults_finished += 1
                     ult.finish(result=stop.value)
                     return
                 except BaseException as err:  # noqa: BLE001 - ULT failure path
+                    self.ults_finished += 1
                     ult.finish(error=err)
                     return
                 finally:
@@ -189,6 +192,16 @@ class XStream:
                 )
         finally:
             self.current_ult = None
+
+    # ------------------------------------------------------------------
+    def sample(self) -> dict[str, float]:
+        """Cumulative utilization counters (the continuous profiler takes
+        per-window deltas of these at each boundary tick)."""
+        return {
+            "busy_time": self.busy_time,
+            "slices_run": float(self.slices_run),
+            "ults_finished": float(self.ults_finished),
+        }
 
     # ------------------------------------------------------------------
     def to_json(self) -> dict[str, Any]:

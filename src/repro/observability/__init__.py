@@ -22,10 +22,21 @@ bytes out.
 from .exporters import (
     build_trace_tree,
     chrome_trace,
+    chrome_trace_profile,
     collect_spans,
     dumps_chrome_trace,
+    dumps_chrome_trace_profile,
     dumps_metrics,
     metrics_snapshot,
+)
+from .profile import (
+    PHASES,
+    ContinuousProfiler,
+    LoadEstimator,
+    PhaseAggregate,
+    ProfileStore,
+    WindowRollup,
+    quantile_from_buckets,
 )
 from .metrics import (
     Counter,
@@ -56,8 +67,17 @@ __all__ = [
     "ObservabilitySpec",
     "collect_spans",
     "chrome_trace",
+    "chrome_trace_profile",
     "dumps_chrome_trace",
+    "dumps_chrome_trace_profile",
     "metrics_snapshot",
     "dumps_metrics",
     "build_trace_tree",
+    "PHASES",
+    "ContinuousProfiler",
+    "LoadEstimator",
+    "PhaseAggregate",
+    "ProfileStore",
+    "WindowRollup",
+    "quantile_from_buckets",
 ]

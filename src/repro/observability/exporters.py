@@ -28,7 +28,9 @@ from .tracer import Tracer
 __all__ = [
     "collect_spans",
     "chrome_trace",
+    "chrome_trace_profile",
     "dumps_chrome_trace",
+    "dumps_chrome_trace_profile",
     "metrics_snapshot",
     "dumps_metrics",
     "build_trace_tree",
@@ -95,6 +97,65 @@ def chrome_trace(*tracers: Tracer) -> dict[str, Any]:
 
 def dumps_chrome_trace(*tracers: Tracer, indent: int = 2) -> str:
     return json.dumps(chrome_trace(*tracers), indent=indent, sort_keys=True)
+
+
+def chrome_trace_profile(*profilers: Any) -> dict[str, Any]:
+    """Render continuous-profiler output as a Chrome trace document.
+
+    Per-RPC waterfalls become nested complete events (one ``tid`` per
+    waterfall, each phase an "X" slice), so ``chrome://tracing`` shows
+    them as flamegraph-style stacks; closed-window xstream utilization
+    becomes counter ("C") events on the same timeline.
+    """
+    events: list[dict[str, Any]] = []
+    for profiler in profilers:
+        process = profiler.margo.process.name
+        for waterfall in profiler.waterfalls:
+            tid = f"{waterfall['trace_id']}:{waterfall['span_id']}"
+            events.append(
+                {
+                    "name": f"{waterfall['rpc']}/{waterfall['provider']}",
+                    "cat": "rpc",
+                    "ph": "X",
+                    "ts": round(waterfall["start"] * 1e6, 3),
+                    "dur": round((waterfall["end"] - waterfall["start"]) * 1e6, 3),
+                    "pid": process,
+                    "tid": tid,
+                    "args": {"trace_id": waterfall["trace_id"]},
+                }
+            )
+            for slice_ in waterfall["phases"]:
+                events.append(
+                    {
+                        "name": slice_["phase"],
+                        "cat": "rpc_phase",
+                        "ph": "X",
+                        "ts": round(slice_["start"] * 1e6, 3),
+                        "dur": round((slice_["end"] - slice_["start"]) * 1e6, 3),
+                        "pid": process,
+                        "tid": tid,
+                        "args": {},
+                    }
+                )
+        for window in profiler.store.closed_windows():
+            for xstream_name, sample in sorted(window["xstreams"].items()):
+                events.append(
+                    {
+                        "name": f"utilization:{xstream_name}",
+                        "cat": "profile",
+                        "ph": "C",
+                        "ts": round(window["end"] * 1e6, 3),
+                        "pid": process,
+                        "tid": f"utilization:{xstream_name}",
+                        "args": {"utilization": sample["utilization"]},
+                    }
+                )
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"], e["name"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dumps_chrome_trace_profile(*profilers: Any, indent: int = 2) -> str:
+    return json.dumps(chrome_trace_profile(*profilers), indent=indent, sort_keys=True)
 
 
 def metrics_snapshot(registries: Mapping[str, Any]) -> dict[str, Any]:

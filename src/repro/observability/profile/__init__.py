@@ -1,0 +1,34 @@
+"""mochi-profile: continuous profiling, RPC latency decomposition, and
+the measured-load inputs that feed reconfiguration decisions.
+
+Layered on the PR 1 tracer/metrics plane:
+
+* :class:`ProfileStore` / :class:`WindowRollup` -- fixed-memory ring of
+  windowed rollups (p50/p95/p99, rates, utilization) with deterministic
+  window boundaries;
+* :class:`ContinuousProfiler` -- the per-Margo sampler + monitor that
+  fills the store and answers ``get_profile`` / ``get_utilization``;
+* :class:`LoadEstimator` -- measured windows reduced to Pufferscale
+  ``Shard.load`` / ``size`` inputs, closing the monitor -> decide ->
+  reconfigure loop.
+"""
+
+from .estimator import LoadEstimator
+from .profiler import ContinuousProfiler
+from .store import (
+    PHASES,
+    PhaseAggregate,
+    ProfileStore,
+    WindowRollup,
+    quantile_from_buckets,
+)
+
+__all__ = [
+    "PHASES",
+    "ContinuousProfiler",
+    "LoadEstimator",
+    "PhaseAggregate",
+    "ProfileStore",
+    "WindowRollup",
+    "quantile_from_buckets",
+]

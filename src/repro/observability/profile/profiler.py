@@ -1,0 +1,295 @@
+"""ContinuousProfiler: sampling + RPC latency decomposition for one
+Margo instance.
+
+Two data paths feed one :class:`~.store.ProfileStore`:
+
+* **Sampling** -- a kernel timer aligned to window boundaries
+  (``k * profile_window`` simulated seconds, via ``kernel.schedule_at``)
+  samples every pool (queue depth, push/pop deltas, ULT scheduling
+  latency) and every xstream (busy vs idle time, slices, completed
+  ULTs), then closes the window into the bounded ring.  Pools report
+  scheduling latency through a one-``None``-check hook
+  (``pool._profiler``), mirroring the race layer's zero-cost-when-off
+  discipline; with profiling disabled nothing here exists at all.
+
+* **Decomposition** -- the profiler doubles as a monitor (same hook
+  contract as :class:`~repro.observability.tracer.Tracer`): every
+  forwarded RPC is broken into *client queue -> network ->
+  server queue -> handler -> respond* phases.  The halves of a phase
+  observed on different processes meet through timestamp stamps on the
+  in-flight request/response objects (one simulated clock, so cross-
+  process subtraction is exact).  Phases are recorded as histogram
+  metrics in ``margo.metrics`` and as per-window aggregates; completed
+  five-phase waterfalls land in a bounded ring for
+  ``tools.profile_report`` and the Chrome-trace exporter.
+
+Determinism: all timestamps are simulated; windows, rings, and JSON
+reductions are seed-pure, so ``get_profile`` documents are byte-
+identical across identical runs (tested, including under
+``REPRO_SANITIZE=race`` record mode).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from .store import PHASES, ProfileStore
+
+__all__ = ["ContinuousProfiler", "PHASES"]
+
+#: Attribute names stamped on in-flight RPCRequest/RPCResponse objects
+#: (plain dataclasses, shared across the simulated wire) so the two
+#: endpoint profilers can close cross-process phases exactly.
+_SENT_STAMP = "_profile_sent_at"
+_ULT_END_STAMP = "_profile_ult_end_at"
+_RESPONDED_STAMP = "_profile_responded_at"
+
+
+def _provider_key(rpc_name: str, provider_id: int) -> str:
+    """``"<component>:<provider_id>"`` -- RPC names follow the
+    ``<component_type>_<operation>`` convention, so the text before the
+    first underscore identifies the component type."""
+    return f"{rpc_name.split('_', 1)[0]}:{provider_id}"
+
+
+class ContinuousProfiler:
+    """Continuous profiling for one :class:`MargoInstance`.
+
+    Created by the Margo runtime when ``observability.profiling`` is on;
+    attach it to the instance's monitor list for the decomposition hooks
+    and call :meth:`start` to begin window sampling.
+    """
+
+    def __init__(
+        self,
+        margo: Any,
+        window: float = 1.0,
+        history: int = 64,
+        waterfalls: int = 32,
+    ) -> None:
+        self.margo = margo
+        self.kernel = margo.kernel
+        self.store = ProfileStore(window=window, history=history)
+        self.store.open_window(self.store.window_index(self.kernel.now))
+        #: Recent complete per-RPC waterfalls (bounded ring; the MCH004
+        #: sanctioned pattern -- a profiler must never grow unboundedly).
+        self.waterfalls: deque[dict[str, Any]] = deque(maxlen=max(1, waterfalls))
+        self._keep_waterfalls = waterfalls > 0
+        self._timer: Optional[Any] = None
+        self._running = False
+        # Last cumulative counters per pool/xstream, for window deltas.
+        self._pool_marks: dict[str, tuple[int, int]] = {}
+        self._xstream_marks: dict[str, dict[str, float]] = {}
+        # Phase histograms (labelled) in the process registry, so phase
+        # distributions export alongside every other metric.
+        self._phase_hist = margo.metrics.histogram(
+            "margo_rpc_phase_seconds",
+            "per-RPC latency decomposition (client_queue/network/"
+            "server_queue/handler/respond/total)",
+            label_names=("rpc", "provider", "phase"),
+        )
+        self._sched_hist = margo.metrics.histogram(
+            "margo_pool_sched_latency_seconds",
+            "pool push-to-pop latency of ULTs (scheduling delay)",
+            label_names=("pool",),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Hook every pool and begin boundary ticking."""
+        if self._running:
+            return
+        self._running = True
+        for pool in self.margo.pools.values():
+            pool._profiler = self
+        self._schedule_next_tick()
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        for pool in self.margo.pools.values():
+            if pool._profiler is self:
+                pool._profiler = None
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _schedule_next_tick(self) -> None:
+        boundary = (self.store.current.index + 1) * self.store.window
+        self._timer = self.kernel.schedule_at(boundary, self._tick, boundary)
+
+    def _tick(self, boundary: float) -> None:
+        if not self._running or self.margo.finalized:
+            self._running = False
+            return
+        self.store.close_current(self._sample_pools(), self._sample_xstreams())
+        self._schedule_next_tick()
+
+    # ------------------------------------------------------------------
+    # sampling (window boundaries)
+    # ------------------------------------------------------------------
+    def _sample_pools(self) -> dict[str, dict[str, float]]:
+        samples: dict[str, dict[str, float]] = {}
+        for name in sorted(self.margo.pools):
+            pool = self.margo.pools[name]
+            # New pools (runtime reconfiguration) get hooked lazily.
+            if pool._profiler is None and self._running:
+                pool._profiler = self
+            last_pushed, last_popped = self._pool_marks.get(name, (0, 0))
+            samples[name] = {
+                "depth": float(pool.size),
+                "pushed": float(pool.total_pushed - last_pushed),
+                "popped": float(pool.total_popped - last_popped),
+            }
+            self._pool_marks[name] = (pool.total_pushed, pool.total_popped)
+        return samples
+
+    def _sample_xstreams(self) -> dict[str, dict[str, float]]:
+        window = self.store.window
+        samples: dict[str, dict[str, float]] = {}
+        for name in sorted(self.margo.xstreams):
+            xstream = self.margo.xstreams[name]
+            sample = xstream.sample()
+            mark = self._xstream_marks.get(name, {})
+            busy = sample["busy_time"] - mark.get("busy_time", 0.0)
+            utilization = min(1.0, busy / window) if window > 0 else 0.0
+            samples[name] = {
+                "busy": busy,
+                "idle": max(0.0, window - busy),
+                "utilization": utilization,
+                "slices": sample["slices_run"] - mark.get("slices_run", 0.0),
+                "ults_finished": sample["ults_finished"]
+                - mark.get("ults_finished", 0.0),
+            }
+            self._xstream_marks[name] = sample
+        return samples
+
+    # ------------------------------------------------------------------
+    # pool hooks (ULT scheduling latency; one None-check when disabled)
+    # ------------------------------------------------------------------
+    def _note_pool_push(self, pool: Any, ult: Any) -> None:
+        ult.profile_enqueued_at = self.kernel.now
+
+    def _note_pool_pop(self, pool: Any, ult: Any) -> None:
+        enqueued = ult.profile_enqueued_at
+        if enqueued is None:
+            return  # pushed before profiling started
+        latency = self.kernel.now - enqueued
+        ult.profile_enqueued_at = None
+        self._sched_hist.labels(pool=pool.name).observe(latency)
+        self.store.current.observe_phase(f"pool/{pool.name}", "sched", latency)
+
+    # ------------------------------------------------------------------
+    # monitor hooks (RPC latency decomposition)
+    # ------------------------------------------------------------------
+    def _phase(self, request: Any, phase: str, value: float) -> None:
+        rpc_key = f"{request.rpc_name}/{request.provider_id}"
+        self._phase_hist.labels(
+            rpc=request.rpc_name, provider=str(request.provider_id), phase=phase
+        ).observe(value)
+        self.store.current.observe_phase(rpc_key, phase, value)
+
+    # client side ------------------------------------------------------
+    def on_forward_start(self, time: float, margo: Any, request: Any) -> None:
+        request._profile_fwd_start = time
+
+    def on_forward_sent(self, time: float, margo: Any, request: Any) -> None:
+        started = getattr(request, "_profile_fwd_start", None)
+        if started is not None:
+            self._phase(request, "client_queue", time - started)
+        setattr(request, _SENT_STAMP, time)
+
+    def on_response_received(
+        self, time: float, margo: Any, request: Any, response: Any, elapsed: float
+    ) -> None:
+        responded = getattr(response, _RESPONDED_STAMP, None)
+        if responded is not None:
+            self._phase(request, "respond", time - responded)
+        self._phase(request, "total", elapsed)
+        if self._keep_waterfalls:
+            self._maybe_record_waterfall(time, request, response)
+
+    # server side ------------------------------------------------------
+    def on_request_received(self, time: float, margo: Any, request: Any) -> None:
+        sent = getattr(request, _SENT_STAMP, None)
+        if sent is not None:
+            self._phase(request, "network", time - sent)
+        request._profile_received_at = time
+
+    def on_ult_start(
+        self, time: float, margo: Any, request: Any, queued_for: float
+    ) -> None:
+        self._phase(request, "server_queue", queued_for)
+        self.store.current.note_request(
+            _provider_key(request.rpc_name, request.provider_id),
+            request.payload_size,
+        )
+        request._profile_ult_start_at = time
+
+    def on_ult_complete(
+        self, time: float, margo: Any, request: Any, duration: float, queued_for: float
+    ) -> None:
+        self._phase(request, "handler", duration)
+        setattr(request, _ULT_END_STAMP, time)
+
+    def on_respond(self, time: float, margo: Any, request: Any, response: Any) -> None:
+        self.store.current.note_response(
+            _provider_key(request.rpc_name, request.provider_id),
+            response.payload_size,
+        )
+        setattr(response, _RESPONDED_STAMP, time)
+
+    # waterfall assembly (client side, all stamps present) -------------
+    def _maybe_record_waterfall(self, now: float, request: Any, response: Any) -> None:
+        fwd_start = getattr(request, "_profile_fwd_start", None)
+        sent = getattr(request, _SENT_STAMP, None)
+        received = getattr(request, "_profile_received_at", None)
+        ult_start = getattr(request, "_profile_ult_start_at", None)
+        ult_end = getattr(request, _ULT_END_STAMP, None)
+        if None in (fwd_start, sent, received, ult_start, ult_end):
+            return  # peer not profiled: no cross-process stamps
+        self.waterfalls.append(
+            {
+                "trace_id": request.trace_id,
+                "span_id": request.span_id,
+                "rpc": request.rpc_name,
+                "provider": request.provider_id,
+                "process": self.margo.process.name,
+                "start": fwd_start,
+                "end": now,
+                "phases": [
+                    {"phase": "client_queue", "start": fwd_start, "end": sent},
+                    {"phase": "network", "start": sent, "end": received},
+                    {"phase": "server_queue", "start": received, "end": ult_start},
+                    {"phase": "handler", "start": ult_start, "end": ult_end},
+                    {"phase": "respond", "start": ult_end, "end": now},
+                ],
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # queries (served by the Bedrock introspection RPCs)
+    # ------------------------------------------------------------------
+    def profile(self, last: Optional[int] = None) -> dict[str, Any]:
+        """The closed-window rollups as one deterministic document."""
+        doc = self.store.to_json(last)
+        doc["process"] = self.margo.process.name
+        return doc
+
+    def utilization(self) -> dict[str, Any]:
+        """The latest closed window's utilization + provider rates (the
+        reconfiguration controller's per-process input)."""
+        latest = self.store.latest()
+        return {
+            "process": self.margo.process.name,
+            "time": self.kernel.now,
+            "window_index": latest["index"] if latest else None,
+            "window": self.store.window,
+            "providers": dict(latest["providers"]) if latest else {},
+            "pools": dict(latest["pools"]) if latest else {},
+            "xstreams": dict(latest["xstreams"]) if latest else {},
+        }

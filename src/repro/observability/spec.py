@@ -7,13 +7,25 @@ the Margo instance) accepts an ``observability`` object::
       "observability": {
         "tracing": true,        # materialize per-RPC spans (default off)
         "metrics": true,        # export the metrics registry (default on)
-        "max_spans": 100000     # span-buffer cap (default unbounded)
+        "max_spans": 100000,    # span-buffer cap (default unbounded)
+
+        "profiling": true,      # continuous profiler (default off)
+        "profile_window": 1.0,  # rollup window, simulated seconds
+        "profile_history": 64,  # ring of closed windows kept in memory
+        "profile_waterfalls": 32,  # recent per-RPC waterfalls kept
+
+        "load_imbalance_threshold": 1.5,  # reconfiguration trigger
+        "busy_threshold": 0.9             # per-xstream overload trigger
       }
     }
 
-Like every other part of the Listing-2/Listing-3 configuration it is
-validated on parse and reflected back by ``get_config`` so a shared
-configuration document reproduces the observability setup too.
+The ``profile_*`` keys configure :mod:`repro.observability.profile`;
+the two thresholds are the declarative knobs the autonomic
+:class:`~repro.core.service.ReconfigurationController` compares measured
+windows against.  Like every other part of the Listing-2/Listing-3
+configuration it is validated on parse and reflected back by
+``get_config`` so a shared configuration document reproduces the
+observability setup too.
 """
 
 from __future__ import annotations
@@ -23,6 +35,18 @@ from typing import Any, Optional
 
 __all__ = ["ObservabilitySpec"]
 
+_KNOWN_KEYS = {
+    "tracing",
+    "metrics",
+    "max_spans",
+    "profiling",
+    "profile_window",
+    "profile_history",
+    "profile_waterfalls",
+    "load_imbalance_threshold",
+    "busy_threshold",
+}
+
 
 @dataclass(frozen=True)
 class ObservabilitySpec:
@@ -31,6 +55,21 @@ class ObservabilitySpec:
     tracing: bool = False
     metrics: bool = True
     max_spans: Optional[int] = None
+    #: Continuous profiling (sampling + RPC latency decomposition).
+    profiling: bool = False
+    #: Rollup window length in simulated seconds (windows are aligned to
+    #: multiples of this value, so boundaries are deterministic).
+    profile_window: float = 1.0
+    #: Number of closed windows retained (fixed-memory ring).
+    profile_history: int = 64
+    #: Number of recent per-RPC waterfalls retained (fixed-memory ring).
+    profile_waterfalls: int = 32
+    #: Measured max/mean node load above which the reconfiguration
+    #: controller plans a rebalance.
+    load_imbalance_threshold: float = 1.5
+    #: Measured per-xstream busy fraction above which a process counts
+    #: as overloaded (second reconfiguration trigger).
+    busy_threshold: float = 0.9
 
     @classmethod
     def from_json(cls, doc: Any) -> "ObservabilitySpec":
@@ -40,7 +79,7 @@ class ObservabilitySpec:
             raise ValueError(
                 f"'observability' must be an object, got {type(doc).__name__}"
             )
-        unknown = set(doc) - {"tracing", "metrics", "max_spans"}
+        unknown = set(doc) - _KNOWN_KEYS
         if unknown:
             raise ValueError(f"unknown observability keys: {sorted(unknown)}")
         max_spans = doc.get("max_spans")
@@ -48,14 +87,65 @@ class ObservabilitySpec:
             max_spans = int(max_spans)
             if max_spans <= 0:
                 raise ValueError(f"max_spans must be positive, got {max_spans}")
+        profile_window = float(doc.get("profile_window", cls.profile_window))
+        if profile_window <= 0:
+            raise ValueError(
+                f"profile_window must be positive, got {profile_window}"
+            )
+        profile_history = int(doc.get("profile_history", cls.profile_history))
+        if profile_history <= 0:
+            raise ValueError(
+                f"profile_history must be positive, got {profile_history}"
+            )
+        profile_waterfalls = int(
+            doc.get("profile_waterfalls", cls.profile_waterfalls)
+        )
+        if profile_waterfalls < 0:
+            raise ValueError(
+                f"profile_waterfalls must be >= 0, got {profile_waterfalls}"
+            )
+        load_imbalance_threshold = float(
+            doc.get("load_imbalance_threshold", cls.load_imbalance_threshold)
+        )
+        if load_imbalance_threshold < 1.0:
+            raise ValueError(
+                "load_imbalance_threshold must be >= 1.0 (1.0 = perfect "
+                f"balance), got {load_imbalance_threshold}"
+            )
+        busy_threshold = float(doc.get("busy_threshold", cls.busy_threshold))
+        if not 0.0 < busy_threshold <= 1.0:
+            raise ValueError(
+                f"busy_threshold must be in (0, 1], got {busy_threshold}"
+            )
         return cls(
             tracing=bool(doc.get("tracing", False)),
             metrics=bool(doc.get("metrics", True)),
             max_spans=max_spans,
+            profiling=bool(doc.get("profiling", False)),
+            profile_window=profile_window,
+            profile_history=profile_history,
+            profile_waterfalls=profile_waterfalls,
+            load_imbalance_threshold=load_imbalance_threshold,
+            busy_threshold=busy_threshold,
         )
 
     def to_json(self) -> dict[str, Any]:
         doc: dict[str, Any] = {"tracing": self.tracing, "metrics": self.metrics}
         if self.max_spans is not None:
             doc["max_spans"] = self.max_spans
+        # Profiling keys are emitted only when they deviate from the
+        # defaults, keeping configuration round-trips minimal (and the
+        # reflected documents of non-profiled processes unchanged).
+        if self.profiling:
+            doc["profiling"] = True
+        if self.profile_window != ObservabilitySpec.profile_window:
+            doc["profile_window"] = self.profile_window
+        if self.profile_history != ObservabilitySpec.profile_history:
+            doc["profile_history"] = self.profile_history
+        if self.profile_waterfalls != ObservabilitySpec.profile_waterfalls:
+            doc["profile_waterfalls"] = self.profile_waterfalls
+        if self.load_imbalance_threshold != ObservabilitySpec.load_imbalance_threshold:
+            doc["load_imbalance_threshold"] = self.load_imbalance_threshold
+        if self.busy_threshold != ObservabilitySpec.busy_threshold:
+            doc["busy_threshold"] = self.busy_threshold
         return doc

@@ -373,6 +373,24 @@ class SimKernel:
         heapq.heappush(self._queue, (timer.deadline, self._seq, timer))
         return timer
 
+    def schedule_at(self, deadline: float, fn: Callable[..., None], arg: Any = _NO_ARG) -> Timer:
+        """Run ``fn()`` -- or ``fn(arg)`` if ``arg`` is given -- at the
+        absolute simulated time ``deadline``; return a cancellable handle.
+
+        Unlike :meth:`schedule`, the firing time does not depend on when
+        the caller ran, which is what periodic samplers aligned to fixed
+        window boundaries (``k * window``) need for deterministic,
+        drift-free rollups.
+        """
+        if deadline < self._now:
+            raise ValueError(
+                f"deadline {deadline} is in the past (now={self._now})"
+            )
+        timer = Timer(deadline, fn, arg, self)
+        self._seq += 1
+        heapq.heappush(self._queue, (timer.deadline, self._seq, timer))
+        return timer
+
     def event(self, name: str = "") -> SimEvent:
         """Create a :class:`SimEvent` bound to this kernel."""
         return SimEvent(self, name=name)

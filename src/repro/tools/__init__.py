@@ -6,6 +6,7 @@ from .diagnostics import (
     lint_report,
     monitoring_report,
     process_report,
+    profile_report,
     race_report,
     trace_report,
 )
@@ -15,6 +16,7 @@ __all__ = [
     "process_report",
     "monitoring_report",
     "trace_report",
+    "profile_report",
     "lint_report",
     "config_report",
     "race_report",

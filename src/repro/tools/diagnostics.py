@@ -20,6 +20,7 @@ from ..bedrock.server import BedrockServer
 from ..cluster import Cluster
 from ..monitoring.stats_monitor import StatisticsMonitor
 from ..observability.exporters import build_trace_tree, collect_spans
+from ..observability.profile import PHASES, ContinuousProfiler
 from ..observability.tracer import Tracer
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "process_report",
     "monitoring_report",
     "trace_report",
+    "profile_report",
     "lint_report",
     "config_report",
     "race_report",
@@ -122,6 +124,109 @@ def monitoring_report(monitor: StatisticsMonitor, top: int = 10) -> str:
             f"  bulk transfers: n={bulk['duration']['num']} "
             f"bytes={int(bulk['size']['sum'])}"
         )
+    return "\n".join(lines)
+
+
+def profile_report(
+    *targets: Any, last: "int | None" = None, waterfalls: int = 3
+) -> str:
+    """Continuous-profiling view: utilization, per-provider rates, the
+    RPC latency decomposition, and recent request waterfalls.
+
+    Accepts Margo instances (their attached profiler is used) or
+    :class:`ContinuousProfiler` objects directly.  ``last`` bounds how
+    many closed windows feed the rollups (default: the whole ring);
+    ``waterfalls`` how many recent complete waterfalls are rendered per
+    process.
+    """
+    lines: list[str] = []
+    for target in targets:
+        profiler = (
+            target
+            if isinstance(target, ContinuousProfiler)
+            else getattr(target, "profiler", None)
+        )
+        if profiler is None:
+            name = getattr(getattr(target, "process", None), "name", str(target))
+            lines.append(f"process {name}: profiling disabled")
+            continue
+        doc = profiler.profile(last=last)
+        windows = doc["windows"]
+        lines.append(
+            f"process {doc['process']}: window={doc['window']}s, "
+            f"{len(windows)} window(s) shown"
+        )
+        if not windows:
+            continue
+        latest = windows[-1]
+        for xname in sorted(latest["xstreams"]):
+            sample = latest["xstreams"][xname]
+            lines.append(
+                f"  xstream {xname}: {sample['utilization'] * 100:5.1f}% busy "
+                f"(slices={sample['slices']:.0f} ults={sample['ults_finished']:.0f})"
+            )
+        for pname in sorted(latest["pools"]):
+            sample = latest["pools"][pname]
+            lines.append(
+                f"  pool {pname}: depth={sample['depth']:.0f} "
+                f"pushed={sample['pushed']:.0f} popped={sample['popped']:.0f}"
+            )
+        span = windows[-1]["end"] - windows[0]["start"]
+        provider_totals: dict[str, dict[str, float]] = {}
+        for window in windows:
+            for key, entry in window["providers"].items():
+                acc = provider_totals.setdefault(
+                    key, {"requests": 0, "bytes_in": 0, "bytes_out": 0}
+                )
+                for field in acc:
+                    acc[field] += entry[field]
+        if provider_totals:
+            lines.append("  providers (over shown windows):")
+            for key in sorted(provider_totals):
+                acc = provider_totals[key]
+                rate = acc["requests"] / span if span > 0 else 0.0
+                lines.append(
+                    f"    {key:<16} requests={acc['requests']:<6.0f} "
+                    f"rate={rate:8.1f}/s in={acc['bytes_in']:.0f}B "
+                    f"out={acc['bytes_out']:.0f}B"
+                )
+        # Phase means per series, in causal phase order (the flamegraph
+        # rollup: where each RPC's time goes, summed over windows).
+        per_series: dict[str, dict[str, dict[str, float]]] = {}
+        for window in windows:
+            for rpc_key, phases in window["rpc"].items():
+                series = per_series.setdefault(rpc_key, {})
+                for phase, agg in phases.items():
+                    acc = series.setdefault(phase, {"count": 0, "sum": 0.0, "p95": 0.0})
+                    acc["count"] += agg["count"]
+                    acc["sum"] += agg["sum"]
+                    acc["p95"] = max(acc["p95"], agg["p95"])
+        if per_series:
+            lines.append("  latency decomposition (mean per phase):")
+            for rpc_key in sorted(per_series):
+                series = per_series[rpc_key]
+                parts = []
+                for phase in (*PHASES, "sched"):
+                    acc = series.get(phase)
+                    if acc and acc["count"]:
+                        parts.append(f"{phase}={acc['sum'] / acc['count'] * 1e6:.2f}us")
+                lines.append(f"    {rpc_key}: " + " ".join(parts))
+        recent = list(profiler.waterfalls)[-waterfalls:]
+        if recent:
+            lines.append(f"  last {len(recent)} waterfall(s):")
+            for waterfall in recent:
+                total = waterfall["end"] - waterfall["start"]
+                lines.append(
+                    f"    {waterfall['rpc']}/{waterfall['provider']} "
+                    f"{total * 1e6:.2f}us @t={waterfall['start']:.6f}s"
+                )
+                for phase in waterfall["phases"]:
+                    duration = phase["end"] - phase["start"]
+                    width = int(round(40 * duration / total)) if total > 0 else 0
+                    bar = "#" * max(width, 1 if duration > 0 else 0)
+                    lines.append(
+                        f"      {phase['phase']:<12} {duration * 1e6:9.2f}us |{bar}"
+                    )
     return "\n".join(lines)
 
 

@@ -53,6 +53,8 @@ def test_sarif_format(tmp_path, capsys):
     assert run["tool"]["driver"]["name"] == "mochi-lint"
     rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
     assert rule_ids == ["MCH001"]
+    # Rule categories come straight from the registry's group field.
+    assert run["tool"]["driver"]["rules"][0]["properties"]["category"] == "determinism"
     result = run["results"][0]
     assert result["ruleId"] == "MCH001"
     assert result["level"] == "error"
@@ -120,13 +122,16 @@ def test_list_rules_covers_catalog(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in (
-        "MCH001", "MCH002", "MCH003",
+        "MCH001", "MCH002", "MCH003", "MCH004",
         "MCH010", "MCH011", "MCH012", "MCH013",
         "MCH020", "MCH021", "MCH022", "MCH023",
         "MCH030", "MCH031", "MCH032", "MCH040", "MCH041",
         "MCH090", "MCH091",
     ):
         assert rule_id in out
+    # MCH004 carries its own category block between the determinism and
+    # scheduling runs of the id space.
+    assert "[observability]" in out
     # The runtime-checked rules advertise their dynamic half: MCH011,
     # MCH012, and the five mochi-race concurrency rules.
     assert out.count("also runtime-checked") == 7

@@ -110,6 +110,73 @@ def test_mch003_clean_when_sorted():
 
 
 # ----------------------------------------------------------------------
+# MCH004 unbounded-monitoring-state
+# ----------------------------------------------------------------------
+def test_mch004_flags_unbounded_module_growth():
+    findings = lint(
+        """
+        EVENTS = []
+        STATS = {}
+
+        class AuditMonitor:
+            def on_forward(self, **kw):
+                EVENTS.append(kw)
+
+            def on_respond(self, **kw):
+                STATS[kw["rpc"]] = kw
+        """,
+        select=["MCH004"],
+    )
+    assert ids(findings) == ["MCH004", "MCH004"]
+    assert "EVENTS" in findings[0].message
+    assert "deque(maxlen=...)" in findings[0].message
+    assert "STATS" in findings[1].message
+
+
+def test_mch004_flags_unbounded_deque_and_setdefault():
+    findings = lint(
+        """
+        from collections import deque, defaultdict
+        TRACE = deque()
+        INDEX = defaultdict(list)
+
+        def on_ult_start(**kw):
+            TRACE.append(kw)
+            INDEX.setdefault(kw["rpc"], []).append(kw)
+        """,
+        select=["MCH004"],
+    )
+    assert ids(findings) == ["MCH004", "MCH004"]
+    assert "TRACE" in findings[0].message
+    assert "INDEX" in findings[1].message
+
+
+def test_mch004_clean_on_ring_buffer_and_non_hooks():
+    findings = lint(
+        """
+        from collections import deque
+        RECENT = deque(maxlen=64)
+
+        class StatsMonitor:
+            def __init__(self):
+                self.counts = {}
+
+            def on_forward(self, **kw):
+                RECENT.append(kw)
+                self.counts["forward"] = self.counts.get("forward", 0) + 1
+
+        def rebuild(events):
+            table = {}
+            for e in events:
+                table[e] = 1
+            return table
+        """,
+        select=["MCH004"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
 # MCH010 blocking-call-in-ult
 # ----------------------------------------------------------------------
 def test_mch010_flags_blocking_call_in_ult_body():

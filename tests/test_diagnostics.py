@@ -8,12 +8,14 @@ import pytest
 from repro import Cluster
 from repro.bedrock import boot_process
 from repro.monitoring import StatisticsMonitor
+from repro.margo.ult import Compute, UltSleep
 from repro.tools import (
     cluster_report,
     config_report,
     lint_report,
     monitoring_report,
     process_report,
+    profile_report,
 )
 from repro.yokan import YokanClient
 
@@ -136,6 +138,38 @@ def test_lint_report_includes_sanitizer_violations(tmp_path):
         assert "ult:" in report  # the runtime violation's context location
     finally:
         sanitize.disable()
+
+
+def test_profile_report_contents():
+    cluster = Cluster(seed=82)
+    profiled = {"observability": {"profiling": True, "profile_window": 0.05}}
+    a = cluster.add_margo("a", "n0", config=profiled)
+    b = cluster.add_margo("b", "n1", config=profiled)
+    plain = cluster.add_margo("plain", "n2")
+
+    def echo(ctx):
+        yield Compute(1e-6)
+        return {"ok": True}
+
+    b.register("echo_ping", echo, provider_id=3)
+
+    def client():
+        for _ in range(10):
+            yield from a.forward(b.address, "echo_ping", {"x": 1}, provider_id=3)
+            yield UltSleep(0.01)
+
+    cluster.run_ult(a, client())
+    cluster.kernel.run(until=0.4)
+
+    report = profile_report(a, b, plain)
+    assert "process a: window=0.05s" in report
+    assert "process plain: profiling disabled" in report
+    assert "% busy" in report
+    assert "echo:3" in report  # server-side provider rates
+    assert "latency decomposition" in report
+    assert "echo_ping/3:" in report
+    assert "waterfall" in report
+    assert "client_queue" in report and "handler" in report
 
 
 def test_config_report_on_documents_and_files(tmp_path):
