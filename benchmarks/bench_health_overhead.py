@@ -1,0 +1,321 @@
+"""mochi-health overhead on the P0 RPC hot path.
+
+The health plane promises to stay *off the data path*: it subscribes to
+callbacks that already exist (SSG membership, fault injection, SLO
+alerts) and never interposes on RPC send/receive.  Adaptive sampling
+promises that a *profiled* process can shed most of the decomposition
+cost by stamping only every Nth request.  This suite prices both
+promises with the same workload as ``bench_p0_throughput``:
+
+* ``rpc_off``              -- observability fully disabled, no plane;
+* ``rpc_health_on``        -- a HealthPlane attached and watching both
+  endpoints (registry + phi detector + flight recorder live), still no
+  profiling: the off-path claim;
+* ``rpc_profiled_full``    -- continuous profiler on, every request
+  decomposed (the mochi-profile price, for reference);
+* ``rpc_profiled_sampled`` -- profiler on with
+  ``profile_sample_every=64``, the documented always-on setting: the
+  adaptive-sampling price.
+
+Gates (enforced in full and ``--gate`` runs, exit 1 on failure):
+
+* health-plane on/off ratio <= 1.02x (same-run comparison);
+* sampled profiler-on overhead < 10% vs off.
+
+Arms are measured *interleaved and paired*: every repeat round runs
+each arm once, overhead is computed per round (arms of one round see
+the same machine conditions), and the gates compare the median of the
+per-round ratios.  Sequential best-of blocks drift with machine load
+and have produced >5-point phantom overheads on shared runners;
+best-of across arms still compares samples taken at different times,
+so medians of paired rounds are what the gates trust.
+
+Results land in ``benchmarks/results/HEALTH_overhead.json`` and the
+repo-root ``BENCH_HEALTH.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_health_overhead.py          # full + gates
+    PYTHONPATH=src python benchmarks/bench_health_overhead.py --gate   # CI-sized gate
+    PYTHONPATH=src python benchmarks/bench_health_overhead.py --smoke  # CI rot check
+"""
+
+from __future__ import annotations
+
+# mochi-lint: disable-file=MCH001 -- this harness measures real wall-clock
+# throughput of the simulator itself; time.perf_counter here reads the host
+# clock on purpose and never runs under the kernel.
+
+import gc
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import print_table, save_results  # noqa: E402
+
+from repro import Cluster  # noqa: E402
+from repro.margo import Compute  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_HEALTH.json")
+
+#: Acceptance thresholds (ISSUE 6): the health plane must be free on the
+#: data path, and sampling must make always-on profiling affordable.
+HEALTH_ON_MAX_RATIO = 1.02
+SAMPLED_MAX_OVERHEAD = 0.10
+
+OBS_OFF = {"observability": {"tracing": False, "metrics": False}}
+#: A realistic always-on window.  (bench_profile_overhead uses 1e-4 to
+#: deliberately stress window rotation; here the windows just need to
+#: close a few times so the rollup path is exercised, while the cost
+#: being priced is the per-request one that sampling sheds.)
+OBS_PROFILED = {
+    "observability": {
+        "tracing": False,
+        "metrics": False,
+        "profiling": True,
+        "profile_window": 1e-2,
+    }
+}
+#: The always-on setting: decompose every 64th request.  The sampled
+#: arm's cost decomposes as (full decomposition cost)/N plus the fixed
+#: skip-path cost (one stamp + one branch per lifecycle hook site), so
+#: N=64 puts the sampling floor well under the 10% gate while weighted
+#: rates stay exact and ~40 full waterfalls/s still flow at the 2.5k
+#: rpc/s this workload sustains.
+OBS_SAMPLED = {
+    "observability": {
+        "tracing": False,
+        "metrics": False,
+        "profiling": True,
+        "profile_window": 1e-2,
+        "profile_sample_every": 64,
+    }
+}
+
+#: Same RPC workload shape as bench_p0_throughput / bench_profile_overhead,
+#: but longer rounds: a round must be long enough for transient machine
+#: noise to hit both arms of a pair rather than land between them (2.5k-rpc
+#: rounds measurably skew the paired ratios high on shared runners).
+FULL = dict(repeats=12, n_rpcs=5000)
+GATE = dict(repeats=6, n_rpcs=5000)
+SMOKE = dict(repeats=1, n_rpcs=60)
+
+
+def _once(fn):
+    gc.collect()
+    gc.disable()
+    try:
+        return fn()
+    finally:
+        gc.enable()
+
+
+def _run_rounds(repeats: int, arms: dict) -> tuple[dict, list]:
+    """Run every arm twice per round (palindrome order); keep each arm's
+    best stats plus the summed per-round wall times.
+
+    Interleaving is load-bearing for the gates: the comparison must see
+    the same machine conditions in every arm, and sequential best-of
+    blocks do not (load drift between blocks reads as phantom overhead).
+    The per-round walls feed paired ratios in ``_comparison``.
+    """
+    best: dict = {}
+    rounds: list = []
+    names = list(arms)
+    for index in range(repeats):
+        # Each round runs its arms in palindrome (ABCD-DCBA) order, so
+        # every arm's two position indices sum to the same value: any
+        # drift that is linear across the round (frequency ramps, a
+        # background job spinning up) contributes equally to every arm
+        # and cancels out of the paired ratios.  The base order also
+        # rotates per round so nonlinear position effects do not keep
+        # landing on the same arm.
+        shift = index % len(names)
+        order = names[shift:] + names[:shift]
+        walls = dict.fromkeys(names, 0.0)
+        for name in order + order[::-1]:
+            stats = _once(arms[name])
+            walls[name] += stats["wall_s"]
+            if name not in best or stats["wall_s"] < best[name]["wall_s"]:
+                best[name] = stats
+        rounds.append(walls)
+    return best, rounds
+
+
+def _median(values: list) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _paired_ratio(rounds: list, arm: str, base: str = "rpc_off") -> float:
+    """Median over rounds of (arm wall / base wall), both from the same
+    round: machine drift cancels within a pair, and the median is robust
+    to the odd descheduled round."""
+    return _median([walls[arm] / walls[base] for walls in rounds])
+
+
+def bench_rpc(n_rpcs: int, config: dict, health: bool) -> dict:
+    """Identical to the P0 rpc workload, with the chosen observer mix."""
+    cluster = Cluster(seed=7)
+    server = cluster.add_margo("server", node="n0", config=dict(config))
+    client = cluster.add_margo("client", node="n1", config=dict(config))
+    if health:
+        plane = cluster.enable_health()
+        plane.watch_margo(server)
+        plane.watch_margo(client)
+
+    def handler(ctx):
+        yield Compute(1e-6)
+        return ctx.args
+
+    server.register("echo", handler)
+
+    def driver():
+        for i in range(n_rpcs):
+            yield from client.forward(server.address, "echo", i)
+        return None
+
+    started = time.perf_counter()
+    cluster.run_ult(client, driver())
+    wall = time.perf_counter() - started
+    stats = {
+        "rpcs": n_rpcs,
+        "wall_s": wall,
+        "rpcs_per_sec": n_rpcs / wall,
+        "sim_time": cluster.now,
+        "health": health,
+        "profiled": bool(config["observability"].get("profiling")),
+    }
+    if health:
+        stats["recorder_events"] = cluster.health.recorder.recorded
+    if stats["profiled"]:
+        stats["windows_closed"] = len(server.profiler.store.windows)
+        stats["waterfalls"] = len(client.profiler.waterfalls)
+    return stats
+
+
+def run_suite(params: dict) -> dict:
+    n = params["n_rpcs"]
+    results, rounds = _run_rounds(params["repeats"], {
+        "rpc_off": lambda: bench_rpc(n, OBS_OFF, health=False),
+        "rpc_health_on": lambda: bench_rpc(n, OBS_OFF, health=True),
+        "rpc_profiled_full": lambda: bench_rpc(n, OBS_PROFILED, health=False),
+        "rpc_profiled_sampled": lambda: bench_rpc(n, OBS_SAMPLED, health=False),
+    })
+    results["params"] = dict(params)
+    results["rounds"] = rounds
+    return results
+
+
+def _comparison(results: dict) -> dict:
+    rounds = results["rounds"]
+    full_ratio = _paired_ratio(rounds, "rpc_profiled_full")
+    sampled_ratio = _paired_ratio(rounds, "rpc_profiled_sampled")
+    return {
+        "rate_off": results["rpc_off"]["rpcs_per_sec"],
+        "rate_health_on": results["rpc_health_on"]["rpcs_per_sec"],
+        "rate_profiled_full": results["rpc_profiled_full"]["rpcs_per_sec"],
+        "rate_profiled_sampled": results["rpc_profiled_sampled"]["rpcs_per_sec"],
+        "unit": "rpcs_per_sec",
+        # Median paired walltime(health) / walltime(off): 1.0 means
+        # free, the gate is 1.02.
+        "health_on_ratio": _paired_ratio(rounds, "rpc_health_on"),
+        # Overhead = extra wall fraction, from the paired wall ratio.
+        "profiled_full_overhead": 1.0 - 1.0 / full_ratio,
+        "profiled_sampled_overhead": 1.0 - 1.0 / sampled_ratio,
+    }
+
+
+def _check_gates(comparison: dict) -> list[str]:
+    failures = []
+    if comparison["health_on_ratio"] > HEALTH_ON_MAX_RATIO:
+        failures.append(
+            f"health plane is not off-path: {comparison['health_on_ratio']:.4f}x"
+            f" > {HEALTH_ON_MAX_RATIO}x"
+        )
+    if comparison["profiled_sampled_overhead"] >= SAMPLED_MAX_OVERHEAD:
+        failures.append(
+            "sampled profiler overhead "
+            f"{comparison['profiled_sampled_overhead']:.1%}"
+            f" >= {SAMPLED_MAX_OVERHEAD:.0%}"
+        )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    gate = "--gate" in argv
+    params = SMOKE if smoke else GATE if gate else FULL
+
+    results = run_suite(params)
+    comparison = _comparison(results)
+    label = " (smoke)" if smoke else " (gate)" if gate else ""
+    print_table("mochi-health overhead" + label, [dict(bench="rpc", **comparison)])
+
+    if smoke:
+        # CI rot check only: the harness must run end to end; no wall-clock
+        # assertions on shared runners.
+        print("health-overhead smoke OK")
+        return 0
+
+    failures = _check_gates(comparison)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+
+    if not gate:
+        save_results("HEALTH_overhead", {"results": results})
+        trajectory = {
+            "experiment": "HEALTH_overhead",
+            "description": (
+                "Wall-clock throughput of the Margo RPC path with the "
+                "mochi-health plane attached vs detached, and with the "
+                "continuous profiler decomposing every request vs every "
+                "64th.  Gates: 'health_on_ratio' <= 1.02 (the plane only "
+                "subscribes to existing callbacks, it never interposes on "
+                "the data path) and 'profiled_sampled_overhead' < 10% "
+                "(adaptive sampling makes always-on profiling affordable)."
+            ),
+            "results": results,
+            "comparison": comparison,
+            "gates": {
+                "health_on_max_ratio": HEALTH_ON_MAX_RATIO,
+                "sampled_max_overhead": SAMPLED_MAX_OVERHEAD,
+                "passed": not failures,
+                "failures": failures,
+            },
+        }
+        with open(TRAJECTORY_PATH, "w") as handle:
+            json.dump(trajectory, handle, indent=2, sort_keys=True)
+        print(f"trajectory written to {TRAJECTORY_PATH}")
+
+    if failures:
+        return 1
+    print("health-overhead gates OK")
+    return 0
+
+
+# Pytest entry point (smoke-sized so `pytest benchmarks/` stays fast).
+def test_health_overhead_smoke():
+    results = run_suite(SMOKE)
+    assert results["rpc_off"]["rpcs"] == SMOKE["n_rpcs"]
+    # The plane really attached, and stayed silent on a healthy run.
+    assert results["rpc_health_on"]["health"] is True
+    assert results["rpc_health_on"]["recorder_events"] == 0
+    # Sampling really sampled: the full arm decomposes every request
+    # (its waterfall ring is bounded at 32 entries), the sampled arm
+    # only request 1 of the 60 -> exactly 1.
+    assert results["rpc_profiled_full"]["waterfalls"] == 32
+    assert results["rpc_profiled_sampled"]["waterfalls"] == 1
+    # Observation is modeled cost, so simulated time never goes backwards.
+    assert results["rpc_profiled_full"]["sim_time"] >= results["rpc_off"]["sim_time"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -27,6 +27,10 @@ setup(
             # mochi-lint: the Mochi-aware static analyzer + config
             # cross-validator (same as `python -m repro.analysis`).
             "repro-lint=repro.analysis.cli:main",
+            # mochi-health: deterministic incident scenarios reporting
+            # health states, incidents, detection latency, MTTR (same
+            # as `python -m repro.observability.health`).
+            "repro-health=repro.observability.health.cli:main",
         ]
     },
 )

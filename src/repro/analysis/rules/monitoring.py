@@ -1,4 +1,4 @@
-"""Observability rules (MCH004).
+"""Observability rules (MCH004, MCH005).
 
 Monitoring and profiling callbacks fire on every RPC and every
 scheduling event.  State they accumulate must therefore be bounded by
@@ -6,8 +6,13 @@ construction -- a ring buffer (``deque(maxlen=...)``) or a windowed
 rollup that evicts as it fills, like the continuous profiler's
 ``ProfileStore``.  A module-level list that grows by one entry per
 event is a memory leak proportional to simulated traffic, and no
-functional test ever notices it.
-"""
+functional test ever notices it (MCH004).
+
+The same callbacks are also where failures disappear: an ``except``
+block in a monitor hook or an introspection handler that neither
+re-raises nor increments an error counter turns a broken observer into
+silence -- the one component whose job is to notice problems becomes
+the one place problems are invisible (MCH005)."""
 
 from __future__ import annotations
 
@@ -159,6 +164,70 @@ def check_unbounded_monitoring_state(ctx: FileContext) -> list[Finding]:
                     f"(defined line {def_line}) via {how} with no bound; "
                     "use a ring buffer (deque(maxlen=...)) or a windowed "
                     "rollup instead",
+                )
+            )
+    return findings
+
+
+#: Call suffixes that count as observing a failure inside an except
+#: block: counter increments and flight-recorder / registry appends.
+_OBSERVING_CALLS = frozenset({"inc", "record"})
+
+
+def _is_observer(func: ast.AST) -> bool:
+    """Functions MCH005 holds to the observe-or-reraise contract:
+    ``on_<event>`` monitor hooks (the MCH004 convention) and Bedrock
+    introspection handlers (``_on_get_*`` / ``_on_query``)."""
+    name = getattr(func, "name", "")
+    return name.startswith("on_") or name.startswith("_on_get_") or name == "_on_query"
+
+
+def _handler_observes(handler: ast.ExceptHandler) -> bool:
+    """True when the except body re-raises or visibly counts the error."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and last_attr(node.func) in _OBSERVING_CALLS:
+            return True
+    return False
+
+
+@rule(
+    RuleInfo(
+        id="MCH005",
+        name="unobserved-failure-swallow",
+        group=GROUP_OBSERVABILITY,
+        severity=Severity.ERROR,
+        summary="observer except-block swallows the failure it should count",
+        rationale=(
+            "monitor hooks and introspection handlers are the system's "
+            "eyes: an `except` there that neither re-raises nor "
+            "increments an error counter makes observer failures "
+            "invisible exactly where visibility is the job; count the "
+            "error (`...errors.inc()`), record it, or re-raise"
+        ),
+    )
+)
+def check_unobserved_failure_swallow(ctx: FileContext) -> list[Finding]:
+    findings = []
+    for func in ast.walk(ctx.tree):
+        if not (isinstance(func, FunctionNode) and _is_observer(func)):
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _handler_observes(node):
+                continue
+            caught = ast.unparse(node.type) if node.type is not None else "BaseException"
+            findings.append(
+                Finding(
+                    "MCH005",
+                    Severity.ERROR,
+                    ctx.path,
+                    node.lineno,
+                    f"observer {func.name!r} swallows {caught} without "
+                    "re-raising or incrementing an error counter; failures "
+                    "in the observation path must be observable themselves",
                 )
             )
     return findings

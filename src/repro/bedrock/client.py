@@ -113,6 +113,24 @@ class ServiceHandle(ResourceHandle):
         result = yield from self._forward("get_utilization")
         return result
 
+    def get_health(self) -> Generator:
+        """Cluster health snapshot (per-target states, phi levels)."""
+        result = yield from self._forward("get_health")
+        return result
+
+    def get_incidents(self, last: Optional[int] = None) -> Generator:
+        """The incident log: faults correlated with SWIM detection,
+        elections, and recovery (``last`` limits to the N most recent)."""
+        args: dict[str, Any] = {} if last is None else {"last": last}
+        result = yield from self._forward("get_incidents", args)
+        return result
+
+    def get_slo_status(self) -> Generator:
+        """The remote process's SLO engine status (burn rates, budgets,
+        alert transitions)."""
+        result = yield from self._forward("get_slo_status")
+        return result
+
     # ---- dynamic-service operations --------------------------------------
     def migrate_provider(
         self,

@@ -53,7 +53,16 @@ OP_COST = 500e-9
 #: propagating through the Bedrock ULT (mirrors the
 #: ``margo_monitor_errors`` treatment of monitor hooks).
 _INTROSPECTION_OPS = frozenset(
-    {"get_metrics", "get_traces", "get_profile", "get_utilization", "query"}
+    {
+        "get_metrics",
+        "get_traces",
+        "get_profile",
+        "get_utilization",
+        "get_health",
+        "get_incidents",
+        "get_slo_status",
+        "query",
+    }
 )
 
 
@@ -120,6 +129,9 @@ class BedrockServer(Provider):
             "get_traces",
             "get_profile",
             "get_utilization",
+            "get_health",
+            "get_incidents",
+            "get_slo_status",
             "query",
             "migrate_provider",
             "checkpoint_provider",
@@ -529,6 +541,60 @@ class BedrockServer(Provider):
         doc["enabled"] = True
         return doc
 
+    def _health_plane(self) -> Any:
+        """The cluster health plane, reachable through the network the
+        Margo instance is attached to; ``None`` when not enabled."""
+        return getattr(self.margo.network, "health_plane", None)
+
+    def _on_get_health(self, ctx: RequestContext) -> Generator:
+        """The cluster health snapshot: per-target states, phi suspicion
+        levels, open incident count.  ``{"enabled": False}`` when the
+        cluster runs without a health plane."""
+        yield Compute(OP_COST)
+        plane = self._health_plane()
+        if plane is None:
+            return {"enabled": False, "process": self.margo.process.name}
+        doc = plane.health_doc()
+        doc["enabled"] = True
+        doc["process"] = self.margo.process.name
+        return doc
+
+    def _on_get_incidents(self, ctx: RequestContext) -> Generator:
+        """The incident log (faults correlated with detection and
+        recovery).  Args: ``{"last": N}`` limits to the N most recent."""
+        yield Compute(OP_COST)
+        plane = self._health_plane()
+        if plane is None:
+            return {
+                "enabled": False,
+                "process": self.margo.process.name,
+                "incidents": [],
+            }
+        args = ctx.args or {}
+        unknown = set(args) - {"last"}
+        if unknown:
+            raise BedrockError(f"unknown get_incidents keys: {sorted(unknown)}")
+        doc = plane.incidents.to_json(last=args.get("last"))
+        doc["enabled"] = True
+        doc["process"] = self.margo.process.name
+        return doc
+
+    def _on_get_slo_status(self, ctx: RequestContext) -> Generator:
+        """This process's SLO engine status (objectives, burn rates,
+        error budgets, alert ring); ``{"enabled": False}`` when the
+        process declares no SLOs."""
+        yield Compute(OP_COST)
+        engine = self.margo.slo_engine
+        if engine is None:
+            return {
+                "enabled": False,
+                "process": self.margo.process.name,
+                "slos": [],
+            }
+        doc = engine.status()
+        doc["enabled"] = True
+        return doc
+
     def _contain_introspection(self, operation: str, handler: Any) -> Any:
         """Wrap an introspection handler: failures become error responses
         plus a ``bedrock_introspection_errors`` tick, never a dead ULT."""
@@ -629,6 +695,14 @@ class BedrockServer(Provider):
         self._execute_stop({"name": name})
         self._migrations.inc()
         self._migrated_bytes.inc(report.total_bytes)
+        plane = self._health_plane()
+        if plane is not None:
+            plane.note_migration(
+                name,
+                self.margo.process.name,
+                dest_address,
+                self.margo.kernel.now - migration_started,
+            )
         if self.margo.tracer is not None:
             self.margo.tracer.record_span(
                 f"migrate:{name}",

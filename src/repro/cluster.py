@@ -24,6 +24,7 @@ from typing import Any, Generator, Optional
 from .margo.runtime import MargoInstance
 from .margo.ult import ULT
 from .observability import exporters as _obs_exporters
+from .observability.health.plane import HealthPlane
 from .observability.tracer import Tracer
 from .sim.faults import FaultInjector
 from .sim.kernel import SimKernel, WaitEvent
@@ -50,6 +51,9 @@ class Cluster:
         self.network = Network(self.kernel, config=network_config, randomness=self.randomness)
         self.faults = FaultInjector(self.kernel, self.network)
         self.margos: dict[str, MargoInstance] = {}
+        #: The cluster health plane (ISSUE 6); ``None`` until
+        #: :meth:`enable_health` opts in.
+        self.health: Optional[HealthPlane] = None
 
     # ------------------------------------------------------------------
     # topology helpers
@@ -156,6 +160,15 @@ class Cluster:
     # ------------------------------------------------------------------
     # observability (cluster-wide views over per-process planes)
     # ------------------------------------------------------------------
+    def enable_health(self, **kwargs: Any) -> HealthPlane:
+        """Attach the cluster health plane (flight recorder, failure
+        detector, health registry, incident log).  Idempotent: a second
+        call returns the existing plane.  Keyword arguments pass through
+        to :class:`~repro.observability.health.HealthPlane`."""
+        if self.health is None:
+            HealthPlane(self, **kwargs)  # installs itself as self.health
+        return self.health
+
     def tracers(self) -> list[Tracer]:
         """Tracers of every margo with tracing enabled (sorted by name)."""
         return [

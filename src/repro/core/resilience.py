@@ -58,6 +58,10 @@ class ResilienceManager:
         self._owner: dict[str, str] = {}
         self.checkpoints_taken = 0
         self.recoveries: list[RecoveryEvent] = []
+        #: Subscribers called with each :class:`RecoveryEvent` as it
+        #: completes (the health plane closes incidents here, stamping
+        #: the measured MTTR).
+        self.on_recovery: list[Callable[[RecoveryEvent], None]] = []
         self._running = False
         self._version = 0
 
@@ -170,13 +174,14 @@ class ResilienceManager:
                 yield from handle.restore_provider(provider_name, path)
             self._owner[provider_name] = replacement_name
             restored += 1
-        self.recoveries.append(
-            RecoveryEvent(
-                time=self.service.cluster.now,
-                failed_process=dead.name,
-                replacement_process=replacement_name,
-                providers_restored=restored,
-                recovery_duration=self.service.cluster.now - started,
-            )
+        event = RecoveryEvent(
+            time=self.service.cluster.now,
+            failed_process=dead.name,
+            replacement_process=replacement_name,
+            providers_restored=restored,
+            recovery_duration=self.service.cluster.now - started,
         )
+        self.recoveries.append(event)
+        for callback in list(self.on_recovery):
+            callback(event)
         return None

@@ -454,6 +454,19 @@ class ReconfigurationController:
             imbalance > self.load_imbalance_threshold
             or max_busy > self.busy_threshold
         )
+        # Health veto (ISSUE 6): never plan migrations *onto* a target
+        # the health plane currently holds suspect or dead -- moving
+        # shards to a dying process converts an imbalance into an
+        # outage.  Degraded targets stay eligible (the move may be the
+        # cure for their burning SLO).
+        health = getattr(service.cluster, "health", None)
+        vetoed: list[str] = []
+        if health is not None:
+            vetoed = sorted(
+                name
+                for name in placement.nodes
+                if not health.registry.is_placeable(name)
+            )
         decision: dict[str, Any] = {
             "cycle": cycle,
             "time": started,
@@ -462,11 +475,13 @@ class ReconfigurationController:
             "max_busy": max_busy,
             "loads": {n: placement.load_of(n) for n in sorted(placement.nodes)},
             "triggered": triggered,
+            "vetoed_nodes": vetoed,
             "moves": [],
         }
-        if triggered:
+        eligible = [n for n in placement.nodes if n not in vetoed]
+        if triggered and len(eligible) >= 1:
             plan = yield from service.rebalance(
-                objective=self.objective, placement=placement
+                objective=self.objective, placement=placement, target=eligible
             )
             self.rebalances += 1
             decision["moves"] = [
@@ -478,6 +493,8 @@ class ReconfigurationController:
                 for move in plan.moves
             ]
         self.decisions.append(decision)
+        if health is not None:
+            health.note_decision(decision)
         if control.tracer is not None:
             control.tracer.record_span(
                 name="reconfiguration_decision",

@@ -67,8 +67,15 @@ class Pool:
         self.total_pushed += 1
         if _race.ENABLED:
             _race.note_push(self, ult)
-        if self._profiler is not None:
-            self._profiler._note_pool_push(self, ult)
+        prof = self._profiler
+        if prof is not None and prof._sched_on:
+            # Sched-latency sampling: stamp the push time while the
+            # profiler's duty-cycle burst is open.  Outside a burst the
+            # stamp is left untouched -- it is always None here (pop
+            # clears it after observing; ContinuousProfiler.stop sweeps
+            # queued ULTs), so this stays two attribute loads on the
+            # hottest call site in the system.
+            ult.profile_enqueued_at = prof.kernel.now
         for xstream in self._watchers:
             xstream.notify()
 
@@ -86,7 +93,7 @@ class Pool:
             del queue[index]
         else:
             ult = queue.popleft()
-        if self._profiler is not None:
+        if self._profiler is not None and ult.profile_enqueued_at is not None:
             self._profiler._note_pool_pop(self, ult)
         return ult
 

@@ -42,7 +42,7 @@ from ..mercury import (
     serialize_cost,
 )
 from ..observability.metrics import MetricsRegistry
-from ..observability.profile import ContinuousProfiler
+from ..observability.profile import SAMPLE_STAMP, ContinuousProfiler
 from ..observability.span import HANDLER_SUFFIX, child_span_id
 from ..observability.tracer import Tracer
 from ..sim.kernel import TIMED_OUT, SimKernel
@@ -105,6 +105,58 @@ class Registration:
     pool: Pool
 
 
+class _MonitorList(list):
+    """Monitor list that notifies its owning :class:`MargoInstance` on
+    every mutation -- including direct ``append`` and in-place index
+    assignment -- so the per-hook cache and the sampling-skip flag never
+    go stale, and the emit fast path needs only an integer compare."""
+
+    def __init__(self, owner: "MargoInstance", iterable: Iterable[Any] = ()) -> None:
+        super().__init__(iterable)
+        self._owner = owner
+
+    def _touch(self) -> None:
+        self._owner._monitors_changed()
+
+    def append(self, item: Any) -> None:
+        super().append(item)
+        self._touch()
+
+    def extend(self, items: Iterable[Any]) -> None:
+        super().extend(items)
+        self._touch()
+
+    def insert(self, index: int, item: Any) -> None:
+        super().insert(index, item)
+        self._touch()
+
+    def remove(self, item: Any) -> None:
+        super().remove(item)
+        self._touch()
+
+    def pop(self, index: int = -1) -> Any:
+        item = super().pop(index)
+        self._touch()
+        return item
+
+    def clear(self) -> None:
+        super().clear()
+        self._touch()
+
+    def __setitem__(self, index: Any, item: Any) -> None:
+        super().__setitem__(index, item)
+        self._touch()
+
+    def __delitem__(self, index: Any) -> None:
+        super().__delitem__(index)
+        self._touch()
+
+    def __iadd__(self, items: Iterable[Any]) -> "_MonitorList":
+        super().extend(items)
+        self._touch()
+        return self
+
+
 class MargoInstance:
     """The per-process runtime shared by all Mochi components."""
 
@@ -123,15 +175,25 @@ class MargoInstance:
             self.config = config
         else:
             self.config = MargoConfig.from_json(config)
-        self.monitors: list[Any] = list(monitors)
         self.default_rpc_timeout = default_rpc_timeout
         self._finalized = False
         # Per-hook monitor-method cache (the RPC fast path): with no
         # monitors attached, emit sites skip kwargs construction and
         # monitor iteration entirely; with monitors, each hook resolves
-        # its bound methods once instead of getattr-ing per event.
+        # its bound methods once instead of getattr-ing per event.  Any
+        # mutation of ``self.monitors`` (the _MonitorList notifies back)
+        # bumps the version, so the hot path invalidation check is a
+        # single integer compare instead of an identity-tuple rebuild.
         self._hook_cache: dict[str, tuple[Callable[..., None], ...]] = {}
-        self._hook_cache_key: Optional[tuple[int, ...]] = None
+        self._hook_cache_key: Optional[int] = None
+        self._monitors_version = 0
+        # True when every attached monitor declares
+        # ``respects_profile_sampling``: request-scoped hooks may then be
+        # skipped wholesale for sampled-out requests (the RPC paths
+        # fold this into their per-request ``observed`` decision).
+        self._skip_unsampled = False
+        self.monitors: list[Any] = _MonitorList(self, monitors)
+        self._monitors_changed()
 
         self.pools: dict[str, Pool] = {}
         self.xstreams: dict[str, XStream] = {}
@@ -169,8 +231,10 @@ class MargoInstance:
         )
         self.tracer: Optional[Tracer] = None
         if obs.tracing:
-            self.tracer = Tracer(max_spans=obs.max_spans)
-            self.monitors.append(self.tracer)
+            self.tracer = Tracer(
+                max_spans=obs.max_spans, sample_rate=obs.trace_sample_rate
+            )
+            self.add_monitor(self.tracer)
 
         self._build()
         # Continuous profiler (after _build: it hooks the live pools).
@@ -178,17 +242,26 @@ class MargoInstance:
         # charged the same modeled monitoring cost per event; off, it
         # does not exist and the fast paths above stay monitor-free.
         self.profiler: Optional[ContinuousProfiler] = None
+        self.slo_engine: Optional[Any] = None
         if obs.profiling:
             self.profiler = ContinuousProfiler(
                 self,
                 window=obs.profile_window,
                 history=obs.profile_history,
                 waterfalls=obs.profile_waterfalls,
+                sample_every=obs.profile_sample_every,
             )
-            self.monitors.append(self.profiler)
-            self._hook_cache.clear()
-            self._hook_cache_key = None
+            self.add_monitor(self.profiler)
             self.profiler.start()
+            if obs.slos:
+                # Declarative objectives (ISSUE 6): evaluated off the
+                # RPC path, once per closed profiler window.
+                from ..observability.health.slo import SLOEngine
+
+                self.slo_engine = SLOEngine(self, list(obs.slos))
+                self.profiler.on_window_close.append(
+                    self.slo_engine.observe_window
+                )
         process.on_message = self._on_message
         process.on_killed.append(self.shutdown)
 
@@ -250,26 +323,31 @@ class MargoInstance:
     def add_monitor(self, monitor: Any) -> None:
         """Attach a monitoring object (see :mod:`repro.monitoring`)."""
         self.monitors.append(monitor)
-        self._hook_cache.clear()
-        self._hook_cache_key = None
 
     def remove_monitor(self, monitor: Any) -> None:
         self.monitors.remove(monitor)
-        self._hook_cache.clear()
-        self._hook_cache_key = None
+
+    def _monitors_changed(self) -> None:
+        """Called by the _MonitorList on every mutation (append, remove,
+        in-place replacement, ...): invalidates the hook cache and
+        recomputes whether sampled-out requests may skip dispatch."""
+        self._monitors_version += 1
+        self._skip_unsampled = all(
+            getattr(m, "respects_profile_sampling", False) for m in self.monitors
+        )
 
     def _hook_fns(self, hook: str) -> tuple[Callable[..., None], ...]:
         """The bound hook methods of all attached monitors (cached).
 
-        The identity-tuple check is a backstop for code that mutates
-        ``self.monitors`` directly instead of via ``add_monitor`` --
-        including in-place replacement, which keeps the same length.
-        Only reached with monitors attached (callers gate on
-        ``self.monitors``), so the tuple build is off the no-monitor
-        fast path.
+        Every mutation of ``self.monitors`` -- via add/remove_monitor or
+        direct list mutation, including same-length in-place replacement
+        -- bumps ``_monitors_version`` through the _MonitorList, so a
+        plain integer compare detects staleness.  An identity-tuple key
+        here would rebuild a tuple per RPC event -- measurably hot with
+        a profiler attached.
         """
         monitors = self.monitors
-        key = tuple(map(id, monitors))
+        key = self._monitors_version
         if key != self._hook_cache_key:
             self._hook_cache.clear()
             self._hook_cache_key = key
@@ -303,8 +381,14 @@ class MargoInstance:
                 self._monitor_errors.inc()
         return len(fns)
 
-    def _mon_cost(self, fired: int) -> float:
-        return fired * self.config.monitoring_cost_per_event
+    # Request-scoped lifecycle hooks are emitted inline by forward /
+    # _dispatch_request / _handler_body: each path decides ``observed``
+    # once per request (False when every attached monitor respects the
+    # profile-sampling stamp and the request was sampled out) and then
+    # branches, so a sampled-out request pays one attribute read total
+    # instead of a helper call per hook.  Hook charges are pre-charged
+    # into an adjacent Compute (``fired * monitoring_cost_per_event``)
+    # rather than paid as separate kernel events.
 
     # ------------------------------------------------------------------
     # ULT utilities
@@ -437,11 +521,43 @@ class MargoInstance:
             parent_span_id=parent_span_id,
         )
         started = self.kernel.now
-        # Observability fast path: with no monitors attached, the emit
-        # sites below skip kwargs construction entirely.
-        if self.monitors:
+        # Observability fast path: one ``observed`` decision per request
+        # -- False with no monitors attached, and False when every
+        # attached monitor honors the profile-sampling stamp and this
+        # request was sampled out.  The emit sites below are then plain
+        # branches; per-hook helper calls were measurably hot on the
+        # sampled-out path (this is what makes every-Nth observer
+        # sampling actually cheap).
+        observed = bool(self.monitors)
+        prof = self.profiler
+        if observed and prof is not None:
+            # Stamp the sampling decision before the first hook so a
+            # sampled-out request skips even on_forward_start.  The
+            # decision is ContinuousProfiler._sample_weight inlined (a
+            # helper call per forward was measurably hot); a fresh
+            # request is always unstamped here, the getattr is a
+            # forwarded-twice guard (retries reuse the request object).
+            weight = getattr(request, SAMPLE_STAMP, None)
+            if weight is None:
+                every = prof.sample_every
+                if every == 1:
+                    weight = 1
+                else:
+                    prof._sample_seq += 1
+                    weight = every if prof._sample_seq % every == 1 else 0
+                setattr(request, SAMPLE_STAMP, weight)
+            if weight == 0 and self._skip_unsampled:
+                observed = False
+        if observed:
             fired = self._emit("on_forward_start", request=request)
-            yield Compute(serialize_cost(payload_size) + self._mon_cost(fired))
+            # The on_forward_sent firing below is pre-charged here: one
+            # Compute covers both hooks (identical modeled cost) instead
+            # of a second kernel event on every monitored send.
+            fired += len(self._hook_fns("on_forward_sent"))
+            yield Compute(
+                serialize_cost(payload_size)
+                + fired * self.config.monitoring_cost_per_event
+            )
         else:
             yield Compute(serialize_cost(payload_size))
 
@@ -450,10 +566,8 @@ class MargoInstance:
         self._inflight_out.inc()
         self._rpcs_sent.inc()
         known = self.network.send(self.process, address, request, request.wire_size)
-        if self.monitors:
-            fired = self._emit("on_forward_sent", request=request)
-            if fired:
-                yield Compute(self._mon_cost(fired))
+        if observed:
+            self._emit("on_forward_sent", request=request)
         if not known and timeout is None:
             # The destination does not exist and no timeout would ever
             # fire: fail fast instead of hanging the simulation.
@@ -470,14 +584,17 @@ class MargoInstance:
                 f"timed out after {timeout}s"
             )
         response: RPCResponse = value
-        if self.monitors:
+        if observed:
             fired = self._emit(
                 "on_response_received",
                 request=request,
                 response=response,
                 elapsed=self.kernel.now - started,
             )
-            yield Compute(deserialize_cost(response.payload_size) + self._mon_cost(fired))
+            yield Compute(
+                deserialize_cost(response.payload_size)
+                + fired * self.config.monitoring_cost_per_event
+            )
         else:
             yield Compute(deserialize_cost(response.payload_size))
         if response.status == STATUS_OK:
@@ -513,19 +630,25 @@ class MargoInstance:
             raise RpcTimeoutError(f"bulk transfer to {remote_address} unreachable (partition)")
         duration = self.network.transfer_time(self.process, remote, size, bulk=True)
         started = self.kernel.now
-        yield Compute(BULK_SETUP_COST)
+        if self.monitors:
+            # Pre-charged like the RPC path: the hook fires after the
+            # transfer, its cost rides the setup Compute.
+            pre = len(self._hook_fns("on_bulk_transfer"))
+            yield Compute(
+                BULK_SETUP_COST + pre * self.config.monitoring_cost_per_event
+            )
+        else:
+            yield Compute(BULK_SETUP_COST)
         yield UltSleep(duration)
         self.network.bytes_sent += size
         if self.monitors:
-            fired = self._emit(
+            self._emit(
                 "on_bulk_transfer",
                 remote=remote_address,
                 size=size,
                 op=op,
                 duration=self.kernel.now - started,
             )
-            if fired:
-                yield Compute(self._mon_cost(fired))
         return duration
 
     # ------------------------------------------------------------------
@@ -559,7 +682,18 @@ class MargoInstance:
             raise MargoError(f"unexpected message on the wire: {message!r}")
 
     def _dispatch_request(self, request: RPCRequest) -> None:
-        if self.monitors:
+        # Same per-request ``observed`` decision as forward(); a request
+        # from an unprofiled client arrives unstamped, so the server-side
+        # profiler decides here, before the first hook.
+        observed = bool(self.monitors)
+        prof = self.profiler
+        if observed and prof is not None:
+            weight = getattr(request, SAMPLE_STAMP, None)
+            if weight is None:
+                weight = prof._sample_weight(request)
+            if weight == 0 and self._skip_unsampled:
+                observed = False
+        if observed:
             self._emit("on_request_received", request=request)
         if _race.ENABLED:
             _race.note_read(
@@ -580,25 +714,34 @@ class MargoInstance:
             return
         enqueued_at = self.kernel.now
         ult = ULT(
-            self._handler_body(registration, request, enqueued_at),
+            self._handler_body(registration, request, enqueued_at, observed),
             name=f"rpc:{request.rpc_name}:{request.seq}",
         )
         ult.rpc_context = request
         if _sanitize.ENABLED:
             _sanitize.note_handler_dispatched(self, request, ult)
         registration.pool.push(ult)
-        if self.monitors:
+        if observed:
             self._emit("on_ult_enqueued", request=request, pool=registration.pool)
 
     def _handler_body(
-        self, registration: Registration, request: RPCRequest, enqueued_at: float
+        self,
+        registration: Registration,
+        request: RPCRequest,
+        enqueued_at: float,
+        observed: bool,
     ) -> Generator:
+        # ``observed`` is the per-request sampling decision made at
+        # dispatch; it covers the whole handler ULT.
         self._inflight_in.inc()
         queued_for = self.kernel.now - enqueued_at
         ult_started = self.kernel.now
-        if self.monitors:
+        if observed:
             fired = self._emit("on_ult_start", request=request, queued_for=queued_for)
-            yield Compute(deserialize_cost(request.payload_size) + self._mon_cost(fired))
+            yield Compute(
+                deserialize_cost(request.payload_size)
+                + fired * self.config.monitoring_cost_per_event
+            )
         else:
             yield Compute(deserialize_cost(request.payload_size))
         context = RequestContext(margo=self, request=request)
@@ -617,17 +760,28 @@ class MargoInstance:
             status = STATUS_ERROR
             error_message = f"{type(err).__name__}: {err}"
         payload_size = estimate_size(value) if status == STATUS_OK else 0
-        yield Compute(serialize_cost(payload_size))
-        # The ULT duration covers the whole handler ULT: input
-        # deserialization, the handler body, and output serialization
-        # (the phases Listing 1's "ult"/"duration" aggregates).
-        duration = self.kernel.now - ult_started
-        if self.monitors:
-            fired = self._emit(
-                "on_ult_complete", request=request, duration=duration, queued_for=queued_for
+        if observed:
+            # Pre-charge the on_ult_complete firing: same modeled cost,
+            # one fewer kernel event per handled RPC.
+            pre = len(self._hook_fns("on_ult_complete"))
+            yield Compute(
+                serialize_cost(payload_size)
+                + pre * self.config.monitoring_cost_per_event
             )
-            if fired:
-                yield Compute(self._mon_cost(fired))
+        else:
+            yield Compute(serialize_cost(payload_size))
+        # The ULT duration covers the whole handler ULT: input
+        # deserialization, the handler body, output serialization, and
+        # the monitoring charge (the phases Listing 1's
+        # "ult"/"duration" aggregates).
+        duration = self.kernel.now - ult_started
+        if observed:
+            self._emit(
+                "on_ult_complete",
+                request=request,
+                duration=duration,
+                queued_for=queued_for,
+            )
         response = RPCResponse(
             seq=request.seq,
             status=status,
@@ -641,7 +795,7 @@ class MargoInstance:
         self.network.send(self.process, request.src_address, response, response.wire_size)
         if _sanitize.ENABLED:
             _sanitize.note_handler_responded(self, request.seq)
-        if self.monitors:
+        if observed:
             self._emit("on_respond", request=request, response=response)
 
     def _dispatch_response(self, response: RPCResponse) -> None:

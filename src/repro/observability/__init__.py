@@ -13,7 +13,11 @@ elasticity, resilience) need to act on:
 * exporters -- Chrome trace-event JSON (``chrome://tracing`` /
   Perfetto) and a deterministic metrics snapshot;
 * :class:`ObservabilitySpec` -- the ``"observability"`` section of the
-  margo/bedrock JSON configuration that turns it all on.
+  margo/bedrock JSON configuration that turns it all on;
+* :mod:`~repro.observability.health` -- the mochi-health plane (ISSUE
+  6): declarative SLOs with burn-rate alerting, phi-accrual failure
+  detection over SWIM heartbeats, incident correlation (detection
+  latency / MTTR), and the always-on flight recorder.
 
 Everything is deterministic (simulated clocks only): same seed, same
 bytes out.
@@ -46,6 +50,16 @@ from .metrics import (
     MetricError,
     MetricFamily,
     MetricsRegistry,
+)
+from .health import (
+    FlightRecorder,
+    HealthPlane,
+    HealthRegistry,
+    Incident,
+    IncidentLog,
+    PhiAccrualDetector,
+    SLOEngine,
+    SLOSpec,
 )
 from .span import Span, SpanContext, child_span_id
 from .spec import ObservabilitySpec
@@ -80,4 +94,12 @@ __all__ = [
     "ProfileStore",
     "WindowRollup",
     "quantile_from_buckets",
+    "FlightRecorder",
+    "HealthPlane",
+    "HealthRegistry",
+    "Incident",
+    "IncidentLog",
+    "PhiAccrualDetector",
+    "SLOEngine",
+    "SLOSpec",
 ]

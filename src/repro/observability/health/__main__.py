@@ -1,0 +1,7 @@
+"""``python -m repro.observability.health`` -> the repro-health CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

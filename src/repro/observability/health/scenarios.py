@@ -1,0 +1,216 @@
+"""Canned incident scenarios for ``repro-health`` and the E2E tests.
+
+Two deterministic stories, both returning a single sorted-key document
+(identical seeds produce byte-identical JSON -- the ISSUE 6 acceptance
+property):
+
+* :func:`run_crash_scenario` -- a replicated KV service (SSG/SWIM
+  membership, a Raft group, REMI-backed resilience) loses a node
+  mid-run; SWIM detects the death, Raft fails over, the resilience
+  manager provisions a spare, and the incident log measures detection
+  latency and MTTR.
+* :func:`run_slo_scenario` -- a service with a deliberately
+  unachievable latency objective burns through its error budget; the
+  SLO engine walks ok -> page/warn -> breach and the flight recorder
+  dumps on breach.
+
+Imports of the runtime stack are deferred into the functions: the
+health package is imported by :mod:`repro.cluster`, so importing the
+cluster here at module scope would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["run_crash_scenario", "run_slo_scenario", "SCENARIOS"]
+
+#: Objectives used by both scenarios ("yokan_put/1" is the profiler's
+#: decomposition key for the put RPC of provider id 1; "yokan:1" the
+#: provider traffic key).
+KV_SLOS: list[dict[str, Any]] = [
+    {"name": "kv-p99", "objective": "latency_p99",
+     "target": "yokan_put/1", "threshold": 0.05,
+     "window": 8, "short_windows": 2},
+    {"name": "kv-err", "objective": "error_rate",
+     "target": "yokan:*", "threshold": 0.05,
+     "window": 8, "short_windows": 2},
+]
+
+
+def _kv_process_spec(name: str, node: str, slos: list[dict[str, Any]],
+                     profile_window: float, threshold: float) -> Any:
+    from ...core import ProcessSpec
+
+    slo_docs = [dict(s) for s in slos]
+    for doc in slo_docs:
+        if doc["objective"] == "latency_p99":
+            doc["threshold"] = threshold
+    return ProcessSpec(
+        name=name,
+        node=node,
+        config={
+            "libraries": {"yokan": "libyokan.so", "remi": "libremi.so"},
+            "providers": [
+                {"name": f"remi-{name}", "type": "remi", "provider_id": 0},
+                {"name": f"db-{name}", "type": "yokan", "provider_id": 1,
+                 "config": {"database": {"type": "persistent"}}},
+            ],
+            "margo": {
+                "observability": {
+                    "profiling": True,
+                    "profile_window": profile_window,
+                    "slos": slo_docs,
+                },
+            },
+        },
+    )
+
+
+def _build_service(cluster: Any, n: int, slos: list[dict[str, Any]],
+                   profile_window: float, latency_threshold: float) -> Any:
+    from ...core import DynamicService, ServiceSpec
+    from ...ssg import SwimConfig
+    from ...storage import ParallelFileSystem
+
+    spec = ServiceSpec(
+        name="kv",
+        processes=[
+            _kv_process_spec(f"kv{i}", f"n{i}", slos, profile_window,
+                             latency_threshold)
+            for i in range(n)
+        ],
+        group="kv-g",
+        swim=SwimConfig(period=0.5, ping_timeout=0.15, suspicion_timeout=2.0),
+    )
+    return DynamicService.deploy(cluster, spec, pfs=ParallelFileSystem())
+
+
+def _spawn_writers(cluster: Any, service: Any, count: int,
+                   interval: float) -> None:
+    """Each member writes to the next member's database, so both the
+    client-side latency decomposition ("total") and the server-side
+    provider traffic land in profiled processes."""
+    from ...margo.ult import UltSleep
+    from ...yokan import YokanClient
+
+    names = sorted(service.processes)
+    for i, name in enumerate(names):
+        client_margo = service.processes[name].margo
+        target = service.processes[names[(i + 1) % len(names)]].address
+        db = YokanClient(client_margo).make_handle(target, 1)
+
+        def writer(db=db, prefix=name):
+            for j in range(count):
+                try:
+                    yield from db.put(f"{prefix}-k{j}", f"v{j}")
+                except Exception:
+                    return
+                yield UltSleep(interval)
+
+        cluster.spawn(client_margo, writer())
+
+
+def run_crash_scenario(seed: int = 42, kill_at: float = 6.0,
+                       horizon: float = 45.0) -> dict[str, Any]:
+    """Kill the node under ``kv1`` mid-run and let the stack react."""
+    from ...cluster import Cluster
+    from ...core import ResilienceManager
+    from ...raft import KVStateMachine, RaftConfig, RaftNode
+    from ...yokan import MapBackend
+
+    cluster = Cluster(seed=seed)
+    service = _build_service(
+        cluster, n=3, slos=KV_SLOS, profile_window=0.5,
+        latency_threshold=0.05,
+    )
+    health = cluster.enable_health()
+    health.watch_service(service)
+    health.start_sweep(0.5)
+
+    # A Raft group co-hosted on the service processes, so the victim's
+    # death also forces a leader election the incident log correlates.
+    margos = [service.processes[f"kv{i}"].margo for i in range(3)]
+    peers = [m.address for m in margos]
+    raft_config = RaftConfig(
+        heartbeat_interval=0.05,
+        election_timeout_min=0.15,
+        election_timeout_max=0.3,
+        rpc_timeout=0.06,
+    )
+    for i, margo in enumerate(margos):
+        node = RaftNode(
+            margo, f"raft{i}", provider_id=5,
+            state_machine=KVStateMachine(MapBackend()),
+            peers=peers, rng=cluster.randomness.stream(f"raft:{i}"),
+            config=raft_config,
+        )
+        health.watch_raft(node)
+
+    spares = ["spare0", "spare1"]
+    manager = ResilienceManager(
+        service, checkpoint_interval=1.5,
+        allocate_node=lambda: spares.pop(0) if spares else None,
+    )
+    manager.start()
+    health.watch_resilience(manager)
+
+    _spawn_writers(cluster, service, count=250, interval=0.05)
+    cluster.faults.kill_node_at(kill_at, cluster.network.nodes["n1"])
+    cluster.run(until=horizon)
+    manager.stop()
+    health.stop_sweep()
+
+    return {
+        "seed": seed,
+        "health": health.health_doc(),
+        "incidents": health.incidents.to_json(),
+        "dump": health.dump("scenario-end"),
+        "recoveries": [
+            {"failed": r.failed_process, "replacement": r.replacement_process,
+             "duration": r.recovery_duration}
+            for r in manager.recoveries
+        ],
+    }
+
+
+def run_slo_scenario(seed: int = 42, horizon: float = 20.0) -> dict[str, Any]:
+    """An impossible latency objective: the budget burns to breach."""
+    from ...cluster import Cluster
+
+    cluster = Cluster(seed=seed)
+    # A threshold of 0 seconds is unachievable: every window with put
+    # traffic is a bad window, burning 1/budget per window.
+    service = _build_service(
+        cluster, n=2, slos=KV_SLOS, profile_window=0.5,
+        latency_threshold=1e-9,
+    )
+    health = cluster.enable_health()
+    health.watch_service(service)
+    _spawn_writers(cluster, service, count=300, interval=0.05)
+    cluster.run(until=horizon)
+
+    alerts: list[dict[str, Any]] = []
+    slo_status: dict[str, Any] = {}
+    for name in sorted(cluster.margos):
+        engine = cluster.margos[name].slo_engine
+        if engine is None:
+            continue
+        status = engine.status()
+        slo_status[name] = status["slos"]
+        alerts.extend(status["alerts"])
+    return {
+        "seed": seed,
+        "health": health.health_doc(),
+        "incidents": health.incidents.to_json(),
+        "slo_status": slo_status,
+        "alerts": alerts,
+        "dump": health.dump("scenario-end"),
+        "dumps": [d["reason"] for d in health.recorder.dumps],
+    }
+
+
+SCENARIOS = {
+    "crash": run_crash_scenario,
+    "slo": run_slo_scenario,
+}

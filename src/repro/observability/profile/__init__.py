@@ -14,7 +14,7 @@ Layered on the PR 1 tracer/metrics plane:
 """
 
 from .estimator import LoadEstimator
-from .profiler import ContinuousProfiler
+from .profiler import SAMPLE_STAMP, ContinuousProfiler
 from .store import (
     PHASES,
     PhaseAggregate,
@@ -25,6 +25,7 @@ from .store import (
 
 __all__ = [
     "PHASES",
+    "SAMPLE_STAMP",
     "ContinuousProfiler",
     "LoadEstimator",
     "PhaseAggregate",

@@ -32,8 +32,9 @@ identical across identical runs (tested, including under
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
+from ...mercury.hg import STATUS_OK
 from .store import PHASES, ProfileStore
 
 __all__ = ["ContinuousProfiler", "PHASES"]
@@ -44,6 +45,16 @@ __all__ = ["ContinuousProfiler", "PHASES"]
 _SENT_STAMP = "_profile_sent_at"
 _ULT_END_STAMP = "_profile_ult_end_at"
 _RESPONDED_STAMP = "_profile_responded_at"
+#: Sampling decision stamp: 0 = not sampled (skip all decomposition),
+#: N >= 1 = sampled with weight N.  Whichever endpoint profiler sees the
+#: request first decides, so both halves agree and cross-process phases
+#: stay complete; the weight travels with the request so a peer with a
+#: different ``profile_sample_every`` still counts it correctly.  Public
+#: because the Margo emit layer reads it to skip dispatching request
+#: hooks for sampled-out requests (the per-request ``observed``
+#: decision in ``MargoInstance.forward`` / ``_dispatch_request``).
+SAMPLE_STAMP = "_profile_sample_weight"
+_SAMPLE_STAMP = SAMPLE_STAMP
 
 
 def _provider_key(rpc_name: str, provider_id: int) -> str:
@@ -61,17 +72,42 @@ class ContinuousProfiler:
     and call :meth:`start` to begin window sampling.
     """
 
+    #: Every request-scoped hook of this monitor is a no-op for a
+    #: request stamped ``SAMPLE_STAMP == 0``, so the emit layer may skip
+    #: dispatch (and the modeled monitoring charge) entirely for
+    #: sampled-out requests when all attached monitors declare this.
+    respects_profile_sampling = True
+
     def __init__(
         self,
         margo: Any,
         window: float = 1.0,
         history: int = 64,
         waterfalls: int = 32,
+        sample_every: int = 1,
     ) -> None:
         self.margo = margo
         self.kernel = margo.kernel
         self.store = ProfileStore(window=window, history=history)
         self.store.open_window(self.store.window_index(self.kernel.now))
+        #: Adaptive observer sampling (ISSUE 6 / ROADMAP item 3):
+        #: decompose every Nth RPC only.  The decision counter is a
+        #: plain modulo sequence -- deterministic, no RNG draw.
+        self.sample_every = max(1, int(sample_every))
+        self._sample_seq = 0
+        #: Sched-latency duty cycle: pools stamp push times only while
+        #: this is True.  With ``sample_every == 1`` it is always True;
+        #: otherwise :meth:`_tick` opens a burst of ``window /
+        #: sample_every`` simulated seconds at each window boundary
+        #: (same 1/N budget as RPC decomposition, deterministic because
+        #: burst edges are kernel-scheduled at fixed simulated times).
+        #: A flag instead of a per-push modulo keeps ``Pool.push`` --
+        #: the hottest call site in the system -- at two attribute
+        #: loads when profiling is on but the push is sampled out.
+        self._sched_on = self.sample_every == 1
+        #: Subscribers called with each closed window document (the
+        #: per-process SLO engine evaluates burn rates here).
+        self.on_window_close: list[Callable[[dict[str, Any]], None]] = []
         #: Recent complete per-RPC waterfalls (bounded ring; the MCH004
         #: sanctioned pattern -- a profiler must never grow unboundedly).
         self.waterfalls: deque[dict[str, Any]] = deque(maxlen=max(1, waterfalls))
@@ -94,6 +130,11 @@ class ContinuousProfiler:
             "pool push-to-pop latency of ULTs (scheduling delay)",
             label_names=("pool",),
         )
+        # Bounded label-handle caches (keys: registered rpc x phase and
+        # pool names): labels() re-derives its series key per call, too
+        # hot for the per-phase decomposition path.
+        self._phase_series: dict[tuple[str, int, str], Any] = {}
+        self._sched_series: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -105,6 +146,8 @@ class ContinuousProfiler:
         self._running = True
         for pool in self.margo.pools.values():
             pool._profiler = self
+        if self.sample_every > 1:
+            self._begin_sched_burst()
         self._schedule_next_tick()
 
     def stop(self) -> None:
@@ -114,9 +157,25 @@ class ContinuousProfiler:
         for pool in self.margo.pools.values():
             if pool._profiler is self:
                 pool._profiler = None
+                # Sampled-out pushes never touch the stamp (see
+                # Pool.push), so the no-stale-stamp invariant relies on
+                # every stamped ULT being popped under a live profiler;
+                # detaching mid-queue would break it without this sweep.
+                for ult in pool._queue:
+                    ult.profile_enqueued_at = None
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+
+    def _begin_sched_burst(self) -> None:
+        self._sched_on = True
+        self.kernel.schedule(
+            self.store.window / self.sample_every, self._end_sched_burst
+        )
+
+    def _end_sched_burst(self) -> None:
+        if self.sample_every > 1:
+            self._sched_on = False
 
     def _schedule_next_tick(self) -> None:
         boundary = (self.store.current.index + 1) * self.store.window
@@ -126,7 +185,13 @@ class ContinuousProfiler:
         if not self._running or self.margo.finalized:
             self._running = False
             return
-        self.store.close_current(self._sample_pools(), self._sample_xstreams())
+        doc = self.store.close_current(
+            self._sample_pools(), self._sample_xstreams()
+        )
+        for callback in list(self.on_window_close):
+            callback(doc)
+        if self.sample_every > 1:
+            self._begin_sched_burst()
         self._schedule_next_tick()
 
     # ------------------------------------------------------------------
@@ -171,33 +236,87 @@ class ContinuousProfiler:
     # ------------------------------------------------------------------
     # pool hooks (ULT scheduling latency; one None-check when disabled)
     # ------------------------------------------------------------------
-    def _note_pool_push(self, pool: Any, ult: Any) -> None:
-        ult.profile_enqueued_at = self.kernel.now
+    # The push-side decision (stamp ``ult.profile_enqueued_at`` while a
+    # sched burst is open, leave it untouched otherwise) lives inline in
+    # ``Pool.push``: it runs for every ULT in the system, so even a
+    # single helper call per push was measurably hot.  Push/pop always
+    # agree on a given ULT because the stamp itself carries the
+    # decision; ``_sched_on`` only gates who gets stamped.
 
     def _note_pool_pop(self, pool: Any, ult: Any) -> None:
         enqueued = ult.profile_enqueued_at
         if enqueued is None:
-            return  # pushed before profiling started
+            return  # sampled out, or pushed before profiling started
         latency = self.kernel.now - enqueued
         ult.profile_enqueued_at = None
-        self._sched_hist.labels(pool=pool.name).observe(latency)
-        self.store.current.observe_phase(f"pool/{pool.name}", "sched", latency)
+        cached = self._sched_series.get(pool.name)
+        if cached is None:
+            cached = self._sched_series[pool.name] = (
+                self._sched_hist.labels(pool=pool.name),
+                f"pool/{pool.name}",
+            )
+        series, pool_key = cached
+        series.observe(latency)
+        self.store.current.observe_phase(pool_key, "sched", latency)
 
     # ------------------------------------------------------------------
     # monitor hooks (RPC latency decomposition)
     # ------------------------------------------------------------------
     def _phase(self, request: Any, phase: str, value: float) -> None:
-        rpc_key = f"{request.rpc_name}/{request.provider_id}"
-        self._phase_hist.labels(
-            rpc=request.rpc_name, provider=str(request.provider_id), phase=phase
-        ).observe(value)
+        cached = self._phase_series.get((request.rpc_name, request.provider_id, phase))
+        if cached is None:
+            cached = self._phase_series[
+                (request.rpc_name, request.provider_id, phase)
+            ] = (
+                self._phase_hist.labels(
+                    rpc=request.rpc_name,
+                    provider=str(request.provider_id),
+                    phase=phase,
+                ),
+                f"{request.rpc_name}/{request.provider_id}",
+            )
+        series, rpc_key = cached
+        series.observe(value)
         self.store.current.observe_phase(rpc_key, phase, value)
+
+    def _sample_weight(self, request: Any) -> int:
+        """The request's sampling weight: 0 to skip decomposition, N >=
+        1 to record it standing for N requests.  First profiler to see
+        the request decides and stamps; later hooks (either endpoint)
+        reuse the stamp.  The Margo RPC paths call this before the first
+        lifecycle hook so that a sampled-out request never pays a single
+        monitor dispatch; the hooks below read the stamp directly and
+        only fall back here for a request stamped by neither endpoint
+        (profiler attached mid-flight)."""
+        weight = getattr(request, _SAMPLE_STAMP, None)
+        if weight is None:
+            if self.sample_every == 1:
+                weight = 1
+            else:
+                self._sample_seq += 1
+                weight = (
+                    self.sample_every
+                    if self._sample_seq % self.sample_every == 1
+                    else 0
+                )
+            setattr(request, _SAMPLE_STAMP, weight)
+        return weight
 
     # client side ------------------------------------------------------
     def on_forward_start(self, time: float, margo: Any, request: Any) -> None:
+        weight = getattr(request, _SAMPLE_STAMP, None)
+        if weight is None:
+            weight = self._sample_weight(request)
+        if not weight:
+            return
         request._profile_fwd_start = time
 
     def on_forward_sent(self, time: float, margo: Any, request: Any) -> None:
+        weight = getattr(request, _SAMPLE_STAMP, None)
+        if weight is None:
+            weight = self._sample_weight(request)
+        if not weight:
+            return
         started = getattr(request, "_profile_fwd_start", None)
         if started is not None:
             self._phase(request, "client_queue", time - started)
@@ -206,6 +325,11 @@ class ContinuousProfiler:
     def on_response_received(
         self, time: float, margo: Any, request: Any, response: Any, elapsed: float
     ) -> None:
+        weight = getattr(request, _SAMPLE_STAMP, None)
+        if weight is None:
+            weight = self._sample_weight(request)
+        if not weight:
+            return
         responded = getattr(response, _RESPONDED_STAMP, None)
         if responded is not None:
             self._phase(request, "respond", time - responded)
@@ -215,6 +339,11 @@ class ContinuousProfiler:
 
     # server side ------------------------------------------------------
     def on_request_received(self, time: float, margo: Any, request: Any) -> None:
+        weight = getattr(request, _SAMPLE_STAMP, None)
+        if weight is None:
+            weight = self._sample_weight(request)
+        if not weight:
+            return
         sent = getattr(request, _SENT_STAMP, None)
         if sent is not None:
             self._phase(request, "network", time - sent)
@@ -223,23 +352,41 @@ class ContinuousProfiler:
     def on_ult_start(
         self, time: float, margo: Any, request: Any, queued_for: float
     ) -> None:
+        weight = getattr(request, _SAMPLE_STAMP, None)
+        if weight is None:
+            weight = self._sample_weight(request)
+        if not weight:
+            return
         self._phase(request, "server_queue", queued_for)
         self.store.current.note_request(
             _provider_key(request.rpc_name, request.provider_id),
             request.payload_size,
+            weight=weight,
         )
         request._profile_ult_start_at = time
 
     def on_ult_complete(
         self, time: float, margo: Any, request: Any, duration: float, queued_for: float
     ) -> None:
+        weight = getattr(request, _SAMPLE_STAMP, None)
+        if weight is None:
+            weight = self._sample_weight(request)
+        if not weight:
+            return
         self._phase(request, "handler", duration)
         setattr(request, _ULT_END_STAMP, time)
 
     def on_respond(self, time: float, margo: Any, request: Any, response: Any) -> None:
+        weight = getattr(request, _SAMPLE_STAMP, None)
+        if weight is None:
+            weight = self._sample_weight(request)
+        if not weight:
+            return
         self.store.current.note_response(
             _provider_key(request.rpc_name, request.provider_id),
             response.payload_size,
+            error=response.status != STATUS_OK,
+            weight=weight,
         )
         setattr(response, _RESPONDED_STAMP, time)
 

@@ -131,22 +131,32 @@ class WindowRollup:
             agg = self.phases[(rpc_key, phase)] = PhaseAggregate()
         agg.observe(value)
 
-    def note_request(self, provider_key: str, bytes_in: int) -> None:
+    def _provider_entry(self, provider_key: str) -> dict[str, float]:
         entry = self.providers.get(provider_key)
         if entry is None:
             entry = self.providers[provider_key] = {
                 "requests": 0.0, "bytes_in": 0.0, "bytes_out": 0.0,
+                "errors": 0.0,
             }
-        entry["requests"] += 1
-        entry["bytes_in"] += bytes_in
+        return entry
 
-    def note_response(self, provider_key: str, bytes_out: int) -> None:
-        entry = self.providers.get(provider_key)
-        if entry is None:
-            entry = self.providers[provider_key] = {
-                "requests": 0.0, "bytes_in": 0.0, "bytes_out": 0.0,
-            }
-        entry["bytes_out"] += bytes_out
+    def note_request(
+        self, provider_key: str, bytes_in: int, weight: int = 1
+    ) -> None:
+        """``weight`` > 1 when the profiler samples every Nth request:
+        each observed request stands for N, keeping rates unbiased."""
+        entry = self._provider_entry(provider_key)
+        entry["requests"] += weight
+        entry["bytes_in"] += bytes_in * weight
+
+    def note_response(
+        self, provider_key: str, bytes_out: int, error: bool = False,
+        weight: int = 1,
+    ) -> None:
+        entry = self._provider_entry(provider_key)
+        entry["bytes_out"] += bytes_out * weight
+        if error:
+            entry["errors"] += weight
 
     # -- reduction -----------------------------------------------------
     def to_json(self) -> dict[str, Any]:
@@ -160,6 +170,7 @@ class WindowRollup:
                 "rate": entry["requests"] / width if width > 0 else 0.0,
                 "bytes_in": int(entry["bytes_in"]),
                 "bytes_out": int(entry["bytes_out"]),
+                "errors": int(entry.get("errors", 0)),
             }
             for key, entry in self.providers.items()
         }

@@ -14,8 +14,16 @@ the Margo instance) accepts an ``observability`` object::
         "profile_history": 64,  # ring of closed windows kept in memory
         "profile_waterfalls": 32,  # recent per-RPC waterfalls kept
 
+        "profile_sample_every": 16,  # decompose every Nth RPC (default 1)
+        "trace_sample_rate": 0.1,    # fraction of traces kept (default 1.0)
+
         "load_imbalance_threshold": 1.5,  # reconfiguration trigger
-        "busy_threshold": 0.9             # per-xstream overload trigger
+        "busy_threshold": 0.9,            # per-xstream overload trigger
+
+        "slos": [                 # declarative objectives (needs profiling)
+          {"name": "kv-p99", "objective": "latency_p99",
+           "target": "yokan_put/1", "threshold": 0.002}
+        ]
       }
     }
 
@@ -33,18 +41,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from .health.slo import SLOSpec
+
 __all__ = ["ObservabilitySpec"]
 
 _KNOWN_KEYS = {
     "tracing",
+    "trace_sample_rate",
     "metrics",
     "max_spans",
     "profiling",
     "profile_window",
     "profile_history",
     "profile_waterfalls",
+    "profile_sample_every",
     "load_imbalance_threshold",
     "busy_threshold",
+    "slos",
 }
 
 
@@ -53,6 +66,10 @@ class ObservabilitySpec:
     """Per-process observability configuration."""
 
     tracing: bool = False
+    #: Probabilistic span sampling: the fraction of traces materialized
+    #: (1.0 = every span; the decision is per trace id, so a sampled
+    #: trace keeps *all* its spans and trees never come out partial).
+    trace_sample_rate: float = 1.0
     metrics: bool = True
     max_spans: Optional[int] = None
     #: Continuous profiling (sampling + RPC latency decomposition).
@@ -64,12 +81,20 @@ class ObservabilitySpec:
     profile_history: int = 64
     #: Number of recent per-RPC waterfalls retained (fixed-memory ring).
     profile_waterfalls: int = 32
+    #: Adaptive observer sampling: decompose every Nth RPC only (1 =
+    #: every RPC).  Sampled requests are weighted by N in the
+    #: load-estimator counts, so measured rates stay unbiased.
+    profile_sample_every: int = 1
     #: Measured max/mean node load above which the reconfiguration
     #: controller plans a rebalance.
     load_imbalance_threshold: float = 1.5
     #: Measured per-xstream busy fraction above which a process counts
     #: as overloaded (second reconfiguration trigger).
     busy_threshold: float = 0.9
+    #: Declarative service-level objectives (ISSUE 6): evaluated by the
+    #: per-process SLO engine against closed profiler windows, so
+    #: ``slos`` requires ``profiling``.
+    slos: tuple[SLOSpec, ...] = ()
 
     @classmethod
     def from_json(cls, doc: Any) -> "ObservabilitySpec":
@@ -117,16 +142,48 @@ class ObservabilitySpec:
             raise ValueError(
                 f"busy_threshold must be in (0, 1], got {busy_threshold}"
             )
+        trace_sample_rate = float(
+            doc.get("trace_sample_rate", cls.trace_sample_rate)
+        )
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ValueError(
+                f"trace_sample_rate must be in [0, 1], got {trace_sample_rate}"
+            )
+        profile_sample_every = int(
+            doc.get("profile_sample_every", cls.profile_sample_every)
+        )
+        if profile_sample_every < 1:
+            raise ValueError(
+                f"profile_sample_every must be >= 1, got {profile_sample_every}"
+            )
+        profiling = bool(doc.get("profiling", False))
+        slos_doc = doc.get("slos", [])
+        if not isinstance(slos_doc, list):
+            raise ValueError(
+                f"'slos' must be a list, got {type(slos_doc).__name__}"
+            )
+        slos = tuple(SLOSpec.from_json(entry) for entry in slos_doc)
+        names = [s.name for s in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {sorted(names)}")
+        if slos and not profiling:
+            raise ValueError(
+                "'slos' are evaluated against profiler windows: set "
+                "'profiling': true"
+            )
         return cls(
             tracing=bool(doc.get("tracing", False)),
+            trace_sample_rate=trace_sample_rate,
             metrics=bool(doc.get("metrics", True)),
             max_spans=max_spans,
-            profiling=bool(doc.get("profiling", False)),
+            profiling=profiling,
             profile_window=profile_window,
             profile_history=profile_history,
             profile_waterfalls=profile_waterfalls,
+            profile_sample_every=profile_sample_every,
             load_imbalance_threshold=load_imbalance_threshold,
             busy_threshold=busy_threshold,
+            slos=slos,
         )
 
     def to_json(self) -> dict[str, Any]:
@@ -144,8 +201,14 @@ class ObservabilitySpec:
             doc["profile_history"] = self.profile_history
         if self.profile_waterfalls != ObservabilitySpec.profile_waterfalls:
             doc["profile_waterfalls"] = self.profile_waterfalls
+        if self.profile_sample_every != ObservabilitySpec.profile_sample_every:
+            doc["profile_sample_every"] = self.profile_sample_every
+        if self.trace_sample_rate != ObservabilitySpec.trace_sample_rate:
+            doc["trace_sample_rate"] = self.trace_sample_rate
         if self.load_imbalance_threshold != ObservabilitySpec.load_imbalance_threshold:
             doc["load_imbalance_threshold"] = self.load_imbalance_threshold
         if self.busy_threshold != ObservabilitySpec.busy_threshold:
             doc["busy_threshold"] = self.busy_threshold
+        if self.slos:
+            doc["slos"] = [slo.to_json() for slo in self.slos]
         return doc

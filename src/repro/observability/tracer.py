@@ -30,6 +30,7 @@ them at export time.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Optional
 
 from .span import (
@@ -75,10 +76,25 @@ class Tracer:
     is hit new spans are dropped and counted in :attr:`dropped_spans`).
     """
 
-    def __init__(self, max_spans: Optional[int] = None) -> None:
+    def __init__(
+        self, max_spans: Optional[int] = None, sample_rate: float = 1.0
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
         self.max_spans = max_spans
+        #: Probabilistic trace sampling (ISSUE 6, adaptive observer
+        #: sampling): the keep/drop decision hashes the *trace id*, so
+        #: every span of one trace -- across all processes and tracer
+        #: instances -- samples together and trees never come out
+        #: partial.  CRC32 is seed-free and platform-stable, so the
+        #: decision is deterministic across identical runs.
+        self.sample_rate = sample_rate
+        self._sample_cutoff = int(sample_rate * (1 << 32))
         self.spans: list[Span] = []
         self.dropped_spans = 0
+        #: hook observations skipped by the sampling decision (distinct
+        #: from ``dropped_spans``, the max_spans overflow count).
+        self.sampled_out = 0
         #: (trace_id, span_id) -> client-side in-progress forward span.
         self._forward_open: dict[tuple[str, str], dict[str, Any]] = {}
         #: (trace_id, span_id) -> {"sent": t, "received": t, ...} halves
@@ -95,10 +111,19 @@ class Tracer:
             return
         self.spans.append(span)
 
-    @staticmethod
-    def _key(request: Any) -> Optional[tuple[str, str]]:
+    def _sampled(self, trace_id: str) -> bool:
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        return zlib.crc32(trace_id.encode("utf-8")) < self._sample_cutoff
+
+    def _key(self, request: Any) -> Optional[tuple[str, str]]:
         trace_id = getattr(request, "trace_id", "")
         if not trace_id:
+            return None
+        if not self._sampled(trace_id):
+            self.sampled_out += 1
             return None
         return (trace_id, request.span_id)
 

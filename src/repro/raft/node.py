@@ -14,7 +14,7 @@ application is any :class:`~repro.raft.smr.StateMachine`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator, Optional
+from typing import Any, Callable, Generator, Optional
 
 from ..core.component import Provider
 from ..margo.errors import RpcError
@@ -105,6 +105,12 @@ class RaftNode(Provider):
         self._next_heartbeat = 0.0
         self._reset_election_deadline()
 
+        #: Subscribers called with (role, term) on every role *change*
+        #: (not on same-role reaffirmations, so heartbeats stay silent);
+        #: the health plane's flight recorder correlates elections with
+        #: incidents here.
+        self.on_role_change: list[Callable[[str, int], None]] = []
+
         # Protocol counters (tests/benchmarks read the properties below);
         # registered into the process metrics registry, labelled by
         # group so several consensus groups per process stay distinct.
@@ -173,12 +179,19 @@ class RaftNode(Provider):
             self.margo.kernel.now + rc.election_timeout_min + self.rng.random() * span
         )
 
+    def _set_role(self, role: Role) -> None:
+        if role is self.role:
+            return
+        self.role = role
+        for callback in list(self.on_role_change):
+            callback(role.value, self.current_term)
+
     def _become_follower(self, term: int) -> None:
         if term > self.current_term:
             self.current_term = term
             self.voted_for = None
             self._terms_seen.inc()
-        self.role = Role.FOLLOWER
+        self._set_role(Role.FOLLOWER)
         self._reset_election_deadline()
 
     def stop(self) -> None:
@@ -208,9 +221,9 @@ class RaftNode(Provider):
     # elections
     # ------------------------------------------------------------------
     def _run_election(self) -> Generator:
-        self.role = Role.CANDIDATE
         self.current_term += 1
         self.voted_for = self.address
+        self._set_role(Role.CANDIDATE)
         self._elections_started.inc()
         term = self.current_term
         votes = {"count": 1}  # self-vote
@@ -255,7 +268,7 @@ class RaftNode(Provider):
         return None
 
     def _become_leader(self) -> None:
-        self.role = Role.LEADER
+        self._set_role(Role.LEADER)
         self.leader_hint = self.address
         for peer in self._other_peers():
             self.next_index[peer] = self.log.last_index + 1
@@ -418,7 +431,7 @@ class RaftNode(Provider):
         self.peers = list(members)
         if self.address not in members:
             # We were removed: stop participating.
-            self.role = Role.FOLLOWER
+            self._set_role(Role.FOLLOWER)
             self.stop()
             return
         if self.role == Role.LEADER:

@@ -40,6 +40,17 @@ class FaultInjector:
         self.kernel = kernel
         self.network = network
         self.history: list[FaultRecord] = []
+        #: Subscribers called with every :class:`FaultRecord` as it is
+        #: injected (the health plane's flight recorder and incident log
+        #: hang off this; empty by default, so injection stays cheap).
+        self.on_fault: list[Callable[[FaultRecord], None]] = []
+
+    def _record(self, kind: str, target: str) -> FaultRecord:
+        record = FaultRecord(self.kernel.now, kind, target)
+        self.history.append(record)
+        for callback in list(self.on_fault):
+            callback(record)
+        return record
 
     # ------------------------------------------------------------------
     # immediate injections
@@ -49,7 +60,7 @@ class FaultInjector:
         if not proc.alive:
             return
         proc.alive = False
-        self.history.append(FaultRecord(self.kernel.now, "process", proc.name))
+        self._record("process", proc.name)
         for callback in list(proc.on_killed):
             callback()
 
@@ -58,7 +69,7 @@ class FaultInjector:
         if not node.alive:
             return
         node.alive = False
-        self.history.append(FaultRecord(self.kernel.now, "node", node.name))
+        self._record("node", node.name)
         for store in node.attachments.values():
             wipe = getattr(store, "wipe", None)
             if callable(wipe):
@@ -68,17 +79,17 @@ class FaultInjector:
 
     def partition(self, a: Node | str, b: Node | str) -> None:
         self.network.partition(a, b)
-        self.history.append(FaultRecord(self.kernel.now, "partition", f"{a}|{b}"))
+        self._record("partition", f"{a}|{b}")
 
     def heal(self, a: Node | str, b: Node | str) -> None:
         self.network.heal(a, b)
-        self.history.append(FaultRecord(self.kernel.now, "heal", f"{a}|{b}"))
+        self._record("heal", f"{a}|{b}")
 
     def set_message_loss(self, probability: float) -> None:
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"loss probability out of range: {probability}")
         self.network.loss_probability = probability
-        self.history.append(FaultRecord(self.kernel.now, "loss", f"{probability}"))
+        self._record("loss", f"{probability}")
 
     # ------------------------------------------------------------------
     # scheduled injections

@@ -3,6 +3,8 @@
 from .diagnostics import (
     cluster_report,
     config_report,
+    fault_report,
+    health_report,
     lint_report,
     monitoring_report,
     process_report,
@@ -20,4 +22,6 @@ __all__ = [
     "lint_report",
     "config_report",
     "race_report",
+    "health_report",
+    "fault_report",
 ]

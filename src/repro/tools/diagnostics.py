@@ -32,6 +32,8 @@ __all__ = [
     "lint_report",
     "config_report",
     "race_report",
+    "health_report",
+    "fault_report",
 ]
 
 
@@ -273,6 +275,117 @@ def race_report(seeds: int = 8) -> str:
         return "\n".join(lines)
     lines.append(f"mochi-race: {len(findings)} finding(s)")
     lines.append(format_findings(findings))
+    return "\n".join(lines)
+
+
+def health_report(cluster: Cluster, events: int = 10) -> str:
+    """The mochi-health view: per-target health states, phi levels,
+    open incidents, per-process SLO status, and the tail of the flight
+    recorder (``events`` bounds how many recent events are shown)."""
+    plane = getattr(cluster, "health", None)
+    if plane is None:
+        return "mochi-health: disabled (call cluster.enable_health() first)"
+    doc = plane.health_doc()
+    lines = [f"mochi-health @ t={doc['time']:.6f}s"]
+    states = doc["states"]
+    if states:
+        lines.append("  health states:")
+        for target in sorted(states):
+            phi = doc["phi"].get(target)
+            suffix = f"  phi={phi['phi']:.2f}" if phi else ""
+            lines.append(f"    {target:<16} {states[target]}{suffix}")
+    else:
+        lines.append("  health states: (no observations yet)")
+    open_incidents = plane.incidents.open_incidents()
+    closed = [i for i in plane.incidents.incidents if not i.open]
+    lines.append(
+        f"  incidents: {len(open_incidents)} open / {len(closed)} closed"
+    )
+    for incident in plane.incidents.incidents:
+        status = "OPEN" if incident.open else f"closed ({incident.resolution})"
+        lines.append(
+            f"    {incident.incident_id} [{status}] {incident.kind}: "
+            f"{incident.target} opened@t={incident.opened_at:.3f}s"
+        )
+        if incident.detection_latency is not None:
+            lines.append(
+                f"      detection latency: {incident.detection_latency:.3f}s"
+            )
+        if incident.mttr is not None:
+            lines.append(f"      mttr: {incident.mttr:.3f}s")
+    for name in sorted(cluster.margos):
+        engine = cluster.margos[name].slo_engine
+        if engine is None:
+            continue
+        status = engine.status()
+        lines.append(f"  slo status [{name}]:")
+        for slo in status["slos"]:
+            lines.append(
+                f"    {slo['slo']:<16} {slo['state']:<7} "
+                f"burn_short={slo['burn_short']:.2f} "
+                f"burn_long={slo['burn_long']:.2f} "
+                f"budget={slo['budget_remaining'] * 100:.0f}%"
+            )
+    tail = list(plane.recorder.events)[-events:]
+    if tail:
+        lines.append(f"  flight recorder (last {len(tail)} of "
+                     f"{plane.recorder.recorded}):")
+        for event in tail:
+            lines.append(
+                f"    t={event['time']:.3f}s [{event['category']}] "
+                f"{event['name']}: {event['target']}"
+            )
+    return "\n".join(lines)
+
+
+def fault_report(cluster: Cluster) -> str:
+    """Injected faults correlated with their observed consequences.
+
+    Each :class:`~repro.sim.faults.FaultRecord` is the ground truth;
+    when the health plane is enabled, the matching incident supplies
+    what the cluster *observed* -- suspicion, detection, election and
+    recovery events, detection latency and MTTR."""
+    history = cluster.faults.history
+    if not history:
+        return "fault report: no faults injected"
+    plane = getattr(cluster, "health", None)
+    incidents_by_target: dict[str, list[Any]] = {}
+    if plane is not None:
+        for incident in plane.incidents.incidents:
+            incidents_by_target.setdefault(incident.target, []).append(incident)
+    lines = [f"fault report: {len(history)} fault(s) injected"]
+    for fault in history:
+        lines.append(f"  t={fault.time:.3f}s {fault.kind}: {fault.target}")
+        candidates = incidents_by_target.get(fault.target, [])
+        incident = next(
+            (i for i in candidates if abs(i.opened_at - fault.time) < 1e-9),
+            None,
+        )
+        if incident is None:
+            if plane is not None and fault.kind in ("process", "node"):
+                lines.append("    (no incident recorded)")
+            continue
+        status = "OPEN" if incident.open else f"closed: {incident.resolution}"
+        lines.append(f"    incident {incident.incident_id} [{status}]")
+        if incident.suspect_latency is not None:
+            lines.append(
+                f"      suspected after {incident.suspect_latency:.3f}s"
+            )
+        if incident.detection_latency is not None:
+            lines.append(
+                f"      detected after {incident.detection_latency:.3f}s"
+            )
+        if incident.mttr is not None:
+            lines.append(f"      recovered after {incident.mttr:.3f}s (MTTR)")
+        for event in incident.events:
+            detail = {
+                k: v for k, v in event.items() if k not in ("time", "kind")
+            }
+            lines.append(
+                f"      t={event['time']:.3f}s {event['kind']}: {detail}"
+            )
+    if plane is None:
+        lines.append("  (health plane disabled: no incident correlation)")
     return "\n".join(lines)
 
 

@@ -177,6 +177,74 @@ def test_mch004_clean_on_ring_buffer_and_non_hooks():
 
 
 # ----------------------------------------------------------------------
+# MCH005 unobserved-failure-swallow
+# ----------------------------------------------------------------------
+def test_mch005_flags_swallowing_hooks_and_introspection():
+    findings = lint(
+        """
+        class AuditMonitor:
+            def on_forward_start(self, time, margo, request):
+                try:
+                    self.samples.append(request)
+                except Exception:
+                    pass
+
+        class Server:
+            def _on_get_health(self, ctx):
+                try:
+                    return self.plane.health_doc()
+                except KeyError:
+                    return {}
+
+            def _on_query(self, ctx):
+                try:
+                    return self.run(ctx.args["script"])
+                except Exception:
+                    return None
+        """,
+        select=["MCH005"],
+    )
+    assert ids(findings) == ["MCH005", "MCH005", "MCH005"]
+    assert "on_forward_start" in findings[0].message
+    assert "error counter" in findings[0].message
+
+
+def test_mch005_clean_on_counted_reraised_or_non_observers():
+    findings = lint(
+        """
+        class AuditMonitor:
+            def on_forward_start(self, time, margo, request):
+                try:
+                    self.samples.append(request)
+                except Exception:
+                    self.errors.inc()
+
+            def on_respond(self, time, margo, request, response):
+                try:
+                    self.note(response)
+                except ValueError:
+                    raise
+
+            def on_ult_start(self, time, margo, request):
+                try:
+                    self.observe(request)
+                except Exception:
+                    self.recorder.record("fault", "observer-error")
+
+        class Server:
+            def _on_put(self, ctx):
+                # plain RPC handler, not an observer: out of scope
+                try:
+                    return self.do(ctx.args)
+                except Exception:
+                    return None
+        """,
+        select=["MCH005"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
 # MCH010 blocking-call-in-ult
 # ----------------------------------------------------------------------
 def test_mch010_flags_blocking_call_in_ult_body():

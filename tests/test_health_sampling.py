@@ -1,0 +1,195 @@
+"""Adaptive observer sampling: every-Nth profiler decomposition with
+weighted (unbiased) rates, probabilistic trace sampling, and error
+accounting for the SLO engine."""
+
+import json
+
+import pytest
+
+from repro import Cluster
+from repro.margo.errors import RpcFailedError
+from repro.margo.ult import Compute, UltSleep
+from repro.observability import ObservabilitySpec, Tracer
+
+SAMPLED_PROFILE = {
+    "observability": {
+        "profiling": True,
+        "profile_window": 0.05,
+        "profile_sample_every": 4,
+    }
+}
+
+
+def _echo_handler(ctx):
+    yield Compute(1e-6)
+    return {"ok": True}
+
+
+def _run_sampled_pair(seed=7, config=SAMPLED_PROFILE, n_rpcs=20):
+    cluster = Cluster(seed=seed)
+    a = cluster.add_margo("a", "node0", config=config)
+    b = cluster.add_margo("b", "node1", config=config)
+    b.register("echo_ping", _echo_handler, provider_id=3)
+
+    def client():
+        for _ in range(n_rpcs):
+            yield from a.forward(b.address, "echo_ping", {"x": 1}, provider_id=3)
+            yield UltSleep(0.01)
+
+    cluster.run_ult(a, client())
+    cluster.kernel.run(until=0.5)
+    return cluster, a, b
+
+
+# ----------------------------------------------------------------------
+# every-Nth decomposition with weighted rates
+# ----------------------------------------------------------------------
+def test_sampled_requests_decompose_every_nth():
+    _cluster, a, b = _run_sampled_pair()
+    # 20 RPCs, sample_every=4: 5 requests carry the full decomposition.
+    assert len(a.profiler.waterfalls) == 5
+    total_count = sum(
+        w["rpc"]["echo_ping/3"]["total"]["count"]
+        for w in a.profiler.store.windows
+        if "echo_ping/3" in w["rpc"]
+    )
+    assert total_count == 5
+
+
+def test_sampled_rates_stay_unbiased():
+    """Weighted note_request keeps measured traffic exact: 5 sampled
+    requests x weight 4 = the 20 RPCs that actually ran."""
+    _cluster, _a, b = _run_sampled_pair()
+    requests = sum(
+        w["providers"]["echo:3"]["requests"]
+        for w in b.profiler.store.windows
+        if "echo:3" in w["providers"]
+    )
+    assert requests == 20
+
+
+def test_sampling_stamp_agrees_across_processes():
+    """The client stamps the shared request; the server honors it, so
+    both sides decompose the *same* 5 requests."""
+    _cluster, a, b = _run_sampled_pair()
+    server_handler_count = sum(
+        w["rpc"]["echo_ping/3"]["handler"]["count"]
+        for w in b.profiler.store.windows
+        if "echo_ping/3" in w["rpc"] and "handler" in w["rpc"]["echo_ping/3"]
+    )
+    assert server_handler_count == 5
+
+
+def test_sampled_profile_byte_identical():
+    def run():
+        _c, a, b = _run_sampled_pair(seed=17)
+        return (json.dumps(a.profiler.profile(), sort_keys=True)
+                + json.dumps(b.profiler.profile(), sort_keys=True))
+
+    assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# error accounting (feeds the error_rate / availability SLOs)
+# ----------------------------------------------------------------------
+def test_failed_responses_counted_as_errors():
+    cluster = Cluster(seed=9)
+    config = {"observability": {"profiling": True, "profile_window": 0.05}}
+    a = cluster.add_margo("a", "node0", config=config)
+    b = cluster.add_margo("b", "node1", config=config)
+    calls = {"n": 0}
+
+    def flaky(ctx):
+        yield Compute(1e-6)
+        calls["n"] += 1
+        if calls["n"] % 5 == 0:
+            raise ValueError("boom")
+        return {"ok": True}
+
+    b.register("echo_ping", flaky, provider_id=3)
+
+    def client():
+        for _ in range(20):
+            try:
+                yield from a.forward(b.address, "echo_ping", {}, provider_id=3)
+            except RpcFailedError:
+                pass
+            yield UltSleep(0.01)
+
+    cluster.run_ult(a, client())
+    cluster.kernel.run(until=0.5)
+    requests = errors = 0
+    for window in b.profiler.store.windows:
+        entry = window["providers"].get("echo:3")
+        if entry:
+            requests += entry["requests"]
+            errors += entry["errors"]
+    assert requests == 20
+    assert errors == 4  # every 5th call failed
+
+
+# ----------------------------------------------------------------------
+# trace sampling
+# ----------------------------------------------------------------------
+def _run_traced_pair(rate, seed=7, n_rpcs=40):
+    config = {"observability": {"tracing": True, "trace_sample_rate": rate}}
+    cluster = Cluster(seed=seed)
+    a = cluster.add_margo("a", "node0", config=config)
+    b = cluster.add_margo("b", "node1", config=config)
+    b.register("echo_ping", _echo_handler, provider_id=3)
+
+    def client():
+        for _ in range(n_rpcs):
+            yield from a.forward(b.address, "echo_ping", {}, provider_id=3)
+
+    cluster.run_ult(a, client())
+    return cluster, a, b
+
+
+def test_trace_sampling_drops_whole_traces():
+    _cluster, a, b = _run_traced_pair(rate=0.5)
+    sampled_traces = {s.trace_id for s in a.tracer.spans}
+    # Roughly half the traces survive; whole traces sample together, so
+    # the server's span set covers exactly the client's trace ids.
+    assert 0 < len(sampled_traces) < 40
+    assert {s.trace_id for s in b.tracer.spans} == sampled_traces
+    assert a.tracer.sampled_out > 0
+
+
+def test_trace_sampling_edges_and_determinism():
+    _cluster, a, _b = _run_traced_pair(rate=0.0)
+    assert a.tracer.spans == [] and a.tracer.sampled_out > 0
+    _cluster, a2, _b2 = _run_traced_pair(rate=1.0)
+    assert len({s.trace_id for s in a2.tracer.spans}) == 40
+    assert a2.tracer.sampled_out == 0
+
+    def run():
+        _c, a3, b3 = _run_traced_pair(rate=0.5, seed=23)
+        return json.dumps(
+            [s.to_json() for s in a3.tracer.spans]
+            + [s.to_json() for s in b3.tracer.spans],
+            sort_keys=True,
+        )
+
+    assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# spec validation
+# ----------------------------------------------------------------------
+def test_sampling_spec_validation():
+    with pytest.raises(ValueError, match="trace_sample_rate"):
+        ObservabilitySpec.from_json({"tracing": True, "trace_sample_rate": 1.5})
+    with pytest.raises(ValueError, match="profile_sample_every"):
+        ObservabilitySpec.from_json({"profiling": True,
+                                     "profile_sample_every": 0})
+    with pytest.raises(ValueError):
+        Tracer(sample_rate=-0.1)
+    spec = ObservabilitySpec.from_json(
+        {"profiling": True, "profile_sample_every": 8,
+         "tracing": True, "trace_sample_rate": 0.25}
+    )
+    doc = spec.to_json()
+    assert doc["profile_sample_every"] == 8
+    assert doc["trace_sample_rate"] == 0.25
+    assert ObservabilitySpec.from_json(doc) == spec
