@@ -1,0 +1,210 @@
+"""Shared measurement harness for the perf benchmark suites.
+
+Every BENCH_*.json number in this repo is produced by one of two
+disciplines, both defined here so the four overhead suites (p0, race,
+profile, health) share one methodology instead of four copies:
+
+* :func:`best_of` -- GC-quiesced best-of-N for *absolute* rates (events/s,
+  RPCs/s).  Best-of is the right statistic for "how fast can this go":
+  shared runners show bimodal phases and the fast phase is the machine's
+  actual capability.
+
+* :func:`run_rounds` + :func:`paired_ratio` -- palindrome-ordered paired
+  rounds for *relative* claims (on/off overheads, off-path gates).  Every
+  round runs each arm twice in ABCD-DCBA order, so each arm's two
+  position indices sum to the same value: drift that is linear across the
+  round (frequency ramps, a background job spinning up) contributes
+  equally to every arm and cancels out of the per-round ratios.  The base
+  order also rotates per round so nonlinear position effects do not keep
+  landing on the same arm.  Gates compare the *median* of per-round
+  ratios, robust to the odd descheduled round.
+
+  Sequential best-of blocks drift with machine load and have produced
+  >5-point phantom overheads on shared runners (BENCH_RACE.json's old
+  rpc ``off_vs_p0 = 1.10`` was exactly this: two measurements taken
+  minutes apart under different load).  Cross-*file* comparisons against
+  pinned trajectories remain informational only; every enforced gate is
+  computed from arms of the same run.
+
+The two P0 workload shapes (kernel sleep-swarm + timer fan, echo RPC)
+also live here so every suite measures the identical workload.
+"""
+
+from __future__ import annotations
+
+# mochi-lint: disable-file=MCH001 -- this harness measures real wall-clock
+# throughput of the simulator itself; time.perf_counter here reads the host
+# clock on purpose and never runs under the kernel.
+
+import gc
+import json
+import os
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+# ----------------------------------------------------------------------
+# measurement primitives
+# ----------------------------------------------------------------------
+def once(fn):
+    """Run ``fn`` once with the GC quiesced (collection pauses land
+    between measurements, not inside them)."""
+    gc.collect()
+    gc.disable()
+    try:
+        return fn()
+    finally:
+        gc.enable()
+
+
+def best_of(repeats: int, fn):
+    """Run ``fn`` ``repeats`` times; return its stats at the best wall time.
+
+    ``fn`` must return a dict with a ``wall_s`` key.
+    """
+    best = None
+    for _ in range(repeats):
+        stats = once(fn)
+        if best is None or stats["wall_s"] < best["wall_s"]:
+            best = stats
+    return best
+
+
+def median(values: list) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def run_rounds(repeats: int, arms: dict) -> tuple[dict, list]:
+    """Run every arm twice per round (palindrome order); keep each arm's
+    best stats plus the summed per-round wall times.
+
+    Interleaving is load-bearing for the gates: the comparison must see
+    the same machine conditions in every arm, and sequential best-of
+    blocks do not (load drift between blocks reads as phantom overhead).
+    The per-round walls feed paired ratios in :func:`paired_ratio`.
+    """
+    best: dict = {}
+    rounds: list = []
+    names = list(arms)
+    for index in range(repeats):
+        shift = index % len(names)
+        order = names[shift:] + names[:shift]
+        walls = dict.fromkeys(names, 0.0)
+        for name in order + order[::-1]:
+            stats = once(arms[name])
+            walls[name] += stats["wall_s"]
+            if name not in best or stats["wall_s"] < best[name]["wall_s"]:
+                best[name] = stats
+        rounds.append(walls)
+    return best, rounds
+
+
+def paired_ratio(rounds: list, arm: str, base: str) -> float:
+    """Median over rounds of (arm wall / base wall), both from the same
+    round: machine drift cancels within a pair, and the median is robust
+    to the odd descheduled round."""
+    return median([walls[arm] / walls[base] for walls in rounds])
+
+
+def load_trajectory(path: str):
+    """Load a pinned BENCH_*.json trajectory, or None if absent."""
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+# ----------------------------------------------------------------------
+# the shared P0 workload shapes
+# ----------------------------------------------------------------------
+OBS_OFF = {"observability": {"tracing": False, "metrics": False}}
+
+
+def bench_kernel_swarm(n_tasks: int, n_steps: int, backend: str | None = None) -> dict:
+    """The P0 kernel workload: a swarm of sleeping tasks driven by
+    ``run(until_tasks=...)`` plus a same-timestamp timer fan.
+
+    This is the shape every Margo deployment produces: many live tasks
+    (xstreams, progress loops, drivers) with the kernel asked to detect
+    completion of a subset, and bursts of timers landing on identical
+    deadlines (the wheel's bucket-drain fast path).
+    """
+    from repro.sim.kernel import SimKernel, Sleep
+
+    kernel = SimKernel(backend)
+
+    def worker(i: int):
+        for step in range(n_steps):
+            yield Sleep(1e-6 * ((i + step) % 7 + 1))
+        return i
+
+    tasks = [kernel.spawn(worker(i), name=f"w{i}") for i in range(n_tasks)]
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+
+    for burst in range(n_steps):
+        for _ in range(n_tasks // 4):
+            kernel.schedule(1e-6 * (burst + 1), tick)
+
+    started = time.perf_counter()
+    kernel.run(until_tasks=tasks)
+    wall = time.perf_counter() - started
+    events = kernel._seq  # every schedule() is exactly one queue event
+    return {
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall,
+        "sim_time": kernel.now,
+    }
+
+
+def bench_rpc_echo(n_rpcs: int, config: dict, health: bool = False) -> dict:
+    """The P0 RPC workload: end-to-end echo RPCs through ``forward()``
+    -> progress loop -> handler ULT -> response, with the chosen
+    observer mix."""
+    from repro import Cluster
+    from repro.margo import Compute
+
+    cluster = Cluster(seed=7)
+    server = cluster.add_margo("server", node="n0", config=dict(config))
+    client = cluster.add_margo("client", node="n1", config=dict(config))
+    if health:
+        plane = cluster.enable_health()
+        plane.watch_margo(server)
+        plane.watch_margo(client)
+
+    def handler(ctx):
+        yield Compute(1e-6)
+        return ctx.args
+
+    server.register("echo", handler)
+
+    def driver():
+        for i in range(n_rpcs):
+            yield from client.forward(server.address, "echo", i)
+        return None
+
+    started = time.perf_counter()
+    cluster.run_ult(client, driver())
+    wall = time.perf_counter() - started
+    stats = {
+        "rpcs": n_rpcs,
+        "wall_s": wall,
+        "rpcs_per_sec": n_rpcs / wall,
+        "sim_time": cluster.now,
+        "health": health,
+        "profiled": bool(config.get("observability", {}).get("profiling")),
+    }
+    if health:
+        stats["recorder_events"] = cluster.health.recorder.recorded
+    if stats["profiled"]:
+        stats["windows_closed"] = len(server.profiler.store.windows)
+        stats["waterfalls"] = len(client.profiler.waterfalls)
+    return stats

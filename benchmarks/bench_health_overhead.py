@@ -46,20 +46,21 @@ from __future__ import annotations
 # throughput of the simulator itself; time.perf_counter here reads the host
 # clock on purpose and never runs under the kernel.
 
-import gc
 import json
 import os
 import sys
-import time
 
 sys.path.insert(0, os.path.dirname(__file__))
 
+from _harness import (  # noqa: E402
+    OBS_OFF,
+    REPO_ROOT,
+    bench_rpc_echo,
+    paired_ratio,
+    run_rounds,
+)
 from common import print_table, save_results  # noqa: E402
 
-from repro import Cluster  # noqa: E402
-from repro.margo import Compute  # noqa: E402
-
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_HEALTH.json")
 
 #: Acceptance thresholds (ISSUE 6): the health plane must be free on the
@@ -67,7 +68,6 @@ TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_HEALTH.json")
 HEALTH_ON_MAX_RATIO = 1.02
 SAMPLED_MAX_OVERHEAD = 0.10
 
-OBS_OFF = {"observability": {"tracing": False, "metrics": False}}
 #: A realistic always-on window.  (bench_profile_overhead uses 1e-4 to
 #: deliberately stress window rotation; here the windows just need to
 #: close a few times so the rollup path is exercised, while the cost
@@ -105,109 +105,13 @@ GATE = dict(repeats=6, n_rpcs=5000)
 SMOKE = dict(repeats=1, n_rpcs=60)
 
 
-def _once(fn):
-    gc.collect()
-    gc.disable()
-    try:
-        return fn()
-    finally:
-        gc.enable()
-
-
-def _run_rounds(repeats: int, arms: dict) -> tuple[dict, list]:
-    """Run every arm twice per round (palindrome order); keep each arm's
-    best stats plus the summed per-round wall times.
-
-    Interleaving is load-bearing for the gates: the comparison must see
-    the same machine conditions in every arm, and sequential best-of
-    blocks do not (load drift between blocks reads as phantom overhead).
-    The per-round walls feed paired ratios in ``_comparison``.
-    """
-    best: dict = {}
-    rounds: list = []
-    names = list(arms)
-    for index in range(repeats):
-        # Each round runs its arms in palindrome (ABCD-DCBA) order, so
-        # every arm's two position indices sum to the same value: any
-        # drift that is linear across the round (frequency ramps, a
-        # background job spinning up) contributes equally to every arm
-        # and cancels out of the paired ratios.  The base order also
-        # rotates per round so nonlinear position effects do not keep
-        # landing on the same arm.
-        shift = index % len(names)
-        order = names[shift:] + names[:shift]
-        walls = dict.fromkeys(names, 0.0)
-        for name in order + order[::-1]:
-            stats = _once(arms[name])
-            walls[name] += stats["wall_s"]
-            if name not in best or stats["wall_s"] < best[name]["wall_s"]:
-                best[name] = stats
-        rounds.append(walls)
-    return best, rounds
-
-
-def _median(values: list) -> float:
-    ordered = sorted(values)
-    mid = len(ordered) // 2
-    if len(ordered) % 2:
-        return ordered[mid]
-    return (ordered[mid - 1] + ordered[mid]) / 2.0
-
-
-def _paired_ratio(rounds: list, arm: str, base: str = "rpc_off") -> float:
-    """Median over rounds of (arm wall / base wall), both from the same
-    round: machine drift cancels within a pair, and the median is robust
-    to the odd descheduled round."""
-    return _median([walls[arm] / walls[base] for walls in rounds])
-
-
-def bench_rpc(n_rpcs: int, config: dict, health: bool) -> dict:
-    """Identical to the P0 rpc workload, with the chosen observer mix."""
-    cluster = Cluster(seed=7)
-    server = cluster.add_margo("server", node="n0", config=dict(config))
-    client = cluster.add_margo("client", node="n1", config=dict(config))
-    if health:
-        plane = cluster.enable_health()
-        plane.watch_margo(server)
-        plane.watch_margo(client)
-
-    def handler(ctx):
-        yield Compute(1e-6)
-        return ctx.args
-
-    server.register("echo", handler)
-
-    def driver():
-        for i in range(n_rpcs):
-            yield from client.forward(server.address, "echo", i)
-        return None
-
-    started = time.perf_counter()
-    cluster.run_ult(client, driver())
-    wall = time.perf_counter() - started
-    stats = {
-        "rpcs": n_rpcs,
-        "wall_s": wall,
-        "rpcs_per_sec": n_rpcs / wall,
-        "sim_time": cluster.now,
-        "health": health,
-        "profiled": bool(config["observability"].get("profiling")),
-    }
-    if health:
-        stats["recorder_events"] = cluster.health.recorder.recorded
-    if stats["profiled"]:
-        stats["windows_closed"] = len(server.profiler.store.windows)
-        stats["waterfalls"] = len(client.profiler.waterfalls)
-    return stats
-
-
 def run_suite(params: dict) -> dict:
     n = params["n_rpcs"]
-    results, rounds = _run_rounds(params["repeats"], {
-        "rpc_off": lambda: bench_rpc(n, OBS_OFF, health=False),
-        "rpc_health_on": lambda: bench_rpc(n, OBS_OFF, health=True),
-        "rpc_profiled_full": lambda: bench_rpc(n, OBS_PROFILED, health=False),
-        "rpc_profiled_sampled": lambda: bench_rpc(n, OBS_SAMPLED, health=False),
+    results, rounds = run_rounds(params["repeats"], {
+        "rpc_off": lambda: bench_rpc_echo(n, OBS_OFF),
+        "rpc_health_on": lambda: bench_rpc_echo(n, OBS_OFF, health=True),
+        "rpc_profiled_full": lambda: bench_rpc_echo(n, OBS_PROFILED),
+        "rpc_profiled_sampled": lambda: bench_rpc_echo(n, OBS_SAMPLED),
     })
     results["params"] = dict(params)
     results["rounds"] = rounds
@@ -216,8 +120,8 @@ def run_suite(params: dict) -> dict:
 
 def _comparison(results: dict) -> dict:
     rounds = results["rounds"]
-    full_ratio = _paired_ratio(rounds, "rpc_profiled_full")
-    sampled_ratio = _paired_ratio(rounds, "rpc_profiled_sampled")
+    full_ratio = paired_ratio(rounds, "rpc_profiled_full", "rpc_off")
+    sampled_ratio = paired_ratio(rounds, "rpc_profiled_sampled", "rpc_off")
     return {
         "rate_off": results["rpc_off"]["rpcs_per_sec"],
         "rate_health_on": results["rpc_health_on"]["rpcs_per_sec"],
@@ -226,7 +130,7 @@ def _comparison(results: dict) -> dict:
         "unit": "rpcs_per_sec",
         # Median paired walltime(health) / walltime(off): 1.0 means
         # free, the gate is 1.02.
-        "health_on_ratio": _paired_ratio(rounds, "rpc_health_on"),
+        "health_on_ratio": paired_ratio(rounds, "rpc_health_on", "rpc_off"),
         # Overhead = extra wall fraction, from the paired wall ratio.
         "profiled_full_overhead": 1.0 - 1.0 / full_ratio,
         "profiled_sampled_overhead": 1.0 - 1.0 / sampled_ratio,

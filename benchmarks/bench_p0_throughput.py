@@ -35,7 +35,6 @@ from __future__ import annotations
 # throughput of the simulator itself (events/s, RPCs/s); time.perf_counter
 # here reads the host clock on purpose and never runs under the kernel.
 
-import gc
 import json
 import os
 import sys
@@ -43,114 +42,26 @@ import time
 
 sys.path.insert(0, os.path.dirname(__file__))
 
+from _harness import (  # noqa: E402
+    OBS_OFF,
+    REPO_ROOT,
+    bench_kernel_swarm,
+    bench_rpc_echo,
+    best_of,
+)
 from common import RESULTS_DIR, print_table, save_results  # noqa: E402
 
 from repro import Cluster  # noqa: E402
-from repro.margo import Compute  # noqa: E402
-from repro.sim.kernel import SimKernel, Sleep  # noqa: E402
 from repro.yokan import YokanClient, YokanProvider  # noqa: E402
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_PATH = os.path.join(RESULTS_DIR, "P0_baseline.json")
 TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_P0.json")
 
-OBS_OFF = {"observability": {"tracing": False, "metrics": False}}
 OBS_ON = {"observability": {"tracing": True, "metrics": True}}
 
 #: (repeats, kernel tasks, kernel steps, rpcs, kv singles, kv batches)
 FULL = dict(repeats=5, n_tasks=300, n_steps=50, n_rpcs=2500, n_kv=800, n_batches=40)
 SMOKE = dict(repeats=1, n_tasks=40, n_steps=10, n_rpcs=60, n_kv=40, n_batches=4)
-
-
-def _best_of(repeats: int, fn):
-    """Run ``fn`` ``repeats`` times; return its stats at the best wall time.
-
-    The GC is quiesced around each timed run so collection pauses land
-    between measurements, not inside them.
-    """
-    best = None
-    for _ in range(repeats):
-        gc.collect()
-        gc.disable()
-        try:
-            stats = fn()
-        finally:
-            gc.enable()
-        if best is None or stats["wall_s"] < best["wall_s"]:
-            best = stats
-    return best
-
-
-# ----------------------------------------------------------------------
-# kernel microbench: events/sec
-# ----------------------------------------------------------------------
-def bench_kernel(n_tasks: int, n_steps: int) -> dict:
-    """A swarm of sleeping tasks driven by ``run(until_tasks=...)``.
-
-    This is the shape every Margo deployment produces: many live tasks
-    (xstreams, progress loops, drivers) with the kernel asked to detect
-    completion of a subset -- the path where per-event completion scans
-    and per-step closure allocation hurt the most.  A same-timestamp
-    timer fan rides along to exercise heap drain batching.
-    """
-    kernel = SimKernel()
-
-    def worker(i: int):
-        for step in range(n_steps):
-            yield Sleep(1e-6 * ((i + step) % 7 + 1))
-        return i
-
-    tasks = [kernel.spawn(worker(i), name=f"w{i}") for i in range(n_tasks)]
-    # Same-timestamp fan: many timers landing on identical deadlines.
-    fired = [0]
-
-    def tick() -> None:
-        fired[0] += 1
-
-    for burst in range(n_steps):
-        for _ in range(n_tasks // 4):
-            kernel.schedule(1e-6 * (burst + 1), tick)
-
-    started = time.perf_counter()
-    kernel.run(until_tasks=tasks)
-    wall = time.perf_counter() - started
-    events = kernel._seq  # every schedule() is exactly one queue event
-    return {
-        "events": events,
-        "wall_s": wall,
-        "events_per_sec": events / wall,
-        "sim_time": kernel.now,
-    }
-
-
-# ----------------------------------------------------------------------
-# RPC bench: RPCs/sec through the full client/server path
-# ----------------------------------------------------------------------
-def bench_rpc(n_rpcs: int, config: dict) -> dict:
-    cluster = Cluster(seed=7)
-    server = cluster.add_margo("server", node="n0", config=dict(config))
-    client = cluster.add_margo("client", node="n1", config=dict(config))
-
-    def handler(ctx):
-        yield Compute(1e-6)
-        return ctx.args
-
-    server.register("echo", handler)
-
-    def driver():
-        for i in range(n_rpcs):
-            yield from client.forward(server.address, "echo", i)
-        return None
-
-    started = time.perf_counter()
-    cluster.run_ult(client, driver())
-    wall = time.perf_counter() - started
-    return {
-        "rpcs": n_rpcs,
-        "wall_s": wall,
-        "rpcs_per_sec": n_rpcs / wall,
-        "sim_time": cluster.now,
-    }
 
 
 # ----------------------------------------------------------------------
@@ -204,12 +115,14 @@ def bench_kv(n_kv: int, n_batches: int, batch_size: int = 32) -> dict:
 def run_suite(params: dict) -> dict:
     repeats = params["repeats"]
     results = {
-        "kernel": _best_of(
-            repeats, lambda: bench_kernel(params["n_tasks"], params["n_steps"])
+        "kernel": best_of(
+            repeats, lambda: bench_kernel_swarm(params["n_tasks"], params["n_steps"])
         ),
-        "rpc": _best_of(repeats, lambda: bench_rpc(params["n_rpcs"], OBS_OFF)),
-        "rpc_traced": _best_of(repeats, lambda: bench_rpc(params["n_rpcs"], OBS_ON)),
-        "kv": _best_of(
+        "rpc": best_of(repeats, lambda: bench_rpc_echo(params["n_rpcs"], OBS_OFF)),
+        "rpc_traced": best_of(
+            repeats, lambda: bench_rpc_echo(params["n_rpcs"], OBS_ON)
+        ),
+        "kv": best_of(
             repeats, lambda: bench_kv(params["n_kv"], params["n_batches"])
         ),
     }

@@ -28,24 +28,25 @@ from __future__ import annotations
 # throughput of the simulator itself; time.perf_counter here reads the host
 # clock on purpose and never runs under the kernel.
 
-import gc
 import json
 import os
 import sys
-import time
 
 sys.path.insert(0, os.path.dirname(__file__))
 
+from _harness import (  # noqa: E402
+    OBS_OFF,
+    REPO_ROOT,
+    bench_rpc_echo,
+    load_trajectory,
+    paired_ratio,
+    run_rounds,
+)
 from common import print_table, save_results  # noqa: E402
 
-from repro import Cluster  # noqa: E402
-from repro.margo import Compute  # noqa: E402
-
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 P0_TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_P0.json")
 TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_PROFILE.json")
 
-OBS_OFF = {"observability": {"tracing": False, "metrics": False}}
 #: Profiling on, everything else identical.  The window is sized so the
 #: boundary timer actually fires many times during the run (the sampling
 #: path is part of what is being priced).
@@ -60,79 +61,32 @@ OBS_PROFILED = {
 
 #: Same RPC workload shape as bench_p0_throughput so the off-path
 #: numbers are directly comparable against the BENCH_P0.json trajectory.
-#: Repeats are higher than the P0 suite because shared runners show
-#: bimodal phases; best-of needs to sample the fast phase of both arms.
-FULL = dict(repeats=15, n_rpcs=2500)
+#: Palindrome paired rounds (see benchmarks/_harness.py) run each arm
+#: twice per round, so 8 rounds sample each arm 16 times.
+FULL = dict(repeats=8, n_rpcs=2500)
 SMOKE = dict(repeats=1, n_rpcs=60)
 
 
-def _best_of(repeats: int, fn):
-    best = None
-    for _ in range(repeats):
-        gc.collect()
-        gc.disable()
-        try:
-            stats = fn()
-        finally:
-            gc.enable()
-        if best is None or stats["wall_s"] < best["wall_s"]:
-            best = stats
-    return best
-
-
-def bench_rpc(n_rpcs: int, profiled: bool) -> dict:
-    """Identical to the P0 rpc workload, profiling off or on."""
-    config = OBS_PROFILED if profiled else OBS_OFF
-    cluster = Cluster(seed=7)
-    server = cluster.add_margo("server", node="n0", config=dict(config))
-    client = cluster.add_margo("client", node="n1", config=dict(config))
-
-    def handler(ctx):
-        yield Compute(1e-6)
-        return ctx.args
-
-    server.register("echo", handler)
-
-    def driver():
-        for i in range(n_rpcs):
-            yield from client.forward(server.address, "echo", i)
-        return None
-
-    started = time.perf_counter()
-    cluster.run_ult(client, driver())
-    wall = time.perf_counter() - started
-    stats = {
-        "rpcs": n_rpcs,
-        "wall_s": wall,
-        "rpcs_per_sec": n_rpcs / wall,
-        "sim_time": cluster.now,
-        "profiled": profiled,
-    }
-    if profiled:
-        stats["windows_closed"] = len(server.profiler.store.windows)
-        stats["waterfalls"] = len(client.profiler.waterfalls)
-    return stats
-
-
 def run_suite(params: dict) -> dict:
-    repeats = params["repeats"]
     n_rpcs = params["n_rpcs"]
-    return {
-        "rpc_off": _best_of(repeats, lambda: bench_rpc(n_rpcs, profiled=False)),
-        "rpc_on": _best_of(repeats, lambda: bench_rpc(n_rpcs, profiled=True)),
-        "params": dict(params),
-    }
+    results, rounds = run_rounds(params["repeats"], {
+        "rpc_off": lambda: bench_rpc_echo(n_rpcs, OBS_OFF),
+        "rpc_on": lambda: bench_rpc_echo(n_rpcs, OBS_PROFILED),
+    })
+    results["params"] = dict(params)
+    results["rounds"] = rounds
+    return results
 
 
 def _rows(results: dict, p0: dict | None) -> list[dict]:
-    off = results["rpc_off"]["rpcs_per_sec"]
-    on = results["rpc_on"]["rpcs_per_sec"]
+    on_ratio = paired_ratio(results["rounds"], "rpc_on", "rpc_off")
     row = {
         "bench": "rpc",
-        "rate_off": off,
-        "rate_on": on,
+        "rate_off": results["rpc_off"]["rpcs_per_sec"],
+        "rate_on": results["rpc_on"]["rpcs_per_sec"],
         "unit": "rpcs_per_sec",
-        "profiler_on_overhead": 1.0 - on / off,
+        # Overhead = extra wall fraction, from the paired wall ratio.
+        "profiler_on_overhead": 1.0 - 1.0 / on_ratio,
     }
     if p0 is not None:
         p0_rate = p0.get("current", {}).get("rpc", {}).get("rpcs_per_sec")
@@ -148,11 +102,7 @@ def main(argv: list[str]) -> int:
 
     results = run_suite(params)
 
-    p0 = None
-    if os.path.exists(P0_TRAJECTORY_PATH):
-        with open(P0_TRAJECTORY_PATH) as handle:
-            p0 = json.load(handle)
-
+    p0 = load_trajectory(P0_TRAJECTORY_PATH)
     rows = _rows(results, p0 if not smoke else None)
     print_table("continuous-profiler overhead" + (" (smoke)" if smoke else ""), rows)
 
@@ -173,7 +123,7 @@ def main(argv: list[str]) -> int:
             "2%), and 'profiler_on_overhead' is the fractional cost of "
             "window sampling + latency decomposition + waterfalls."
         ),
-        "results": results,
+        "results": {k: v for k, v in results.items() if k != "rounds"},
         "comparison": rows,
     }
     with open(TRAJECTORY_PATH, "w") as handle:

@@ -93,7 +93,9 @@ def explore(
         ULT._counter = start_counter
         hooks.disable()
         hooks.reset()
-        hooks.enable()
+        # Full precision: the explorer's divergence pinpointing needs a
+        # complete fire trace, so timer-edge sampling is turned off here.
+        hooks.enable(sample_every=1)
         trace: list[str] = []
         hooks.TRACE = trace
         hooks.set_perturbation(seed)

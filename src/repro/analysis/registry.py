@@ -8,8 +8,10 @@ same vocabulary.
 Rule id blocks:
 
 * ``MCH00x`` -- determinism (wall clock, unseeded randomness,
-  environment-dependent iteration) and observability (``MCH004``:
-  monitoring callbacks growing unbounded state);
+  environment-dependent iteration), observability (``MCH004``:
+  monitoring callbacks growing unbounded state), and performance
+  (``MCH006``: per-event allocation inside ``# mochi-lint: hotpath``
+  functions);
 * ``MCH01x`` -- cooperative scheduling (blocking calls in ULTs,
   yield-while-holding-lock, handlers that never respond, misbehaving
   monitor hooks);
@@ -43,6 +45,7 @@ __all__ = [
     "GROUP_SCHEDULING",
     "GROUP_CONFIG",
     "GROUP_CONCURRENCY",
+    "GROUP_PERF",
     "GROUP_META",
 ]
 
@@ -51,6 +54,7 @@ GROUP_OBSERVABILITY = "observability"
 GROUP_SCHEDULING = "scheduling"
 GROUP_CONFIG = "configuration"
 GROUP_CONCURRENCY = "concurrency"
+GROUP_PERF = "performance"
 GROUP_META = "meta"
 
 

@@ -97,4 +97,5 @@ def is_ult_generator(func: ast.AST) -> bool:
 # Import the rule modules for their registration side effects.
 from . import determinism as _determinism  # noqa: E402,F401
 from . import monitoring as _monitoring  # noqa: E402,F401
+from . import perf as _perf  # noqa: E402,F401
 from . import scheduling as _scheduling  # noqa: E402,F401

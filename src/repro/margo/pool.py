@@ -46,6 +46,13 @@ class Pool:
         self.access = access
         self._queue: deque[ULT] = deque()
         self._watchers: list["XStream"] = []
+        # Precomputed pool->xstream dispatch route (P1): the wakeup
+        # events to poke on push, resolved once per attach/detach
+        # instead of dereferencing every watcher per push.  ``_wake1``
+        # is the sole watcher's wakeup event (the common case: one
+        # xstream per pool); ``_wakeN`` the multi-watcher tuple.
+        self._wake1: Optional[Any] = None
+        self._wakeN: tuple = ()
         # Cumulative counters for monitoring/benchmarks.
         self.total_pushed = 0
         self.total_popped = 0
@@ -60,6 +67,7 @@ class Pool:
         """Number of ULTs currently waiting in the pool."""
         return len(self._queue)
 
+    # mochi-lint: hotpath
     def push(self, ult: ULT) -> None:
         ult.pool = self
         ult.state = UltState.READY
@@ -76,9 +84,20 @@ class Pool:
             # queued ULTs), so this stays two attribute loads on the
             # hottest call site in the system.
             ult.profile_enqueued_at = prof.kernel.now
-        for xstream in self._watchers:
-            xstream.notify()
+        # Wake the serving xstream(s) over the precomputed route.  The
+        # already-set check mirrors SimEvent.set's idempotent early
+        # return (including its pre-race-hook position), skipping a call
+        # on the hottest site in the system.
+        wake = self._wake1
+        if wake is not None:
+            if not wake._set:
+                wake.set()
+        else:
+            for wake in self._wakeN:
+                if not wake._set:
+                    wake.set()
 
+    # mochi-lint: hotpath
     def pop(self) -> Optional[ULT]:
         queue = self._queue
         if not queue:
@@ -101,10 +120,22 @@ class Pool:
     def attach_xstream(self, xstream: "XStream") -> None:
         if xstream not in self._watchers:
             self._watchers.append(xstream)
+            self._rebuild_route()
 
     def detach_xstream(self, xstream: "XStream") -> None:
         if xstream in self._watchers:
             self._watchers.remove(xstream)
+            self._rebuild_route()
+
+    def _rebuild_route(self) -> None:
+        """Re-resolve the push wakeup route (once per config change)."""
+        watchers = self._watchers
+        if len(watchers) == 1:
+            self._wake1 = watchers[0]._wakeup
+            self._wakeN = ()
+        else:
+            self._wake1 = None
+            self._wakeN = tuple(x._wakeup for x in watchers)
 
     @property
     def xstreams(self) -> tuple["XStream", ...]:

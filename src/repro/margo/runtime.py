@@ -200,6 +200,9 @@ class MargoInstance:
         self._pool_claims: dict[str, set[str]] = {}
 
         self._registry: dict[tuple[int, int], Registration] = {}
+        # Race-hook label cache: dispatch/resolve run per RPC, and
+        # formatting their report labels fresh each time is measurable.
+        self._race_labels: dict[Any, str] = {}
         self._seq = 0
         self._pending: dict[int, tuple[UltEvent, RPCRequest, float]] = {}
         self._incoming: deque[Any] = deque()
@@ -410,9 +413,12 @@ class MargoInstance:
         if isinstance(pool, Pool):
             return pool
         if _race.ENABLED:
-            _race.note_read(
-                self.pools, pool, f"margo:{self.process.name}.resolve_pool:{pool}"
-            )
+            label = self._race_labels.get(pool)
+            if label is None:
+                label = self._race_labels[pool] = (
+                    f"margo:{self.process.name}.resolve_pool:{pool}"
+                )
+            _race.note_read(self.pools, pool, label)
         try:
             return self.pools[pool]
         except KeyError as err:
@@ -695,12 +701,16 @@ class MargoInstance:
                 observed = False
         if observed:
             self._emit("on_request_received", request=request)
+        key = (request.rpc_id, request.provider_id)
         if _race.ENABLED:
-            _race.note_read(
-                self._registry, (request.rpc_id, request.provider_id),
-                f"margo:{self.process.name}.dispatch:{request.rpc_name}/{request.provider_id}",
-            )
-        registration = self._registry.get((request.rpc_id, request.provider_id))
+            label = self._race_labels.get(key)
+            if label is None:
+                label = self._race_labels[key] = (
+                    f"margo:{self.process.name}.dispatch:"
+                    f"{request.rpc_name}/{request.provider_id}"
+                )
+            _race.note_read(self._registry, key, label)
+        registration = self._registry.get(key)
         if registration is None:
             response = RPCResponse(
                 seq=request.seq,

@@ -188,7 +188,11 @@ class UltEvent:
             return
         self._set = True
         self._payload = payload
-        if _race.ENABLED:
+        if _race.EVENT_EDGES:
+            # Exact mode only: epoch mode needs no set-time publication
+            # (woken waiters get the setter's clock through the push
+            # this set performs; late joiners take the approximation
+            # clock R in note_event_join).
             _race.note_event_set(self)
         parked, self._parked = self._parked, []
         for ult, token in parked:
@@ -205,13 +209,15 @@ class UltEvent:
             if _race.ENABLED:
                 _race.note_event_join(self)
             # Resume on a fresh turn for fairness (matches kernel events).
-            self.kernel.schedule(0.0, ult.ready, self._payload)
+            self.kernel.post(0.0, ult.ready, self._payload)
             return
         ult.state = UltState.BLOCKED
         token = ult._park_token
         self._parked.append((ult, token))
         if timeout is not None:
-            self.kernel.schedule(timeout, _ParkTimeout(self, ult, token))
+            # No handle kept: the park token makes a stale fire a no-op,
+            # so the no-Timer post() path is safe here.
+            self.kernel.post(timeout, _ParkTimeout(self, ult, token))
 
     def wait(self, timeout: Optional[float] = None) -> UltGen:
         """``yield from event.wait()`` from ULT code."""

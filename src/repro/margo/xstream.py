@@ -106,8 +106,14 @@ class XStream:
     # ------------------------------------------------------------------
     # the scheduling loop
     # ------------------------------------------------------------------
+    # mochi-lint: hotpath
     def _pick(self) -> Optional[ULT]:
-        for pool in self.pools:
+        pools = self.pools
+        if len(pools) == 1:
+            # Sole-pool fast path: the overwhelmingly common config
+            # (one pool per stream) skips the priority scan entirely.
+            return pools[0].pop()
+        for pool in pools:
             ult = pool.pop()
             if ult is not None:
                 return ult
@@ -168,7 +174,13 @@ class XStream:
                         except AssertionError as err:
                             exc = err
                             continue
-                    if _race.ENABLED:
+                    if _race.ANY_HELD and cmd.timeout is None:
+                        # MCH041 needs an unbounded park *while holding
+                        # a mutex*: timeout'd parks are bounded waits by
+                        # construction, and ANY_HELD (maintained by the
+                        # acquire/release hooks) is False in a lock-free
+                        # phase -- the common case pays one attribute
+                        # load here instead of a hook call.
                         _race.note_park(ult, cmd)
                     cmd.event._park(ult, cmd.timeout)
                     return
@@ -180,7 +192,7 @@ class XStream:
                             exc = err
                             continue
                     ult.state = UltState.BLOCKED
-                    self.kernel.schedule(cmd.duration, ult._timed_ready, ult._park_token)
+                    self.kernel.post(cmd.duration, ult._timed_ready, ult._park_token)
                     return
                 if isinstance(cmd, UltYield):
                     ult.pool.push(ult)

@@ -95,10 +95,10 @@ class FaultInjector:
     # scheduled injections
     # ------------------------------------------------------------------
     def kill_process_at(self, delay: float, proc: Process) -> None:
-        self.kernel.schedule(delay, lambda: self.kill_process(proc))
+        self.kernel.post(delay, self.kill_process, proc)
 
     def kill_node_at(self, delay: float, node: Node) -> None:
-        self.kernel.schedule(delay, lambda: self.kill_node(node))
+        self.kernel.post(delay, self.kill_node, node)
 
     def partition_at(self, delay: float, a: Node | str, b: Node | str) -> None:
         self.kernel.schedule(delay, lambda: self.partition(a, b))

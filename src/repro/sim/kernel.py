@@ -1,7 +1,7 @@
 """Deterministic discrete-event simulation kernel.
 
 Everything in :mod:`repro` that needs a notion of time or concurrency runs
-on this kernel.  The kernel maintains a priority queue of timestamped
+on this kernel.  The kernel maintains a priority structure of timestamped
 events and a set of *tasks* -- cooperative coroutines implemented as
 Python generators.  A task advances by yielding :class:`Sleep` or
 :class:`WaitEvent` commands; the kernel resumes it when the requested
@@ -9,33 +9,50 @@ condition is met.
 
 Determinism is a first-class goal: for equal seeds and equal call
 sequences, two runs produce bit-identical schedules.  Ties in the event
-queue are broken by a monotonically increasing sequence number, never by
-object identity or hashing.
+queue are broken by scheduling order (a monotonically increasing
+sequence), never by object identity or hashing.
 
 This module is the hottest code in the repository -- every RPC, ULT
 slice, and timer in every component turns into events here -- so the
 implementation favors the wall-clock fast path:
 
+* the default event structure is a **calendar queue / bucketed timer
+  wheel** (P1): a dict keyed by exact deadline maps to a flat
+  ``[callback, arg, callback, arg, ...]`` slot list, a small min-heap
+  orders only the *distinct* deadlines, and deadlines beyond the wheel
+  horizon overflow to a far-list that migrates in bulk when the wheel
+  drains toward it.  Timestamps cluster at batch boundaries (the P0
+  same-timestamp batch drain proved it), so pushing into an existing
+  bucket is O(1) -- two list appends -- and the heap is touched once per
+  distinct time, not once per event.  Within a bucket, FIFO append
+  order *is* ``seq`` order, so the schedule is bit-identical to the
+  binary-heap backend (kept as ``SIM_KERNEL=heap``);
+* :meth:`SimKernel.post` is the no-handle fast path used by the task
+  resume machinery: no :class:`Timer` object, no tuple, no closure --
+  the callback and its argument go straight into the flat slot list
+  (drained bucket lists are recycled through a free-list, so the steady
+  state allocates nothing per event);
 * timers carry a callable plus an optional argument slot, so the task
   resume paths schedule *bound methods* instead of allocating a closure
   per event;
 * ``run(until_tasks=...)`` detects completion through a shrinking set of
   watched tasks (O(1) per event) instead of scanning every target after
   every event;
-* the run loop drains all events sharing a timestamp in one batch,
-  touching the heap invariants once per distinct time, not once per
-  condition check;
-* cancelled timers are compacted out of the heap once they outnumber
-  half the queue, so mass cancellation (e.g. per-RPC timeout timers)
-  cannot hold memory hostage.  Compaction preserves each entry's
-  ``(deadline, seq)`` key, so event order is bit-identical with or
-  without it.
+* cancelled timers are compacted out once they outnumber half the queue,
+  so mass cancellation (e.g. per-RPC timeout timers) cannot hold memory
+  hostage.  Compaction preserves each entry's position in its bucket
+  (wheel) or its ``(deadline, seq)`` key (heap), so event order is
+  bit-identical with or without it.
+
+See DESIGN.md §9 for the wheel layout and the determinism argument.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -47,6 +64,7 @@ __all__ = [
     "SimEvent",
     "SimulationError",
     "DeadlockError",
+    "KERNEL_BACKENDS",
 ]
 
 
@@ -97,14 +115,35 @@ TIMED_OUT = _TimedOut()
 #: Sentinel for "timer fires ``fn()`` with no argument".
 _NO_ARG = object()
 
+#: Slot-array tag: the paired slot holds a cancellable :class:`Timer`
+#: (``schedule``/``schedule_at``), not a bare ``post`` callback.
+_IS_TIMER = object()
+
 #: Compaction trigger: cancelled entries must exceed this count *and*
-#: half the queue before the heap is rebuilt without them.
+#: half the queue before the structure is rebuilt without them.
 _COMPACT_MIN_CANCELLED = 64
+
+#: Initial wheel horizon width in simulated seconds.  Deadlines past the
+#: horizon overflow to the far-list; the span doubles lazily when
+#: migrations keep coming up near-empty (the wheel was too narrow for
+#: the workload's deadline spread).
+_WHEEL_SPAN = 1e-3
+
+#: A near-empty migration (fewer than this many entries moved while more
+#: remain far) doubles the span.
+_RESIZE_MIN_MOVED = 8
+
+#: Recycled bucket lists kept for reuse (steady state: zero list churn).
+_FREELIST_MAX = 64
+
+KERNEL_BACKENDS = ("wheel", "heap")
+
+_far_deadline = itemgetter(0)
 
 #: The mochi-race hooks module, injected by ``_set_race_hooks`` when the
 #: race detector enables.  ``None`` keeps every gate below a single
-#: module-global load; the hot path (``schedule``) is method-swapped
-#: instead of gated, so it pays nothing at all while disabled.
+#: module-global load; the hot paths (``schedule``/``post``) are
+#: method-swapped instead of gated, so they pay nothing while disabled.
 _RACE: Any = None
 
 
@@ -134,13 +173,18 @@ class SimEvent:
         return self._payload
 
     def set(self, payload: Any = None) -> None:
-        """Set the event and wake all waiters (idempotent while set)."""
+        """Set the event and wake all waiters (idempotent while set).
+
+        No race-layer publication here: a ``SimEvent``'s waiters are
+        plain callbacks on sim-layer tasks, never race contexts --
+        ULT-visible happens-before flows through ``UltEvent.set`` and
+        the pool-push edge, so publishing from every xstream wakeup
+        signal would be pure detector overhead with no consumer.
+        """
         if self._set:
             return
         self._set = True
         self._payload = payload
-        if _RACE is not None:
-            _RACE.note_event_set(self)
         waiters, self._waiters = self._waiters, []
         for wake in waiters:
             wake(payload)
@@ -166,6 +210,8 @@ class Timer:
     The callback is ``fn()`` when scheduled without an argument and
     ``fn(arg)`` otherwise -- the argument slot is what lets the task
     machinery schedule bound methods instead of per-event closures.
+    Internal resume paths that never cancel use :meth:`SimKernel.post`
+    and allocate no handle at all.
     """
 
     __slots__ = ("deadline", "_fn", "_arg", "_cancelled", "_kernel")
@@ -191,9 +237,9 @@ class Timer:
         if self._cancelled:
             return
         self._cancelled = True
-        # ``_kernel`` is cleared when the timer leaves the heap, so
+        # ``_kernel`` is cleared when the timer leaves the queue, so
         # cancelling an already-fired timer does not inflate the
-        # cancelled-entry count that drives heap compaction.
+        # cancelled-entry count that drives compaction.
         kernel = self._kernel
         if kernel is not None:
             kernel._note_cancelled()
@@ -221,7 +267,7 @@ class _EventWaiter:
         if self.timer is not None:
             self.timer.cancel()
         task = self.task
-        task.kernel.schedule(0.0, task._step, payload)
+        task.kernel.post(0.0, task._resume, payload)
 
     def on_timeout(self) -> None:
         if self.resumed:
@@ -231,7 +277,7 @@ class _EventWaiter:
         # Resume on a fresh event-loop turn, symmetric with wake(): the
         # task must never advance from inside the timer that timed it out.
         task = self.task
-        task.kernel.schedule(0.0, task._step, TIMED_OUT)
+        task.kernel.post(0.0, task._resume, TIMED_OUT)
 
 
 class Task:
@@ -244,7 +290,17 @@ class Task:
     was marked ``daemon``.
     """
 
-    __slots__ = ("kernel", "gen", "name", "daemon", "done_event", "error", "result", "_finished")
+    __slots__ = (
+        "kernel",
+        "gen",
+        "name",
+        "daemon",
+        "done_event",
+        "error",
+        "result",
+        "_finished",
+        "_resume",
+    )
 
     def __init__(self, kernel: "SimKernel", gen: TaskGen, name: str, daemon: bool) -> None:
         self.kernel = kernel
@@ -255,11 +311,15 @@ class Task:
         self.error: Optional[BaseException] = None
         self.result: Any = None
         self._finished = False
+        # Bound once: the resume paths below would otherwise allocate a
+        # fresh bound-method object per event just to pass ``self._step``.
+        self._resume = self._step
 
     @property
     def finished(self) -> bool:
         return self._finished
 
+    # mochi-lint: hotpath
     def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
         """Advance the generator one command and act on what it yields."""
         kernel = self.kernel
@@ -281,7 +341,7 @@ class Task:
                 kernel._task_failures.append(self)
             return
         if type(cmd) is Sleep:
-            kernel.schedule(cmd.duration, self._step)
+            kernel.post(cmd.duration, self._resume)
         elif type(cmd) is WaitEvent:
             self._wait(cmd)
         else:
@@ -290,7 +350,7 @@ class Task:
     def _dispatch_slow(self, cmd: Any) -> None:
         # Subclasses of Sleep/WaitEvent still work; anything else errors.
         if isinstance(cmd, Sleep):
-            self.kernel.schedule(cmd.duration, self._step)
+            self.kernel.post(cmd.duration, self._resume)
         elif isinstance(cmd, WaitEvent):
             self._wait(cmd)
         else:
@@ -308,7 +368,7 @@ class Task:
                 _RACE.note_event_join(event)
             # Resume on a fresh event-loop turn to keep scheduling fair
             # and re-entrancy-free.
-            self.kernel.schedule(0.0, self._step, event.payload)
+            self.kernel.post(0.0, self._resume, event.payload)
             return
         waiter = _EventWaiter(self, event)
         event._add_waiter(waiter.wake)
@@ -339,21 +399,54 @@ class SimKernel:
         task = kernel.spawn(my_generator(), name="driver")
         kernel.run()
         assert task.finished
+
+    ``backend`` selects the event structure: ``"wheel"`` (default, the
+    P1 calendar queue) or ``"heap"`` (the P0 binary heap, kept as a
+    cross-check -- both produce bit-identical schedules).  The default
+    can also be set process-wide with the ``SIM_KERNEL`` environment
+    variable.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Optional[str] = None) -> None:
+        if backend is None:
+            backend = os.environ.get("SIM_KERNEL", "wheel").strip() or "wheel"
+        if backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {backend!r} (expected one of {KERNEL_BACKENDS})"
+            )
+        self.backend = backend
+        self._wheel = backend == "wheel"
         self._now = 0.0
         self._seq = 0
-        self._queue: list[tuple[float, int, Timer]] = []
         self._live_tasks: set[Task] = set()
         self._task_failures: list[Task] = []
         self._running = False
-        #: Cancelled timers still sitting in the heap (compaction trigger).
+        #: Cancelled timers still sitting in the queue (compaction trigger).
         self._cancelled_count = 0
         #: Unfinished tasks the current ``run(until_tasks=...)`` watches;
         #: tasks remove themselves on finish, making completion detection
         #: O(1) per event instead of a scan over all targets.
         self._watch: Optional[set[Task]] = None
+        if self._wheel:
+            #: deadline -> flat ``[obj, tag, obj, tag, ...]`` slot list.
+            #: ``tag`` is ``_IS_TIMER`` (obj is a Timer), ``_NO_ARG``
+            #: (call ``obj()``) or the argument (call ``obj(tag)``).
+            self._buckets: dict[float, list] = {}
+            #: Min-heap of the *distinct* deadlines present in _buckets.
+            self._dl_heap: list[float] = []
+            #: Overflow entries past the horizon: (deadline, obj, tag).
+            self._far: list[tuple] = []
+            self._span = _WHEEL_SPAN
+            self._horizon = _WHEEL_SPAN
+            #: Proactive-migration trigger (horizon minus half a span).
+            self._mig_at = _WHEEL_SPAN * 0.5
+            #: Live + cancelled entries across buckets and far-list.
+            self._n_queued = 0
+            self._free: list[list] = []
+        else:
+            #: (deadline, seq, obj, tag) entries; seq breaks all ties, so
+            #: comparison never reaches the payload slots.
+            self._queue: list[tuple] = []
 
     # ------------------------------------------------------------------
     # time and scheduling
@@ -363,6 +456,37 @@ class SimKernel:
         """Current simulated time, in seconds."""
         return self._now
 
+    # mochi-lint: hotpath
+    def post(self, delay: float, fn: Callable[..., None], arg: Any = _NO_ARG) -> None:
+        """Run ``fn()`` -- or ``fn(arg)`` -- after ``delay`` simulated
+        seconds, with no cancellation handle.
+
+        This is the fast path the task/ULT resume machinery uses: it
+        allocates no :class:`Timer`, no tuple (wheel backend), and no
+        closure -- the callback and argument go straight into the flat
+        slot list of the deadline's bucket.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        deadline = self._now + delay
+        self._seq += 1
+        if self._wheel:
+            if deadline < self._horizon:
+                bucket = self._buckets.get(deadline)
+                if bucket is None:
+                    free = self._free
+                    bucket = free.pop() if free else []
+                    self._buckets[deadline] = bucket
+                    heapq.heappush(self._dl_heap, deadline)
+                bucket.append(fn)
+                bucket.append(arg)
+            else:
+                self._far.append((deadline, fn, arg))
+            self._n_queued += 1
+        else:
+            heapq.heappush(self._queue, (deadline, self._seq, fn, arg))
+
+    # mochi-lint: hotpath
     def schedule(self, delay: float, fn: Callable[..., None], arg: Any = _NO_ARG) -> Timer:
         """Run ``fn()`` -- or ``fn(arg)`` if ``arg`` is given -- after
         ``delay`` simulated seconds; return a cancellable handle."""
@@ -370,7 +494,22 @@ class SimKernel:
             raise ValueError(f"negative delay: {delay}")
         timer = Timer(self._now + delay, fn, arg, self)
         self._seq += 1
-        heapq.heappush(self._queue, (timer.deadline, self._seq, timer))
+        if self._wheel:
+            deadline = timer.deadline
+            if deadline < self._horizon:
+                bucket = self._buckets.get(deadline)
+                if bucket is None:
+                    free = self._free
+                    bucket = free.pop() if free else []
+                    self._buckets[deadline] = bucket
+                    heapq.heappush(self._dl_heap, deadline)
+                bucket.append(timer)
+                bucket.append(_IS_TIMER)
+            else:
+                self._far.append((deadline, timer, _IS_TIMER))
+            self._n_queued += 1
+        else:
+            heapq.heappush(self._queue, (timer.deadline, self._seq, timer, _IS_TIMER))
         return timer
 
     def schedule_at(self, deadline: float, fn: Callable[..., None], arg: Any = _NO_ARG) -> Timer:
@@ -388,12 +527,37 @@ class SimKernel:
             )
         timer = Timer(deadline, fn, arg, self)
         self._seq += 1
-        heapq.heappush(self._queue, (timer.deadline, self._seq, timer))
+        if self._wheel:
+            if deadline < self._horizon:
+                bucket = self._buckets.get(deadline)
+                if bucket is None:
+                    free = self._free
+                    bucket = free.pop() if free else []
+                    self._buckets[deadline] = bucket
+                    heapq.heappush(self._dl_heap, deadline)
+                bucket.append(timer)
+                bucket.append(_IS_TIMER)
+            else:
+                self._far.append((deadline, timer, _IS_TIMER))
+            self._n_queued += 1
+        else:
+            heapq.heappush(self._queue, (timer.deadline, self._seq, timer, _IS_TIMER))
         return timer
 
     def event(self, name: str = "") -> SimEvent:
         """Create a :class:`SimEvent` bound to this kernel."""
         return SimEvent(self, name=name)
+
+    def queued(self) -> int:
+        """Entries currently pending (live + not-yet-compacted cancelled).
+
+        Backend-agnostic: tests and monitoring must not reach into the
+        heap list or the wheel buckets directly.
+        """
+        if self._wheel:
+            n = self._n_queued
+            return n if n > 0 else 0
+        return len(self._queue)
 
     # ------------------------------------------------------------------
     # cancelled-timer bookkeeping
@@ -401,20 +565,111 @@ class SimKernel:
     def _note_cancelled(self) -> None:
         self._cancelled_count += 1
         count = self._cancelled_count
-        if count >= _COMPACT_MIN_CANCELLED and count * 2 > len(self._queue):
+        if count >= _COMPACT_MIN_CANCELLED and count * 2 > self.queued():
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify in place.
+        """Drop cancelled entries and rebuild in place.
 
-        Entries keep their ``(deadline, seq)`` keys, so the relative
-        order of live timers -- and therefore the event schedule -- is
-        bit-identical with or without compaction.
+        Entries keep their relative order -- bucket FIFO position on the
+        wheel, ``(deadline, seq)`` keys on the heap -- so the schedule of
+        live timers is bit-identical with or without compaction.
+
+        A batch currently being drained by ``run()`` is detached from the
+        bucket dict, so compaction never touches it; its remaining
+        cancelled entries are simply discounted as the drain reaches them
+        (the count decrements clamp at zero for exactly this overlap).
         """
-        queue = self._queue
-        queue[:] = [entry for entry in queue if not entry[2]._cancelled]
-        heapq.heapify(queue)
+        if self._wheel:
+            buckets = self._buckets
+            remaining = 0
+            for deadline in list(buckets):
+                bucket = buckets[deadline]
+                out = []
+                i = 0
+                n = len(bucket)
+                while i < n:
+                    obj = bucket[i]
+                    tag = bucket[i + 1]
+                    if tag is _IS_TIMER and obj._cancelled:
+                        i += 2
+                        continue
+                    out.append(obj)
+                    out.append(tag)
+                    i += 2
+                if out:
+                    buckets[deadline] = out
+                    remaining += len(out) // 2
+                else:
+                    # Stale deadlines linger in the heap; the run loop
+                    # skips them when the bucket lookup misses.
+                    del buckets[deadline]
+                self._recycle(bucket)
+            far = self._far
+            if far:
+                far[:] = [
+                    e for e in far if not (e[2] is _IS_TIMER and e[1]._cancelled)
+                ]
+                remaining += len(far)
+            self._n_queued = remaining
+        else:
+            queue = self._queue
+            queue[:] = [
+                e for e in queue if not (e[3] is _IS_TIMER and e[2]._cancelled)
+            ]
+            heapq.heapify(queue)
         self._cancelled_count = 0
+
+    def _recycle(self, bucket: list) -> None:
+        free = self._free
+        if len(free) < _FREELIST_MAX:
+            bucket.clear()
+            free.append(bucket)
+
+    def _advance_horizon(self) -> None:
+        """Migrate far-list entries into the wheel and move the horizon.
+
+        Called when the wheel drains toward (or past) the horizon.  The
+        far-list is stable-sorted by deadline, so same-deadline entries
+        keep their scheduling (seq) order; bucket/far entries can never
+        share a deadline (bucket deadlines are strictly below every
+        horizon the far entry was pushed under), so migration preserves
+        the global schedule exactly.
+        """
+        far = self._far
+        span = self._span
+        if not far:
+            self._horizon = self._now + span
+            self._mig_at = self._horizon - span * 0.5
+            return
+        far.sort(key=_far_deadline)
+        if self._dl_heap:
+            new_horizon = self._now + span
+        else:
+            new_horizon = far[0][0] + span
+        buckets = self._buckets
+        dl_heap = self._dl_heap
+        free = self._free
+        moved = 0
+        for entry in far:
+            if entry[0] >= new_horizon:
+                break
+            deadline = entry[0]
+            bucket = buckets.get(deadline)
+            if bucket is None:
+                bucket = free.pop() if free else []
+                buckets[deadline] = bucket
+                heapq.heappush(dl_heap, deadline)
+            bucket.append(entry[1])
+            bucket.append(entry[2])
+            moved += 1
+        del far[:moved]
+        self._horizon = new_horizon
+        self._mig_at = new_horizon - span * 0.5
+        # Lazy resize: migrations that barely move anything mean the
+        # wheel is too narrow for this workload's deadline spread.
+        if far and moved < _RESIZE_MIN_MOVED:
+            self._span = span * 2
 
     # ------------------------------------------------------------------
     # tasks
@@ -432,7 +687,7 @@ class SimKernel:
         self._live_tasks.add(task)
         # First step happens on the event loop, not synchronously, so that
         # spawn order does not leak into execution order mid-timestep.
-        self.schedule(0.0, task._step)
+        self.post(0.0, task._resume)
         return task
 
     # ------------------------------------------------------------------
@@ -459,57 +714,18 @@ class SimKernel:
         if targets is not None:
             watch = {t for t in targets if not t._finished}
             self._watch = watch
-        processed = 0
-        queue = self._queue
-        heappop = heapq.heappop
         failures = self._task_failures
         try:
             if failures:
                 self._raise_task_failures()
             if watch is not None and not watch:
                 return
-            while queue:
-                # Drop cancelled timers at the top without advancing the
-                # clock: a deadline with no live timer never becomes now.
-                while queue and queue[0][2]._cancelled:
-                    heappop(queue)
-                    self._cancelled_count -= 1
-                if not queue:
-                    break
-                deadline = queue[0][0]
-                if until is not None and deadline > until:
-                    self._now = until
-                    return
-                if deadline < self._now:
-                    raise SimulationError("event queue went backwards in time")
-                self._now = deadline
-                # Drain every event at this timestamp in one batch; new
-                # same-timestamp events land behind the current heap top
-                # (higher seq) and are picked up by the same batch.
-                while queue and queue[0][0] == deadline:
-                    timer = heappop(queue)[2]
-                    if timer._cancelled:
-                        self._cancelled_count -= 1
-                        continue
-                    # The timer has left the heap: a late cancel() must not
-                    # count toward the compaction trigger.
-                    timer._kernel = None
-                    if timer._arg is _NO_ARG:
-                        timer._fn()
-                    else:
-                        timer._fn(timer._arg)
-                    processed += 1
-                    if processed > max_events:
-                        # Checked inside the batch loop: a zero-delay
-                        # self-rescheduling callback keeps the same
-                        # deadline forever and would otherwise hang here.
-                        raise SimulationError(
-                            f"exceeded max_events={max_events}; likely a runaway loop"
-                        )
-                    if failures:
-                        self._raise_task_failures()
-                    if watch is not None and not watch:
-                        return
+            if self._wheel:
+                stopped = self._run_wheel(until, watch, max_events, failures)
+            else:
+                stopped = self._run_heap(until, watch, max_events, failures)
+            if stopped:
+                return
             if failures:
                 self._raise_task_failures()
             if watch:
@@ -521,11 +737,213 @@ class SimKernel:
             # to it (idle simulated time passes like any other).
             if until is not None and until > self._now:
                 self._now = until
+                if self._wheel and until >= self._mig_at:
+                    self._advance_horizon()
         finally:
             self._running = False
             self._watch = None
             if _RACE is not None:
                 _RACE.note_run_end()
+
+    def _run_wheel(
+        self,
+        until: Optional[float],
+        watch: Optional[set[Task]],
+        max_events: int,
+        failures: list[Task],
+    ) -> bool:
+        """Wheel-backend event loop; True means an early stop (``until``
+        reached or every watched task finished)."""
+        buckets = self._buckets
+        dl_heap = self._dl_heap
+        far = self._far
+        heappop = heapq.heappop
+        no_arg = _NO_ARG
+        is_timer = _IS_TIMER
+        processed = 0
+        while True:
+            if not dl_heap:
+                if far:
+                    self._advance_horizon()
+                    continue
+                return False
+            deadline = dl_heap[0]
+            bucket = buckets.get(deadline)
+            if bucket is None:
+                # Stale deadline: its bucket emptied during compaction.
+                heappop(dl_heap)
+                continue
+            # Find the first live entry without advancing the clock: a
+            # deadline with no live timer never becomes ``now``.
+            i = 0
+            n = len(bucket)
+            while i < n:
+                tag = bucket[i + 1]
+                if tag is is_timer and bucket[i]._cancelled:
+                    i += 2
+                    continue
+                break
+            if i == n:
+                heappop(dl_heap)
+                del buckets[deadline]
+                pairs = n // 2
+                self._n_queued -= pairs
+                count = self._cancelled_count - pairs
+                self._cancelled_count = count if count > 0 else 0
+                self._recycle(bucket)
+                continue
+            if until is not None and deadline > until:
+                self._now = until
+                if until >= self._mig_at:
+                    self._advance_horizon()
+                return True
+            if deadline < self._now:
+                raise SimulationError("event queue went backwards in time")
+            self._now = deadline
+            if deadline >= self._mig_at:
+                self._advance_horizon()
+            # Detach the bucket and drain it: new same-timestamp events
+            # always carry a higher seq, land in a *fresh* bucket for
+            # this deadline, and are drained by the next outer-loop turn
+            # -- exactly the heap's in-batch pickup order.
+            heappop(dl_heap)
+            del buckets[deadline]
+            self._n_queued -= n // 2
+            i = 0
+            try:
+                while i < n:
+                    obj = bucket[i]
+                    tag = bucket[i + 1]
+                    i += 2
+                    if tag is is_timer:
+                        if obj._cancelled:
+                            count = self._cancelled_count
+                            if count:
+                                self._cancelled_count = count - 1
+                            continue
+                        # The timer has left the queue: a late cancel()
+                        # must not count toward the compaction trigger.
+                        obj._kernel = None
+                        arg = obj._arg
+                        if arg is no_arg:
+                            obj._fn()
+                        else:
+                            obj._fn(arg)
+                    elif tag is no_arg:
+                        obj()
+                    else:
+                        obj(tag)
+                    processed += 1
+                    if processed > max_events:
+                        # Checked inside the batch loop: a zero-delay
+                        # self-rescheduling callback keeps the same
+                        # deadline forever and would otherwise hang here.
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; likely a runaway loop"
+                        )
+                    if failures:
+                        self._raise_task_failures()
+                    if watch is not None and not watch:
+                        self._recycle_partial(bucket, i, n)
+                        return True
+            except BaseException:
+                # A callback (or a surfaced task failure) threw mid-batch:
+                # the undrained tail must survive for the next run(), just
+                # as it would have stayed in the binary heap.
+                self._recycle_partial(bucket, i, n)
+                raise
+            self._recycle(bucket)
+
+    def _recycle_partial(self, bucket: list, i: int, n: int) -> None:
+        """An early stop mid-batch: the undrained tail must survive.
+
+        Re-queue the remaining entries at the current time so the next
+        ``run()`` resumes exactly where this one stopped (same order).
+        """
+        if i >= n:
+            self._recycle(bucket)
+            return
+        deadline = self._now
+        existing = self._buckets.get(deadline)
+        tail = bucket[i:n]
+        if existing is None:
+            self._buckets[deadline] = tail
+            heapq.heappush(self._dl_heap, deadline)
+        else:
+            # A fresh same-deadline bucket appeared mid-batch: its events
+            # were scheduled *after* the tail, so the tail goes first.
+            self._buckets[deadline] = tail + existing
+            self._recycle(existing)
+        self._n_queued += (n - i) // 2
+
+    def _run_heap(
+        self,
+        until: Optional[float],
+        watch: Optional[set[Task]],
+        max_events: int,
+        failures: list[Task],
+    ) -> bool:
+        """Heap-backend event loop (``SIM_KERNEL=heap`` cross-check)."""
+        queue = self._queue
+        heappop = heapq.heappop
+        no_arg = _NO_ARG
+        is_timer = _IS_TIMER
+        processed = 0
+        while queue:
+            # Drop cancelled timers at the top without advancing the
+            # clock: a deadline with no live timer never becomes now.
+            while queue:
+                top = queue[0]
+                if top[3] is is_timer and top[2]._cancelled:
+                    heappop(queue)
+                    self._cancelled_count -= 1
+                else:
+                    break
+            if not queue:
+                break
+            deadline = queue[0][0]
+            if until is not None and deadline > until:
+                self._now = until
+                return True
+            if deadline < self._now:
+                raise SimulationError("event queue went backwards in time")
+            self._now = deadline
+            # Drain every event at this timestamp in one batch; new
+            # same-timestamp events land behind the current heap top
+            # (higher seq) and are picked up by the same batch.
+            while queue and queue[0][0] == deadline:
+                entry = heappop(queue)
+                obj = entry[2]
+                tag = entry[3]
+                if tag is is_timer:
+                    if obj._cancelled:
+                        self._cancelled_count -= 1
+                        continue
+                    # The timer has left the heap: a late cancel() must
+                    # not count toward the compaction trigger.
+                    obj._kernel = None
+                    arg = obj._arg
+                    if arg is no_arg:
+                        obj._fn()
+                    else:
+                        obj._fn(arg)
+                elif tag is no_arg:
+                    obj()
+                else:
+                    obj(tag)
+                processed += 1
+                if processed > max_events:
+                    # Checked inside the batch loop: a zero-delay
+                    # self-rescheduling callback keeps the same
+                    # deadline forever and would otherwise hang here.
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a runaway loop"
+                    )
+                if failures:
+                    self._raise_task_failures()
+                if watch is not None and not watch:
+                    return True
+        return False
 
     def run_all(self, **kwargs: Any) -> None:
         """Alias of :meth:`run` with no stop condition (drain the queue)."""
@@ -556,31 +974,35 @@ class SimKernel:
         raise error
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<SimKernel t={self._now:.9f} queued={len(self._queue)}>"
+        return f"<SimKernel t={self._now:.9f} queued={self.queued()} backend={self.backend}>"
 
 
-#: The pristine fast-path ``schedule``, restored when the race layer
-#: disables.  Swapping the *method* keeps the disabled path identical to
-#: an uninstrumented kernel -- not even a gate check on the hottest call.
+#: The pristine fast-path ``schedule``/``post``, restored when the race
+#: layer disables.  Swapping the *methods* keeps the disabled path
+#: identical to an uninstrumented kernel -- not even a gate check on the
+#: hottest calls.
 _plain_schedule = SimKernel.schedule
+_plain_post = SimKernel.post
 
 
-def _set_race_hooks(mod: Any) -> None:
+def _set_race_hooks(mod: Any, swap: bool = True) -> None:
     """Install (or, with ``None``, remove) the mochi-race hooks.
 
-    Called by :func:`repro.analysis.race.hooks.enable` /
-    ``disable`` -- the kernel never imports the race layer itself.
+    Called by :func:`repro.analysis.race.hooks.enable` / ``disable`` --
+    the kernel never imports the race layer itself.  ``swap`` selects
+    the detector's timer-edge mode: exact mode (``race_sample_every=1``)
+    swaps instrumented ``schedule``/``post`` in so every timer carries
+    its scheduler's clock, while epoch mode (``swap=False``) leaves the
+    pristine methods in place -- the detector prices the event loop at
+    zero and recovers timer-edge soundness at the margo layer via the
+    approximation clock (see ``race/hb.py``).  ``_RACE`` is set either
+    way so the run-end barrier still fires.
     """
     global _RACE
     _RACE = mod
-    if mod is None:
+    if mod is None or not swap:
         SimKernel.schedule = _plain_schedule
+        SimKernel.post = _plain_post
         return
-
-    def _race_schedule(
-        self: SimKernel, delay: float, fn: Callable[..., None], arg: Any = _NO_ARG
-    ) -> Timer:
-        return _plain_schedule(self, delay, mod.wrap_timer(fn, arg, _NO_ARG), _NO_ARG)
-
-    _race_schedule.__doc__ = _plain_schedule.__doc__
-    SimKernel.schedule = _race_schedule
+    SimKernel.schedule = mod.make_race_schedule(_plain_schedule)
+    SimKernel.post = mod.make_race_post(_plain_post)

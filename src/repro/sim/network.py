@@ -227,6 +227,7 @@ class Network:
     # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
+    # mochi-lint: hotpath
     def send(self, src: Process, dst_address: str, payload: Any, size: int) -> bool:
         """Fire-and-forget message send.
 
@@ -248,5 +249,5 @@ class Network:
                 self.messages_dropped += 1
                 return True
         delay = self.transfer_time(src, dst, size) + self.config.send_overhead
-        self.kernel.schedule(delay, lambda: dst.deliver(payload))
+        self.kernel.post(delay, dst.deliver, payload)
         return True

@@ -573,3 +573,79 @@ def test_meta_rules_cannot_be_suppressed():
         """
     )
     assert "MCH091" in ids(findings)
+
+
+# ----------------------------------------------------------------------
+# MCH006 hotpath-allocation
+# ----------------------------------------------------------------------
+def test_mch006_flags_allocations_in_marked_function():
+    findings = lint(
+        """
+        class Kernel:
+            # mochi-lint: hotpath
+            def post(self, delay, fn):
+                entry = {"fn": fn, "deadline": delay}
+                wake = lambda: fn()
+
+                def closure():
+                    return fn()
+
+                index = {k: v for k, v in entry.items()}
+                return entry, wake, closure, index
+        """
+    )
+    assert ids(findings) == ["MCH006"] * 4
+    assert "hot-path" in findings[0].message
+    assert "'post'" in findings[0].message
+
+
+def test_mch006_marker_on_def_line_also_counts():
+    findings = lint(
+        """
+        def push(pool, ult):  # mochi-lint: hotpath
+            pool.wakes = {"ult": ult}
+        """
+    )
+    assert ids(findings) == ["MCH006"]
+
+
+def test_mch006_clean_without_marker():
+    findings = lint(
+        """
+        def cold_config():
+            return {"pools": [], "xstreams": []}
+        """
+    )
+    assert findings == []
+
+
+def test_mch006_clean_on_flat_marked_function():
+    findings = lint(
+        """
+        # mochi-lint: hotpath
+        def post(self, delay, fn, arg):
+            deadline = self._now + delay
+            bucket = self._buckets.get(deadline)
+            if bucket is None:
+                bucket = []
+                self._buckets[deadline] = bucket
+            bucket.append(fn)
+            bucket.append(arg)
+        """
+    )
+    assert findings == []
+
+
+def test_mch006_ignores_nested_function_internals():
+    # The nested def itself is the allocation; its *body* belongs to the
+    # closure, not the hot path, so inner dicts are not double-flagged.
+    findings = lint(
+        """
+        # mochi-lint: hotpath
+        def step(self):
+            def helper():
+                return {"inner": 1}
+            return helper
+        """
+    )
+    assert ids(findings) == ["MCH006"]

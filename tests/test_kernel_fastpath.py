@@ -17,14 +17,21 @@ from repro.sim import SimKernel, SimulationError, Sleep, Task, WaitEvent
 from repro.sim import kernel as kernel_mod
 
 
+@pytest.fixture(params=["wheel", "heap"])
+def backend(request):
+    """Every fastpath fixture runs under both event-queue backends; the
+    wheel and the heap must be observationally identical."""
+    return request.param
+
+
 # ----------------------------------------------------------------------
 # WaitEvent timeout/wake symmetry (satellite a)
 # ----------------------------------------------------------------------
-def test_wait_event_timeout_resumes_on_fresh_turn():
+def test_wait_event_timeout_resumes_on_fresh_turn(backend):
     """A timed-out waiter resumes *after* other callbacks at the same
     deadline, exactly like an event wake would -- not synchronously
     inside the timeout timer's fire."""
-    kernel = SimKernel()
+    kernel = SimKernel(backend)
     evt = kernel.event()
     order = []
 
@@ -42,9 +49,9 @@ def test_wait_event_timeout_resumes_on_fresh_turn():
     assert order == ["tick", "resumed"]
 
 
-def test_wait_event_wake_resumes_on_fresh_turn():
+def test_wait_event_wake_resumes_on_fresh_turn(backend):
     """Mirror of the timeout case: an event wake also defers."""
-    kernel = SimKernel()
+    kernel = SimKernel(backend)
     evt = kernel.event()
     order = []
 
@@ -65,10 +72,10 @@ def test_wait_event_wake_resumes_on_fresh_turn():
     assert order == [("set",), ("tick",), ("resumed", "go")]
 
 
-def test_wait_event_timeout_removes_waiter():
+def test_wait_event_timeout_removes_waiter(backend):
     """After a timeout the waiter is deregistered: a later set() must
     not step the task a second time."""
-    kernel = SimKernel()
+    kernel = SimKernel(backend)
     evt = kernel.event()
     resumes = []
 
@@ -87,8 +94,8 @@ def test_wait_event_timeout_removes_waiter():
 # ----------------------------------------------------------------------
 # All pending task failures are reported (satellite b)
 # ----------------------------------------------------------------------
-def test_run_reports_all_pending_task_failures():
-    kernel = SimKernel()
+def test_run_reports_all_pending_task_failures(backend):
+    kernel = SimKernel(backend)
 
     def boom(msg):
         raise ValueError(msg)
@@ -108,8 +115,8 @@ def test_run_reports_all_pending_task_failures():
     kernel.run()
 
 
-def test_single_task_failure_has_no_notes():
-    kernel = SimKernel()
+def test_single_task_failure_has_no_notes(backend):
+    kernel = SimKernel(backend)
 
     def bad():
         yield Sleep(1.0)
@@ -124,9 +131,9 @@ def test_single_task_failure_has_no_notes():
 # ----------------------------------------------------------------------
 # Timer cancellation + heap compaction (satellite c)
 # ----------------------------------------------------------------------
-def _golden_workload():
+def _golden_workload(backend="wheel"):
     """A seeded mix of sleeps, waits, timers and mass cancellation."""
-    kernel = SimKernel()
+    kernel = SimKernel(backend)
     log = []
     evt = kernel.event()
 
@@ -175,43 +182,43 @@ GOLDEN_TRACE = [
 ]
 
 
-def test_golden_trace_event_order_pinned():
-    _, log = _golden_workload()
+def test_golden_trace_event_order_pinned(backend):
+    _, log = _golden_workload(backend)
     assert log == GOLDEN_TRACE
 
 
-def test_golden_trace_identical_with_and_without_compaction(monkeypatch):
+def test_golden_trace_identical_with_and_without_compaction(monkeypatch, backend):
     """Compaction must be bit-invisible: the same workload produces the
     same event order whether the cancelled-timer sweep runs or not."""
     monkeypatch.setattr(kernel_mod, "_COMPACT_MIN_CANCELLED", 1)
-    kernel_on, log_compacting = _golden_workload()
+    kernel_on, log_compacting = _golden_workload(backend)
     monkeypatch.setattr(kernel_mod, "_COMPACT_MIN_CANCELLED", 10**9)
-    kernel_off, log_plain = _golden_workload()
+    kernel_off, log_plain = _golden_workload(backend)
     assert log_compacting == log_plain == GOLDEN_TRACE
     # The low threshold really did trigger sweeps, the high one didn't.
     assert kernel_on._seq == kernel_off._seq
 
 
-def test_mass_cancelled_timers_do_not_grow_queue_unboundedly():
-    kernel = SimKernel()
+def test_mass_cancelled_timers_do_not_grow_queue_unboundedly(backend):
+    kernel = SimKernel(backend)
     n = 10_000
     timers = [kernel.schedule(100.0 + i, lambda: None) for i in range(n)]
-    assert len(kernel._queue) == n
+    assert kernel.queued() == n
     for timer in timers:
         timer.cancel()
     # Compaction sweeps as cancellations accumulate; only a residue
     # below the sweep threshold may remain.
-    assert len(kernel._queue) < 2 * kernel_mod._COMPACT_MIN_CANCELLED
+    assert kernel.queued() < 2 * kernel_mod._COMPACT_MIN_CANCELLED
     kernel.run()
     assert kernel.now == 0.0  # nothing ever fired
 
 
-def test_max_events_catches_same_timestamp_runaway():
+def test_max_events_catches_same_timestamp_runaway(backend):
     """A zero-delay self-rescheduling callback pins the batch loop to
     one deadline forever; the ``max_events`` guard must fire from
     *inside* that loop (regression: the check once ran only after the
     batch drained, so this workload hung instead of raising)."""
-    kernel = SimKernel()
+    kernel = SimKernel(backend)
 
     def reschedule():
         kernel.schedule(0.0, reschedule)
@@ -221,11 +228,11 @@ def test_max_events_catches_same_timestamp_runaway():
         kernel.run(max_events=1_000)
 
 
-def test_cancel_after_fire_does_not_count_toward_compaction():
+def test_cancel_after_fire_does_not_count_toward_compaction(backend):
     """Cancelling an already-fired timer is a no-op for the compaction
     trigger: the entry has left the heap, so counting it would only
     cause needless sweeps."""
-    kernel = SimKernel()
+    kernel = SimKernel(backend)
     timers = [kernel.schedule(0.1, lambda: None) for _ in range(10)]
     kernel.run()
     for timer in timers:
@@ -234,14 +241,14 @@ def test_cancel_after_fire_does_not_count_toward_compaction():
     assert kernel._cancelled_count == 0
 
 
-def test_compaction_preserves_live_timers():
-    kernel = SimKernel()
+def test_compaction_preserves_live_timers(backend):
+    kernel = SimKernel(backend)
     fired = []
     live = [kernel.schedule(1.0 + i * 0.001, lambda i=i: fired.append(i)) for i in range(50)]
     dead = [kernel.schedule(50.0, lambda: fired.append("dead")) for _ in range(500)]
     for timer in dead:
         timer.cancel()
-    assert len(kernel._queue) < 550  # a sweep happened
+    assert kernel.queued() < 550  # a sweep happened
     kernel.run()
     assert fired == list(range(50))
     assert live[0].deadline == 1.0
