@@ -1,0 +1,99 @@
+"""Finding baselines: adopt a new rule without a big-bang cleanup.
+
+``repro-lint --baseline lint-baseline.json`` filters out findings that
+were already known when the baseline was recorded and fails only on
+*new* ones; ``--update-baseline`` rewrites the file deterministically
+from the current findings.
+
+A baseline entry is ``(rule_id, path, message)`` -- deliberately *no
+line number*, so unrelated edits that shift a known finding up or down
+a file do not resurrect it.  The message is part of the key because it
+names the offending symbol (attribute, RPC op, call chain): the same
+rule firing on a different symbol in the same file is a genuinely new
+finding and must not hide behind an old one.
+
+Meta findings (MCH090 parse errors, MCH091 bare suppressions) can never
+be baselined, for the same reason they cannot be suppressed: one
+recorded parse error must not grandfather a file out of the gate.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Finding
+from .suppress import UNSUPPRESSABLE
+
+__all__ = [
+    "BaselineError",
+    "baseline_key",
+    "load_baseline",
+    "write_baseline",
+    "filter_new",
+]
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file cannot be read or parsed."""
+
+
+def baseline_key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule_id, finding.path, finding.message)
+
+
+def load_baseline(path: str) -> set[tuple[str, str, str]]:
+    """Read a baseline file into a set of keys."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as err:
+        raise BaselineError(f"cannot read baseline {path!r}: {err}") from err
+    except ValueError as err:
+        raise BaselineError(f"baseline {path!r} is not valid JSON: {err}") from err
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise BaselineError(
+            f"baseline {path!r} has an unsupported format; regenerate it "
+            "with --update-baseline"
+        )
+    keys: set[tuple[str, str, str]] = set()
+    for item in data.get("findings", []):
+        keys.add((item["rule_id"], item["path"], item["message"]))
+    return keys
+
+
+def write_baseline(path: str, findings: list[Finding]) -> int:
+    """Record current findings, sorted and de-duplicated.
+
+    Returns the number of entries written.
+    """
+    keys = sorted(
+        {
+            baseline_key(f)
+            for f in findings
+            if f.rule_id not in UNSUPPRESSABLE
+        }
+    )
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"rule_id": rule_id, "path": fpath, "message": message}
+            for rule_id, fpath, message in keys
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(keys)
+
+
+def filter_new(
+    findings: list[Finding], baseline: set[tuple[str, str, str]]
+) -> list[Finding]:
+    """Findings not covered by the baseline (meta rules never are)."""
+    return [
+        f
+        for f in findings
+        if f.rule_id in UNSUPPRESSABLE or baseline_key(f) not in baseline
+    ]

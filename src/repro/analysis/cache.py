@@ -1,0 +1,158 @@
+"""Incremental lint cache.
+
+Per-file rule results are keyed on a content hash under
+``.repro-lint-cache/`` so re-linting an unchanged tree costs one hash
+per file instead of one parse + rule walk.  The key covers everything
+that could change a file's findings:
+
+* the file's *content* (sha256 of the source text) and its *path*
+  (findings embed the path, so a moved file misses);
+* the *rule set signature* -- cache schema version, engine rule ids,
+  and the active ``--select`` / ``--ignore`` filters -- so adding a
+  rule, bumping :data:`CACHE_SCHEMA`, or changing filters invalidates
+  everything automatically.
+
+Only Python per-file results are cached.  Config-JSON validation is a
+*cross-file* check (pool references resolve across documents), so
+keying it on one file's content would be unsound -- it simply reruns.
+Whole-program (``--interproc``) passes also rerun every time, but they
+reuse the parses this cache's bookkeeping already paid for.
+
+The store is one JSON document, pruned on save to the keys the current
+run touched (stale entries never accumulate), written atomically so an
+interrupted run cannot corrupt it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Iterable, Optional
+
+from .findings import Finding
+from .registry import all_rules
+
+__all__ = ["LintCache", "CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "ruleset_signature"]
+
+#: Bump when the cache entry format or any rule implementation changes
+#: in a way the rule-id list cannot capture.
+CACHE_SCHEMA = 1
+
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+_STORE_NAME = "cache.json"
+
+
+def ruleset_signature(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> str:
+    """A stable digest of everything that selects which rules run."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "rules": sorted(r.info.id for r in all_rules()),
+            "select": sorted(select) if select else None,
+            "ignore": sorted(ignore) if ignore else None,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Content-hash-keyed store of per-file findings."""
+
+    def __init__(
+        self,
+        directory: str = DEFAULT_CACHE_DIR,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.directory = directory
+        self.signature = ruleset_signature(select, ignore)
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, list[dict]] = {}
+        self._touched: set[str] = set()
+        self._load()
+
+    # -- persistence ---------------------------------------------------
+    @property
+    def _store_path(self) -> str:
+        return os.path.join(self.directory, _STORE_NAME)
+
+    def _load(self) -> None:
+        try:
+            with open(self._store_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("signature") != self.signature:
+            return  # rule set / engine / filter change: start cold
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def save(self) -> None:
+        """Write the store atomically, pruned to this run's keys."""
+        os.makedirs(self.directory, exist_ok=True)
+        kept = {
+            key: self._entries[key]
+            for key in sorted(self._touched)
+            if key in self._entries
+        }
+        payload = json.dumps(
+            {"signature": self.signature, "entries": kept},
+            sort_keys=True,
+            indent=1,
+        )
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, self._store_path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- lookup --------------------------------------------------------
+    def key(self, path: str, source: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(path.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(source.encode("utf-8"))
+        return digest.hexdigest()
+
+    def get(self, key: str) -> Optional[list[Finding]]:
+        """Cached findings for ``key``, or None on a miss."""
+        entry = self._entries.get(key)
+        self._touched.add(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [
+            Finding(
+                rule_id=item["rule_id"],
+                severity=item["severity"],
+                path=item["path"],
+                line=item["line"],
+                message=item["message"],
+                source=item.get("source", "static"),
+            )
+            for item in entry
+        ]
+
+    def put(self, key: str, findings: list[Finding]) -> None:
+        self._entries[key] = [f.to_json() for f in findings]
+        self._touched.add(key)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

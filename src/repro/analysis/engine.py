@@ -1,26 +1,51 @@
 """The mochi-lint engine: file discovery, rule execution, suppression.
 
-``lint_paths`` is the one entry point the CLI, the CI gate, and the
-diagnostics report all use.  Directories are walked in sorted order and
-rules run in id order, so the finding list is deterministic -- the
-linter holds itself to the invariant it enforces.
+``lint_paths`` is the historical one-shot entry point; :func:`run_lint`
+is the full orchestration the CLI uses -- per-file rules (optionally
+served from the incremental cache, optionally restricted to git-changed
+files) plus the whole-program ``--interproc`` layer, which reuses the
+parse this engine already paid for on every Python file.
+
+Directories are walked in sorted order and rules run in id order, so
+the finding list is deterministic -- the linter holds itself to the
+invariant it enforces.
 """
 
 from __future__ import annotations
 
 import ast
 import os
+import subprocess
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
+from .cache import LintCache
 from .findings import Finding, Severity
 from .registry import PARSE_ERROR, FileContext, all_rules
 from .suppress import parse_suppressions
 
-__all__ = ["lint_source", "lint_file", "lint_paths", "iter_target_files"]
+__all__ = [
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_target_files",
+    "run_lint",
+    "LintResult",
+]
 
-#: Directory names never descended into.
+#: Directory names never descended into.  ``fixtures`` holds lint-test
+#: inputs that are deliberately broken; ``.repro-lint-cache`` is ours.
 _SKIP_DIRS = frozenset(
-    {".git", "__pycache__", ".pytest_cache", "node_modules", ".venv", "results"}
+    {
+        ".git",
+        "__pycache__",
+        ".pytest_cache",
+        "node_modules",
+        ".venv",
+        "results",
+        "fixtures",
+        ".repro-lint-cache",
+    }
 )
 
 #: Top-level JSON keys that mark a document as a Margo/Bedrock config
@@ -46,23 +71,29 @@ def lint_source(
     path: str = "<string>",
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    tree: Optional[ast.Module] = None,
 ) -> list[Finding]:
-    """Lint Python source text; returns unsuppressed findings."""
+    """Lint Python source text; returns unsuppressed findings.
+
+    ``tree`` may carry a pre-parsed module for the same ``source`` so
+    callers that already parsed (the interproc layer) don't pay twice.
+    """
     suppressions = parse_suppressions(source, path)
     findings: list[Finding] = list(suppressions.findings)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as err:
-        findings.append(
-            Finding(
-                rule_id=PARSE_ERROR.id,
-                severity=Severity.ERROR,
-                path=path,
-                line=err.lineno or 0,
-                message=f"syntax error: {err.msg}",
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as err:
+            findings.append(
+                Finding(
+                    rule_id=PARSE_ERROR.id,
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=err.lineno or 0,
+                    message=f"syntax error: {err.msg}",
+                )
             )
-        )
-        return findings
+            return findings
     ctx = FileContext(path=path, source=source, tree=tree)
     for rule in _selected_rules(select, ignore):
         findings.extend(rule.check(ctx))
@@ -114,3 +145,136 @@ def lint_paths(
     for path in iter_target_files(paths):
         findings.extend(lint_file(path, select=select, ignore=ignore))
     return findings
+
+
+@dataclass
+class LintResult:
+    """Everything one orchestrated lint run produced."""
+
+    findings: list[Finding]
+    #: interproc coverage + cache counters (empty without --interproc).
+    stats: dict = field(default_factory=dict)
+
+
+def _git_changed_files() -> Optional[set[str]]:
+    """Paths git considers changed (tracked modifications + untracked).
+
+    Returns ``None`` when git is unavailable or this is not a work tree,
+    so callers can fall back to linting everything rather than silently
+    linting nothing.
+    """
+    changed: set[str] = set()
+    for args in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                args, capture_output=True, text=True, timeout=30, check=True
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        changed.update(
+            os.path.normpath(line)
+            for line in proc.stdout.splitlines()
+            if line.strip()
+        )
+    return changed
+
+
+def run_lint(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    *,
+    cache: Optional[LintCache] = None,
+    changed_only: bool = False,
+    interproc: bool = False,
+    allowlist_path: str = "partition-allowlist.txt",
+) -> LintResult:
+    """Orchestrated lint: per-file rules + optional whole-program layer.
+
+    * ``cache`` serves per-file findings for unchanged Python sources;
+    * ``changed_only`` restricts *per-file* linting to git-changed
+      files (whole-program passes still see the full tree -- a contract
+      has two ends, and only one of them changed);
+    * ``interproc`` runs the mochi-deps passes over every Python file,
+      reusing the per-file parses, and suppresses MCH010's one-hop
+      helper findings wherever MCH014 reports the same site with the
+      full call chain.
+    """
+    changed: Optional[set[str]] = None
+    if changed_only:
+        changed = _git_changed_files()
+
+    findings: list[Finding] = []
+    parsed: list[tuple[str, ast.Module, str]] = []
+    for path in iter_target_files(paths):
+        lint_this = changed is None or os.path.normpath(path) in changed
+        if path.endswith(".json"):
+            if lint_this:
+                findings.extend(lint_file(path, select=select, ignore=ignore))
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        cached: Optional[list[Finding]] = None
+        if cache is not None and lint_this:
+            cached = cache.get(cache.key(path, source))
+        tree: Optional[ast.Module] = None
+        if interproc or cached is None:
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError:
+                tree = None
+        if interproc and tree is not None:
+            parsed.append((path, tree, source))
+        if not lint_this:
+            continue
+        if cached is not None:
+            findings.extend(cached)
+            continue
+        file_findings = lint_source(
+            source, path=path, select=select, ignore=ignore, tree=tree
+        )
+        if cache is not None:
+            cache.put(cache.key(path, source), file_findings)
+        findings.extend(file_findings)
+
+    stats: dict = {}
+    if interproc:
+        # Imported lazily: the interproc package imports rule modules
+        # that themselves import from this engine's sibling modules.
+        from .interproc import run_interproc
+
+        allowlist_text: Optional[str] = None
+        if allowlist_path and os.path.isfile(allowlist_path):
+            with open(allowlist_path, "r", encoding="utf-8") as handle:
+                allowlist_text = handle.read()
+        inter_findings, stats = run_interproc(
+            parsed,
+            select=select,
+            ignore=ignore,
+            allowlist_text=allowlist_text,
+            allowlist_path=allowlist_path,
+        )
+        # MCH014 supersedes MCH010's one-hop helper heuristic: both
+        # report at the call site, so a site MCH014 covers (with its
+        # full chain) must not be double-reported.
+        deep_sites = {
+            (f.path, f.line) for f in inter_findings if f.rule_id == "MCH014"
+        }
+        findings = [
+            f
+            for f in findings
+            if not (f.rule_id == "MCH010" and (f.path, f.line) in deep_sites)
+        ]
+        findings.extend(inter_findings)
+
+    if cache is not None:
+        cache.save()
+        stats["cache_hits"] = cache.hits
+        stats["cache_misses"] = cache.misses
+        stats["cache_hit_rate"] = round(cache.hit_rate, 4)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.message))
+    return LintResult(findings=findings, stats=stats)

@@ -1,0 +1,308 @@
+"""Effect inference over the whole-program call graph.
+
+Each function gets a small effect record -- *blocks*, *suspends*
+(yields the stream), *acquires-lock*, *mutates-shared*, *is-ULT* --
+seeded from its own body and propagated to fixpoint over the call
+graph.  Propagation respects execution semantics:
+
+* ``blocks`` travels over ``call`` edges (the callee body runs in the
+  caller's frame) and ``delegate`` edges (``yield from`` runs the
+  generator inline), but **stops at ULT boundaries**: a callee that is
+  itself ULT code gets its own MCH010/MCH014 report, so every blocking
+  site is reported exactly once, in its nearest enclosing ULT;
+* ``suspends`` and ``is-ULT`` travel only over ``delegate`` edges -- a
+  plain call to a generator never runs it;
+* ``mutates-shared`` travels over both edge kinds.
+
+Every inherited effect carries a witness edge, so findings can print
+the full call chain down to the offending primitive.  Witnesses are
+chosen deterministically (smallest ``(line, callee)``), making the
+fixpoint -- and therefore the finding text -- byte-stable.
+
+Rules emitted here:
+
+* **MCH014** -- a ULT body reaches a real blocking call through any
+  call depth (the interprocedural upgrade of MCH010's one-hop helper
+  heuristic);
+* **MCH015** -- a mutex is held across a suspension that happens
+  *inside a callee* (the interprocedural upgrade of MCH011, which only
+  sees suspensions spelled in the holder's own body).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..findings import Finding, Severity
+from ..rules import last_attr, own_body_walk, call_name, is_ult_generator
+from ..rules.scheduling import (
+    BLOCKING_CALLS,
+    _SUSPENDING_COMMANDS,
+    _SUSPENDING_DELEGATES,
+    _lock_events,
+)
+from .callgraph import FunctionInfo, ProjectIndex
+
+__all__ = ["Effects", "EffectAnalysis", "check_deep_blocking", "check_lock_across_callee_yield"]
+
+#: Cap on rendered call-chain length (cycles cannot loop forever).
+_MAX_CHAIN = 12
+
+
+@dataclass
+class Witness:
+    """Why a function has an effect: its own primitive, or a callee."""
+
+    kind: str  #: ``primitive`` or ``edge``
+    detail: str  #: primitive call name, or callee qualname
+    line: int
+
+
+@dataclass
+class Effects:
+    """The inferred effect record for one function."""
+
+    blocks: Optional[Witness] = None
+    suspends: Optional[Witness] = None
+    is_ult: bool = False
+    acquires_lock: bool = False
+    mutates_shared: Optional[Witness] = None
+
+
+class EffectAnalysis:
+    """Computes and stores the per-function effect fixpoint."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.effects: dict[str, Effects] = {}
+        self._seed()
+        self._fixpoint()
+
+    # -- seeding -------------------------------------------------------
+    def _seed(self) -> None:
+        for qualname in sorted(self.index.functions):
+            func = self.index.functions[qualname]
+            self.effects[qualname] = self._base_effects(func)
+
+    @staticmethod
+    def _base_effects(func: FunctionInfo) -> Effects:
+        eff = Effects(is_ult=is_ult_generator(func.node))
+        for node in own_body_walk(func.node):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name in BLOCKING_CALLS and eff.blocks is None:
+                    eff.blocks = Witness("primitive", f"{name}()", node.lineno)
+            elif isinstance(node, ast.Yield) and isinstance(node.value, ast.Call):
+                attr = last_attr(node.value.func)
+                if attr in _SUSPENDING_COMMANDS and eff.suspends is None:
+                    eff.suspends = Witness("primitive", attr, node.lineno)
+            elif isinstance(node, ast.YieldFrom) and isinstance(node.value, ast.Call):
+                attr = last_attr(node.value.func)
+                if attr in _SUSPENDING_DELEGATES and eff.suspends is None:
+                    eff.suspends = Witness("primitive", f"{attr}()", node.lineno)
+                if attr == "acquire":
+                    eff.acquires_lock = True
+        eff.mutates_shared = _shared_mutation_witness(func)
+        return eff
+
+    # -- propagation ---------------------------------------------------
+    def _fixpoint(self) -> None:
+        ordered = sorted(self.index.functions)
+        changed = True
+        while changed:
+            changed = False
+            for qualname in ordered:
+                if self._update(self.index.functions[qualname]):
+                    changed = True
+
+    def _update(self, func: FunctionInfo) -> bool:
+        eff = self.effects[func.qualname]
+        changed = False
+        block_candidates: list[tuple[int, str]] = []
+        suspend_candidates: list[tuple[int, str]] = []
+        mutate_candidates: list[tuple[int, str]] = []
+        inherited_ult = False
+        for edge in func.edges:
+            callee = self.effects.get(edge.callee)
+            if callee is None:
+                continue
+            if callee.blocks is not None and not callee.is_ult:
+                block_candidates.append((edge.line, edge.callee))
+            if edge.kind == "delegate":
+                if callee.suspends is not None:
+                    suspend_candidates.append((edge.line, edge.callee))
+                if callee.is_ult:
+                    inherited_ult = True
+            if callee.mutates_shared is not None:
+                mutate_candidates.append((edge.line, edge.callee))
+        if eff.blocks is None and block_candidates:
+            line, callee = min(block_candidates)
+            eff.blocks = Witness("edge", callee, line)
+            changed = True
+        if eff.suspends is None and suspend_candidates:
+            line, callee = min(suspend_candidates)
+            eff.suspends = Witness("edge", callee, line)
+            changed = True
+        if eff.mutates_shared is None and mutate_candidates:
+            line, callee = min(mutate_candidates)
+            eff.mutates_shared = Witness("edge", callee, line)
+            changed = True
+        if inherited_ult and not eff.is_ult:
+            eff.is_ult = True
+            changed = True
+        return changed
+
+    # -- chain rendering -----------------------------------------------
+    def blocking_chain(self, qualname: str) -> list[str]:
+        """Follow blocks-witnesses down to the primitive, as text."""
+        chain: list[str] = []
+        current: Optional[str] = qualname
+        for _ in range(_MAX_CHAIN):
+            if current is None:
+                break
+            eff = self.effects.get(current)
+            if eff is None or eff.blocks is None:
+                break
+            chain.append(_short(current))
+            if eff.blocks.kind == "primitive":
+                chain.append(eff.blocks.detail)
+                return chain
+            current = eff.blocks.detail
+        chain.append("...")
+        return chain
+
+    def suspend_primitive(self, qualname: str) -> str:
+        """The suspension primitive a delegate chain bottoms out in."""
+        current: Optional[str] = qualname
+        for _ in range(_MAX_CHAIN):
+            eff = self.effects.get(current) if current else None
+            if eff is None or eff.suspends is None:
+                break
+            if eff.suspends.kind == "primitive":
+                return eff.suspends.detail
+            current = eff.suspends.detail
+        return "a kernel command"
+
+
+def _shared_mutation_witness(func: FunctionInfo) -> Optional[Witness]:
+    """A write to module-global or class-level state in ``func``'s body."""
+    declared_global: set[str] = set()
+    for node in own_body_walk(func.node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    for node in own_body_walk(func.node):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in declared_global:
+                return Witness("primitive", f"global {target.id}", node.lineno)
+    return None
+
+
+def _short(qualname: str) -> str:
+    """``repro.yokan.provider.YokanProvider._on_put`` -> ``YokanProvider._on_put``."""
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+
+def check_deep_blocking(index: ProjectIndex, analysis: EffectAnalysis) -> list[Finding]:
+    """MCH014: ULT reaches a blocking call through the call graph."""
+    findings: list[Finding] = []
+    for qualname in sorted(index.functions):
+        func = index.functions[qualname]
+        eff = analysis.effects[qualname]
+        if not eff.is_ult:
+            continue
+        for edge in func.edges:
+            callee_eff = analysis.effects.get(edge.callee)
+            if callee_eff is None or callee_eff.blocks is None or callee_eff.is_ult:
+                continue
+            chain = [_short(qualname)] + analysis.blocking_chain(edge.callee)
+            findings.append(
+                Finding(
+                    "MCH014",
+                    Severity.ERROR,
+                    func.path,
+                    edge.line,
+                    f"ULT body {func.name!r} reaches blocking "
+                    f"{chain[-1]} through {' -> '.join(chain)}; "
+                    "yield a kernel command instead",
+                )
+            )
+    return findings
+
+
+def check_lock_across_callee_yield(
+    index: ProjectIndex, analysis: EffectAnalysis
+) -> list[Finding]:
+    """MCH015: mutex held across a suspension hidden inside a callee."""
+    findings: list[Finding] = []
+    for qualname in sorted(index.functions):
+        func = index.functions[qualname]
+        callee_suspends = _delegate_suspend_events(func, analysis)
+        if not callee_suspends:
+            continue
+        events = [
+            (line, col, kind, detail)
+            for line, col, kind, detail in _lock_events(func.node)
+            if kind in ("acquire", "release")
+        ]
+        events.extend(callee_suspends)
+        events.sort()
+        held = 0
+        for line, _col, kind, detail in events:
+            if kind == "acquire":
+                held += 1
+            elif kind == "release":
+                held = max(0, held - 1)
+            elif held > 0:
+                findings.append(
+                    Finding(
+                        "MCH015",
+                        Severity.ERROR,
+                        func.path,
+                        line,
+                        f"{func.name!r} holds a mutex across {detail}; "
+                        "release before delegating to suspending code",
+                    )
+                )
+    return findings
+
+
+def _delegate_suspend_events(
+    func: FunctionInfo, analysis: EffectAnalysis
+) -> list[tuple[int, int, str, str]]:
+    """Delegate edges whose callee suspends, as lock-scan events.
+
+    Direct suspensions (``yield Sleep(...)``, ``yield from forward(...)``)
+    are MCH011's to report; this lists only suspensions that MCH011
+    cannot see because they happen inside a project callee.
+    """
+    delegate_lines = {}
+    for edge in func.edges:
+        if edge.kind != "delegate":
+            continue
+        callee_eff = analysis.effects.get(edge.callee)
+        if callee_eff is None or callee_eff.suspends is None:
+            continue
+        primitive = analysis.suspend_primitive(edge.callee)
+        delegate_lines.setdefault(
+            edge.line,
+            f"{edge.display}() (suspends via {primitive})",
+        )
+    events: list[tuple[int, int, str, str]] = []
+    for node in own_body_walk(func.node):
+        if not (isinstance(node, ast.YieldFrom) and isinstance(node.value, ast.Call)):
+            continue
+        attr = last_attr(node.value.func)
+        if attr in _SUSPENDING_DELEGATES or attr == "acquire":
+            continue  # MCH011's direct-suspend territory
+        detail = delegate_lines.get(node.lineno)
+        if detail is not None:
+            events.append((node.lineno, node.col_offset, "callee-suspend", detail))
+    return events

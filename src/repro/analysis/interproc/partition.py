@@ -1,0 +1,299 @@
+"""Partition-safety analysis (MCH060).
+
+ROADMAP item 1 shards the simulation across OS processes, one partition
+per component.  That refactor is only safe if no component reaches into
+another component's mutable state except through the RPC layer -- the
+same process-isolation discipline MPI malleability systems enforce when
+ranks are reshaped at runtime.
+
+This pass finds the violations today, while everything still shares one
+address space and such writes merely *happen to work*:
+
+* attribute writes on an imported module (``kernel.TICK = 5`` from a
+  different component);
+* attribute writes on a class imported from another component
+  (``Provider.pool = ...``);
+* mutations of an imported module-level container (``REGISTRY[x] = y``,
+  ``REGISTRY.append(...)``) owned by another component.
+
+A *component* is the first package level below ``repro`` (so
+``repro.yokan.provider`` and ``repro.yokan.client`` are one component
+and may share state -- they will land in the same partition).  Outside
+the ``repro`` namespace (fixtures), the top-level package is the
+component.
+
+Some global infrastructure is intentionally shared (and will need an
+explicit replication story when partitioning lands).  Those targets live
+in an allowlist file -- one ``module:attr -- justification`` per line --
+and the pass enforces the file itself: entries without a justification,
+or matching no mutation site, are findings too.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Optional
+
+from ..findings import Finding, Severity
+from ..rules import dotted_name, own_body_walk
+from .callgraph import ClassInfo, FunctionInfo, ModuleInfo, ProjectIndex
+
+__all__ = ["check_partition_safety", "component_of", "parse_allowlist"]
+
+#: container methods that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear",
+        "add", "discard", "update", "setdefault", "popitem",
+    }
+)
+
+
+def component_of(module: str) -> str:
+    """Partition unit a module belongs to.
+
+    ``repro.yokan.provider`` -> ``repro.yokan``; ``repro`` itself (the
+    package root) stays ``repro``; a fixture package ``app.client`` ->
+    ``app``.
+    """
+    parts = module.split(".")
+    if parts[0] == "repro" and len(parts) > 1:
+        return ".".join(parts[:2])
+    return parts[0]
+
+
+@dataclass
+class MutationSite:
+    """One cross-visible write to module- or class-level state."""
+
+    target: str  #: ``owner_module:attr`` or ``owner_module.Class:attr``
+    owner_module: str
+    path: str
+    line: int
+    component: str  #: component performing the write
+    detail: str  #: human-readable description of the write
+
+
+@dataclass
+class AllowlistEntry:
+    target: str
+    justification: str
+    line: int
+
+
+class AllowlistError(ValueError):
+    """Raised for an allowlist line without a justification."""
+
+    def __init__(self, line: int, text: str) -> None:
+        super().__init__(text)
+        self.line = line
+        self.text = text
+
+
+def parse_allowlist(text: str) -> list[AllowlistEntry]:
+    """Parse ``module:attr -- justification`` lines.
+
+    Blank lines and ``#`` comments are skipped.  A line without the
+    `` -- justification`` tail raises :class:`AllowlistError` -- the
+    allowlist is only acceptable when every entry says *why*.
+    """
+    entries: list[AllowlistEntry] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        target, sep, justification = line.partition(" -- ")
+        target = target.strip()
+        justification = justification.strip()
+        if not sep or not justification or ":" not in target:
+            raise AllowlistError(lineno, raw.rstrip())
+        entries.append(AllowlistEntry(target, justification, lineno))
+    return entries
+
+
+def _collect_mutations(index: ProjectIndex) -> list[MutationSite]:
+    sites: list[MutationSite] = []
+    for qualname in sorted(index.functions):
+        func = index.functions[qualname]
+        mod = index.modules[func.module]
+        component = component_of(func.module)
+        for node in own_body_walk(func.node):
+            sites.extend(_sites_for_node(index, mod, func, component, node))
+    sites.sort(key=lambda s: (s.target, s.path, s.line))
+    return sites
+
+
+def _sites_for_node(
+    index: ProjectIndex,
+    mod: ModuleInfo,
+    func: FunctionInfo,
+    component: str,
+    node: ast.AST,
+) -> list[MutationSite]:
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    elif isinstance(node, ast.Call):
+        site = _mutator_call_site(index, mod, func, component, node)
+        return [site] if site else []
+
+    sites: list[MutationSite] = []
+    for target in targets:
+        # NAME.attr = ... / del NAME.attr -- write through an import.
+        if isinstance(target, ast.Attribute):
+            site = _attribute_write_site(
+                index, mod, func, component, target, node.lineno
+            )
+            if site:
+                sites.append(site)
+        # NAME[key] = ... / del NAME[key] -- container owned elsewhere.
+        elif isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Name
+        ):
+            site = _container_site(
+                index, mod, func, component, target.value.id,
+                node.lineno, f"{target.value.id}[...] assignment",
+            )
+            if site:
+                sites.append(site)
+    return sites
+
+
+def _attribute_write_site(
+    index: ProjectIndex,
+    mod: ModuleInfo,
+    func: FunctionInfo,
+    component: str,
+    target: ast.Attribute,
+    line: int,
+) -> Optional[MutationSite]:
+    receiver = dotted_name(target.value)
+    if receiver is None or receiver.split(".")[0] == "self":
+        return None
+    resolved = index.resolve_name(mod, receiver)
+    if isinstance(resolved, ModuleInfo):
+        return MutationSite(
+            target=f"{resolved.name}:{target.attr}",
+            owner_module=resolved.name,
+            path=func.path,
+            line=line,
+            component=component,
+            detail=f"sets module attribute {resolved.name}.{target.attr}",
+        )
+    if isinstance(resolved, ClassInfo):
+        return MutationSite(
+            target=f"{resolved.qualname}:{target.attr}",
+            owner_module=resolved.module,
+            path=func.path,
+            line=line,
+            component=component,
+            detail=f"sets class attribute {resolved.qualname}.{target.attr}",
+        )
+    return None
+
+
+def _container_site(
+    index: ProjectIndex,
+    mod: ModuleInfo,
+    func: FunctionInfo,
+    component: str,
+    name: str,
+    line: int,
+    detail: str,
+) -> Optional[MutationSite]:
+    """A mutation of ``name`` when it is an imported module-level global."""
+    imported = mod.import_froms.get(name)
+    if imported is None:
+        return None
+    owner_name, _, attr = imported.rpartition(".")
+    owner = index.modules.get(owner_name)
+    if owner is None or attr not in owner.module_globals:
+        return None
+    return MutationSite(
+        target=f"{owner.name}:{attr}",
+        owner_module=owner.name,
+        path=func.path,
+        line=line,
+        component=component,
+        detail=detail,
+    )
+
+
+def _mutator_call_site(
+    index: ProjectIndex,
+    mod: ModuleInfo,
+    func: FunctionInfo,
+    component: str,
+    node: ast.Call,
+) -> Optional[MutationSite]:
+    if not (
+        isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.attr in _MUTATOR_METHODS
+    ):
+        return None
+    return _container_site(
+        index, mod, func, component, node.func.value.id, node.lineno,
+        f"{node.func.value.id}.{node.func.attr}(...) mutates an "
+        "imported container",
+    )
+
+
+def check_partition_safety(
+    index: ProjectIndex,
+    allowlist_text: Optional[str] = None,
+    allowlist_path: str = "partition-allowlist.txt",
+) -> list[Finding]:
+    """MCH060: state mutated across the future partition boundary."""
+    findings: list[Finding] = []
+    allowed: dict[str, AllowlistEntry] = {}
+    if allowlist_text is not None:
+        try:
+            for entry in parse_allowlist(allowlist_text):
+                allowed[entry.target] = entry
+        except AllowlistError as exc:
+            findings.append(
+                Finding(
+                    "MCH060", Severity.ERROR, allowlist_path, exc.line,
+                    "allowlist entry has no ' -- justification' tail: "
+                    f"{exc.text!r}; every shared-state exemption must "
+                    "say why it is safe",
+                )
+            )
+            return findings
+
+    sites = _collect_mutations(index)
+    matched_targets: set[str] = set()
+    for site in sites:
+        owner_component = component_of(site.owner_module)
+        if site.component == owner_component:
+            continue
+        matched_targets.add(site.target)
+        if site.target in allowed:
+            continue
+        findings.append(
+            Finding(
+                "MCH060", Severity.ERROR, site.path, site.line,
+                f"component {site.component!r} {site.detail} owned by "
+                f"component {owner_component!r} without an RPC edge; "
+                "this state silently diverges once partitions run in "
+                "separate processes (allowlist key: "
+                f"{site.target!r})",
+            )
+        )
+    for target in sorted(allowed):
+        if target not in matched_targets:
+            entry = allowed[target]
+            findings.append(
+                Finding(
+                    "MCH060", Severity.WARNING, allowlist_path, entry.line,
+                    f"allowlist entry {target!r} matches no cross-"
+                    "component mutation; delete the stale exemption",
+                )
+            )
+    return findings

@@ -1,0 +1,166 @@
+"""Rule registrations for the whole-program (mochi-deps) passes.
+
+These register with ``check=None``: the ids exist in the catalog, the
+suppression machinery, and ``--list-rules``, but the checks run from
+the interprocedural driver (one pass over the whole project), not from
+the per-file AST walk.
+"""
+
+from __future__ import annotations
+
+from ..findings import Severity
+from ..registry import (
+    GROUP_CONTRACTS,
+    GROUP_PARTITION,
+    GROUP_SCHEDULING,
+    RuleInfo,
+    register,
+)
+
+DEEP_BLOCKING = RuleInfo(
+    id="MCH014",
+    name="blocking-call-reachable-from-ult",
+    group=GROUP_SCHEDULING,
+    severity=Severity.ERROR,
+    summary=(
+        "ULT body reaches a real blocking call through the call graph "
+        "(any depth); reported with the full call chain"
+    ),
+    rationale=(
+        "MCH010 sees blocking primitives spelled in the ULT body and one "
+        "hop into same-file helpers; a blocking sleep three calls down "
+        "stalls the execution stream just as hard, and the paper's "
+        "breadcrumb design (one blocked ES starves every ULT mapped to "
+        "it) makes that a whole-service outage, not a local slowdown"
+    ),
+)
+
+LOCK_ACROSS_CALLEE_YIELD = RuleInfo(
+    id="MCH015",
+    name="lock-held-across-callee-suspension",
+    group=GROUP_SCHEDULING,
+    severity=Severity.ERROR,
+    summary=(
+        "mutex held across a `yield from` whose callee suspends the ULT "
+        "somewhere inside its own body"
+    ),
+    rationale=(
+        "MCH011 catches `yield` under a held lock in the holder's own "
+        "body; delegating to a helper that suspends is the same bug with "
+        "one stack frame of camouflage -- every other ULT contending for "
+        "the mutex deadlocks against a parked holder"
+    ),
+)
+
+ORPHANED_RPC_CALL = RuleInfo(
+    id="MCH050",
+    name="orphaned-rpc-call",
+    group=GROUP_CONTRACTS,
+    severity=Severity.ERROR,
+    summary=(
+        "client forwards an operation no provider in the tree registers"
+    ),
+    rationale=(
+        "a typo'd or stale RPC name fails only at runtime, as a hung or "
+        "erroring forward on the first call; diffing both ends of every "
+        "register_rpc/_forward pair catches it at lint time"
+    ),
+)
+
+HANDLER_SHAPE = RuleInfo(
+    id="MCH051",
+    name="rpc-handler-shape",
+    group=GROUP_CONTRACTS,
+    severity=Severity.ERROR,
+    summary=(
+        "registration names a missing handler, a non-generator, or a "
+        "handler with the wrong arity (handlers are called as (self, ctx))"
+    ),
+    rationale=(
+        "the kernel drives handlers as generators with a single request "
+        "context; a plain function or wrong arity raises inside the RPC "
+        "dispatch path where the traceback points at the kernel, not the "
+        "broken provider"
+    ),
+)
+
+RESPONSE_SHAPE = RuleInfo(
+    id="MCH052",
+    name="rpc-response-shape",
+    group=GROUP_CONTRACTS,
+    severity=Severity.ERROR,
+    summary=(
+        "client binds the result of an RPC whose handlers never return a "
+        "value (the caller always receives None)"
+    ),
+    rationale=(
+        "`x = yield from self._forward(...)` against a handler with no "
+        "`return value` silently binds None; the failure surfaces as an "
+        "AttributeError far from the contract mismatch that caused it"
+    ),
+)
+
+DEAD_HANDLER = RuleInfo(
+    id="MCH053",
+    name="dead-rpc-handler",
+    group=GROUP_CONTRACTS,
+    severity=Severity.WARNING,
+    summary=(
+        "registered handler no client in the tree ever forwards to "
+        "(checked only when every forward in the tree is attributable)"
+    ),
+    rationale=(
+        "dead wire surface is untested wire surface: a handler nothing "
+        "calls drifts out of contract silently and becomes a trap for "
+        "the next client that does call it"
+    ),
+)
+
+CROSS_PARTITION_MUTATION = RuleInfo(
+    id="MCH060",
+    name="cross-partition-mutation",
+    group=GROUP_PARTITION,
+    severity=Severity.ERROR,
+    summary=(
+        "module/class state mutated from a component that does not own "
+        "it, without an RPC edge (allowlist: partition-allowlist.txt)"
+    ),
+    rationale=(
+        "ROADMAP item 1 shards the simulation across OS processes; a "
+        "cross-component write that works in one address space becomes "
+        "silent state divergence the day partitions stop sharing memory "
+        "-- the process-isolation discipline MPI malleability systems "
+        "must enforce when ranks are reshaped"
+    ),
+)
+
+MIGRATION_COVERAGE = RuleInfo(
+    id="MCH061",
+    name="migration-snapshot-coverage",
+    group=GROUP_PARTITION,
+    severity=Severity.WARNING,
+    summary=(
+        "REMI-migratable provider mutates instance state its migrate() "
+        "path never reads; a migration drops it"
+    ),
+    rationale=(
+        "REMI moves a provider by serializing what migrate() touches and "
+        "rebuilding elsewhere; runtime state outside that path survives "
+        "every test that doesn't migrate and vanishes the first time "
+        "production does -- the exact risk ROADMAP item 4 must retire"
+    ),
+)
+
+_ALL = (
+    DEEP_BLOCKING,
+    LOCK_ACROSS_CALLEE_YIELD,
+    ORPHANED_RPC_CALL,
+    HANDLER_SHAPE,
+    RESPONSE_SHAPE,
+    DEAD_HANDLER,
+    CROSS_PARTITION_MUTATION,
+    MIGRATION_COVERAGE,
+)
+
+for _info in _ALL:
+    register(_info)

@@ -20,7 +20,16 @@ Rule id blocks:
 * ``MCH03x``/``MCH04x`` -- concurrency (mochi-race: unordered accesses
   to shared state, order-dependent outcomes, lock-order cycles,
   wait-while-holding);
+* ``MCH05x`` -- RPC contracts (mochi-deps: orphaned client calls, bad
+  handler shapes, dead handlers);
+* ``MCH06x`` -- partitioning & migration (cross-component shared-state
+  writes, migration snapshot coverage);
 * ``MCH09x`` -- meta (parse errors, bare suppressions).
+
+``MCH014``/``MCH015`` and the ``MCH05x``/``MCH06x`` blocks are
+whole-program rules: they register with ``check=None`` (no per-file
+AST callback) and run from the interprocedural driver in
+``analysis.interproc`` when ``--interproc`` is given.
 """
 
 from __future__ import annotations
@@ -46,6 +55,8 @@ __all__ = [
     "GROUP_CONFIG",
     "GROUP_CONCURRENCY",
     "GROUP_PERF",
+    "GROUP_CONTRACTS",
+    "GROUP_PARTITION",
     "GROUP_META",
 ]
 
@@ -55,6 +66,8 @@ GROUP_SCHEDULING = "scheduling"
 GROUP_CONFIG = "configuration"
 GROUP_CONCURRENCY = "concurrency"
 GROUP_PERF = "performance"
+GROUP_CONTRACTS = "rpc-contracts"
+GROUP_PARTITION = "partitioning"
 GROUP_META = "meta"
 
 

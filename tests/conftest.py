@@ -1,0 +1,11 @@
+"""Test-suite conftest: make shared test helpers importable.
+
+``interproc_util`` lives next to the test modules; putting this
+directory on ``sys.path`` keeps the helper importable regardless of
+pytest's rootdir-relative import mode.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,19 @@
+"""Helpers whose blocking is only visible interprocedurally."""
+
+import time
+
+
+def level_one():
+    return level_two()
+
+
+def level_two():
+    return level_three()
+
+
+def level_three():
+    time.sleep(1.0)
+
+
+def pure():
+    return 42

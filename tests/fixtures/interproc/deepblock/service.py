@@ -1,0 +1,51 @@
+"""MCH014 fixture: deep chains, one-hop overlap with MCH010, recursion.
+
+Parsed by the interproc tests, never imported: ``Sleep``/``Compute``
+stand in for the kernel command constructors the linter recognizes.
+"""
+
+import time
+
+from . import helpers
+
+
+def deep_handler(ctx):
+    """Positive: blocks three calls down, in another module."""
+    yield Compute(0.1)  # noqa: F821
+    helpers.level_one()
+    return ctx
+
+
+def clean_handler(ctx):
+    """Negative: the helper chain never blocks."""
+    yield Compute(0.1)  # noqa: F821
+    helpers.pure()
+    return ctx
+
+
+def one_hop_handler(ctx):
+    """Overlap site: MCH010's one-hop heuristic and MCH014 both see
+    this call; with --interproc only MCH014 may report it."""
+    yield Sleep(0.5)  # noqa: F821
+    local_block()
+    return ctx
+
+
+def local_block():
+    time.sleep(0.5)
+
+
+def spinning_handler(ctx):
+    """Positive through a call cycle: ping <-> pong, pong blocks."""
+    yield Compute(0.5)  # noqa: F821
+    ping(3)
+
+
+def ping(n):
+    if n:
+        pong(n - 1)
+
+
+def pong(n):
+    time.sleep(0.01)
+    ping(n)

@@ -1,0 +1,30 @@
+"""Dynamic-dispatch fixture: sites the analysis refuses to guess.
+
+Both patterns must be *counted* (--stats), not silently dropped, and
+the dynamic registration must mark the component open so forwards to
+it are never reported as orphans.
+"""
+
+
+class DynProvider:
+    component_type = "dyn"
+
+    def __init__(self, margo, ops):
+        for op in ops:
+            # Dynamic registration: op comes from runtime data.
+            self.register_rpc(op, getattr(self, "_h_" + op))
+
+    def trigger(self, obj, name):
+        # Dynamic call edge: counted, no edge resolved.
+        return getattr(obj, name)()
+
+
+class DynHandle:
+    def poke(self):
+        # Not an orphan: the "dyn" component registers dynamically.
+        yield from self._forward("poke", {})
+
+
+class DynClient:
+    component_type = "dyn"
+    handle_cls = DynHandle

@@ -1,0 +1,41 @@
+"""MCH061 fixture: migration snapshot coverage."""
+
+
+class Base:
+    def migrate(self, dest):
+        raise NotImplementedError
+
+
+class GoodProvider(Base):
+    """Negative: every runtime-mutated attribute feeds migrate()."""
+
+    def __init__(self):
+        self._items = {}
+        self._log = []
+
+    def handle_put(self, ctx):
+        self._items["x"] = 1
+        self._log.append("put")
+
+    def migrate(self, dest):
+        payload = dict(self._items)
+        self._snapshot_log(payload)
+        return payload
+
+    def _snapshot_log(self, payload):
+        payload["log"] = list(self._log)
+
+
+class BadProvider(Base):
+    """Positive: _hits is mutated at runtime, never migrated."""
+
+    def __init__(self):
+        self._items = {}
+        self._hits = 0
+
+    def handle_get(self, ctx):
+        self._hits += 1
+        return self._items.get("x")
+
+    def migrate(self, dest):
+        return dict(self._items)

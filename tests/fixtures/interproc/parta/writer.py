@@ -1,0 +1,16 @@
+"""MCH060 positive fixture: ``parta`` reaches into ``partb``'s state.
+
+Every write here works today (one address space) and silently diverges
+the day the components run in separate processes.
+"""
+
+from partb import state
+from partb.models import Model
+from partb.state import ITEMS, REGISTRY
+
+
+def poison():
+    state.COUNTER = 99
+    REGISTRY["key"] = "value"
+    ITEMS.append(1)
+    Model.cache = {}

@@ -1,0 +1,7 @@
+"""Negative: a component may mutate its own state freely."""
+
+from . import state
+
+
+def bump():
+    state.COUNTER = state.COUNTER + 1

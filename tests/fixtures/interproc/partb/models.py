@@ -1,0 +1,5 @@
+"""Class-level state owned by component ``partb``."""
+
+
+class Model:
+    cache = None

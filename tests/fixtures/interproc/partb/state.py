@@ -1,0 +1,5 @@
+"""Shared state owned by component ``partb``."""
+
+REGISTRY = {}
+COUNTER = 0
+ITEMS = []

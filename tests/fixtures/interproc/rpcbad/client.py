@@ -1,0 +1,24 @@
+"""Client side with an orphaned call and a misused response."""
+
+
+class KvHandle:
+    def get(self, key):
+        # MCH052: binds a result _on_get never returns.
+        value = yield from self._forward("get", {"key": key})
+        return value
+
+    def fetch(self, key):
+        # MCH050: no provider registers "lookup".
+        data = yield from self._forward("lookup", {"key": key})
+        return data
+
+    def stat(self):
+        yield from self._forward("stat", {})
+
+    def scan(self):
+        yield from self._forward("scan", {})
+
+
+class KvClient:
+    component_type = "kv"
+    handle_cls = KvHandle

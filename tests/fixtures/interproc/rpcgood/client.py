@@ -1,0 +1,15 @@
+"""Client side of the matched contract."""
+
+
+class EchoHandle:
+    def ping(self):
+        reply = yield from self._forward("ping", {})
+        return reply
+
+    def put(self, value):
+        yield from self._forward("put", {"value": value})
+
+
+class EchoClient:
+    component_type = "echo"
+    handle_cls = EchoHandle

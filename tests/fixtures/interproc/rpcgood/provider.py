@@ -1,0 +1,16 @@
+"""MCH050-053 negative fixture: a fully matched RPC contract."""
+
+
+class EchoProvider:
+    component_type = "echo"
+
+    def __init__(self, margo):
+        self.register_rpc("ping", self._on_ping)
+        self.register_rpc("put", self._on_put)
+
+    def _on_ping(self, ctx):
+        yield Compute(0.1)  # noqa: F821
+        return "pong"
+
+    def _on_put(self, ctx):
+        yield Compute(0.1)  # noqa: F821

@@ -1,0 +1,100 @@
+"""Effect fixpoint: MCH014 deep blocking, MCH015 lock-across-callee."""
+
+from interproc_util import fixture_path, line_of, parse_fixture
+
+from repro.analysis.engine import run_lint
+from repro.analysis.interproc import run_interproc
+
+
+def _findings(packages, select):
+    findings, _stats = run_interproc(parse_fixture(*packages), select=select)
+    return findings
+
+
+# -- MCH014 ------------------------------------------------------------
+def test_deep_blocking_found_across_modules():
+    findings = _findings(["deepblock"], ["MCH014"])
+    service = fixture_path("deepblock", "service.py")
+    lines = {f.line for f in findings if f.path == service}
+    assert line_of(service, "helpers.level_one()") in lines
+
+
+def test_deep_blocking_reports_full_chain():
+    findings = _findings(["deepblock"], ["MCH014"])
+    deep = [f for f in findings if "deep_handler" in f.message]
+    assert len(deep) == 1
+    message = deep[0].message
+    assert "time.sleep()" in message
+    assert "helpers.level_one" in message
+    assert "helpers.level_three" in message
+
+
+def test_deep_blocking_through_mutual_recursion():
+    findings = _findings(["deepblock"], ["MCH014"])
+    spinning = [f for f in findings if "spinning_handler" in f.message]
+    assert len(spinning) == 1
+    assert spinning[0].line == line_of(
+        fixture_path("deepblock", "service.py"), "ping(3)"
+    )
+
+
+def test_clean_chain_is_negative():
+    findings = _findings(["deepblock"], ["MCH014"])
+    assert not any("clean_handler" in f.message for f in findings)
+
+
+# -- MCH010 / MCH014 non-overlap ---------------------------------------
+def test_one_hop_site_reported_once_with_interproc():
+    path = fixture_path("deepblock")
+    service = fixture_path("deepblock", "service.py")
+    site = line_of(service, "local_block()")
+
+    plain = run_lint([path], select=["MCH010"]).findings
+    assert any(
+        f.rule_id == "MCH010" and f.path == service and f.line == site
+        for f in plain
+    )
+
+    result = run_lint([path], select=["MCH010", "MCH014"], interproc=True)
+    at_site = [
+        f for f in result.findings if f.path == service and f.line == site
+    ]
+    assert [f.rule_id for f in at_site] == ["MCH014"]
+
+
+def test_direct_blocking_stays_mch010_under_interproc():
+    # A blocking primitive spelled in the ULT body itself must remain an
+    # MCH010 finding even with the interprocedural layer on.
+    import ast as _ast
+
+    source = (
+        "import time\n"
+        "\n"
+        "def handler(ctx):\n"
+        "    yield Sleep(1)\n"
+        "    time.sleep(1)\n"
+    )
+    inter, _ = run_interproc(
+        [("direct.py", _ast.parse(source), source)], select=["MCH014"]
+    )
+    assert inter == []
+
+
+# -- MCH015 ------------------------------------------------------------
+def test_lock_across_callee_suspension_found():
+    findings = _findings(["lockyield"], ["MCH015"])
+    svc = fixture_path("lockyield", "svc.py")
+    assert len(findings) == 1
+    assert findings[0].path == svc
+    assert findings[0].line == line_of(svc, "yield from self._refresh()")
+    assert "_refresh" in findings[0].message
+
+
+def test_release_before_delegate_is_negative():
+    findings = _findings(["lockyield"], ["MCH015"])
+    assert not any("locked_ok" in f.message for f in findings)
+
+
+def test_non_suspending_callee_is_negative():
+    findings = _findings(["lockyield"], ["MCH015"])
+    assert not any("_drain" in f.message for f in findings)

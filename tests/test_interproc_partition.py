@@ -1,0 +1,89 @@
+"""Partition safety: MCH060 cross-component mutations + allowlist."""
+
+import pytest
+
+from interproc_util import fixture_path, line_of, parse_fixture
+
+from repro.analysis.interproc import run_interproc
+from repro.analysis.interproc.partition import (
+    AllowlistError,
+    component_of,
+    parse_allowlist,
+)
+
+
+def _mch060(allowlist_text=None):
+    findings, _ = run_interproc(
+        parse_fixture("parta", "partb"),
+        select=["MCH060"],
+        allowlist_text=allowlist_text,
+    )
+    return findings
+
+
+def test_component_of_granularity():
+    assert component_of("repro.yokan.provider") == "repro.yokan"
+    assert component_of("repro.yokan") == "repro.yokan"
+    assert component_of("repro") == "repro"
+    assert component_of("parta.writer") == "parta"
+
+
+def test_cross_component_writes_flagged():
+    findings = _mch060()
+    writer = fixture_path("parta", "writer.py")
+    assert all(f.path == writer for f in findings)
+    lines = {f.line for f in findings}
+    assert lines == {
+        line_of(writer, "state.COUNTER = 99"),
+        line_of(writer, 'REGISTRY["key"]'),
+        line_of(writer, "ITEMS.append(1)"),
+        line_of(writer, "Model.cache = {}"),
+    }
+    assert any("partb.state:COUNTER" in f.message for f in findings)
+    assert any("partb.models.Model:cache" in f.message for f in findings)
+
+
+def test_same_component_writes_are_negative():
+    findings = _mch060()
+    local = fixture_path("partb", "local.py")
+    assert not any(f.path == local for f in findings)
+
+
+def test_allowlist_exempts_justified_targets():
+    findings = _mch060(
+        "partb.state:COUNTER -- intentional global epoch counter\n"
+    )
+    assert not any("partb.state:COUNTER" in f.message for f in findings)
+    assert len(findings) == 3  # the other three writes still fire
+
+
+def test_stale_allowlist_entry_flagged():
+    findings = _mch060(
+        "partb.state:GONE -- this target no longer exists\n"
+    )
+    stale = [f for f in findings if "matches no cross-component" in f.message]
+    assert len(stale) == 1
+    assert stale[0].path == "partition-allowlist.txt"
+
+
+def test_unjustified_allowlist_entry_is_error():
+    findings = _mch060("partb.state:COUNTER\n")
+    assert len(findings) == 1
+    assert "justification" in findings[0].message
+
+
+def test_parse_allowlist():
+    entries = parse_allowlist(
+        "# comment\n"
+        "\n"
+        "mod.a:x -- because replicated at startup\n"
+        "pkg.mod.Cls:y -- rebuilt by each partition\n"
+    )
+    assert [(e.target, e.line) for e in entries] == [
+        ("mod.a:x", 3),
+        ("pkg.mod.Cls:y", 4),
+    ]
+    with pytest.raises(AllowlistError):
+        parse_allowlist("mod.a:x\n")
+    with pytest.raises(AllowlistError):
+        parse_allowlist("not-a-target -- justified but malformed\n")

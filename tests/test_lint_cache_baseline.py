@@ -1,0 +1,144 @@
+"""Incremental cache and baseline satellites of the mochi-deps layer."""
+
+import json
+import os
+
+from repro.analysis.baseline import (
+    baseline_key,
+    filter_new,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cache import LintCache
+from repro.analysis.engine import run_lint
+from repro.analysis.findings import Finding, Severity
+
+
+_BAD_SOURCE = (
+    "import time\n"
+    "\n"
+    "def handler(ctx):\n"
+    "    yield Sleep(1)\n"
+    "    time.sleep(1)\n"
+)
+
+
+def _make_tree(tmp_path):
+    target = tmp_path / "pkg"
+    target.mkdir()
+    (target / "svc.py").write_text(_BAD_SOURCE)
+    (target / "ok.py").write_text("def fine():\n    return 1\n")
+    return str(target)
+
+
+def test_cache_serves_identical_findings(tmp_path):
+    tree = _make_tree(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+
+    cold_cache = LintCache(cache_dir)
+    cold = run_lint([tree], cache=cold_cache)
+    assert cold_cache.misses == 2 and cold_cache.hits == 0
+    assert any(f.rule_id == "MCH010" for f in cold.findings)
+
+    warm_cache = LintCache(cache_dir)
+    warm = run_lint([tree], cache=warm_cache)
+    assert warm_cache.hits == 2 and warm_cache.misses == 0
+    assert [f.to_json() for f in warm.findings] == [
+        f.to_json() for f in cold.findings
+    ]
+    assert warm.stats["cache_hit_rate"] == 1.0
+
+
+def test_cache_misses_on_content_change(tmp_path):
+    tree = _make_tree(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+    run_lint([tree], cache=LintCache(cache_dir))
+
+    with open(os.path.join(tree, "ok.py"), "a") as handle:
+        handle.write("\nX = 2\n")
+    cache = LintCache(cache_dir)
+    run_lint([tree], cache=cache)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cache_invalidated_by_rule_selection(tmp_path):
+    tree = _make_tree(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+    run_lint([tree], cache=LintCache(cache_dir))
+
+    # A different --select is a different rule-set signature: cold start.
+    cache = LintCache(cache_dir, select=["MCH010"])
+    result = run_lint([tree], select=["MCH010"], cache=cache)
+    assert cache.hits == 0 and cache.misses == 2
+    assert all(f.rule_id == "MCH010" for f in result.findings)
+
+
+def test_cache_store_is_pruned_and_atomic(tmp_path):
+    tree = _make_tree(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+    run_lint([tree], cache=LintCache(cache_dir))
+    store = json.load(open(os.path.join(cache_dir, "cache.json")))
+    assert len(store["entries"]) == 2
+
+    os.unlink(os.path.join(tree, "ok.py"))
+    run_lint([tree], cache=LintCache(cache_dir))
+    store = json.load(open(os.path.join(cache_dir, "cache.json")))
+    assert len(store["entries"]) == 1  # stale entry pruned
+    assert not [n for n in sorted(os.listdir(cache_dir)) if n.endswith(".tmp")]
+
+
+def test_changed_only_still_runs_interproc_over_full_tree(tmp_path):
+    # With every file unchanged per git, per-file findings vanish but the
+    # whole-program layer still sees the tree.  (Outside a git checkout
+    # _git_changed_files returns None and everything is linted; both
+    # behaviors keep MCH014 visible.)
+    tree = _make_tree(tmp_path)
+    deep = tmp_path / "pkg" / "deep.py"
+    deep.write_text(
+        "import time\n"
+        "\n"
+        "def blocker():\n"
+        "    time.sleep(1)\n"
+        "\n"
+        "def handler(ctx):\n"
+        "    yield Sleep(1)\n"
+        "    blocker()\n"
+    )
+    result = run_lint([tree], interproc=True, changed_only=True)
+    assert any(f.rule_id == "MCH014" for f in result.findings)
+
+
+def test_baseline_roundtrip_and_filter(tmp_path):
+    findings = [
+        Finding("MCH061", Severity.WARNING, "src/a.py", 10, "drops self.x"),
+        Finding("MCH060", Severity.ERROR, "src/b.py", 3, "mutates m:attr"),
+    ]
+    path = str(tmp_path / "baseline.json")
+    assert write_baseline(path, findings) == 2
+    keys = load_baseline(path)
+    assert {baseline_key(f) for f in findings} == keys
+
+    # Same finding on a shifted line stays baselined; new message is new.
+    moved = Finding("MCH061", Severity.WARNING, "src/a.py", 99, "drops self.x")
+    fresh = Finding("MCH061", Severity.WARNING, "src/a.py", 10, "drops self.y")
+    assert filter_new([moved, fresh], keys) == [fresh]
+
+
+def test_meta_findings_never_baselined(tmp_path):
+    parse_error = Finding("MCH090", Severity.ERROR, "src/a.py", 1, "syntax error")
+    path = str(tmp_path / "baseline.json")
+    assert write_baseline(path, [parse_error]) == 0
+    assert filter_new([parse_error], load_baseline(path)) == [parse_error]
+
+
+def test_baseline_written_deterministically(tmp_path):
+    findings = [
+        Finding("MCH060", Severity.ERROR, "b.py", 2, "beta"),
+        Finding("MCH060", Severity.ERROR, "a.py", 9, "alpha"),
+        Finding("MCH060", Severity.ERROR, "a.py", 1, "alpha"),  # dedup
+    ]
+    first = str(tmp_path / "one.json")
+    second = str(tmp_path / "two.json")
+    write_baseline(first, findings)
+    write_baseline(second, list(reversed(findings)))
+    assert open(first).read() == open(second).read()
