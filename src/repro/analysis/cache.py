@@ -37,8 +37,10 @@ from .registry import all_rules
 __all__ = ["LintCache", "CACHE_SCHEMA", "DEFAULT_CACHE_DIR", "ruleset_signature"]
 
 #: Bump when the cache entry format or any rule implementation changes
-#: in a way the rule-id list cannot capture.
-CACHE_SCHEMA = 1
+#: in a way the rule-id list cannot capture.  2: the mochi-flow layer
+#: (MCH070-073) landed with ``check=None`` registrations -- invisible
+#: to the rule-id list -- and retired MCH012 at flow-covered sites.
+CACHE_SCHEMA = 2
 
 DEFAULT_CACHE_DIR = ".repro-lint-cache"
 

@@ -13,6 +13,7 @@ import sys
 from typing import Optional, Sequence
 
 from . import config_check  # noqa: F401 - registers the MCH02x config rules
+from . import flow as _flow  # noqa: F401 - registers MCH070-073
 from . import interproc as _interproc  # noqa: F401 - registers MCH014/015/05x/06x
 from .baseline import BaselineError, filter_new, load_baseline, write_baseline
 from .cache import DEFAULT_CACHE_DIR, LintCache
@@ -79,6 +80,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "also run the mochi-deps whole-program passes (call-graph "
             "effect inference, RPC contracts, partition safety, "
             "migration coverage: MCH014/015/050-053/060/061)"
+        ),
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "also run the mochi-flow path-sensitive passes (per-function "
+            "CFG + typestate: respond-exactly-once, lock release balance, "
+            "exception-path resource leaks, use-after-release/migrate: "
+            "MCH070-073)"
         ),
     )
     parser.add_argument(
@@ -172,6 +183,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 cache=cache,
                 changed_only=args.changed_only,
                 interproc=args.interproc,
+                flow=args.flow,
                 allowlist_path=args.allowlist,
             )
         except FileNotFoundError as err:

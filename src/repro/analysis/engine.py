@@ -190,9 +190,10 @@ def run_lint(
     cache: Optional[LintCache] = None,
     changed_only: bool = False,
     interproc: bool = False,
+    flow: bool = False,
     allowlist_path: str = "partition-allowlist.txt",
 ) -> LintResult:
-    """Orchestrated lint: per-file rules + optional whole-program layer.
+    """Orchestrated lint: per-file rules + optional whole-program layers.
 
     * ``cache`` serves per-file findings for unchanged Python sources;
     * ``changed_only`` restricts *per-file* linting to git-changed
@@ -201,11 +202,16 @@ def run_lint(
     * ``interproc`` runs the mochi-deps passes over every Python file,
       reusing the per-file parses, and suppresses MCH010's one-hop
       helper findings wherever MCH014 reports the same site with the
-      full call chain.
+      full call chain;
+    * ``flow`` runs the mochi-flow CFG/typestate passes (MCH070-073)
+      and retires the flow-insensitive MCH012 heuristic at every site
+      the path-sensitive MCH070 analysis covered.  Both whole-program
+      layers share one project index and one effect fixpoint.
     """
     changed: Optional[set[str]] = None
     if changed_only:
         changed = _git_changed_files()
+    whole_program = interproc or flow
 
     findings: list[Finding] = []
     parsed: list[tuple[str, ast.Module, str]] = []
@@ -221,12 +227,12 @@ def run_lint(
         if cache is not None and lint_this:
             cached = cache.get(cache.key(path, source))
         tree: Optional[ast.Module] = None
-        if interproc or cached is None:
+        if whole_program or cached is None:
             try:
                 tree = ast.parse(source, filename=path)
             except SyntaxError:
                 tree = None
-        if interproc and tree is not None:
+        if whole_program and tree is not None:
             parsed.append((path, tree, source))
         if not lint_this:
             continue
@@ -241,9 +247,16 @@ def run_lint(
         findings.extend(file_findings)
 
     stats: dict = {}
+    index = analysis = None
+    if whole_program:
+        # Imported lazily: the whole-program packages import rule
+        # modules that themselves import from this engine's siblings.
+        from .interproc.callgraph import build_project
+        from .interproc.effects import EffectAnalysis
+
+        index = build_project([(p, tree) for p, tree, _ in parsed])
+        analysis = EffectAnalysis(index)
     if interproc:
-        # Imported lazily: the interproc package imports rule modules
-        # that themselves import from this engine's sibling modules.
         from .interproc import run_interproc
 
         allowlist_text: Optional[str] = None
@@ -256,6 +269,8 @@ def run_lint(
             ignore=ignore,
             allowlist_text=allowlist_text,
             allowlist_path=allowlist_path,
+            index=index,
+            analysis=analysis,
         )
         # MCH014 supersedes MCH010's one-hop helper heuristic: both
         # report at the call site, so a site MCH014 covers (with its
@@ -269,6 +284,26 @@ def run_lint(
             if not (f.rule_id == "MCH010" and (f.path, f.line) in deep_sites)
         ]
         findings.extend(inter_findings)
+    if flow:
+        from .flow import run_flow
+
+        flow_findings, flow_stats, covered = run_flow(
+            parsed,
+            select=select,
+            ignore=ignore,
+            index=index,
+            analysis=analysis,
+        )
+        # MCH070 proved (or refuted) the respond protocol path by path
+        # at these sites; the one-file MCH012 heuristic stands down
+        # there, same precedent as MCH010 -> MCH014.
+        findings = [
+            f
+            for f in findings
+            if not (f.rule_id == "MCH012" and (f.path, f.line) in covered)
+        ]
+        findings.extend(flow_findings)
+        stats.update(flow_stats)
 
     if cache is not None:
         cache.save()

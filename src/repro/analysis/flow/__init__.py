@@ -1,0 +1,173 @@
+"""mochi-flow: CFG + path-sensitive typestate analysis.
+
+This package is the ``--flow`` layer of mochi-lint.  Where the per-file
+rules pattern-match single statements and the interproc layer reasons
+about *which* functions have effects, this layer reasons about *paths*:
+
+* :mod:`cfg` -- one CFG per function (statement-granular, with
+  exception edges, duplicated ``finally`` bodies, and suspension points
+  taken from the interproc effect summaries);
+* :mod:`dataflow` -- a generic forward fixpoint over finite may-set
+  typestate lattices;
+* :mod:`protocols` -- the MCH070-MCH073 protocol rules.
+
+:func:`run_flow` is the entry point; the engine hands it the
+``(path, tree, source)`` triples it already parsed plus the project
+index / effect analysis it may already have built for ``--interproc``,
+so composing ``--flow --interproc`` pays for one parse and one effect
+fixpoint, not two.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import replace
+from typing import Iterable, Optional
+
+from ..findings import Finding
+from ..rules import function_defs, last_attr, own_body_walk
+from ..rules.scheduling import _is_handler
+from ..suppress import parse_suppressions
+from . import rulesinfo  # noqa: F401  -- registers MCH070-MCH073
+from .cfg import build_cfg
+from .protocols import (
+    _ACQUIRE_ATTRS,
+    _DESTROY_ATTRS,
+    check_lock_paths,
+    check_resource_paths,
+    check_respond,
+    check_typestate,
+)
+
+__all__ = ["run_flow", "FLOW_RULE_IDS"]
+
+#: Every rule id owned by this layer, in catalog order.
+FLOW_RULE_IDS = ("MCH070", "MCH071", "MCH072", "MCH073")
+
+
+def _prescan(func: ast.AST) -> dict[str, bool]:
+    """One cheap body walk deciding which protocol rules apply at all."""
+    wants = {
+        "respond": _is_handler(func),
+        "lock": False,
+        "resource": False,
+        "typestate": False,
+    }
+    for node in own_body_walk(func):
+        if isinstance(node, ast.YieldFrom) and isinstance(node.value, ast.Call):
+            attr = last_attr(node.value.func)
+            if attr == "acquire":
+                wants["lock"] = True
+            elif attr == "migrate":
+                wants["typestate"] = True
+        elif isinstance(node, ast.Call):
+            attr = last_attr(node.func)
+            if attr in _ACQUIRE_ATTRS:
+                wants["resource"] = True
+            elif attr in _DESTROY_ATTRS and isinstance(node.func, ast.Attribute):
+                wants["typestate"] = True
+    return wants
+
+
+def run_flow(
+    parsed: list[tuple[str, ast.Module, str]],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    index=None,
+    analysis=None,
+) -> tuple[list[Finding], dict, set[tuple[str, int]]]:
+    """Run the MCH07x protocol rules over ``(path, tree, source)`` triples.
+
+    Returns ``(findings, stats, covered)``: findings honor the same
+    inline suppressions as every other pass and are sorted by
+    ``(path, line, rule_id, message)``; ``covered`` is the set of
+    ``(path, line)`` sites the MCH070 analysis looked at, where the
+    engine retires the flow-insensitive MCH012 heuristic.
+    """
+    # Imported lazily so `import repro.analysis` stays light; the engine
+    # usually hands these in, already built for --interproc.
+    from ..interproc.callgraph import build_project
+    from ..interproc.effects import (
+        EffectAnalysis,
+        callee_park_lines,
+        callee_suspend_lines,
+    )
+
+    if index is None:
+        index = build_project([(path, tree) for path, tree, _ in parsed])
+    if analysis is None:
+        analysis = EffectAnalysis(index)
+    by_node = {id(info.node): info for info in index.functions.values()}
+
+    findings: list[Finding] = []
+    covered: set[tuple[str, int]] = set()
+    stats = {
+        "flow_functions_scanned": 0,
+        "flow_cfgs_built": 0,
+        "flow_cfg_nodes": 0,
+        "flow_cfg_edges": 0,
+        "flow_suspend_points": 0,
+        "flow_handlers_analyzed": 0,
+        "flow_exit_paths": 0,
+    }
+
+    for path, tree, _source in parsed:
+        for func in function_defs(tree):
+            stats["flow_functions_scanned"] += 1
+            wants = _prescan(func)
+            if not any(wants.values()):
+                continue
+            info = by_node.get(id(func))
+            suspends = callee_suspend_lines(analysis, info) if info else {}
+            parks = callee_park_lines(analysis, info) if info else {}
+
+            full_cfg = None
+            if wants["respond"] or wants["resource"] or wants["typestate"]:
+                full_cfg = build_cfg(func, callee_suspends=suspends)
+                stats["flow_cfgs_built"] += 1
+                stats["flow_cfg_nodes"] += len(full_cfg.nodes)
+                stats["flow_cfg_edges"] += full_cfg.edge_count()
+                stats["flow_suspend_points"] += sum(
+                    1 for n in full_cfg.stmt_nodes() if n.suspends
+                )
+                stats["flow_exit_paths"] += sum(
+                    len(full_cfg.predecessors(exit_node.id))
+                    for exit_node in full_cfg.exits()
+                )
+            if wants["respond"]:
+                stats["flow_handlers_analyzed"] += 1
+                handler_findings, handler_covered = check_respond(
+                    path, func, full_cfg, parks
+                )
+                findings.extend(handler_findings)
+                covered.update(handler_covered)
+            if wants["resource"]:
+                findings.extend(check_resource_paths(path, func, full_cfg))
+            if wants["typestate"]:
+                findings.extend(check_typestate(path, func, full_cfg))
+            if wants["lock"]:
+                exits_cfg = build_cfg(
+                    func, callee_suspends=suspends, implicit_exc=False
+                )
+                stats["flow_cfgs_built"] += 1
+                findings.extend(check_lock_paths(path, func, exits_cfg))
+
+    wanted = set(select) if select else None
+    dropped = set(ignore) if ignore else set()
+    findings = [
+        f
+        for f in findings
+        if (wanted is None or f.rule_id in wanted) and f.rule_id not in dropped
+    ]
+
+    suppressions = {
+        path: parse_suppressions(source, path) for path, _, source in parsed
+    }
+    kept = []
+    for finding in findings:
+        supp = suppressions.get(finding.path)
+        if supp is not None and supp.is_suppressed(finding):
+            continue
+        kept.append(replace(finding, source="flow"))
+    kept.sort(key=lambda f: (f.path, f.line, f.rule_id, f.message))
+    return kept, stats, covered

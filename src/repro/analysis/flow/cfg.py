@@ -1,0 +1,468 @@
+"""Per-function control-flow graphs for the generator-ULT dialect.
+
+One CFG node per statement.  Statement granularity keeps exception
+edges precise (an exception splits execution *at* the statement that
+raised, not at a basic-block boundary) and makes the "a suspension
+point splits the block" requirement hold by construction: every
+``yield``/``yield from`` is its own node, annotated with the suspension
+primitive it bottoms out in -- including suspensions hidden inside
+project callees, which the interproc effect layer reports per line.
+
+Edge kinds:
+
+* ``next`` / ``true`` / ``false`` / ``case`` -- ordinary sequencing and
+  branching;
+* ``loop`` / ``break`` / ``continue`` -- loop back-edges and escapes;
+* ``return`` / ``fall`` -- paths into the synthetic return / implicit
+  fall-off-the-end exits;
+* ``raise`` -- an explicit ``raise`` statement propagating;
+* ``exc`` -- an *implicit* exception edge from a statement that may
+  raise (calls, subscripts, yields, asserts).  Builders may omit these
+  (``implicit_exc=False``) for rules whose protocol only talks about
+  explicit exits, e.g. MCH071;
+* ``exc-cont`` -- continuation out of a duplicated ``finally`` body on
+  an exceptional path (the finally ran, so its effects propagate).
+
+``try``/``finally`` is handled by duplication: the normal path gets one
+copy of the finally body; every abnormal continuation (exception,
+return, break, continue) that crosses the frame gets its own copy, so a
+``finally`` that releases a lock cleans the typestate on *every* path,
+exactly like the interpreter does.
+
+The dataflow engine (:mod:`.dataflow`) propagates a statement's *input*
+state along ``exc``/``raise`` edges (the exception may fire before the
+statement's effect lands) and its *output* state along everything else.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..rules import last_attr
+from ..rules.scheduling import _SUSPENDING_COMMANDS, _SUSPENDING_DELEGATES
+
+__all__ = ["CFG", "Node", "build_cfg", "stmt_scan", "may_raise"]
+
+#: Edge kinds along which the dataflow engine propagates the *input*
+#: state of the source node (the statement's effect may not have landed
+#: when the exception fires).
+EXCEPTIONAL_KINDS = frozenset({"exc", "raise"})
+
+#: Exception-type names treated as catch-alls for routing purposes.
+_CATCH_ALL_TYPES = frozenset({"BaseException", "Exception"})
+
+_TRY_TYPES = (ast.Try,) + ((ast.TryStar,) if hasattr(ast, "TryStar") else ())
+
+_OPAQUE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement, or a synthetic entry/exit/finally head."""
+
+    id: int
+    stmt: Optional[ast.AST]  #: None for synthetic nodes
+    kind: str  #: ``stmt``, ``entry``, ``finally-exc``, or ``exit-*``
+    line: int
+    label: str
+    succs: list[tuple[int, str]] = field(default_factory=list)
+    #: Suspension primitive this statement may park the ULT on (from its
+    #: own yields or from a delegate whose callee suspends), if any.
+    suspends: Optional[str] = None
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    ENTRY = 0
+    EXIT_RETURN = 1
+    EXIT_RAISE = 2
+    EXIT_FALL = 3
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.nodes: dict[int, Node] = {}
+        for nid, label in (
+            (self.ENTRY, "entry"),
+            (self.EXIT_RETURN, "return-exit"),
+            (self.EXIT_RAISE, "raise-exit"),
+            (self.EXIT_FALL, "fall-exit"),
+        ):
+            kind = "entry" if nid == self.ENTRY else "exit"
+            self.nodes[nid] = Node(nid, None, kind, getattr(func, "lineno", 0), label)
+
+    @property
+    def entry(self) -> Node:
+        return self.nodes[self.ENTRY]
+
+    def exits(self) -> tuple[Node, Node, Node]:
+        return (
+            self.nodes[self.EXIT_RETURN],
+            self.nodes[self.EXIT_RAISE],
+            self.nodes[self.EXIT_FALL],
+        )
+
+    def stmt_nodes(self) -> Iterator[Node]:
+        for nid in sorted(self.nodes):
+            node = self.nodes[nid]
+            if node.stmt is not None:
+                yield node
+
+    def edge_count(self) -> int:
+        return sum(len(n.succs) for n in self.nodes.values())
+
+    def predecessors(self, target: int) -> list[tuple[Node, str]]:
+        """``(node, edge_kind)`` pairs for every edge into ``target``."""
+        preds = []
+        for nid in sorted(self.nodes):
+            for dst, kind in self.nodes[nid].succs:
+                if dst == target:
+                    preds.append((self.nodes[nid], kind))
+        return preds
+
+    def describe(self) -> str:
+        """Deterministic one-line-per-node dump (golden-test surface)."""
+        lines = []
+        for nid in sorted(self.nodes):
+            node = self.nodes[nid]
+            at = f"@{node.line}" if node.stmt is not None else ""
+            mark = f" [suspends {node.suspends}]" if node.suspends else ""
+            succs = ", ".join(f"{dst}:{kind}" for dst, kind in node.succs)
+            lines.append(f"{nid} {node.label}{at}{mark} -> {succs}".rstrip(" ->"))
+        return "\n".join(lines)
+
+
+def stmt_scan(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` and descendants without entering nested defs/lambdas.
+
+    Nested function bodies run later (or never); their events must not
+    be charged to the enclosing statement.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, _OPAQUE):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _header_exprs(stmt: ast.AST) -> list[ast.AST]:
+    """The expressions a compound statement evaluates *at its own node*
+    (its body statements get their own nodes)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []
+    if isinstance(stmt, _TRY_TYPES):
+        return []
+    return [stmt]
+
+
+def may_raise(stmt: ast.AST) -> bool:
+    """Whether the statement's own evaluation can raise: any call,
+    subscript, or yield (a resumed generator may receive a throw), plus
+    ``assert``.  Attribute loads and arithmetic are deliberately not
+    counted -- treating every name lookup as a potential exception edge
+    would drown the path-sensitive rules in vacuous paths."""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for expr in _header_exprs(stmt):
+        for node in stmt_scan(expr):
+            if isinstance(node, (ast.Call, ast.Subscript, ast.Yield, ast.YieldFrom)):
+                return True
+    return False
+
+
+def _suspend_detail(
+    stmt: ast.AST, callee_suspends: dict[int, str]
+) -> Optional[str]:
+    """The suspension primitive a statement may park on, if any."""
+    for expr in _header_exprs(stmt):
+        for node in stmt_scan(expr):
+            if isinstance(node, ast.Yield) and isinstance(node.value, ast.Call):
+                attr = last_attr(node.value.func)
+                if attr in _SUSPENDING_COMMANDS:
+                    return attr
+            elif isinstance(node, ast.YieldFrom) and isinstance(node.value, ast.Call):
+                attr = last_attr(node.value.func)
+                if attr in _SUSPENDING_DELEGATES or attr == "acquire":
+                    return f"{attr}()"
+    return callee_suspends.get(getattr(stmt, "lineno", -1))
+
+
+class _LoopFrame:
+    __slots__ = ("continue_target", "breaks")
+
+    def __init__(self, continue_target: int) -> None:
+        self.continue_target = continue_target
+        self.breaks: list[tuple[int, str]] = []
+
+
+class _TryFrame:
+    __slots__ = ("handler_nodes", "catches_all", "finally_stmts", "exc_entry")
+
+    def __init__(
+        self,
+        handler_nodes: Optional[list[int]],
+        catches_all: bool,
+        finally_stmts: Optional[list[ast.stmt]],
+    ) -> None:
+        self.handler_nodes = handler_nodes
+        self.catches_all = catches_all
+        self.finally_stmts = finally_stmts
+        #: Lazily-built duplicated finally body for escaping exceptions.
+        self.exc_entry: Optional[int] = None
+
+
+class _Builder:
+    def __init__(
+        self,
+        func: ast.AST,
+        callee_suspends: dict[int, str],
+        implicit_exc: bool,
+    ) -> None:
+        self.cfg = CFG(func)
+        self.callee_suspends = callee_suspends
+        self.implicit_exc = implicit_exc
+        self._next_id = CFG.EXIT_FALL + 1
+
+    # -- node/edge primitives ------------------------------------------
+    def _node(self, stmt: Optional[ast.AST], kind: str = "stmt", label: str = "") -> Node:
+        nid = self._next_id
+        self._next_id += 1
+        line = getattr(stmt, "lineno", 0)
+        if not label:
+            label = type(stmt).__name__.lower() if stmt is not None else kind
+        node = Node(nid, stmt, kind, line, label)
+        if stmt is not None:
+            node.suspends = _suspend_detail(stmt, self.callee_suspends)
+        self.cfg.nodes[nid] = node
+        return node
+
+    def _edge(self, src: int, dst: int, kind: str) -> None:
+        succs = self.cfg.nodes[src].succs
+        if (dst, kind) not in succs:
+            succs.append((dst, kind))
+
+    def _connect(self, frontier: list[tuple[int, str]], dst: int) -> None:
+        for src, kind in frontier:
+            self._edge(src, dst, kind)
+
+    # -- statement dispatch --------------------------------------------
+    def build(self) -> CFG:
+        frontier = self._seq(
+            list(self.cfg.func.body), [(CFG.ENTRY, "next")], []
+        )
+        self._connect(
+            [(src, "fall") for src, _ in frontier], CFG.EXIT_FALL
+        )
+        return self.cfg
+
+    def _seq(self, stmts, frontier, frames):
+        for stmt in stmts:
+            if not frontier:  # unreachable tail (after return/raise/while True)
+                break
+            frontier = self._stmt(stmt, frontier, frames)
+        return frontier
+
+    def _stmt(self, stmt, frontier, frames):
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier, frames)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, frontier, frames)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier, frames)
+        if isinstance(stmt, _TRY_TYPES):
+            return self._try(stmt, frontier, frames)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._simple(stmt, frontier, frames)
+            return self._seq(stmt.body, node, frames)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier, frames)
+        if isinstance(stmt, ast.Return):
+            return self._return(stmt, frontier, frames)
+        if isinstance(stmt, ast.Raise):
+            return self._raise(stmt, frontier, frames)
+        if isinstance(stmt, ast.Break):
+            return self._break(stmt, frontier, frames)
+        if isinstance(stmt, ast.Continue):
+            return self._continue(stmt, frontier, frames)
+        return self._simple(stmt, frontier, frames)
+
+    def _simple(self, stmt, frontier, frames):
+        node = self._node(stmt)
+        self._connect(frontier, node.id)
+        if self.implicit_exc and may_raise(stmt):
+            self._route_exception(node.id, "exc", frames)
+        return [(node.id, "next")]
+
+    def _if(self, stmt, frontier, frames):
+        node = self._node(stmt, label="if")
+        self._connect(frontier, node.id)
+        if self.implicit_exc and may_raise(stmt):
+            self._route_exception(node.id, "exc", frames)
+        out = self._seq(stmt.body, [(node.id, "true")], frames)
+        if stmt.orelse:
+            out = out + self._seq(stmt.orelse, [(node.id, "false")], frames)
+        else:
+            out = out + [(node.id, "false")]
+        return out
+
+    def _loop(self, stmt, frontier, frames, label, infinite):
+        node = self._node(stmt, label=label)
+        self._connect(frontier, node.id)
+        if self.implicit_exc and may_raise(stmt):
+            self._route_exception(node.id, "exc", frames)
+        loop = _LoopFrame(continue_target=node.id)
+        body_out = self._seq(stmt.body, [(node.id, "true")], frames + [loop])
+        for src, _kind in body_out:
+            self._edge(src, node.id, "loop")
+        breaks = list(loop.breaks)
+        if infinite:
+            return breaks
+        tail = [(node.id, "false")]
+        if stmt.orelse:
+            tail = self._seq(stmt.orelse, tail, frames)
+        return breaks + tail
+
+    def _while(self, stmt, frontier, frames):
+        infinite = isinstance(stmt.test, ast.Constant) and stmt.test.value is True
+        return self._loop(stmt, frontier, frames, "while", infinite)
+
+    def _for(self, stmt, frontier, frames):
+        return self._loop(stmt, frontier, frames, "for", infinite=False)
+
+    def _match(self, stmt, frontier, frames):
+        node = self._node(stmt, label="match")
+        self._connect(frontier, node.id)
+        if self.implicit_exc and may_raise(stmt):
+            self._route_exception(node.id, "exc", frames)
+        out = [(node.id, "false")]  # no case may match
+        for case in stmt.cases:
+            out = out + self._seq(case.body, [(node.id, "case")], frames)
+        return out
+
+    def _try(self, stmt, frontier, frames):
+        finally_stmts = stmt.finalbody or None
+        handler_nodes: list[int] = []
+        catches_all = False
+        for handler in stmt.handlers:
+            hnode = self._node(handler, label="except")
+            handler_nodes.append(hnode.id)
+            if handler.type is None or last_attr(handler.type) in _CATCH_ALL_TYPES:
+                catches_all = True
+        frame = _TryFrame(handler_nodes or None, catches_all, finally_stmts)
+        inner = frames + [frame]
+        body_out = self._seq(stmt.body, frontier, inner)
+        # Handlers stop applying once the body completes: exceptions in
+        # the else clause or in the handlers themselves propagate out
+        # (through this frame's finally).
+        frame.handler_nodes = None
+        frame.catches_all = False
+        if stmt.orelse:
+            body_out = self._seq(stmt.orelse, body_out, inner)
+        for handler, hid in zip(stmt.handlers, handler_nodes):
+            body_out = body_out + self._seq(handler.body, [(hid, "next")], inner)
+        if finally_stmts:
+            body_out = self._seq(finally_stmts, body_out, frames)
+        return body_out
+
+    def _return(self, stmt, frontier, frames):
+        node = self._node(stmt, label="return")
+        self._connect(frontier, node.id)
+        if self.implicit_exc and may_raise(stmt):
+            self._route_exception(node.id, "exc", frames)
+        src = [(node.id, "return")]
+        for i in range(len(frames) - 1, -1, -1):
+            fr = frames[i]
+            if isinstance(fr, _TryFrame) and fr.finally_stmts:
+                src = self._seq(list(fr.finally_stmts), src, frames[:i])
+        self._connect(src, CFG.EXIT_RETURN)
+        return []
+
+    def _raise(self, stmt, frontier, frames):
+        node = self._node(stmt, label="raise")
+        self._connect(frontier, node.id)
+        self._route_exception(node.id, "raise", frames)
+        return []
+
+    def _escape_loop(self, stmt, frontier, frames, label):
+        node = self._node(stmt, label=label)
+        self._connect(frontier, node.id)
+        src = [(node.id, label)]
+        for i in range(len(frames) - 1, -1, -1):
+            fr = frames[i]
+            if isinstance(fr, _LoopFrame):
+                return fr, src
+            if isinstance(fr, _TryFrame) and fr.finally_stmts:
+                src = self._seq(list(fr.finally_stmts), src, frames[:i])
+        return None, src  # malformed (outside a loop); drop the path
+
+    def _break(self, stmt, frontier, frames):
+        loop, src = self._escape_loop(stmt, frontier, frames, "break")
+        if loop is not None:
+            loop.breaks.extend(src)
+        return []
+
+    def _continue(self, stmt, frontier, frames):
+        loop, src = self._escape_loop(stmt, frontier, frames, "continue")
+        if loop is not None:
+            self._connect(src, loop.continue_target)
+        return []
+
+    # -- exception routing ---------------------------------------------
+    def _route_exception(self, src, kind, frames):
+        for i in range(len(frames) - 1, -1, -1):
+            frame = frames[i]
+            if not isinstance(frame, _TryFrame):
+                continue
+            if frame.handler_nodes:
+                for hid in frame.handler_nodes:
+                    self._edge(src, hid, kind)
+                if frame.catches_all:
+                    return
+            if frame.finally_stmts:
+                entry = self._finally_exc_entry(frame, frames[:i])
+                self._edge(src, entry, kind)
+                return
+        self._edge(src, CFG.EXIT_RAISE, kind)
+
+    def _finally_exc_entry(self, frame, outer_frames):
+        """Entry of this frame's finally copy for *escaping* exceptions;
+        the copy's tail keeps propagating through the outer frames."""
+        if frame.exc_entry is None:
+            head = self._node(None, kind="finally-exc", label="finally-exc")
+            frame.exc_entry = head.id
+            tail = self._seq(
+                list(frame.finally_stmts), [(head.id, "next")], outer_frames
+            )
+            for nid, _kind in tail:
+                self._route_exception(nid, "exc-cont", outer_frames)
+        return frame.exc_entry
+
+
+def build_cfg(
+    func: ast.AST,
+    callee_suspends: Optional[dict[int, str]] = None,
+    implicit_exc: bool = True,
+) -> CFG:
+    """Build the CFG of one function.
+
+    ``callee_suspends`` maps line numbers of ``yield from`` delegations
+    to a description of the suspension their callee performs (from the
+    interproc effect summaries); matching statements are marked as
+    suspension points.  ``implicit_exc=False`` omits the conservative
+    may-raise edges, leaving only explicit ``raise`` paths.
+    """
+    return _Builder(func, callee_suspends or {}, implicit_exc).build()

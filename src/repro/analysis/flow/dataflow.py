@@ -1,0 +1,67 @@
+"""Forward dataflow fixpoint over a CFG and a finite typestate lattice.
+
+States are *may*-sets: ``frozenset`` of hashable atoms, joined by set
+union.  Every protocol rule picks its own atom vocabulary (respond
+counts, per-lock held markers, per-resource liveness); the engine only
+needs join-is-union and a monotone transfer function, which makes
+termination a counting argument -- atoms are drawn from a finite set,
+states only grow, so the worklist drains.
+
+Exception edges (``exc``/``raise``) propagate the *input* state of the
+raising statement: the exception may fire before the statement's effect
+lands (``x = add_pool(...)`` that raises never bound ``x``).  All other
+edges -- including ``exc-cont``, the continuation out of a duplicated
+``finally`` body -- propagate the transfer output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .cfg import CFG, EXCEPTIONAL_KINDS, Node
+
+__all__ = ["State", "forward_fixpoint", "edge_state"]
+
+State = frozenset
+
+#: Transfer: (node, input state) -> output state.  Must be monotone in
+#: the may-set sense (never remove an atom another input would keep).
+Transfer = Callable[[Node, State], State]
+
+
+def forward_fixpoint(cfg: CFG, init: State, transfer: Transfer) -> Dict[int, State]:
+    """Least fixpoint of ``transfer`` over ``cfg``; returns the joined
+    *input* state of every reachable node (keyed by node id)."""
+    in_states: Dict[int, State] = {CFG.ENTRY: init}
+    work = [CFG.ENTRY]
+    queued = {CFG.ENTRY}
+    while work:
+        nid = work.pop()
+        queued.discard(nid)
+        node = cfg.nodes[nid]
+        state = in_states[nid]
+        out = transfer(node, state)
+        for dst, kind in node.succs:
+            propagated = state if kind in EXCEPTIONAL_KINDS else out
+            old = in_states.get(dst)
+            new = propagated if old is None else old | propagated
+            if new != old:
+                in_states[dst] = new
+                if dst not in queued:
+                    work.append(dst)
+                    queued.add(dst)
+    return in_states
+
+
+def edge_state(
+    cfg: CFG, in_states: Dict[int, State], src: Node, kind: str, transfer: Transfer
+) -> State:
+    """The state flowing along one edge out of ``src`` (input state for
+    exceptional kinds, transfer output otherwise); empty if ``src`` was
+    never reached."""
+    state = in_states.get(src.id)
+    if state is None:
+        return frozenset()
+    if kind in EXCEPTIONAL_KINDS:
+        return state
+    return transfer(src, state)

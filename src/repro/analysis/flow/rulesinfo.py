@@ -1,0 +1,80 @@
+"""Registry entries for the mochi-flow rules (MCH070-MCH073).
+
+These are whole-function path-sensitive rules: they register with
+``check=None`` (no per-file AST callback) and run from
+:func:`repro.analysis.flow.run_flow` when ``--flow`` is given, exactly
+like the interproc block runs from ``--interproc``.
+"""
+
+from __future__ import annotations
+
+from ..findings import Severity
+from ..registry import GROUP_FLOW, RuleInfo, register
+
+RESPOND_EXACTLY_ONCE = RuleInfo(
+    id="MCH070",
+    name="respond-exactly-once",
+    group=GROUP_FLOW,
+    severity=Severity.ERROR,
+    summary="RPC handler must respond exactly once on every path",
+    rationale=(
+        "margo_respond semantics: each dispatched RPC gets exactly one "
+        "response.  A double respond silently drops the second reply, a "
+        "raise after responding loses the error, and a swallowed "
+        "exception path that parks before responding wedges the caller; "
+        "the CFG proves the count on every path, so the flow-insensitive "
+        "MCH012 heuristic stands down at covered sites"
+    ),
+    runtime_checked=True,
+)
+
+LOCK_RELEASED_ON_EXIT = RuleInfo(
+    id="MCH071",
+    name="lock-release-balance",
+    group=GROUP_FLOW,
+    severity=Severity.ERROR,
+    summary="UltMutex acquired but not released on some exit path",
+    rationale=(
+        "a mutex that stays held across an early return, an escaping "
+        "raise, or the fall-through exit serializes every later waiter "
+        "behind a lock nobody will ever release; the runtime sanitizer "
+        "only sees the executed path, this rule proves all of them"
+    ),
+)
+
+RESOURCE_RELEASED_ON_EXC = RuleInfo(
+    id="MCH072",
+    name="resource-leak-on-exception-path",
+    group=GROUP_FLOW,
+    severity=Severity.ERROR,
+    summary="pool/xstream acquired but leaked if an exception escapes",
+    rationale=(
+        "elastic reconfiguration (the paper's add/remove pool and "
+        "xstream dance) only stays balanced if every acquisition either "
+        "reaches its owner or is torn down when the path fails; "
+        "exception paths are exactly the ones CI-time execution never "
+        "covers"
+    ),
+)
+
+USE_AFTER_RELEASE = RuleInfo(
+    id="MCH073",
+    name="use-after-release",
+    group=GROUP_FLOW,
+    severity=Severity.ERROR,
+    summary="handle used after release/destroy, or provider state used after migrate",
+    rationale=(
+        "a destroyed handle or a provider whose state has migrated away "
+        "is a dangling reference: operations on it read state that no "
+        "longer lives here, which is how delete-then-migrate bugs "
+        "corrupt the destination"
+    ),
+)
+
+for _info in (
+    RESPOND_EXACTLY_ONCE,
+    LOCK_RELEASED_ON_EXIT,
+    RESOURCE_RELEASED_ON_EXC,
+    USE_AFTER_RELEASE,
+):
+    register(_info)

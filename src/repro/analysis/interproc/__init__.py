@@ -58,6 +58,8 @@ def run_interproc(
     ignore: Optional[Iterable[str]] = None,
     allowlist_text: Optional[str] = None,
     allowlist_path: str = "partition-allowlist.txt",
+    index: Optional[ProjectIndex] = None,
+    analysis: Optional[EffectAnalysis] = None,
 ) -> tuple[list[Finding], dict]:
     """Run every whole-program pass over ``(path, tree, source)`` triples.
 
@@ -65,9 +67,15 @@ def run_interproc(
     suppression comments as the per-file rules and are sorted by
     ``(path, line, rule_id, message)``; ``stats`` reports what the
     analysis covered and what it conservatively refused to guess.
+
+    ``index``/``analysis`` may carry a prebuilt project index and effect
+    fixpoint (the engine shares them with the ``--flow`` layer so the
+    two whole-program passes pay for one traversal).
     """
-    index = build_project([(path, tree) for path, tree, _ in parsed])
-    analysis = EffectAnalysis(index)
+    if index is None:
+        index = build_project([(path, tree) for path, tree, _ in parsed])
+    if analysis is None:
+        analysis = EffectAnalysis(index)
     contracts = build_contracts(index)
 
     findings: list[Finding] = []

@@ -42,10 +42,18 @@ from ..rules.scheduling import (
     _SUSPENDING_COMMANDS,
     _SUSPENDING_DELEGATES,
     _lock_events,
+    _unbounded_wait,
 )
 from .callgraph import FunctionInfo, ProjectIndex
 
-__all__ = ["Effects", "EffectAnalysis", "check_deep_blocking", "check_lock_across_callee_yield"]
+__all__ = [
+    "Effects",
+    "EffectAnalysis",
+    "check_deep_blocking",
+    "check_lock_across_callee_yield",
+    "callee_suspend_lines",
+    "callee_park_lines",
+]
 
 #: Cap on rendered call-chain length (cycles cannot loop forever).
 _MAX_CHAIN = 12
@@ -69,6 +77,9 @@ class Effects:
     is_ult: bool = False
     acquires_lock: bool = False
     mutates_shared: Optional[Witness] = None
+    #: The function (or a delegate chain below it) waits with no
+    #: timeout: a caller that hasn't responded yet may stall forever.
+    parks_unbounded: Optional[Witness] = None
 
 
 class EffectAnalysis:
@@ -104,6 +115,10 @@ class EffectAnalysis:
                     eff.suspends = Witness("primitive", f"{attr}()", node.lineno)
                 if attr == "acquire":
                     eff.acquires_lock = True
+            if isinstance(node, ast.Call) and eff.parks_unbounded is None:
+                why = _unbounded_wait(node)
+                if why is not None and not _is_ult_join(node):
+                    eff.parks_unbounded = Witness("primitive", why, node.lineno)
         eff.mutates_shared = _shared_mutation_witness(func)
         return eff
 
@@ -123,6 +138,7 @@ class EffectAnalysis:
         block_candidates: list[tuple[int, str]] = []
         suspend_candidates: list[tuple[int, str]] = []
         mutate_candidates: list[tuple[int, str]] = []
+        park_candidates: list[tuple[int, str]] = []
         inherited_ult = False
         for edge in func.edges:
             callee = self.effects.get(edge.callee)
@@ -133,6 +149,8 @@ class EffectAnalysis:
             if edge.kind == "delegate":
                 if callee.suspends is not None:
                     suspend_candidates.append((edge.line, edge.callee))
+                if callee.parks_unbounded is not None:
+                    park_candidates.append((edge.line, edge.callee))
                 if callee.is_ult:
                     inherited_ult = True
             if callee.mutates_shared is not None:
@@ -144,6 +162,10 @@ class EffectAnalysis:
         if eff.suspends is None and suspend_candidates:
             line, callee = min(suspend_candidates)
             eff.suspends = Witness("edge", callee, line)
+            changed = True
+        if eff.parks_unbounded is None and park_candidates:
+            line, callee = min(park_candidates)
+            eff.parks_unbounded = Witness("edge", callee, line)
             changed = True
         if eff.mutates_shared is None and mutate_candidates:
             line, callee = min(mutate_candidates)
@@ -184,6 +206,75 @@ class EffectAnalysis:
                 return eff.suspends.detail
             current = eff.suspends.detail
         return "a kernel command"
+
+    def park_primitive(self, qualname: str) -> str:
+        """The unbounded wait a delegate chain bottoms out in."""
+        current: Optional[str] = qualname
+        for _ in range(_MAX_CHAIN):
+            eff = self.effects.get(current) if current else None
+            if eff is None or eff.parks_unbounded is None:
+                break
+            if eff.parks_unbounded.kind == "primitive":
+                return eff.parks_unbounded.detail
+            current = eff.parks_unbounded.detail
+        return "an unbounded wait"
+
+
+def callee_suspend_lines(
+    analysis: "EffectAnalysis", func: FunctionInfo
+) -> dict[int, str]:
+    """Per-callee suspend summary for one function: line of each
+    ``delegate`` edge whose callee suspends -> human description.
+
+    This is the interface the flow layer (mochi-flow) consumes to mark
+    "callee may suspend" statements as CFG suspension points without
+    re-deriving the effect fixpoint.
+    """
+    lines: dict[int, str] = {}
+    for edge in func.edges:
+        if edge.kind != "delegate":
+            continue
+        eff = analysis.effects.get(edge.callee)
+        if eff is None or eff.suspends is None:
+            continue
+        lines.setdefault(
+            edge.line,
+            f"{edge.display}() via {analysis.suspend_primitive(edge.callee)}",
+        )
+    return lines
+
+
+def callee_park_lines(
+    analysis: "EffectAnalysis", func: FunctionInfo
+) -> dict[int, str]:
+    """Delegate edges whose callee chain bottoms out in an *unbounded*
+    wait: line -> description.  MCH070 treats these as divergence points
+    the one-file MCH012 heuristic cannot see."""
+    lines: dict[int, str] = {}
+    for edge in func.edges:
+        if edge.kind != "delegate":
+            continue
+        eff = analysis.effects.get(edge.callee)
+        if eff is None or eff.parks_unbounded is None:
+            continue
+        lines.setdefault(
+            edge.line,
+            f"delegates to {edge.display}() which waits unboundedly "
+            f"({analysis.park_primitive(edge.callee)})",
+        )
+    return lines
+
+
+def _is_ult_join(call: ast.Call) -> bool:
+    """A ``Park(x.done_event, ...)`` is a join on spawned work, not an
+    open-ended wait: the child ULT's termination (and with it the
+    wakeup) is the runtime's responsibility -- forwards time out, the
+    scheduler drains.  ``parallel()`` is the canonical case.  Parks on
+    arbitrary application events stay unbounded."""
+    for arg in call.args[:1]:
+        if isinstance(arg, ast.Attribute) and arg.attr == "done_event":
+            return True
+    return False
 
 
 def _shared_mutation_witness(func: FunctionInfo) -> Optional[Witness]:

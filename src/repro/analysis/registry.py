@@ -24,6 +24,9 @@ Rule id blocks:
   handler shapes, dead handlers);
 * ``MCH06x`` -- partitioning & migration (cross-component shared-state
   writes, migration snapshot coverage);
+* ``MCH07x`` -- flow protocols (mochi-flow: path-sensitive typestate
+  over per-function CFGs -- respond-exactly-once, lock release balance,
+  exception-path resource leaks, use-after-release/migrate);
 * ``MCH09x`` -- meta (parse errors, bare suppressions).
 
 ``MCH014``/``MCH015`` and the ``MCH05x``/``MCH06x`` blocks are
@@ -57,6 +60,7 @@ __all__ = [
     "GROUP_PERF",
     "GROUP_CONTRACTS",
     "GROUP_PARTITION",
+    "GROUP_FLOW",
     "GROUP_META",
 ]
 
@@ -68,6 +72,7 @@ GROUP_CONCURRENCY = "concurrency"
 GROUP_PERF = "performance"
 GROUP_CONTRACTS = "rpc-contracts"
 GROUP_PARTITION = "partitioning"
+GROUP_FLOW = "flow-protocols"
 GROUP_META = "meta"
 
 

@@ -12,7 +12,12 @@ reports under the same rule ids:
   the mutex still held;
 * ``MCH012`` -- a dispatched RPC handler ULT finished without a response
   ever hitting the wire, or a healthy process finalized with handler
-  ULTs still pending.
+  ULTs still pending;
+* ``MCH070`` -- respond exactly once: a handler called
+  ``context.respond()`` twice, or raised / returned a value after its
+  explicit reply had already hit the wire (the caller never sees
+  either).  This is the runtime half of the static mochi-flow rule,
+  the same static/runtime split MCH011 and MCH012 already have.
 
 The hooks in ``ult.py`` / ``xstream.py`` / ``runtime.py`` are guarded by
 the module attribute :data:`ENABLED`, so the disabled cost is one
@@ -46,6 +51,7 @@ __all__ = [
 
 RULE_LOCK_ACROSS_YIELD = "MCH011"
 RULE_DROPPED_HANDLE = "MCH012"
+RULE_RESPOND = "MCH070"
 
 
 class SanitizerError(AssertionError):
@@ -76,6 +82,9 @@ _held: dict[int, list["UltMutex"]] = {}
 #: (id(margo), seq) -> rpc name, for dispatched-but-unresponded handlers.
 _pending_handles: dict[tuple[int, int], str] = {}
 
+#: (id(margo), seq) handles answered via an explicit ``respond()`` call.
+_responded_handles: set[tuple[int, int]] = set()
+
 
 def enable(strict: bool = True) -> None:
     """Turn the sanitizer on (``strict``: raise at the violation point)."""
@@ -99,6 +108,7 @@ def reset() -> None:
     violations.clear()
     _held.clear()
     _pending_handles.clear()
+    _responded_handles.clear()
 
 
 def _make_finding(rule_id: str, message: str, context: str = "") -> Finding:
@@ -191,6 +201,55 @@ def _ult_finished_holding(ult: "ULT") -> None:
 
 
 # ----------------------------------------------------------------------
+# MCH070: respond exactly once (runtime half of the mochi-flow rule)
+# ----------------------------------------------------------------------
+def note_explicit_respond(margo: Any, request: Any, already: bool) -> None:
+    """Called by ``RequestContext.respond`` at its send point.
+
+    ``already`` is the context's own responded flag; the handle set
+    catches the same double-reply when a handler builds two contexts
+    for one request.
+    """
+    key = (id(margo), request.seq)
+    if already or key in _responded_handles:
+        _report(
+            RULE_RESPOND,
+            f"handler for RPC {request.rpc_name!r} (seq {request.seq}) "
+            "called respond() twice; each request must be answered "
+            "exactly once",
+            context=f"margo:{margo.process.name}",
+        )
+        return
+    _responded_handles.add(key)
+
+
+def note_post_respond(
+    margo: Any, request: Any, ok: bool, value: Any, error_message: Any
+) -> None:
+    """Called by ``_handler_body`` when a handler that already replied
+    via ``respond()`` went on to raise or return a value -- neither can
+    reach the caller, so silence here would hide real failures."""
+    key = (id(margo), request.seq)
+    _responded_handles.discard(key)
+    if not ok:
+        _report(
+            RULE_RESPOND,
+            f"handler for RPC {request.rpc_name!r} (seq {request.seq}) "
+            f"raised after respond() ({error_message}); the caller "
+            "already got a success reply and never sees this error",
+            context=f"margo:{margo.process.name}",
+        )
+    elif value is not None:
+        _report(
+            RULE_RESPOND,
+            f"handler for RPC {request.rpc_name!r} (seq {request.seq}) "
+            "returned a value after respond(); the value is silently "
+            "dropped -- pass it to respond() instead",
+            context=f"margo:{margo.process.name}",
+        )
+
+
+# ----------------------------------------------------------------------
 # MCH012: handler dropped its handle
 # ----------------------------------------------------------------------
 def note_handler_dispatched(margo: Any, request: Any, ult: "ULT") -> None:
@@ -215,6 +274,7 @@ class _HandlerFinished:
         self.seq = seq
 
     def __call__(self, ult: "ULT") -> None:
+        _responded_handles.discard((id(self.margo), self.seq))
         name = _pending_handles.pop((id(self.margo), self.seq), None)
         if name is not None:
             _report_at_finish(
@@ -233,12 +293,13 @@ def check_margo_shutdown(margo: Any) -> None:
     pending.  Processes that were killed (fault injection) are exempt:
     dropping in-flight handles is exactly what a crash does.
     """
+    mid = id(margo)
+    for key in [k for k in _responded_handles if k[0] == mid]:
+        _responded_handles.discard(key)
     if not margo.process.alive:
-        mid = id(margo)
         for key in [k for k in _pending_handles if k[0] == mid]:
             del _pending_handles[key]
         return
-    mid = id(margo)
     stuck = sorted(
         (seq, name) for (owner, seq), name in _pending_handles.items() if owner == mid
     )

@@ -76,6 +76,11 @@ class RequestContext:
 
     margo: "MargoInstance"
     request: RPCRequest
+    #: per-request sampling decision made at dispatch (monitor emissions
+    #: inside :meth:`respond` honor it, same as the implicit reply path).
+    observed: bool = False
+    #: set once a reply for this request has hit the wire.
+    _responded: bool = False
 
     @property
     def args(self) -> Any:
@@ -92,6 +97,42 @@ class RequestContext:
     @property
     def rpc_name(self) -> str:
         return self.request.rpc_name
+
+    def respond(self, value: Any = None) -> Generator:
+        """Explicit early reply (``margo_respond`` equivalent).
+
+        Drive with ``yield from context.respond(result)``.  The caller's
+        ``forward`` unblocks as soon as this reply lands, while the
+        handler ULT keeps running (post-reply cleanup, deferred work).
+        The protocol is *respond exactly once*: the implicit reply the
+        runtime sends on handler return is skipped once this has fired,
+        a second ``respond()`` is dropped on the floor, and the
+        sanitizer reports both misuses under MCH070.
+        """
+        margo = self.margo
+        payload_size = estimate_size(value)
+        yield Compute(serialize_cost(payload_size))
+        already = self._responded
+        self._responded = True
+        if _sanitize.ENABLED:
+            _sanitize.note_explicit_respond(margo, self.request, already)
+        if already:
+            return
+        response = RPCResponse(
+            seq=self.request.seq,
+            status=STATUS_OK,
+            value=value,
+            payload_size=payload_size,
+            src_address=margo.process.address,
+            error_message=None,
+        )
+        margo.network.send(
+            margo.process, self.request.src_address, response, response.wire_size
+        )
+        if _sanitize.ENABLED:
+            _sanitize.note_handler_responded(margo, self.request.seq)
+        if self.observed:
+            margo._emit("on_respond", request=self.request, response=response)
 
 
 @dataclass
@@ -754,7 +795,7 @@ class MargoInstance:
             )
         else:
             yield Compute(deserialize_cost(request.payload_size))
-        context = RequestContext(margo=self, request=request)
+        context = RequestContext(margo=self, request=request, observed=observed)
         status = STATUS_OK
         value: Any = None
         error_message: Optional[str] = None
@@ -770,6 +811,10 @@ class MargoInstance:
             status = STATUS_ERROR
             error_message = f"{type(err).__name__}: {err}"
         payload_size = estimate_size(value) if status == STATUS_OK else 0
+        if context._responded:
+            # context.respond() already serialized and sent the reply;
+            # the implicit path must not charge or send a second one.
+            payload_size = 0
         if observed:
             # Pre-charge the on_ult_complete firing: same modeled cost,
             # one fewer kernel event per handled RPC.
@@ -792,6 +837,17 @@ class MargoInstance:
                 duration=duration,
                 queued_for=queued_for,
             )
+        self._inflight_in.dec()
+        self._rpcs_handled.inc()
+        if context._responded:
+            # Respond exactly once: the explicit reply already went out.
+            # A raise or a returned value after respond() is invisible
+            # to the caller -- the sanitizer reports it under MCH070.
+            if _sanitize.ENABLED:
+                _sanitize.note_post_respond(
+                    self, request, status == STATUS_OK, value, error_message
+                )
+            return
         response = RPCResponse(
             seq=request.seq,
             status=status,
@@ -800,8 +856,6 @@ class MargoInstance:
             src_address=self.process.address,
             error_message=error_message,
         )
-        self._inflight_in.dec()
-        self._rpcs_handled.inc()
         self.network.send(self.process, request.src_address, response, response.wire_size)
         if _sanitize.ENABLED:
             _sanitize.note_handler_responded(self, request.seq)

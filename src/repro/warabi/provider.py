@@ -8,6 +8,7 @@ implements the dynamic-service hooks.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Generator, Optional
 
 from ..analysis.race import hooks as _race
@@ -72,6 +73,8 @@ class WarabiProvider(Provider):
         self.bulk_threshold = int(self.config.get("bulk_threshold", DEFAULT_BULK_THRESHOLD))
         self._blobs: dict[int, bytearray] = {}
         self._next_id = 0
+        if self.store is not None:
+            self._load_persisted()
         if _race.ENABLED:
             _race.track(self._blobs, f"warabi:{name}.blobs")
 
@@ -92,12 +95,51 @@ class WarabiProvider(Provider):
     def _blob_path(self, blob_id: int) -> str:
         return f"warabi/{self.name}/{blob_id}"
 
+    def _meta_path(self) -> str:
+        return f"warabi/{self.name}/meta"
+
     def _persist(self, blob_id: int) -> Generator:
         if self.store is not None:
             data = bytes(self._blobs[blob_id])
             yield UltSleep(self.store.write_cost(len(data)))
             self.store.write(self._blob_path(blob_id), data)
         return None
+
+    def _persist_meta(self) -> Generator:
+        """Write the id-counter sidecar next to the blob files.
+
+        The counter is authoritative state, not derivable from the
+        surviving blobs: after erasing the highest-id blob,
+        ``max(ids) + 1`` would re-issue an id a client may still hold.
+        The sidecar travels with ``local_files()`` so a REMI migration
+        carries it.
+        """
+        if self.store is not None:
+            doc = json.dumps({"next_id": self._next_id}).encode()
+            yield UltSleep(self.store.write_cost(len(doc)))
+            self.store.write(self._meta_path(), doc)
+        return None
+
+    def _load_persisted(self) -> None:
+        """Rebuild blobs + id counter from the local store (constructor
+        path: how the destination provider of a migration comes up over
+        the files REMI just landed)."""
+        assert self.store is not None
+        next_id = 0
+        for path in self.store.list(f"warabi/{self.name}/"):
+            leaf = path.rsplit("/", 1)[-1]
+            if leaf == "meta":
+                try:
+                    next_id = max(next_id, int(json.loads(self.store.read(path))["next_id"]))
+                except (ValueError, KeyError, TypeError):
+                    pass
+                continue
+            try:
+                blob_id = int(leaf)
+            except ValueError:
+                continue
+            self._blobs[blob_id] = bytearray(self.store.read(path))
+        self._next_id = max(next_id, max(self._blobs, default=-1) + 1)
 
     # ------------------------------------------------------------------
     # RPC handlers
@@ -116,6 +158,7 @@ class WarabiProvider(Provider):
             _race.note_write(self._blobs, blob_id, f"warabi:{self.name}.create")
         self._blobs[blob_id] = bytearray(size)
         yield from self._persist(blob_id)
+        yield from self._persist_meta()
         return blob_id
 
     def _on_write(self, ctx: RequestContext) -> Generator:
@@ -206,17 +249,27 @@ class WarabiProvider(Provider):
             raise WarabiError("migration requires a persistent target")
         for blob_id in self._blobs:
             yield from self._persist(blob_id)
+        yield from self._persist_meta()
         result = yield from remi_client.migrate_files(
             dest_address, self.local_files(), dest_provider_id=dest_provider_id
         )
         return result
 
+    #: reserved (non-numeric) record key carrying the id counter in a
+    #: checkpoint image; blob records use their decimal id as the key.
+    _META_KEY = b"meta"
+
     def checkpoint(self, pfs: Any, path: str) -> Generator:
         from ..yokan.backend import encode_records
 
-        image = encode_records(
-            (str(blob_id).encode(), bytes(blob)) for blob_id, blob in sorted(self._blobs.items())
+        records = [
+            (self._META_KEY, json.dumps({"next_id": self._next_id}).encode())
+        ]
+        records.extend(
+            (str(blob_id).encode(), bytes(blob))
+            for blob_id, blob in sorted(self._blobs.items())
         )
+        image = encode_records(records)
         yield UltSleep(pfs.write_cost(len(image)))
         pfs.write(path, image)
         return len(image)
@@ -226,6 +279,15 @@ class WarabiProvider(Provider):
 
         image = pfs.read(path)
         yield UltSleep(pfs.read_cost(len(image)))
-        self._blobs = {int(k): bytearray(v) for k, v in decode_records(image)}
-        self._next_id = max(self._blobs, default=-1) + 1
+        blobs: dict[int, bytearray] = {}
+        next_id = 0
+        for key, value in decode_records(image):
+            if key == self._META_KEY:
+                next_id = int(json.loads(value)["next_id"])
+                continue
+            blobs[int(key)] = bytearray(value)
+        self._blobs = blobs
+        # Pre-sidecar images have no meta record: fall back to the old
+        # derivation rather than refusing to restore.
+        self._next_id = max(next_id, max(self._blobs, default=-1) + 1)
         return len(image)

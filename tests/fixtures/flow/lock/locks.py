@@ -1,0 +1,38 @@
+"""MCH071 fixtures: mutex release balance on every explicit exit path."""
+
+
+def update_bad(state, mu):
+    """Positive: the early return leaks the mutex."""
+    yield from mu.acquire()
+    if state.dirty:
+        return None
+    mu.release()
+    return state.value
+
+
+def guard_bad(self):
+    """Positive: the raise escapes while self._mu is still held."""
+    yield from self._mu.acquire()
+    if self.closed:
+        raise RuntimeError("closed while locked")
+    self._mu.release()
+    return self.value
+
+
+def update_ok(state, mu):
+    """Negative: try/finally releases on every exit path."""
+    yield from mu.acquire()
+    try:
+        if state.dirty:
+            return None
+        return state.value
+    finally:
+        mu.release()
+
+
+def straight_ok(state, mu):
+    """Negative: single path, acquire then release."""
+    yield from mu.acquire()
+    value = state.value
+    mu.release()
+    return value

@@ -1,0 +1,30 @@
+"""MCH072 fixtures: pool/xstream leaked on an exception path."""
+
+
+def grow_bad(margo, spec):
+    """Positive: validate() may raise while nothing owns the xstream."""
+    xs = margo.add_xstream(spec)
+    validate(spec)  # noqa: F821
+    register(xs)  # noqa: F821
+    return xs
+
+
+def grow_ok(margo, spec):
+    """Negative: the very next statement hands the xstream to its owner
+    (any mention of the variable ends the leak window)."""
+    xs = margo.add_xstream(spec)
+    register(xs)  # noqa: F821
+    validate(spec)  # noqa: F821
+    return xs
+
+
+def grow_guarded(margo, spec):
+    """Negative: the exception path joins the xstream before re-raising."""
+    xs = margo.add_xstream(spec)
+    try:
+        validate(spec)  # noqa: F821
+    except Exception:
+        xs.join()
+        raise
+    register(xs)  # noqa: F821
+    return xs

@@ -1,0 +1,64 @@
+"""MCH070 fixtures: respond-exactly-once protocol paths.
+
+Parsed by the mochi-flow tests, never imported: ``Park``/``Compute``
+stand in for the kernel command constructors the linter recognizes.
+"""
+
+
+def _on_double(ctx):
+    """Positive: responds twice on the straight-line path."""
+    yield Compute(1e-6)  # noqa: F821
+    yield from ctx.respond("first")
+    yield from ctx.respond("second")
+
+
+def _on_stall(ctx):
+    """Positive (mixed state): the exception path swallows the error
+    before the respond effect lands, then parks forever unanswered."""
+    try:
+        yield from ctx.respond(load(ctx.args))  # noqa: F821
+    except RuntimeError:
+        pass
+    yield Park(ctx.event)  # noqa: F821
+
+
+def _on_undriven(ctx):
+    """Positive: builds the response generator but never drives it."""
+    yield Compute(1e-6)  # noqa: F821
+    ctx.respond("lost")
+
+
+def _on_value_after(ctx):
+    """Positive: returns a payload after the explicit reply went out."""
+    yield from ctx.respond("early")
+    return "dropped"
+
+
+def _on_raise_after(ctx):
+    """Positive: raises after responding; the error response is lost."""
+    yield from ctx.respond("early")
+    raise RuntimeError("late failure")
+
+
+def _on_delegate_stall(ctx):
+    """Positive only with the effect layer: delegates into a helper that
+    parks unboundedly before any response has been sent."""
+    yield from wait_for_signal(ctx)
+    yield from ctx.respond("late")
+
+
+def wait_for_signal(ctx):
+    yield Park(ctx.event)  # noqa: F821
+
+
+def _on_ok_early_reply(ctx):
+    """Negative (the path-sensitivity win over MCH012): responds first,
+    then legally parks for post-reply coordination."""
+    yield from ctx.respond(ctx.args)
+    yield Park(ctx.event)  # noqa: F821
+
+
+def _on_ok_implicit(ctx):
+    """Negative: no explicit respond; the runtime replies on return."""
+    yield Compute(1e-6)  # noqa: F821
+    return ctx.args

@@ -1,0 +1,37 @@
+"""MCH073 fixtures: use-after-release and use-after-migrate."""
+
+
+def retire_bad(registry, name):
+    """Positive: put() on a destroyed handle."""
+    handle = registry.lookup(name)
+    handle.destroy()
+    handle.put("k", "v")
+
+
+def retire_arg_bad(registry, name, auditor):
+    """Positive: a released handle escapes as a call argument."""
+    handle = registry.lookup(name)
+    handle.destroy()
+    auditor.record(handle)
+
+
+def retire_rebound_ok(registry, name):
+    """Negative: rebinding the name clears the released state."""
+    handle = registry.lookup(name)
+    handle.destroy()
+    handle = registry.create(name)
+    handle.put("k", "v")
+
+
+def handoff_bad(provider, remi, dest):
+    """Positive: data operations after the provider migrated away."""
+    yield from provider.migrate(remi, dest)
+    yield from provider.put("k", "v")
+
+
+def handoff_ok(provider, remi, dest):
+    """Negative: only identity/teardown calls after the migrate."""
+    yield from provider.migrate(remi, dest)
+    report = provider.get_config()
+    provider.destroy()
+    return report

@@ -1,0 +1,50 @@
+"""Shared helpers for the mochi-flow (CFG/typestate) test modules."""
+
+from __future__ import annotations
+
+import ast
+import os
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "flow")
+
+
+def fixture_path(*names: str) -> str:
+    return os.path.join(FIXTURES, *names)
+
+
+def parse_fixture(*packages: str) -> list[tuple[str, ast.Module, str]]:
+    """``(path, tree, source)`` triples for fixture packages, sorted."""
+    parsed = []
+    for pkg in packages:
+        root = fixture_path(pkg)
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                parsed.append((path, ast.parse(source, filename=path), source))
+    return parsed
+
+
+def line_of(path: str, needle: str) -> int:
+    """1-based line of the first occurrence of ``needle`` in ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if needle in line:
+                return lineno
+    raise AssertionError(f"{needle!r} not found in {path}")
+
+
+def func_cfg(source: str, name: str, **kwargs):
+    """Build the CFG of one function defined in ``source``."""
+    from repro.analysis.flow.cfg import build_cfg
+
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == name:
+                return build_cfg(node, **kwargs)
+    raise AssertionError(f"no function {name!r} in source")

@@ -133,8 +133,8 @@ def test_list_rules_covers_catalog(capsys):
     # scheduling runs of the id space.
     assert "[observability]" in out
     # The runtime-checked rules advertise their dynamic half: MCH011,
-    # MCH012, and the five mochi-race concurrency rules.
-    assert out.count("also runtime-checked") == 7
+    # MCH012, MCH070, and the five mochi-race concurrency rules.
+    assert out.count("also runtime-checked") == 8
 
 
 def test_module_entry_point_matches_cli():

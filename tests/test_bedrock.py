@@ -371,6 +371,57 @@ def test_migrate_provider_between_processes():
     assert "db" in dst_bedrock.records
 
 
+def test_warabi_migrate_preserves_id_counter():
+    """Delete-then-migrate regression: the id counter is authoritative
+    state, not ``max(surviving ids) + 1``.  After erasing the
+    highest-id blob and migrating, the destination must hand out a
+    *fresh* id, not re-issue the erased one to collide with any handle
+    a client still holds."""
+    from repro.warabi import WarabiClient
+
+    cluster = Cluster(seed=47)
+    src_config = {
+        "libraries": {"warabi": "libwarabi.so"},
+        "providers": [
+            {"name": "blobs", "type": "warabi", "provider_id": 1,
+             "config": {"target": {"type": "persistent"}}},
+        ],
+    }
+    dst_config = {
+        "libraries": {"warabi": "libwarabi.so", "remi": "libremi.so"},
+        "providers": [{"name": "remi0", "type": "remi", "provider_id": 0}],
+    }
+    src_margo, src_bedrock = boot_process(cluster, "src", "ns", src_config)
+    dst_margo, dst_bedrock = boot_process(cluster, "dst", "nd", dst_config)
+    cm = cluster.add_margo("client", node="nc")
+    src_handle = BedrockClient(cm).make_service_handle(src_margo.address)
+    blobs_src = WarabiClient(cm).make_handle(src_margo.address, 1)
+    blobs_dst = WarabiClient(cm).make_handle(dst_margo.address, 1)
+
+    def driver():
+        ids = []
+        for _ in range(3):
+            bid = yield from blobs_src.create(size=4)
+            ids.append(bid)
+        yield from blobs_src.write(ids[0], b"aaaa")
+        yield from blobs_src.erase(ids[2])
+        yield from src_handle.migrate_provider(
+            "blobs", dst_margo.address, remi_provider_id=0
+        )
+        survivors = yield from blobs_dst.list()
+        fresh = yield from blobs_dst.create(size=1)
+        data = yield from blobs_dst.read(ids[0])
+        return ids, survivors, fresh, data
+
+    ids, survivors, fresh, data = run(cluster, cm, driver())
+    assert ids == [0, 1, 2]
+    assert survivors == [0, 1]  # blob data survived the migration
+    assert data == b"aaaa"
+    assert fresh == 3  # counter carried over; id 2 is never re-issued
+    assert "blobs" not in src_bedrock.records
+    assert "blobs" in dst_bedrock.records
+
+
 # ----------------------------------------------------------------------
 # 2PC: the paper's c1/c2 conflict scenario
 # ----------------------------------------------------------------------

@@ -259,3 +259,95 @@ def test_suite_scenarios_under_sanitizer(strict):
 
     assert cluster.run_ult(app, driver()) == b"v"
     assert strict.violations == []
+
+
+# ----------------------------------------------------------------------
+# MCH070: respond exactly once (runtime half of the mochi-flow rule)
+# ----------------------------------------------------------------------
+def respond_rig():
+    cluster = Cluster(seed=31)
+    server = cluster.add_margo("server", node="n0")
+    client = cluster.add_margo("client", node="n1")
+    return cluster, server, client
+
+
+def call(cluster, client, server, name, args=None):
+    def driver():
+        return (yield from client.forward(server.address, name, args))
+
+    return cluster.run_ult(client, driver())
+
+
+def test_early_respond_then_post_reply_work_is_clean(strict):
+    from repro.margo import Compute
+
+    cluster, server, client = respond_rig()
+    post = []
+
+    def handler(ctx):
+        yield from ctx.respond(ctx.args * 2)
+        yield Compute(5e-3)  # post-reply work, perfectly legal
+        post.append(cluster.now)
+
+    server.register("dbl", handler)
+    assert call(cluster, client, server, "dbl", 21) == 42
+    cluster.run()  # drain the handler's post-reply tail
+    assert post and strict.violations == []
+
+
+def test_double_respond_reported(recording):
+    cluster, server, client = respond_rig()
+
+    def handler(ctx):
+        yield from ctx.respond("first")
+        yield from ctx.respond("second")
+
+    server.register("dup", handler)
+    # The caller gets the *first* reply; the duplicate is dropped.
+    assert call(cluster, client, server, "dup") == "first"
+    cluster.run()
+    assert any(
+        v.rule_id == "MCH070" and "respond() twice" in v.message
+        for v in recording.violations
+    )
+
+
+def test_raise_after_respond_reported(recording):
+    cluster, server, client = respond_rig()
+
+    def handler(ctx):
+        yield from ctx.respond("ok")
+        raise RuntimeError("late failure")
+
+    server.register("late", handler)
+    # The caller sees success: the error fired after the reply went out.
+    assert call(cluster, client, server, "late") == "ok"
+    cluster.run()
+    assert any(
+        v.rule_id == "MCH070" and "raised after respond()" in v.message
+        for v in recording.violations
+    )
+
+
+def test_value_after_respond_reported(recording):
+    cluster, server, client = respond_rig()
+
+    def handler(ctx):
+        yield from ctx.respond("ok")
+        return "dropped"
+
+    server.register("extra", handler)
+    assert call(cluster, client, server, "extra") == "ok"
+    cluster.run()
+    assert any(
+        v.rule_id == "MCH070" and "returned a value after respond()" in v.message
+        for v in recording.violations
+    )
+
+
+def test_implicit_respond_path_stays_clean(strict):
+    cluster, server, client = respond_rig()
+    server.register("echo", lambda ctx: ctx.args)
+    assert call(cluster, client, server, "echo", 7) == 7
+    cluster.run()
+    assert strict.violations == []

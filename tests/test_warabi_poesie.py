@@ -132,7 +132,12 @@ def test_warabi_persistent_target_writes_store():
 
     blob_id = cluster.run_ult(cm, driver())
     assert store.read(f"warabi/blobs/{blob_id}") == b"persisted"
-    assert provider.local_files() == [f"warabi/blobs/{blob_id}"]
+    # The id-counter sidecar travels with the blob files (it is what a
+    # REMI migration ships so the destination never re-issues an id).
+    assert provider.local_files() == [
+        f"warabi/blobs/{blob_id}",
+        "warabi/blobs/meta",
+    ]
 
 
 def test_warabi_persistent_requires_store():
