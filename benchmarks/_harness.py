@@ -207,4 +207,8 @@ def bench_rpc_echo(n_rpcs: int, config: dict, health: bool = False) -> dict:
     if stats["profiled"]:
         stats["windows_closed"] = len(server.profiler.store.windows)
         stats["waterfalls"] = len(client.profiler.waterfalls)
+        plane = getattr(cluster.kernel, "xray_plane", None)
+        if plane is not None:
+            stats["xray_paths"] = len(plane.recent)
+            stats["xray_windows"] = len(plane.windows)
     return stats

@@ -1,0 +1,251 @@
+"""mochi-xray overhead on the P0 RPC hot path.
+
+The xray recorder promises to ride the profiler's sampling decision:
+causal edges (pool-queue wait, mutex wait, event park, wire latency)
+are collected *only* on requests the profiler already stamps, and a
+sampled-out request pays the same single attribute read it pays with
+the profiler alone.  This suite prices that promise with the same
+workload as ``bench_p0_throughput``:
+
+* ``rpc_off``                -- observability fully disabled;
+* ``rpc_profiled_unsampled`` -- continuous profiler attached with
+  ``profile_sample_every`` larger than the request count (only request
+  1 is ever stamped), xray off;
+* ``rpc_xray_unsampled``     -- same, xray recorder attached: the
+  off-path pair.  The two arms do identical per-request work, so their
+  paired ratio prices exactly the claim "xray is free when sampling
+  says skip";
+* ``rpc_xray_sampled``       -- ``profile_sample_every=64`` (the
+  documented always-on setting) with xray: the price of always-on
+  critical-path tracing;
+* ``rpc_xray_full``          -- every request decomposed AND traced
+  (``profile_sample_every=1``), informational: the worst case a debug
+  session pays.
+
+Gates (enforced in full and ``--gate`` runs, exit 1 on failure):
+
+* xray-attached/detached unsampled ratio <= 1.02x (same-run paired
+  comparison: the off-path claim);
+* sampled xray-on overhead vs fully-off < 10%.
+
+Each gated pair runs as its own interleaved two-arm suite (see
+``_harness.run_rounds``): AB-BA rounds keep the paired runs within
+~1.5s of each other, the gates compare medians of per-round ratios,
+so machine drift cancels within a round instead of reading as phantom
+overhead.  The full arm is informational and measured best-of outside
+the rounds.
+
+Results land in ``benchmarks/results/XRAY_overhead.json`` and the
+repo-root ``BENCH_XRAY.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_xray_overhead.py          # full + gates
+    PYTHONPATH=src python benchmarks/bench_xray_overhead.py --gate   # CI-sized gate
+    PYTHONPATH=src python benchmarks/bench_xray_overhead.py --smoke  # CI rot check
+"""
+
+from __future__ import annotations
+
+# mochi-lint: disable-file=MCH001 -- this harness measures real wall-clock
+# throughput of the simulator itself; time.perf_counter here reads the host
+# clock on purpose and never runs under the kernel.
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _harness import (  # noqa: E402
+    OBS_OFF,
+    REPO_ROOT,
+    bench_rpc_echo,
+    best_of,
+    paired_ratio,
+    run_rounds,
+)
+from common import print_table, save_results  # noqa: E402
+
+TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_XRAY.json")
+
+#: Acceptance thresholds (ISSUE 10): xray must be free when the profiler
+#: skips a request, and affordable on the documented sampled setting.
+XRAY_ON_MAX_RATIO = 1.02
+SAMPLED_MAX_OVERHEAD = 0.10
+
+#: Effectively never samples (only request 1 is stamped): both
+#: unsampled arms run the pure skip path on every other request.
+NEVER = 1 << 30
+
+_PROFILED = {
+    "tracing": False,
+    "metrics": False,
+    "profiling": True,
+    "profile_window": 1e-2,
+}
+OBS_PROFILED_UNSAMPLED = {
+    "observability": dict(_PROFILED, profile_sample_every=NEVER)
+}
+OBS_XRAY_UNSAMPLED = {
+    "observability": dict(_PROFILED, profile_sample_every=NEVER, xray=True)
+}
+#: The documented always-on setting: decompose + trace every 64th.
+OBS_XRAY_SAMPLED = {
+    "observability": dict(_PROFILED, profile_sample_every=64, xray=True)
+}
+#: Every request traced: informational ceiling, not gated.
+OBS_XRAY_FULL = {"observability": dict(_PROFILED, xray=True)}
+
+#: Same round length as bench_health_overhead (a round must be long
+#: enough that transient noise hits both arms of a pair rather than
+#: land between them), but more rounds: with five arms the paired runs
+#: sit further apart inside a round, so the per-round ratios are
+#: noisier and the gate median needs more rounds to stabilize.
+FULL = dict(repeats=24, n_rpcs=2500)
+GATE = dict(repeats=20, n_rpcs=2500)
+SMOKE = dict(repeats=1, n_rpcs=60)
+
+
+def run_suite(params: dict) -> dict:
+    """Each gate gets its own two-arm paired suite: an AB-BA round is
+    ~1.5s end to end, so its paired runs see near-identical machine
+    conditions.  (A single four-arm round was tried first and measurably
+    fuzzed the ratios: the palindrome puts paired runs seconds apart,
+    and on a shared runner that distance reads as phantom overhead.)"""
+    n = params["n_rpcs"]
+    repeats = params["repeats"]
+    offpath_best, offpath_rounds = run_rounds(repeats, {
+        "rpc_profiled_unsampled": lambda: bench_rpc_echo(n, OBS_PROFILED_UNSAMPLED),
+        "rpc_xray_unsampled": lambda: bench_rpc_echo(n, OBS_XRAY_UNSAMPLED),
+    })
+    sampled_best, sampled_rounds = run_rounds(repeats, {
+        "rpc_off": lambda: bench_rpc_echo(n, OBS_OFF),
+        "rpc_xray_sampled": lambda: bench_rpc_echo(n, OBS_XRAY_SAMPLED),
+    })
+    results = dict(offpath_best)
+    results.update(sampled_best)
+    # The every-request arm is informational (no gate reads it), so it
+    # stays out of the paired rounds entirely.
+    results["rpc_xray_full"] = best_of(
+        min(3, repeats), lambda: bench_rpc_echo(n, OBS_XRAY_FULL)
+    )
+    results["params"] = dict(params)
+    results["rounds"] = {"offpath": offpath_rounds, "sampled": sampled_rounds}
+    return results
+
+
+def _comparison(results: dict) -> dict:
+    rounds = results["rounds"]
+    sampled_ratio = paired_ratio(rounds["sampled"], "rpc_xray_sampled", "rpc_off")
+    # Informational, best-of vs best-of (the full arm is not paired).
+    full_ratio = results["rpc_xray_full"]["wall_s"] / results["rpc_off"]["wall_s"]
+    return {
+        "rate_off": results["rpc_off"]["rpcs_per_sec"],
+        "rate_xray_sampled": results["rpc_xray_sampled"]["rpcs_per_sec"],
+        "rate_xray_full": results["rpc_xray_full"]["rpcs_per_sec"],
+        "unit": "rpcs_per_sec",
+        # Median paired walltime(xray attached) / walltime(detached),
+        # both arms sampling nothing: 1.0 means the recorder is free
+        # off the sampled path, gate 1.02.
+        "xray_on_ratio": paired_ratio(
+            rounds["offpath"], "rpc_xray_unsampled", "rpc_profiled_unsampled"
+        ),
+        # Overhead = extra wall fraction, from the paired wall ratio.
+        "xray_sampled_overhead": 1.0 - 1.0 / sampled_ratio,
+        "xray_full_overhead": 1.0 - 1.0 / full_ratio,
+    }
+
+
+def _check_gates(comparison: dict) -> list[str]:
+    failures = []
+    if comparison["xray_on_ratio"] > XRAY_ON_MAX_RATIO:
+        failures.append(
+            f"xray is not off-path: {comparison['xray_on_ratio']:.4f}x"
+            f" > {XRAY_ON_MAX_RATIO}x vs detached, both unsampled"
+        )
+    if comparison["xray_sampled_overhead"] >= SAMPLED_MAX_OVERHEAD:
+        failures.append(
+            "sampled xray overhead "
+            f"{comparison['xray_sampled_overhead']:.1%}"
+            f" >= {SAMPLED_MAX_OVERHEAD:.0%}"
+        )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    gate = "--gate" in argv
+    params = SMOKE if smoke else GATE if gate else FULL
+
+    results = run_suite(params)
+    comparison = _comparison(results)
+    label = " (smoke)" if smoke else " (gate)" if gate else ""
+    print_table("mochi-xray overhead" + label, [dict(bench="rpc", **comparison)])
+
+    if smoke:
+        # CI rot check only: the harness must run end to end; no wall-clock
+        # assertions on shared runners.
+        print("xray-overhead smoke OK")
+        return 0
+
+    failures = _check_gates(comparison)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+
+    if not gate:
+        save_results("XRAY_overhead", {"results": results})
+        trajectory = {
+            "experiment": "XRAY_overhead",
+            "description": (
+                "Wall-clock throughput of the Margo RPC path with the "
+                "mochi-xray recorder attached vs detached.  The off-path "
+                "pair runs both arms with sampling effectively disabled "
+                "(profile_sample_every=2^30), so their paired ratio "
+                "prices exactly the skip path; the sampled arm uses the "
+                "documented always-on profile_sample_every=64, and the "
+                "full arm traces every request (informational).  Gates: "
+                "'xray_on_ratio' <= 1.02 (causal edges are only "
+                "collected on requests the profiler already stamps) and "
+                "'xray_sampled_overhead' < 10% vs observability off "
+                "(always-on critical-path tracing is affordable)."
+            ),
+            "results": results,
+            "comparison": comparison,
+            "gates": {
+                "xray_on_max_ratio": XRAY_ON_MAX_RATIO,
+                "sampled_max_overhead": SAMPLED_MAX_OVERHEAD,
+                "passed": not failures,
+                "failures": failures,
+            },
+        }
+        with open(TRAJECTORY_PATH, "w") as handle:
+            json.dump(trajectory, handle, indent=2, sort_keys=True)
+        print(f"trajectory written to {TRAJECTORY_PATH}")
+
+    if failures:
+        return 1
+    print("xray-overhead gates OK")
+    return 0
+
+
+# Pytest entry point (smoke-sized so `pytest benchmarks/` stays fast).
+def test_xray_overhead_smoke():
+    results = run_suite(SMOKE)
+    assert results["rpc_off"]["rpcs"] == SMOKE["n_rpcs"]
+    # Sampling really gated the recorder: the unsampled and every-64th
+    # arms stamp only request 1 of the 60 -> exactly one path record;
+    # the fully-on arm records all 60.
+    assert results["rpc_xray_unsampled"]["xray_paths"] == 1
+    assert results["rpc_xray_sampled"]["xray_paths"] == 1
+    assert results["rpc_xray_full"]["xray_paths"] == SMOKE["n_rpcs"]
+    # The profiler-only arm must not grow a plane at all.
+    assert "xray_paths" not in results["rpc_profiled_unsampled"]
+    # Observation is modeled cost, so simulated time never goes backwards.
+    assert (
+        results["rpc_xray_full"]["sim_time"] >= results["rpc_off"]["sim_time"]
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -31,6 +31,10 @@ setup(
             # health states, incidents, detection latency, MTTR (same
             # as `python -m repro.observability.health`).
             "repro-health=repro.observability.health.cli:main",
+            # mochi-xray: known-bottleneck scenarios reporting critical
+            # paths, tail attribution, and what-if rankings (same as
+            # `python -m repro.observability.xray`).
+            "repro-xray=repro.observability.xray.cli:main",
         ]
     },
 )

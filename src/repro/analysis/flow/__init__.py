@@ -28,7 +28,7 @@ from ..findings import Finding
 from ..rules import function_defs, last_attr, own_body_walk
 from ..rules.scheduling import _is_handler
 from ..suppress import parse_suppressions
-from . import rulesinfo  # noqa: F401  -- registers MCH070-MCH073
+from . import rulesinfo  # noqa: F401  -- registers MCH070-MCH074
 from .cfg import build_cfg
 from .protocols import (
     _ACQUIRE_ATTRS,
@@ -36,13 +36,14 @@ from .protocols import (
     check_lock_paths,
     check_resource_paths,
     check_respond,
+    check_span_paths,
     check_typestate,
 )
 
 __all__ = ["run_flow", "FLOW_RULE_IDS"]
 
 #: Every rule id owned by this layer, in catalog order.
-FLOW_RULE_IDS = ("MCH070", "MCH071", "MCH072", "MCH073")
+FLOW_RULE_IDS = ("MCH070", "MCH071", "MCH072", "MCH073", "MCH074")
 
 
 def _prescan(func: ast.AST) -> dict[str, bool]:
@@ -52,6 +53,7 @@ def _prescan(func: ast.AST) -> dict[str, bool]:
         "lock": False,
         "resource": False,
         "typestate": False,
+        "span": False,
     }
     for node in own_body_walk(func):
         if isinstance(node, ast.YieldFrom) and isinstance(node.value, ast.Call):
@@ -64,6 +66,8 @@ def _prescan(func: ast.AST) -> dict[str, bool]:
             attr = last_attr(node.func)
             if attr in _ACQUIRE_ATTRS:
                 wants["resource"] = True
+            elif attr == "start_span":
+                wants["span"] = True
             elif attr in _DESTROY_ATTRS and isinstance(node.func, ast.Attribute):
                 wants["typestate"] = True
     return wants
@@ -122,7 +126,12 @@ def run_flow(
             parks = callee_park_lines(analysis, info) if info else {}
 
             full_cfg = None
-            if wants["respond"] or wants["resource"] or wants["typestate"]:
+            if (
+                wants["respond"]
+                or wants["resource"]
+                or wants["typestate"]
+                or wants["span"]
+            ):
                 full_cfg = build_cfg(func, callee_suspends=suspends)
                 stats["flow_cfgs_built"] += 1
                 stats["flow_cfg_nodes"] += len(full_cfg.nodes)
@@ -143,6 +152,8 @@ def run_flow(
                 covered.update(handler_covered)
             if wants["resource"]:
                 findings.extend(check_resource_paths(path, func, full_cfg))
+            if wants["span"]:
+                findings.extend(check_span_paths(path, func, full_cfg))
             if wants["typestate"]:
                 findings.extend(check_typestate(path, func, full_cfg))
             if wants["lock"]:

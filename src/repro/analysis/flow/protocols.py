@@ -24,6 +24,11 @@ through :func:`..flow.dataflow.forward_fixpoint`:
   ``(handle, rel/mig, line)``; method calls or argument passes on a
   released handle, and non-teardown method calls on a migrated
   provider, are violations.  Rebinding the name clears its state.
+* **MCH074** -- span leaked on an exception path.  A span opened with
+  ``var = <tracer>.start_span(...)`` is tracked until ``var.end()`` /
+  ``var.finish()``, a rebind, or an escape (the variable passed as a
+  call argument transfers the obligation to the callee); an exception
+  escaping the function inside that window loses the span.
 
 All checks are may-analyses: a finding means some path exhibits the
 violation, and messages hedge with "on some path" where the state is
@@ -46,6 +51,7 @@ __all__ = [
     "check_respond",
     "check_lock_paths",
     "check_resource_paths",
+    "check_span_paths",
     "check_typestate",
 ]
 
@@ -415,6 +421,115 @@ def check_resource_paths(path: str, func: ast.AST, cfg: CFG) -> list[Finding]:
                 f"{res_kind} {var!r} acquired here is not released if the "
                 f"exception path through line {escape_line} is taken; "
                 "join/remove it in a finally or except before re-raising",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# MCH074: span leaked on an exception path
+# ---------------------------------------------------------------------------
+
+#: Receiver methods that close an MCH074 span's obligation window.
+_SPAN_END_ATTRS = frozenset({"end", "finish"})
+
+
+def _span_acquire(stmt: ast.AST) -> Optional[tuple[str, int]]:
+    """``(var, line)`` for ``var = <tracer>.start_span(...)``."""
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return None
+    target = stmt.targets[0]
+    if not isinstance(target, ast.Name):
+        return None
+    value = stmt.value
+    if not isinstance(value, ast.Call):
+        return None
+    if last_attr(value.func) != "start_span":
+        return None
+    return target.id, stmt.lineno
+
+
+def check_span_paths(path: str, func: ast.AST, cfg: CFG) -> list[Finding]:
+    """MCH074 over one function (full CFG with implicit exception edges).
+
+    Unlike MCH072's any-mention window, a span's obligation survives
+    ordinary uses (reading ``span.start``, logging it): only an
+    explicit ``end()``/``finish()`` on the variable, a rebind, or an
+    escape (the span passed as a call argument -- the callee owns the
+    obligation now) discharges it.  An exception escaping the function
+    while the obligation is live loses the span: it never reaches the
+    tracer's buffer and ``open_span_count`` never drains.
+    """
+    name = getattr(func, "name", "<function>")
+    acquires: dict[int, tuple[str, int]] = {}
+    for node in cfg.stmt_nodes():
+        acq = _span_acquire(node.stmt)
+        if acq is not None:
+            acquires[node.id] = acq
+    if not acquires:
+        return []
+
+    def _discharged(stmt: ast.AST) -> set[str]:
+        """Span vars this statement ends, escapes, or rebinds."""
+        done: set[str] = set()
+        for sub in _scan_exprs(stmt):
+            if not isinstance(sub, ast.Call):
+                continue
+            if last_attr(sub.func) in _SPAN_END_ATTRS:
+                receiver = _receiver(sub)
+                if receiver is not None:
+                    done.add(receiver)
+            for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                if isinstance(arg, ast.Name):
+                    done.add(arg.id)
+        done.update(_assigned_keys(stmt))
+        return done
+
+    def transfer(node: Node, state: State) -> State:
+        if node.stmt is None:
+            return state
+        acq = acquires.get(node.id)
+        done = _discharged(node.stmt)
+        live = {a for a in state if a[0] not in done}
+        if acq is not None:
+            var, line = acq
+            live = {a for a in live if a[0] != var}
+            live.add((var, line))
+        return frozenset(live)
+
+    def exc_transfer(node: Node, state: State) -> State:
+        # The acquire is withheld on the statement's own exception edge
+        # (start_span raising means no span exists), but a discharge
+        # still counts.
+        if node.stmt is None:
+            return state
+        done = _discharged(node.stmt)
+        return frozenset(a for a in state if a[0] not in done)
+
+    in_states = forward_fixpoint(cfg, frozenset(), transfer)
+
+    leaks: dict[tuple[str, int], int] = {}
+    for pred, kind in cfg.predecessors(CFG.EXIT_RAISE):
+        state = in_states.get(pred.id, frozenset())
+        state = (
+            exc_transfer(pred, state)
+            if kind in EXCEPTIONAL_KINDS
+            else transfer(pred, state)
+        )
+        for atom in state:
+            leaks.setdefault(atom, pred.line)
+            leaks[atom] = min(leaks[atom], pred.line)
+    findings = []
+    for (var, line), escape_line in sorted(leaks.items()):
+        findings.append(
+            _finding(
+                "MCH074",
+                path,
+                line,
+                f"{name!r} starts span {var!r} here but never ends it if "
+                f"the exception path through line {escape_line} is taken; "
+                "the span is lost and open_span_count never drains -- "
+                "end it in a finally",
             )
         )
     return findings

@@ -1,4 +1,4 @@
-"""Registry entries for the mochi-flow rules (MCH070-MCH073).
+"""Registry entries for the mochi-flow rules (MCH070-MCH074).
 
 These are whole-function path-sensitive rules: they register with
 ``check=None`` (no per-file AST callback) and run from
@@ -9,7 +9,7 @@ like the interproc block runs from ``--interproc``.
 from __future__ import annotations
 
 from ..findings import Severity
-from ..registry import GROUP_FLOW, RuleInfo, register
+from ..registry import GROUP_FLOW, GROUP_OBSERVABILITY, RuleInfo, register
 
 RESPOND_EXACTLY_ONCE = RuleInfo(
     id="MCH070",
@@ -71,10 +71,26 @@ USE_AFTER_RELEASE = RuleInfo(
     ),
 )
 
+SPAN_ENDED_ON_EXC = RuleInfo(
+    id="MCH074",
+    name="span-leak-on-exception-path",
+    group=GROUP_OBSERVABILITY,
+    severity=Severity.ERROR,
+    summary="span opened with start_span() but not ended on an exception path",
+    rationale=(
+        "a manually-timed span that escapes on an exception path never "
+        "reaches the tracer's buffer: the operation vanishes from trace "
+        "trees and critical paths exactly when it failed -- the case "
+        "observability exists for -- and open_span_count climbs forever; "
+        "end the span in a finally, or hand it to a callee that will"
+    ),
+)
+
 for _info in (
     RESPOND_EXACTLY_ONCE,
     LOCK_RELEASED_ON_EXIT,
     RESOURCE_RELEASED_ON_EXC,
     USE_AFTER_RELEASE,
+    SPAN_ENDED_ON_EXC,
 ):
     register(_info)

@@ -131,6 +131,26 @@ class ServiceHandle(ResourceHandle):
         result = yield from self._forward("get_slo_status")
         return result
 
+    def get_critical_path(
+        self, last: Optional[int] = None, trace_id: Optional[str] = None
+    ) -> Generator:
+        """Recorded per-request critical paths from the mochi-xray plane
+        (``last`` limits the reply, ``trace_id`` filters to one trace)."""
+        args: dict[str, Any] = {}
+        if last is not None:
+            args["last"] = last
+        if trace_id is not None:
+            args["trace_id"] = trace_id
+        result = yield from self._forward("get_critical_path", args)
+        return result
+
+    def get_attribution(self, last: Optional[int] = None) -> Generator:
+        """Per-window tail-latency attribution and what-if rankings from
+        the mochi-xray plane (``last`` limits to the N most recent)."""
+        args: dict[str, Any] = {} if last is None else {"last": last}
+        result = yield from self._forward("get_attribution", args)
+        return result
+
     # ---- dynamic-service operations --------------------------------------
     def migrate_provider(
         self,

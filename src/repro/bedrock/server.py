@@ -61,6 +61,8 @@ _INTROSPECTION_OPS = frozenset(
         "get_health",
         "get_incidents",
         "get_slo_status",
+        "get_critical_path",
+        "get_attribution",
         "query",
     }
 )
@@ -132,6 +134,8 @@ class BedrockServer(Provider):
             "get_health",
             "get_incidents",
             "get_slo_status",
+            "get_critical_path",
+            "get_attribution",
             "query",
             "migrate_provider",
             "checkpoint_provider",
@@ -594,6 +598,59 @@ class BedrockServer(Provider):
         doc = engine.status()
         doc["enabled"] = True
         return doc
+
+    def _xray_plane(self) -> Any:
+        """The shared mochi-xray plane (critical paths + attribution),
+        reachable through the kernel; ``None`` when no process on the
+        cluster enabled xray."""
+        return getattr(self.margo.kernel, "xray_plane", None)
+
+    def _on_get_critical_path(self, ctx: RequestContext) -> Generator:
+        """Recorded per-request critical paths (most recent first is the
+        caller's job; the ring is in recording order).  Args:
+        ``{"last": N}`` limits the reply, ``{"trace_id": T}`` filters to
+        one trace.  ``{"enabled": False}`` without an xray plane."""
+        yield Compute(OP_COST)
+        plane = self._xray_plane()
+        if plane is None:
+            return {
+                "enabled": False,
+                "process": self.margo.process.name,
+                "paths": [],
+            }
+        args = ctx.args or {}
+        unknown = set(args) - {"last", "trace_id"}
+        if unknown:
+            raise BedrockError(f"unknown get_critical_path keys: {sorted(unknown)}")
+        return {
+            "enabled": True,
+            "process": self.margo.process.name,
+            "paths": plane.critical_paths(
+                last=args.get("last"), trace_id=args.get("trace_id")
+            ),
+        }
+
+    def _on_get_attribution(self, ctx: RequestContext) -> Generator:
+        """Per-window tail-latency attribution + what-if rankings.
+        Args: ``{"last": N}`` limits to the N most recent closed
+        windows.  ``{"enabled": False}`` without an xray plane."""
+        yield Compute(OP_COST)
+        plane = self._xray_plane()
+        if plane is None:
+            return {
+                "enabled": False,
+                "process": self.margo.process.name,
+                "windows": [],
+            }
+        args = ctx.args or {}
+        unknown = set(args) - {"last"}
+        if unknown:
+            raise BedrockError(f"unknown get_attribution keys: {sorted(unknown)}")
+        return {
+            "enabled": True,
+            "process": self.margo.process.name,
+            "windows": plane.attribution(last=args.get("last")),
+        }
 
     def _contain_introspection(self, operation: str, handler: Any) -> Any:
         """Wrap an introspection handler: failures become error responses

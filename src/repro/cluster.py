@@ -185,9 +185,16 @@ class Cluster:
             if self.margos[name].profiler is not None
         ]
 
-    def chrome_trace(self) -> dict[str, Any]:
+    def xray_plane(self) -> Optional[Any]:
+        """The kernel-shared mochi-xray plane, or ``None`` when no
+        process enabled ``observability.xray``."""
+        return getattr(self.kernel, "xray_plane", None)
+
+    def chrome_trace(self, highlight_critical: bool = False) -> dict[str, Any]:
         """All spans cluster-wide as one Chrome trace-event document."""
-        return _obs_exporters.chrome_trace(*self.tracers())
+        return _obs_exporters.chrome_trace(
+            *self.tracers(), highlight_critical=highlight_critical
+        )
 
     def dumps_chrome_trace(self, indent: int = 2) -> str:
         return _obs_exporters.dumps_chrome_trace(*self.tracers(), indent=indent)

@@ -373,6 +373,17 @@ class ReconfigurationController:
     control process traces, each decision is also emitted as a span.
     Decisions are deterministic functions of the measured windows, so
     two identical runs produce byte-identical decision traces (tested).
+
+    When a process runs mochi-xray, each cycle additionally queries the
+    latest tail-attribution window over Bedrock ``get_attribution`` and
+    records the top-ranked what-if action under ``decision["xray"]``.
+    With ``apply_xray_actions`` the controller *acts* on ``add_xstream``
+    recommendations whose predicted p99 improvement clears
+    ``xray_min_improvement``, then writes the realized improvement into
+    that same decision on the next cycle -- the predicted-vs-realized
+    delta the what-if engine is judged by.  ``migrate_provider`` and
+    ``add_node`` recommendations are recorded but never auto-applied:
+    both move state or hardware, which stays an operator decision.
     """
 
     def __init__(
@@ -384,6 +395,8 @@ class ReconfigurationController:
         load_imbalance_threshold: Optional[float] = None,
         busy_threshold: Optional[float] = None,
         max_decisions: int = 64,
+        apply_xray_actions: bool = False,
+        xray_min_improvement: float = 0.05,
     ) -> None:
         self.service = service
         self.objective = objective
@@ -407,6 +420,13 @@ class ReconfigurationController:
         #: must not accumulate unbounded state).
         self.decisions: deque[dict[str, Any]] = deque(maxlen=max_decisions)
         self.rebalances = 0
+        self.apply_xray_actions = apply_xray_actions
+        self.xray_min_improvement = xray_min_improvement
+        self.xray_actions_applied = 0
+        #: ``(decision, predicted_p99, base_p99)`` of an applied xray
+        #: action whose effect has not been measured yet; the next
+        #: cycle's window resolves it into ``realized_improvement``.
+        self._pending_prediction: Optional[tuple[dict[str, Any], float, float]] = None
 
     # ------------------------------------------------------------------
     def run(self, cycles: int) -> Generator:
@@ -492,6 +512,7 @@ class ReconfigurationController:
                 }
                 for move in plan.moves
             ]
+        decision["xray"] = yield from self._evaluate_xray(decision)
         self.decisions.append(decision)
         if health is not None:
             health.note_decision(decision)
@@ -511,3 +532,72 @@ class ReconfigurationController:
                 },
             )
         return decision
+
+    def _evaluate_xray(self, decision: dict[str, Any]) -> Generator:
+        """Tail-attribution step of one cycle: query the latest xray
+        window, resolve any pending predicted-vs-realized delta, and
+        (optionally) apply the top ``add_xstream`` recommendation."""
+        service = self.service
+        source = None
+        for name in sorted(service.processes):
+            process = service.processes[name]
+            if not process.alive:
+                continue
+            if getattr(process.margo.config.observability, "xray", False):
+                source = name
+                break
+        if source is None:
+            return None
+        reply = yield from service.handle_for(source).get_attribution(last=1)
+        if not reply.get("enabled") or not reply["windows"]:
+            return None
+        window = reply["windows"][-1]
+        attribution = window["attribution"]
+        actions = window["whatif"]["actions"]
+        top = actions[0] if actions else None
+        doc: dict[str, Any] = {
+            "window": window["index"],
+            "p99": attribution["p99"],
+            "top_action": None
+            if top is None
+            else {
+                "action": top["action"],
+                "process": top["process"],
+                "target": top["target"],
+                "predicted_p99": top["predicted_p99"],
+                "predicted_improvement": top["predicted_improvement"],
+            },
+        }
+        if self._pending_prediction is not None:
+            prior, predicted_p99, base_p99 = self._pending_prediction
+            realized_p99 = attribution["p99"]
+            prior["xray"]["realized_p99"] = realized_p99
+            prior["xray"]["realized_improvement"] = (
+                (base_p99 - realized_p99) / base_p99 if base_p99 > 0 else 0.0
+            )
+            self._pending_prediction = None
+        elif (
+            self.apply_xray_actions
+            and top is not None
+            and top["action"] == "add_xstream"
+            and top["predicted_improvement"] >= self.xray_min_improvement
+            and top["process"] in service.processes
+            and service.processes[top["process"]].alive
+        ):
+            xs_name = f"xray_xs_{decision['cycle']}"
+            yield from service.handle_for(top["process"]).add_xstream(
+                {"name": xs_name, "scheduler": {"pools": [top["target"]]}}
+            )
+            self.xray_actions_applied += 1
+            doc["applied"] = {
+                "action": "add_xstream",
+                "name": xs_name,
+                "pool": top["target"],
+                "process": top["process"],
+            }
+            self._pending_prediction = (
+                decision,
+                top["predicted_p99"],
+                attribution["p99"],
+            )
+        return doc

@@ -306,6 +306,16 @@ class MargoInstance:
                 self.profiler.on_window_close.append(
                     self.slo_engine.observe_window
                 )
+        # mochi-xray (ISSUE 10): per-request causal-path recording.  A
+        # monitor like the profiler it rides on (the spec guarantees
+        # profiling is enabled); off, nothing here exists and the hot
+        # paths keep their existing single-check gates.
+        self.xray: Optional[Any] = None
+        if obs.xray and self.profiler is not None:
+            from ..observability.xray import XrayRecorder
+
+            self.xray = XrayRecorder(self, max_paths=obs.xray_paths)
+            self.add_monitor(self.xray)
         process.on_message = self._on_message
         process.on_killed.append(self.shutdown)
 

@@ -221,6 +221,23 @@ class UltEvent:
 
     def wait(self, timeout: Optional[float] = None) -> UltGen:
         """``yield from event.wait()`` from ULT code."""
+        if getattr(self.kernel, "xray_plane", None) is not None:
+            # mochi-xray: a park inside a sampled handler is a causal
+            # edge on that request's critical path.  The edge list's
+            # existence is the gate (only sampled requests carry one),
+            # so unsampled parks pay two attribute reads at most.
+            ult = current_ult()
+            context = ult.rpc_context if ult is not None else None
+            edges = (
+                getattr(context, "_xray_edges", None)
+                if context is not None
+                else None
+            )
+            if edges is not None:
+                parked_at = self.kernel.now
+                value = yield Park(self, timeout)
+                edges.append(("park", self.name, self.kernel.now - parked_at))
+                return value
         value = yield Park(self, timeout)
         return value
 
@@ -261,10 +278,25 @@ class UltMutex:
 
     def acquire(self) -> UltGen:
         """``yield from mutex.acquire()``."""
-        while self._locked:
-            gate = UltEvent(self.kernel, name=f"mutex:{self.name}")
-            self._waiters.append(gate)
-            yield Park(gate, None)
+        if self._locked:
+            # Contended path only (the uncontended fast path is one
+            # boolean check, unchanged): when the waiter services a
+            # sampled request, record the full wait -- including the
+            # requeue after the gate fires -- as a mochi-xray lock edge.
+            waiter = current_ult()
+            context = waiter.rpc_context if waiter is not None else None
+            edges = (
+                getattr(context, "_xray_edges", None)
+                if context is not None
+                else None
+            )
+            waited_from = self.kernel.now if edges is not None else None
+            while self._locked:
+                gate = UltEvent(self.kernel, name=f"mutex:{self.name}")
+                self._waiters.append(gate)
+                yield Park(gate, None)
+            if waited_from is not None:
+                edges.append(("lock", self.name, self.kernel.now - waited_from))
         self._locked = True
         if _sanitize.ENABLED:
             _sanitize.note_acquire(current_ult(), self)

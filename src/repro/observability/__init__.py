@@ -17,7 +17,12 @@ elasticity, resilience) need to act on:
 * :mod:`~repro.observability.health` -- the mochi-health plane (ISSUE
   6): declarative SLOs with burn-rate alerting, phi-accrual failure
   detection over SWIM heartbeats, incident correlation (detection
-  latency / MTTR), and the always-on flight recorder.
+  latency / MTTR), and the always-on flight recorder;
+* :mod:`~repro.observability.xray` -- the mochi-xray causal plane
+  (ISSUE 10): per-request critical paths from sampled blocked-on/wakeup
+  edges, differential tail-latency attribution per closed profiler
+  window, and a Coz-style what-if engine ranking reconfiguration
+  actions by predicted p99 improvement.
 
 Everything is deterministic (simulated clocks only): same seed, same
 bytes out.
@@ -63,7 +68,15 @@ from .health import (
 )
 from .span import Span, SpanContext, child_span_id
 from .spec import ObservabilitySpec
-from .tracer import Tracer, current_span_context
+from .tracer import OpenSpan, Tracer, current_span_context
+from .xray import (
+    XrayPlane,
+    XrayRecorder,
+    attribute_paths,
+    critical_chain,
+    critical_span_ids,
+    what_if,
+)
 
 __all__ = [
     "Tracer",
@@ -102,4 +115,11 @@ __all__ = [
     "PhiAccrualDetector",
     "SLOEngine",
     "SLOSpec",
+    "OpenSpan",
+    "XrayPlane",
+    "XrayRecorder",
+    "attribute_paths",
+    "critical_chain",
+    "critical_span_ids",
+    "what_if",
 ]

@@ -72,31 +72,58 @@ def collect_spans(*tracers: Tracer) -> list[Span]:
     return spans
 
 
-def chrome_trace(*tracers: Tracer) -> dict[str, Any]:
-    """Render all spans as a Chrome trace-event document."""
+def chrome_trace(
+    *tracers: Tracer, highlight_critical: bool = False
+) -> dict[str, Any]:
+    """Render all spans as a Chrome trace-event document.
+
+    With ``highlight_critical`` the per-trace critical path (longest
+    blocking chain, see :mod:`repro.observability.xray.critical_path`)
+    is marked: those events carry ``args.critical_path: true`` and the
+    reserved ``cname`` color so the chain stands out in the viewer.
+    """
+    spans = collect_spans(*tracers)
+    critical: set[tuple[str, str]] = set()
+    if highlight_critical:
+        from .xray.critical_path import critical_span_ids
+
+        for trace_id in sorted({s.trace_id for s in spans}):
+            critical.update(
+                (trace_id, span_id)
+                for span_id in critical_span_ids(spans, trace_id)
+            )
     events: list[dict[str, Any]] = []
-    for span in collect_spans(*tracers):
-        events.append(
-            {
-                "name": span.name,
-                "cat": span.category,
-                "ph": "X",
-                "ts": round(span.start * 1e6, 3),  # microseconds
-                "dur": round(span.duration * 1e6, 3),
-                "pid": span.process,
-                "tid": span.trace_id,
-                "args": {
-                    "span_id": span.span_id,
-                    "parent_span_id": span.parent_span_id,
-                    **span.attributes,
-                },
-            }
-        )
+    for span in spans:
+        args = {
+            "span_id": span.span_id,
+            "parent_span_id": span.parent_span_id,
+            **span.attributes,
+        }
+        event = {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": round(span.start * 1e6, 3),  # microseconds
+            "dur": round(span.duration * 1e6, 3),
+            "pid": span.process,
+            "tid": span.trace_id,
+            "args": args,
+        }
+        if (span.trace_id, span.span_id) in critical:
+            args["critical_path"] = True
+            event["cname"] = "terrible"  # Chrome's reserved red
+        events.append(event)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def dumps_chrome_trace(*tracers: Tracer, indent: int = 2) -> str:
-    return json.dumps(chrome_trace(*tracers), indent=indent, sort_keys=True)
+def dumps_chrome_trace(
+    *tracers: Tracer, indent: int = 2, highlight_critical: bool = False
+) -> str:
+    return json.dumps(
+        chrome_trace(*tracers, highlight_critical=highlight_critical),
+        indent=indent,
+        sort_keys=True,
+    )
 
 
 def chrome_trace_profile(*profilers: Any) -> dict[str, Any]:
@@ -121,7 +148,11 @@ def chrome_trace_profile(*profilers: Any) -> dict[str, Any]:
                     "dur": round((waterfall["end"] - waterfall["start"]) * 1e6, 3),
                     "pid": process,
                     "tid": tid,
-                    "args": {"trace_id": waterfall["trace_id"]},
+                    "args": {
+                        "trace_id": waterfall["trace_id"],
+                        "provider": waterfall["provider"],
+                        "weight": waterfall.get("weight", 1),
+                    },
                 }
             )
             for slice_ in waterfall["phases"]:
@@ -134,7 +165,11 @@ def chrome_trace_profile(*profilers: Any) -> dict[str, Any]:
                         "dur": round((slice_["end"] - slice_["start"]) * 1e6, 3),
                         "pid": process,
                         "tid": tid,
-                        "args": {},
+                        "args": {
+                            "phase": slice_["phase"],
+                            "provider": waterfall["provider"],
+                            "weight": waterfall.get("weight", 1),
+                        },
                     }
                 )
         for window in profiler.store.closed_windows():

@@ -108,6 +108,10 @@ class ContinuousProfiler:
         #: Subscribers called with each closed window document (the
         #: per-process SLO engine evaluates burn rates here).
         self.on_window_close: list[Callable[[dict[str, Any]], None]] = []
+        #: The attached mochi-xray recorder, if any (set by
+        #: :class:`~repro.observability.xray.XrayRecorder`): pool pops
+        #: report causal sched edges through one extra None-check.
+        self._xray: Optional[Any] = None
         #: Recent complete per-RPC waterfalls (bounded ring; the MCH004
         #: sanctioned pattern -- a profiler must never grow unboundedly).
         self.waterfalls: deque[dict[str, Any]] = deque(maxlen=max(1, waterfalls))
@@ -258,6 +262,14 @@ class ContinuousProfiler:
         series, pool_key = cached
         series.observe(latency)
         self.store.current.observe_phase(pool_key, "sched", latency)
+        if self._xray is not None:
+            # Causal sched edge for a sampled request: the edge list's
+            # existence (stamped at forward time) is the gate.
+            context = ult.rpc_context
+            if context is not None:
+                edges = getattr(context, "_xray_edges", None)
+                if edges is not None:
+                    edges.append(("sched", pool.name, latency))
 
     # ------------------------------------------------------------------
     # monitor hooks (RPC latency decomposition)
@@ -406,6 +418,7 @@ class ContinuousProfiler:
                 "rpc": request.rpc_name,
                 "provider": request.provider_id,
                 "process": self.margo.process.name,
+                "weight": getattr(request, _SAMPLE_STAMP, 1),
                 "start": fwd_start,
                 "end": now,
                 "phases": [

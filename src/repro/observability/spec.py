@@ -58,6 +58,8 @@ _KNOWN_KEYS = {
     "load_imbalance_threshold",
     "busy_threshold",
     "slos",
+    "xray",
+    "xray_paths",
 }
 
 
@@ -95,6 +97,14 @@ class ObservabilitySpec:
     #: per-process SLO engine against closed profiler windows, so
     #: ``slos`` requires ``profiling``.
     slos: tuple[SLOSpec, ...] = ()
+    #: mochi-xray (ISSUE 10): record per-request causal edges and run
+    #: tail-latency attribution + what-if analysis per closed profiler
+    #: window.  Rides the profiler's sampling decision and cross-process
+    #: stamps, so ``xray`` requires ``profiling``.
+    xray: bool = False
+    #: Path-record budget: at most this many records per window (and
+    #: this many recent records kept for ``get_critical_path``).
+    xray_paths: int = 256
 
     @classmethod
     def from_json(cls, doc: Any) -> "ObservabilitySpec":
@@ -171,6 +181,15 @@ class ObservabilitySpec:
                 "'slos' are evaluated against profiler windows: set "
                 "'profiling': true"
             )
+        xray = bool(doc.get("xray", False))
+        if xray and not profiling:
+            raise ValueError(
+                "'xray' rides the profiler's sampling and phase stamps: "
+                "set 'profiling': true"
+            )
+        xray_paths = int(doc.get("xray_paths", cls.xray_paths))
+        if xray_paths < 1:
+            raise ValueError(f"xray_paths must be >= 1, got {xray_paths}")
         return cls(
             tracing=bool(doc.get("tracing", False)),
             trace_sample_rate=trace_sample_rate,
@@ -184,6 +203,8 @@ class ObservabilitySpec:
             load_imbalance_threshold=load_imbalance_threshold,
             busy_threshold=busy_threshold,
             slos=slos,
+            xray=xray,
+            xray_paths=xray_paths,
         )
 
     def to_json(self) -> dict[str, Any]:
@@ -211,4 +232,8 @@ class ObservabilitySpec:
             doc["busy_threshold"] = self.busy_threshold
         if self.slos:
             doc["slos"] = [slo.to_json() for slo in self.slos]
+        if self.xray:
+            doc["xray"] = True
+        if self.xray_paths != ObservabilitySpec.xray_paths:
+            doc["xray_paths"] = self.xray_paths
         return doc

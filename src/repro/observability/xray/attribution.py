@@ -1,0 +1,114 @@
+"""Tail-latency attribution: differential p99-vs-p50 profiles.
+
+Given a set of recorded critical-path records (see
+:mod:`repro.observability.xray.plane`), attribute *why the tail is the
+tail*: for every ``(process, pool, phase)`` segment that appears on any
+recorded path, compare its mean duration inside the p99 cohort (the
+slowest ~1% of requests) against its mean inside the p50 cohort (the
+fast half).  The difference -- the segment's **excess** -- is simulated
+seconds of latency that tail requests spend in that segment *beyond*
+what a median request spends there.  A cost every request pays equally
+(baseline network latency, the handler's intrinsic compute) cancels
+out; only the costs that separate the tail from the body survive, which
+is exactly the set of costs a reconfiguration can hope to remove.
+
+Everything here is pure and deterministic: nearest-rank quantiles over
+ascending sorts, lexicographic tie-breaks, no RNG, no wall clock.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["attribute_paths", "nearest_rank", "segment_key"]
+
+
+def nearest_rank(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending-sorted list (0.0 if empty).
+
+    ``rank = ceil(q * n)`` with a small epsilon so exact products (e.g.
+    ``0.5 * 10``) do not round up through float noise.
+    """
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    rank = min(n, max(1, math.ceil(q * n - 1e-9)))
+    return sorted_values[rank - 1]
+
+
+def segment_key(segment: dict[str, Any]) -> tuple[str, str, str]:
+    return (segment["process"], segment["pool"], segment["phase"])
+
+
+def _cohort_means(cohort: list[dict[str, Any]]) -> dict[tuple[str, str, str], float]:
+    """Mean per-(process, pool, phase) duration over a cohort of path
+    records.  A path without the segment contributes 0 to the mean (the
+    segment's cost is averaged over the *cohort*, not over the paths
+    that happened to contain it -- otherwise a segment seen on a single
+    slow path would dwarf one seen on every slow path)."""
+    sums: dict[tuple[str, str, str], float] = {}
+    for record in cohort:
+        for segment in record["segments"]:
+            key = segment_key(segment)
+            sums[key] = sums.get(key, 0.0) + segment["duration"]
+    count = len(cohort)
+    return {key: total / count for key, total in sums.items()}
+
+
+def attribute_paths(paths: list[dict[str, Any]]) -> dict[str, Any]:
+    """The differential tail profile of a set of path records.
+
+    Returns a deterministic document::
+
+        {"requests": n, "requests_weighted": N, "p50": ..., "p99": ...,
+         "segments": [{"process", "pool", "phase",
+                       "p99_mean", "p50_mean", "excess"}, ...]}
+
+    with segments ranked by descending excess (ties broken
+    lexicographically by key), so ``segments[0]`` names the bottleneck.
+    """
+    if not paths:
+        return {
+            "requests": 0,
+            "requests_weighted": 0,
+            "p50": 0.0,
+            "p99": 0.0,
+            "segments": [],
+        }
+    totals = sorted(record["total"] for record in paths)
+    p50 = nearest_rank(totals, 0.50)
+    p99 = nearest_rank(totals, 0.99)
+    n = len(paths)
+    # Tail cohort: the slowest max(1, n // 100) records, ties broken by
+    # (trace_id, span_id) so the cohort is a deterministic set.
+    tail_count = max(1, n // 100)
+    by_slowest = sorted(
+        paths, key=lambda r: (-r["total"], r["trace_id"], r["span_id"])
+    )
+    tail = by_slowest[:tail_count]
+    body = [record for record in paths if record["total"] <= p50] or list(paths)
+    tail_means = _cohort_means(tail)
+    body_means = _cohort_means(body)
+    segments = []
+    for key in sorted(set(tail_means) | set(body_means)):
+        tail_mean = tail_means.get(key, 0.0)
+        body_mean = body_means.get(key, 0.0)
+        segments.append(
+            {
+                "process": key[0],
+                "pool": key[1],
+                "phase": key[2],
+                "p99_mean": tail_mean,
+                "p50_mean": body_mean,
+                "excess": tail_mean - body_mean,
+            }
+        )
+    segments.sort(key=lambda s: (-s["excess"], s["process"], s["pool"], s["phase"]))
+    return {
+        "requests": n,
+        "requests_weighted": sum(record.get("weight", 1) for record in paths),
+        "p50": p50,
+        "p99": p99,
+        "segments": segments,
+    }

@@ -1,0 +1,78 @@
+"""``repro-xray``: run a known-bottleneck scenario and print the
+tail-latency attribution plus the what-if ranking.
+
+Examples::
+
+    repro-xray pool
+    repro-xray lock --seed 11 --format json
+    python -m repro.observability.xray network
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Optional, Sequence
+
+__all__ = ["main"]
+
+
+def _render_text(doc: dict) -> None:
+    attribution = doc["attribution"]
+    print(
+        f"scenario {doc['scenario']} (seed {doc['seed']}): "
+        f"{doc['requests']} recorded paths, {doc['windows']} windows"
+    )
+    print(
+        f"p50 {attribution['p50'] * 1e3:.3f} ms   "
+        f"p99 {attribution['p99'] * 1e3:.3f} ms"
+    )
+    print("tail attribution (p99 cohort mean - p50 cohort mean):")
+    for segment in attribution["segments"][:6]:
+        where = segment["pool"] or "-"
+        print(
+            f"  {segment['excess'] * 1e3:>9.3f} ms  {segment['phase']:<12} "
+            f"{segment['process']} [{where}]"
+        )
+    print("what-if ranking (virtual speedup, shrink "
+          f"{doc['whatif']['shrink']:.0%}):")
+    for action in doc["whatif"]["actions"]:
+        print(
+            f"  {action['predicted_improvement']:>6.1%} p99  "
+            f"{action['action']} {action['target']} on {action['process']}"
+        )
+    top = doc["top_action"]
+    if top is not None:
+        print(
+            f"recommendation: {top['action']} {top['target']} "
+            f"(predicted p99 {top['predicted_p99'] * 1e3:.3f} ms)"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from .scenarios import SCENARIOS
+
+    names = [name for name, _fn in SCENARIOS]
+    parser = argparse.ArgumentParser(
+        prog="repro-xray",
+        description="mochi-xray: critical-path tracing, tail-latency "
+        "attribution, and what-if analysis on a synthetic bottleneck.",
+    )
+    parser.add_argument(
+        "scenario", choices=names, help="which injected bottleneck to run"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="simulation seed")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    args = parser.parse_args(argv)
+    doc = dict(SCENARIOS)[args.scenario](seed=args.seed)
+    if args.fmt == "json":
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        _render_text(doc)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,210 @@
+"""Synthetic known-bottleneck scenarios for mochi-xray.
+
+Three deployments, each with one deliberately injected bottleneck, used
+by the acceptance tests, the ``repro-xray`` CLI, and the docs:
+
+* ``pool`` -- a one-xstream handler pool fed bursts of concurrent RPCs:
+  tail requests queue behind the burst, so the top attributed segment
+  is the pool's ``sched`` wait and the top what-if action is
+  ``add_xstream`` on that pool.
+* ``lock`` -- four xstreams but every handler serializes on one shared
+  ``UltMutex``: the convoy's ``lock`` wait dominates the tail and the
+  top action is ``migrate_provider`` (split the contenders apart).
+* ``network`` -- a deliberately slow cross-node fabric link with
+  occasional large payloads: the big transfers *are* the tail, the
+  ``network`` wire segment dominates, and the top action is
+  ``add_node``.
+
+Every scenario is seed-pure: same seed in, byte-identical JSON out
+(asserted in tests, including under ``REPRO_SANITIZE=race``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...cluster import Cluster
+from ...margo.ult import Compute, UltMutex, UltSleep
+from ...sim.network import LinkModel, NetworkConfig
+from .attribution import attribute_paths
+from .whatif import what_if
+
+__all__ = ["SCENARIOS", "scenario_lock", "scenario_network", "scenario_pool"]
+
+#: Observability mix every scenario endpoint runs with: short windows so
+#: a run of a few hundred simulated milliseconds closes several.
+_OBS = {
+    "tracing": True,
+    "profiling": True,
+    "profile_window": 0.02,
+    "xray": True,
+}
+
+
+def _doc(
+    name: str, seed: int, plane: Any, bottleneck: dict[str, Any]
+) -> dict[str, Any]:
+    """The scenario result: whole-run attribution + ranking (windowed
+    analyses stay available on the plane; the aggregate makes the
+    acceptance assertions independent of window phasing)."""
+    paths = plane.critical_paths()
+    attribution = attribute_paths(paths)
+    ranking = what_if(paths, attribution)
+    return {
+        "scenario": name,
+        "seed": seed,
+        "injected_bottleneck": bottleneck,
+        "requests": len(paths),
+        "windows": len(plane.windows),
+        "attribution": attribution,
+        "whatif": ranking,
+        "top_segment": attribution["segments"][0] if attribution["segments"] else None,
+        "top_action": ranking["actions"][0] if ranking["actions"] else None,
+    }
+
+
+def scenario_pool(seed: int = 7) -> dict[str, Any]:
+    """Slow pool: one xstream serving the handler pool, bursty arrivals."""
+    cluster = Cluster(seed=seed)
+    server = cluster.add_margo(
+        "srv",
+        node="n0",
+        config={
+            "argobots": {
+                "pools": [{"name": "__primary__"}, {"name": "hot"}],
+                "xstreams": [
+                    {
+                        "name": "__primary__",
+                        "scheduler": {"pools": ["__primary__"]},
+                    },
+                    {"name": "hot_es", "scheduler": {"pools": ["hot"]}},
+                ],
+            },
+            "observability": dict(_OBS),
+        },
+    )
+    client = cluster.add_margo("cli", node="n0", config={"observability": dict(_OBS)})
+
+    def handler(ctx):
+        yield Compute(30e-6)
+        return ctx.args
+
+    server.register("work", handler, pool="hot")
+
+    def request(delay: float, tag: int):
+        yield UltSleep(delay)
+        yield from client.forward(server.address, "work", tag)
+
+    # 24 bursts of 10 concurrent requests, 1 ms apart: within a burst
+    # the single hot_es xstream serializes the 30 us handlers, so later
+    # arrivals queue -- the injected sched bottleneck.
+    ults = [
+        cluster.spawn(client, request(burst * 1e-3, i))
+        for burst in range(24)
+        for i in range(10)
+    ]
+    cluster.wait_ults(ults)
+    cluster.run(until=0.1)
+    return _doc(
+        "pool",
+        seed,
+        cluster.xray_plane(),
+        {"process": "srv", "pool": "hot", "phase": "sched"},
+    )
+
+
+def scenario_lock(seed: int = 7) -> dict[str, Any]:
+    """Lock convoy: plenty of xstreams, one shared mutex."""
+    cluster = Cluster(seed=seed)
+    server = cluster.add_margo(
+        "srv",
+        node="n0",
+        config={
+            "argobots": {
+                "pools": [{"name": "__primary__"}, {"name": "rpc"}],
+                "xstreams": [
+                    {
+                        "name": "__primary__",
+                        "scheduler": {"pools": ["__primary__"]},
+                    }
+                ]
+                + [
+                    {"name": f"rpc_es{i}", "scheduler": {"pools": ["rpc"]}}
+                    for i in range(4)
+                ],
+            },
+            "observability": dict(_OBS),
+        },
+    )
+    client = cluster.add_margo("cli", node="n0", config={"observability": dict(_OBS)})
+    mutex = UltMutex(cluster.kernel, name="convoy")
+
+    def handler(ctx):
+        yield from mutex.acquire()
+        try:
+            yield Compute(40e-6)
+        finally:
+            mutex.release()
+        return ctx.args
+
+    server.register("work", handler, pool="rpc")
+
+    def request(delay: float, tag: int):
+        yield UltSleep(delay)
+        yield from client.forward(server.address, "work", tag)
+
+    ults = [
+        cluster.spawn(client, request(burst * 1e-3, i))
+        for burst in range(24)
+        for i in range(10)
+    ]
+    cluster.wait_ults(ults)
+    cluster.run(until=0.1)
+    return _doc(
+        "lock",
+        seed,
+        cluster.xray_plane(),
+        {"process": "srv", "pool": "mutex:convoy", "phase": "lock"},
+    )
+
+
+def scenario_network(seed: int = 7) -> dict[str, Any]:
+    """Slow link: cross-node fabric with low bandwidth, occasional large
+    payloads (every 8th request ships 40 KB) -- the transfers of the big
+    ones are the tail."""
+    cluster = Cluster(
+        seed=seed,
+        network_config=NetworkConfig(
+            fabric=LinkModel(latency=5e-6, bandwidth=5e7)
+        ),
+    )
+    server = cluster.add_margo("srv", node="n0", config={"observability": dict(_OBS)})
+    client = cluster.add_margo("cli", node="n1", config={"observability": dict(_OBS)})
+
+    def handler(ctx):
+        yield Compute(10e-6)
+        return None  # keep the respond wire out of the way
+
+    server.register("ship", handler)
+
+    def driver():
+        for i in range(240):
+            payload = "x" * 40000 if i % 8 == 0 else "x"
+            yield from client.forward(server.address, "ship", payload)
+        return None
+
+    cluster.run_ult(client, driver())
+    cluster.run(until=cluster.now + 0.05)
+    return _doc(
+        "network",
+        seed,
+        cluster.xray_plane(),
+        {"process": "cli->srv", "pool": "wire", "phase": "network"},
+    )
+
+
+SCENARIOS: tuple[tuple[str, Any], ...] = (
+    ("pool", scenario_pool),
+    ("lock", scenario_lock),
+    ("network", scenario_network),
+)

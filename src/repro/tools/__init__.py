@@ -11,6 +11,7 @@ from .diagnostics import (
     profile_report,
     race_report,
     trace_report,
+    xray_report,
 )
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "race_report",
     "health_report",
     "fault_report",
+    "xray_report",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "race_report",
     "health_report",
     "fault_report",
+    "xray_report",
 ]
 
 
@@ -412,6 +413,56 @@ def config_report(config: "dict[str, Any] | str | None", name: str = "<config>")
     return f"{name}: {len(findings)} problem(s)\n" + format_findings(findings)
 
 
+def xray_report(
+    target: Any, last: "int | None" = 3, actions: int = 3, paths: int = 3
+) -> str:
+    """The mochi-xray view: per-window tail attribution, what-if
+    rankings, and recent per-request critical paths.
+
+    ``target`` is a :class:`~repro.cluster.Cluster` (its shared plane is
+    used) or an :class:`~repro.observability.xray.XrayPlane` directly;
+    ``last`` bounds the windows shown, ``actions`` the attribution
+    segments / ranked actions per window, ``paths`` the recent path
+    records rendered in full.
+    """
+    from ..observability.xray.critical_path import format_path_record
+
+    plane = target.xray_plane() if isinstance(target, Cluster) else target
+    if plane is None:
+        return (
+            "mochi-xray: disabled (no process ran with "
+            '{"observability": {"xray": true}})'
+        )
+    lines = [
+        f"mochi-xray: {len(plane.windows)} closed window(s), "
+        f"{len(plane.recent)} recent path(s)"
+    ]
+    for window in plane.attribution(last=last):
+        attribution = window["attribution"]
+        lines.append(
+            f"  window {window['index']} "
+            f"[{window['start']:.3f}s..{window['end']:.3f}s]: "
+            f"{window['requests']} request(s), "
+            f"{window['dropped_paths']} dropped, "
+            f"p50={attribution['p50'] * 1e6:.2f}us "
+            f"p99={attribution['p99'] * 1e6:.2f}us"
+        )
+        for segment in attribution["segments"][:actions]:
+            where = segment["pool"] or "-"
+            lines.append(
+                f"    excess {segment['excess'] * 1e6:>9.2f}us  "
+                f"{segment['phase']:<12} {segment['process']} [{where}]"
+            )
+        for action in window["whatif"]["actions"][:actions]:
+            lines.append(
+                f"    what-if {action['predicted_improvement']:>6.1%} p99: "
+                f"{action['action']} {action['target']} on {action['process']}"
+            )
+    for record in plane.critical_paths(last=paths):
+        lines.extend("  " + line for line in format_path_record(record))
+    return "\n".join(lines)
+
+
 def trace_report(
     *tracers: Tracer, trace_id: "str | None" = None, limit: int = 20
 ) -> str:
@@ -451,6 +502,10 @@ def trace_report(
         for child in node["children"]:
             render(child, depth + 1)
 
+    # Imported lazily: the xray package is optional machinery on top of
+    # the tracer and must not become a hard import of the tools module.
+    from ..observability.xray.critical_path import critical_chain
+
     for tid in selected:
         trace_spans = by_trace[tid]
         total_us = (
@@ -459,4 +514,12 @@ def trace_report(
         lines.append(f"trace {tid}: {len(trace_spans)} spans, {total_us:.2f}us")
         for root in build_trace_tree(spans, tid):
             render(root, 0)
+        chain = critical_chain(spans, tid)
+        if chain:
+            gated_us = sum((s["end"] - s["start"]) for s in chain) * 1e6
+            steps = " > ".join(f"{s['category']}:{s['name']}" for s in chain)
+            lines.append(
+                f"  critical path: {len(chain)}/{len(trace_spans)} spans, "
+                f"{gated_us:.2f}us gated -- {steps}"
+            )
     return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""MCH074 fixtures: manual span leaked on an exception path."""
+
+
+def migrate_bad(tracer, margo, name):
+    """Positive: the migration RPC may raise while the span is open."""
+    span = tracer.start_span(name, "migration", margo.process.name, margo.kernel.now)
+    yield from margo.forward(name, "migrate", {})
+    span.end(margo.kernel.now)
+    return span
+
+
+def migrate_guarded(tracer, margo, name):
+    """Negative: finally ends the span on every path."""
+    span = tracer.start_span(name, "migration", margo.process.name, margo.kernel.now)
+    try:
+        yield from margo.forward(name, "migrate", {})
+    finally:
+        span.end(margo.kernel.now)
+    return None
+
+
+def migrate_early_end(tracer, margo, name):
+    """Negative: the span closes before anything risky runs."""
+    span = tracer.start_span(name, "migration", margo.process.name, margo.kernel.now)
+    span.end(margo.kernel.now)
+    yield from margo.forward(name, "migrate", {})
+    return None
+
+
+def migrate_delegated(tracer, margo, name):
+    """Negative: passing the span to a helper transfers the obligation
+    (the callee owns ending it now)."""
+    span = tracer.start_span(name, "migration", margo.process.name, margo.kernel.now)
+    watch(span)  # noqa: F821
+    yield from margo.forward(name, "migrate", {})
+    return None

@@ -16,6 +16,8 @@ from repro.tools import (
     monitoring_report,
     process_report,
     profile_report,
+    trace_report,
+    xray_report,
 )
 from repro.yokan import YokanClient
 
@@ -170,6 +172,71 @@ def test_profile_report_contents():
     assert "echo_ping/3:" in report
     assert "waterfall" in report
     assert "client_queue" in report and "handler" in report
+
+
+def _xray_cluster():
+    cluster = Cluster(seed=88)
+    obs = {
+        "tracing": True,
+        "profiling": True,
+        "profile_window": 0.005,
+        "xray": True,
+    }
+    srv = cluster.add_margo("srv", "n0", config={"observability": dict(obs)})
+    cli = cluster.add_margo("cli", "n1", config={"observability": dict(obs)})
+
+    def echo(ctx):
+        # A slow tail every 10th request, so differential attribution
+        # has a positive-excess handler segment to render.
+        yield Compute(200e-6 if ctx.args["i"] % 10 == 0 else 5e-6)
+        return ctx.args
+
+    srv.register("echo", echo)
+
+    def driver():
+        for i in range(30):
+            yield from cli.forward(srv.address, "echo", {"i": i})
+            yield UltSleep(0.0005)  # spread requests across profiler windows
+
+    cluster.run_ult(cli, driver())
+    cluster.run(until=cluster.now + 0.005)
+    return cluster, srv, cli
+
+
+def test_xray_report_disabled():
+    cluster = Cluster(seed=88)
+    cluster.add_margo("plain", "n0")
+    report = xray_report(cluster)
+    assert report.startswith("mochi-xray: disabled")
+    assert '"xray": true' in report
+
+
+def test_xray_report_contents():
+    cluster, _srv, _cli = _xray_cluster()
+    report = xray_report(cluster, last=2, actions=2, paths=1)
+    lines = report.splitlines()
+    assert lines[0].startswith("mochi-xray: ")
+    assert "closed window(s)" in lines[0]
+    assert "recent path(s)" in lines[0]
+    assert any(l.strip().startswith("window ") and "p99=" in l for l in lines)
+    assert any("excess" in l and "us" in l for l in lines)
+    assert any(l.strip().startswith("what-if") for l in lines)
+    # One rendered path record: the echo RPC, client and server named.
+    assert any("echo" in l for l in lines)
+    # Accepts a plane directly too, and renders identically.
+    assert xray_report(cluster.kernel.xray_plane, last=2, actions=2, paths=1) == report
+
+
+def test_trace_report_includes_critical_path():
+    cluster, srv, cli = _xray_cluster()
+    report = trace_report(*cluster.tracers(), limit=2)
+    critical = [l for l in report.splitlines() if "critical path:" in l]
+    assert critical  # one summary per rendered trace tree
+    for line in critical:
+        # "critical path: K/N spans, X.XXus gated -- cat:name > ..."
+        assert "spans," in line
+        assert "us gated -- " in line
+        assert " > " in line or "rpc:" in line
 
 
 def test_config_report_on_documents_and_files(tmp_path):

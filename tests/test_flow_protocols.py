@@ -145,6 +145,40 @@ def test_typestate_use_after_release_and_migrate():
 
 
 # ----------------------------------------------------------------------
+# MCH074: span leaked on an exception path
+# ----------------------------------------------------------------------
+def test_span_leak_positive_and_negatives():
+    findings, _stats, _covered = flow_findings("span")
+    path = fixture_path("span", "handlers.py")
+    found = by_rule(findings, "MCH074")
+
+    # Exactly one leak: migrate_bad's start line, naming the variable
+    # and the escaping statement's line.
+    assert len(found) == 1
+    leak = found[0]
+    assert leak.path == path
+    assert leak.line == line_of(path, "span = tracer.start_span")
+    assert "'span'" in leak.message
+    assert "finally" in leak.message
+
+    # Negatives: try/finally, end-before-risky, and escape-to-callee
+    # functions are all clean.
+    guarded_start = line_of(path, "def migrate_guarded")
+    assert not [f for f in found if f.line >= guarded_start]
+
+
+def test_span_rule_registered_under_observability():
+    from repro.analysis.registry import GROUP_OBSERVABILITY, rule_catalog
+
+    infos = {info.id: info for info in rule_catalog()}
+    assert "MCH074" in infos
+    assert infos["MCH074"].group == GROUP_OBSERVABILITY
+    from repro.analysis.flow import FLOW_RULE_IDS
+
+    assert "MCH074" in FLOW_RULE_IDS
+
+
+# ----------------------------------------------------------------------
 # cross-cutting behavior
 # ----------------------------------------------------------------------
 def test_select_ignore_filters_apply():
